@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast the
+//! machine model executes representative slices of the paper's
+//! workloads. These time the *simulator*; the `--bin` harnesses measure
+//! the *simulated machine*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cedar_kernels::staged::cg::StagedCg;
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_kernels::staged::vload::VectorLoad;
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::{CounterScope, Machine};
+use cedar_machine::program::{AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp};
+use cedar_machine::ClusterId;
+
+fn bench_network_roundtrip(c: &mut Criterion) {
+    c.bench_function("sim/scalar_global_read_roundtrips", |b| {
+        b.iter(|| {
+            let mut m = Machine::cedar().unwrap();
+            let mut pb = ProgramBuilder::new();
+            pb.repeat(64, |pb| {
+                pb.push(Op::ScalarGlobalRead {
+                    addr: AddressExpr::new(0).with_coeff(0, 7),
+                });
+            });
+            let r = m.run(vec![(CeId(0), pb.build())], 1_000_000).unwrap();
+            black_box(r.cycles)
+        })
+    });
+}
+
+fn bench_prefetch_stream(c: &mut Criterion) {
+    c.bench_function("sim/prefetch_stream_8ces_4kwords", |b| {
+        b.iter(|| {
+            let mut m = Machine::cedar().unwrap();
+            let progs = VectorLoad {
+                words_per_ce: 4096,
+                block: 32,
+            }
+            .build(&mut m, 1);
+            let r = m.run(progs, 10_000_000).unwrap();
+            black_box(r.prefetch.words_returned)
+        })
+    });
+}
+
+fn bench_rank64_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/rank64_one_cluster");
+    g.sample_size(10);
+    for (name, version) in [
+        ("nopref", Rank64Version::GmNoPrefetch),
+        ("pref32", Rank64Version::GmPrefetch { block_words: 32 }),
+        ("cache", Rank64Version::GmCache),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::cedar().unwrap();
+                let kern = Rank64 {
+                    n: 64,
+                    k: 64,
+                    version,
+                };
+                let progs = kern.build(&mut m, 1);
+                let r = m.run(progs, 1_000_000_000).unwrap();
+                black_box(r.mflops)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cg_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/cg_iteration");
+    g.sample_size(10);
+    g.bench_function("n4k_8ces", |b| {
+        b.iter(|| {
+            let mut m = Machine::cedar().unwrap();
+            let cg = StagedCg {
+                n: 4096,
+                iterations: 1,
+            };
+            let progs = cg.build(&mut m, 8);
+            let r = m.run(progs, 100_000_000).unwrap();
+            black_box(r.cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_selfsched_dispatch(c: &mut Criterion) {
+    c.bench_function("sim/ccbus_selfsched_1k_iters", |b| {
+        b.iter(|| {
+            let mut m = Machine::cedar().unwrap();
+            let counter = m.alloc_counter(CounterScope::Cluster(ClusterId(0)));
+            let mut progs = Vec::new();
+            for ce in 0..8usize {
+                let mut pb = ProgramBuilder::new();
+                pb.self_sched(counter, 1024, 1, |pb| {
+                    pb.vector(VectorOp {
+                        length: 8,
+                        flops_per_element: 1,
+                        operand: MemOperand::None,
+                    });
+                });
+                progs.push((CeId(ce), pb.build()));
+            }
+            let r = m.run(progs, 10_000_000).unwrap();
+            black_box(r.flops)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_network_roundtrip,
+    bench_prefetch_stream,
+    bench_rank64_slice,
+    bench_cg_iteration,
+    bench_selfsched_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion wrappers over shrunken table experiments: one benchmark per
+//! table/figure, exercising the same code paths as the full `--bin`
+//! harnesses at CI-friendly sizes. Regenerating the paper's actual rows
+//! is the job of the binaries (`cargo run --release -p cedar-bench --bin
+//! table1` …); these keep the pipelines measured and honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cedar_kernels::staged::cg::StagedCg;
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_kernels::staged::tridiag::TridiagMatvec;
+use cedar_kernels::staged::vload::VectorLoad;
+use cedar_machine::machine::Machine;
+use cedar_machine::MachineConfig;
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::run::{CodeStudy, Variant};
+
+/// Table 1 at n=64, 1 and 4 clusters, all three versions.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("rank64_three_versions_small", |b| {
+        b.iter(|| {
+            let mut out = 0.0;
+            for version in [
+                Rank64Version::GmNoPrefetch,
+                Rank64Version::GmPrefetch { block_words: 32 },
+                Rank64Version::GmCache,
+            ] {
+                let mut m = Machine::cedar().unwrap();
+                let kern = Rank64 {
+                    n: 64,
+                    k: 64,
+                    version,
+                };
+                let progs = kern.build(&mut m, 1);
+                out += m.run(progs, 1_000_000_000).unwrap().mflops;
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+/// Table 2's monitor path: one kernel per family at 8 CEs.
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("monitor_vl_tm_small", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::cedar_with_clusters(1)).unwrap();
+            let progs = VectorLoad {
+                words_per_ce: 2048,
+                block: 32,
+            }
+            .build(&mut m, 1);
+            let r1 = m.run(progs, 100_000_000).unwrap();
+            let mut m = Machine::new(MachineConfig::cedar_with_clusters(1)).unwrap();
+            let progs = TridiagMatvec { n: 4096, sweeps: 1 }.build(&mut m, 1);
+            let r2 = m.run(progs, 100_000_000).unwrap();
+            black_box(r1.prefetch.mean_latency() + r2.prefetch.mean_latency())
+        })
+    });
+    g.finish();
+}
+
+/// Tables 3–6 / Fig. 3 share the Perfect pipeline: one representative
+/// code end to end (serial + automatable).
+fn bench_table3_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_to_6_and_fig3");
+    g.sample_size(10);
+    g.bench_function("perfect_trfd_serial_plus_auto", |b| {
+        b.iter(|| {
+            let study = CodeStudy::new(CodeName::Trfd, 4).unwrap();
+            let auto = study.run(Variant::Automatable).unwrap().unwrap();
+            black_box(auto.speedup)
+        })
+    });
+    g.finish();
+}
+
+/// PPT4's CG path at one (P, N) point.
+fn bench_ppt4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppt4");
+    g.sample_size(10);
+    g.bench_function("cg_n8k_32ces", |b| {
+        b.iter(|| {
+            let cg = StagedCg {
+                n: 8_192,
+                iterations: 1,
+            };
+            black_box(cg.mflops_on_cedar(32).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3_pipeline,
+    bench_ppt4
+);
+criterion_main!(benches);

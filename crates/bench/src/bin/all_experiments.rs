@@ -1,0 +1,21 @@
+//! Run every table and figure in sequence (the full evaluation).
+
+use cedar::experiments::{fig3, suite::PerfectSuite, table3, table4, table5, table6};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = if cedar_bench::quick() { 128 } else { 256 };
+    eprintln!("[1/4] Table 1...");
+    println!("{}", cedar::experiments::table1::run(n)?.render());
+    eprintln!("[2/4] Table 2...");
+    println!("{}", cedar::experiments::table2::run()?.render());
+    eprintln!("[3/4] Perfect suite (Tables 3-6, Fig. 3)...");
+    let suite = PerfectSuite::measure(4)?;
+    println!("{}", table3::run(&suite).render());
+    println!("{}", table4::run(&suite).render());
+    println!("{}", table5::run(&suite).render());
+    println!("{}", table6::run(&suite).render());
+    println!("{}", fig3::run(&suite).render());
+    eprintln!("[4/4] PPT4 CG scalability...");
+    println!("{}", cedar::experiments::ppt4::run(2)?.render());
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! The memory-system characterization suite ([GJTV91]).
+//!
+//! Sustainable bandwidth of each level of the Cedar hierarchy at 1-32
+//! CEs — the measurements behind the paper's statement that the Table 1
+//! cache-version efficiency "is consistent with the observed maximum
+//! bandwidth of memory system characterization benchmarks".
+
+use cedar_kernels::staged::membw::{measure, Probe};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== memory-system characterization (aggregate words/CE-cycle; MB/s at 170 ns) ==");
+    print!("{:26}", "probe");
+    let ce_counts = [1usize, 2, 4, 8, 16, 32];
+    for c in ce_counts {
+        print!("{c:>10}");
+    }
+    println!();
+    for probe in Probe::ALL {
+        print!("{:26}", probe.name());
+        for &ces in &ce_counts {
+            let p = measure(probe, ces)?;
+            print!("{:>10.2}", p.words_per_cycle);
+        }
+        println!();
+    }
+    println!();
+    println!("reference bounds: global modules 16 w/c aggregate (768 MB/s); per-CE direct");
+    println!("~0.15 w/c (13-cycle latency x 2 outstanding); cluster cache 8 w/c per cluster;");
+    println!("cluster memory 4 w/c per cluster.");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Permutation behaviour of the omega network.
+//!
+//! An omega network provides a *unique path* between each input/output
+//! pair (\[Lawr75\]), so it cannot pass every permutation without
+//! conflict: identity and uniform shifts go through in parallel, while
+//! transposes and bit-reversals collide at internal links and serialize.
+//! Turner's thesis (\[Turn93\]) showed Cedar's observed degradation was
+//! an implementation artifact rather than a property of the network
+//! class; this study measures the network model's permutation behaviour
+//! directly — with the default two-word queues and with deeper ones.
+
+use cedar_machine::config::NetworkConfig;
+use cedar_machine::ids::CeId;
+use cedar_machine::network::packet::{MemRequest, Packet, Payload, RequestKind, Stream};
+use cedar_machine::network::{NetSink, Omega};
+use cedar_machine::time::Cycle;
+
+struct Count {
+    delivered: usize,
+}
+impl NetSink for Count {
+    fn try_begin(&mut self, _p: usize) -> bool {
+        true
+    }
+    fn deliver(&mut self, _p: usize, _pkt: Packet) {
+        self.delivered += 1;
+    }
+}
+
+/// Cycles to deliver one packet from every port under `perm`.
+fn run_perm(queue_words: usize, words: u8, perm: &dyn Fn(usize, usize) -> usize) -> u64 {
+    let cfg = NetworkConfig {
+        radix: 8,
+        queue_words,
+        words_per_cycle: 1,
+    };
+    let mut net = Omega::new(64, &cfg);
+    let size = net.size();
+    let mut sink = Count { delivered: 0 };
+    let mut pending: Vec<(usize, Packet)> = (0..size)
+        .map(|src| {
+            (
+                src,
+                Packet {
+                    dst: perm(src, size),
+                    words,
+                    payload: Payload::Request(MemRequest {
+                        ce: CeId(0),
+                        kind: RequestKind::Read,
+                        addr: src as u64,
+                        stream: Stream::Scalar,
+                        issued: Cycle(0),
+                    }),
+                },
+            )
+        })
+        .collect();
+    let mut cycles = 0u64;
+    while sink.delivered < size {
+        pending.retain(|(src, pkt)| !net.try_inject(*src, *pkt));
+        net.tick(&mut sink);
+        cycles += 1;
+        assert!(cycles < 1_000_000, "network wedged");
+    }
+    cycles
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    let mut out = 0;
+    for b in 0..bits {
+        out |= ((x >> b) & 1) << (bits - 1 - b);
+    }
+    out
+}
+
+type Perm = Box<dyn Fn(usize, usize) -> usize>;
+
+fn main() {
+    println!("== omega network permutation study (64 ports, 8x8 switches, 1-word packets) ==");
+    println!(
+        "{:28} {:>10} {:>10} {:>10}",
+        "permutation", "q=2 words", "q=4", "q=8"
+    );
+    let perms: Vec<(&str, Perm)> = vec![
+        ("identity", Box::new(|s, _n| s)),
+        ("shift by 1", Box::new(|s, n| (s + 1) % n)),
+        ("shift by n/2", Box::new(|s, n| (s + n / 2) % n)),
+        ("perfect shuffle", Box::new(|s, n| (s * 2) % n + (s * 2) / n)),
+        ("bit reversal", Box::new(|s, _n| bit_reverse(s, 6))),
+        (
+            "transpose (swap digit halves)",
+            Box::new(|s, _n| (s % 8) * 8 + s / 8),
+        ),
+        ("all-to-port-0 (hot spot)", Box::new(|_s, _n| 0)),
+    ];
+    for (name, f) in &perms {
+        let a = run_perm(2, 1, f);
+        let b = run_perm(4, 1, f);
+        let c = run_perm(8, 1, f);
+        println!("{name:28} {a:>10} {b:>10} {c:>10}");
+    }
+    println!();
+    println!("expected: identity/shifts pass near-conflict-free; bit reversal and transpose");
+    println!("serialize on shared internal links (the unique-path property); the hot spot");
+    println!("serializes fully. Deeper queues absorb transient conflicts but cannot create");
+    println!("paths that do not exist.");
+}

@@ -1,0 +1,13 @@
+//! Regenerate the PPT4 scalability study: CG on Cedar (2-32 CEs,
+//! 1K-172K) versus the CM-5 banded matvec reference.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iters = if cedar_bench::quick() { 1 } else { 2 };
+    eprintln!("running the PPT4 CG sweep (5 processor counts x 6 sizes)...");
+    let study = cedar::experiments::ppt4::run(iters)?;
+    println!("{}", study.render());
+    if let Some(n) = study.high_band_crossover() {
+        println!("32-CE high-band crossover at N = {n} (paper: between 10K and 16K)");
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerate Table 1: MFLOPS for the rank-64 update on Cedar.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = if cedar_bench::quick() { 128 } else { 256 };
+    eprintln!("running Table 1 (rank-64 update, n = {n}; three versions x four cluster counts)...");
+    let t1 = cedar::experiments::table1::run(n)?;
+    println!("{}", t1.render());
+    let pf = t1.prefetch_factors();
+    let cf = t1.cache_factors();
+    println!(
+        "prefetch improvement over no-pref: {:.1} / {:.1} / {:.1} / {:.1}  (paper: 3.5 / 2.9 / 2.2 / 1.9)",
+        pf[0], pf[1], pf[2], pf[3]
+    );
+    println!(
+        "cache improvement over no-pref   : {:.1} / {:.1} / {:.1} / {:.1}  (paper: 3.5 ... 3.8)",
+        cf[0], cf[1], cf[2], cf[3]
+    );
+    Ok(())
+}

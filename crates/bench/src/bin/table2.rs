@@ -1,0 +1,15 @@
+//! Regenerate Table 2: global memory performance (prefetch first-word
+//! latency and interarrival time for VL, TM, RK, CG at 8/16/32 CEs).
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("running Table 2 (VL, TM, RK, CG at 8/16/32 CEs)...");
+    let t2 = cedar::experiments::table2::run()?;
+    println!("{}", t2.render());
+    for name in ["VL", "TM", "RK", "CG"] {
+        if let Some(g) = t2.latency_growth(name) {
+            println!("{name}: latency grows {g:.2}x from 8 to 32 CEs");
+        }
+    }
+    println!("paper: RK degrades most (256-word blocks, aggressive overlap); VL next; TM and CG least.");
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerate Tables 3–6 and Figure 3 from one measurement of the
+//! Perfect suite (they share the ensemble, as in the paper).
+
+use cedar::experiments::{fig3, suite::PerfectSuite, table3, table4, table5, table6};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("measuring the Perfect suite (13 codes x 6 variants; a few minutes)...");
+    let suite = PerfectSuite::measure(4)?;
+    println!("{}", table3::run(&suite).render());
+    println!();
+    println!("{}", table4::run(&suite).render());
+    println!();
+    println!("{}", table5::run(&suite).render());
+    println!();
+    println!("{}", table6::run(&suite).render());
+    println!();
+    println!("{}", fig3::run(&suite).render());
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table6 from a fresh measurement of the Perfect suite.
+//! (Tables 3-6 and Fig. 3 share the ensemble; `table3` prints them all.)
+
+use cedar::experiments::{suite::PerfectSuite, table6};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("measuring the Perfect suite (13 codes x 6 variants; a few minutes)...");
+    let suite = PerfectSuite::measure(4)?;
+    println!("{}", table6::run(&suite).render());
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Figure 3: Cray YMP/8 vs Cedar efficiency scatter for the manually
+//! optimized Perfect codes.
+//!
+//! Each point is one code; its x-coordinate is the 8-CPU YMP efficiency
+//! of the manually optimized version, its y-coordinate the 32-CE Cedar
+//! efficiency (hand where available, automatable otherwise). Bands: High
+//! (E ≥ 1/2), Intermediate (E ≥ 1/(2 log₂ P)), Unacceptable. Paper: the
+//! YMP is about half high / half intermediate with one unacceptable;
+//! Cedar about one-quarter high, three-quarters intermediate, none
+//! unacceptable.
+
+use cedar_methodology::bands::{classify_efficiency, Band};
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::reference::ymp;
+
+use super::suite::PerfectSuite;
+use crate::report::{f2, Table};
+
+/// One scatter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Point {
+    pub code: CodeName,
+    pub cedar_efficiency: f64,
+    pub cedar_band: Band,
+    /// Present only for the codes the YMP study optimized manually.
+    pub ymp_efficiency: Option<f64>,
+    pub ymp_band: Option<Band>,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3 {
+    pub points: Vec<Fig3Point>,
+    pub cedar_counts: (usize, usize, usize),
+    pub ymp_counts: (usize, usize, usize),
+}
+
+/// Derive Fig. 3 from the measured suite and the YMP reference. Only the
+/// manually optimized codes are plotted, as in the paper.
+pub fn run(suite: &PerfectSuite) -> Fig3 {
+    let mut points = Vec::new();
+    let mut cc = (0, 0, 0);
+    let mut yc = (0, 0, 0);
+    for code in CodeName::ALL {
+        if cedar_perfect::codes::hand_spec(code).is_none()
+            && ymp(code).manual_speedup.is_none()
+        {
+            continue;
+        }
+        let cedar_eff = suite.best_speedup(code) / 32.0;
+        let cedar_band = classify_efficiency(cedar_eff, 32);
+        match cedar_band {
+            Band::High => cc.0 += 1,
+            Band::Intermediate => cc.1 += 1,
+            Band::Unacceptable => cc.2 += 1,
+        }
+        let (ymp_eff, ymp_band) = match ymp(code).manual_speedup {
+            Some(s) => {
+                let e = s / 8.0;
+                let b = classify_efficiency(e, 8);
+                match b {
+                    Band::High => yc.0 += 1,
+                    Band::Intermediate => yc.1 += 1,
+                    Band::Unacceptable => yc.2 += 1,
+                }
+                (Some(e), Some(b))
+            }
+            None => (None, None),
+        };
+        points.push(Fig3Point {
+            code,
+            cedar_efficiency: cedar_eff,
+            cedar_band,
+            ymp_efficiency: ymp_eff,
+            ymp_band,
+        });
+    }
+    Fig3 {
+        points,
+        cedar_counts: cc,
+        ymp_counts: yc,
+    }
+}
+
+impl Fig3 {
+    /// Render the point list plus an ASCII scatter.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)");
+        t.header(&["code", "Cedar Ep", "band", "YMP Ep", "band"]);
+        for p in &self.points {
+            t.row(vec![
+                p.code.to_string(),
+                f2(p.cedar_efficiency),
+                p.cedar_band.to_string(),
+                p.ymp_efficiency.map(f2).unwrap_or_default(),
+                p.ymp_band.map(|b| b.to_string()).unwrap_or_default(),
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&self.ascii_scatter());
+        s.push_str(&format!(
+            "Cedar bands (H/I/U): {}/{}/{} — paper: ~1/4 high, ~3/4 intermediate, none unacceptable\n",
+            self.cedar_counts.0, self.cedar_counts.1, self.cedar_counts.2
+        ));
+        s.push_str(&format!(
+            "YMP bands   (H/I/U): {}/{}/{} — paper: ~half high, half intermediate, one unacceptable\n",
+            self.ymp_counts.0, self.ymp_counts.1, self.ymp_counts.2
+        ));
+        s
+    }
+
+    /// A coarse ASCII scatter (x = YMP efficiency, y = Cedar efficiency),
+    /// marking each code by its first letter.
+    pub fn ascii_scatter(&self) -> String {
+        const W: usize = 41;
+        const H: usize = 21;
+        let mut grid = vec![vec![' '; W]; H];
+        // Band guides at efficiency 0.5 and 0.1 on both axes.
+        let ymark = |e: f64| ((1.0 - e.clamp(0.0, 1.0)) * (H - 1) as f64).round() as usize;
+        let xmark = |e: f64| (e.clamp(0.0, 1.0) * (W - 1) as f64).round() as usize;
+        for (y, row) in grid.iter_mut().enumerate() {
+            for (x, cell) in row.iter_mut().enumerate() {
+                if y == ymark(0.5) || x == xmark(0.5) {
+                    *cell = '.';
+                }
+                if y == ymark(0.1) || x == xmark(1.0 / 6.0) {
+                    *cell = ':';
+                }
+            }
+        }
+        for p in &self.points {
+            if let Some(xe) = p.ymp_efficiency {
+                let x = xmark(xe);
+                let y = ymark(p.cedar_efficiency);
+                grid[y][x] = p.code.to_string().chars().next().unwrap_or('?');
+            }
+        }
+        let mut s = String::from("Cedar Ep ^  (x-axis: YMP/8 Ep; '.' = high band edge, ':' = acceptable edge)\n");
+        for row in grid {
+            s.push_str("  |");
+            s.extend(row);
+            s.push('\n');
+        }
+        s.push_str("  +");
+        s.push_str(&"-".repeat(W));
+        s.push_str("> YMP Ep\n");
+        s
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment runners: one per table/figure of the paper's evaluation.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — rank-64 update MFLOPS, three memory versions |
+//! | [`table2`] | Table 2 — prefetch latency/interarrival for VL, TM, RK, CG |
+//! | [`suite`]  | shared Perfect-suite measurement behind Tables 3–6 and Fig. 3 |
+//! | [`table3`] | Table 3 — Perfect times, MFLOPS, speed improvements |
+//! | [`table4`] | Table 4 — hand-optimized Perfect codes |
+//! | [`table5`] | Table 5 — instability (Cedar, Cray 1, YMP/8) |
+//! | [`table6`] | Table 6 — restructuring-efficiency band counts |
+//! | [`fig3`]   | Figure 3 — YMP vs Cedar efficiency scatter |
+//! | [`ppt4`]   | §4.3 PPT4 — CG scalability vs the CM-5 |
+
+pub mod fig3;
+#[cfg(test)]
+mod tests;
+pub mod ppt4;
+pub mod suite;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub use suite::PerfectSuite;

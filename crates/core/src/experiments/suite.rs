@@ -1,0 +1,86 @@
+//! Shared measurement of the whole Perfect suite: every code at every
+//! Table 3 / Table 4 configuration, measured once and reused by the
+//! Table 3–6 and Fig. 3 experiments.
+
+use std::collections::HashMap;
+
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::run::{CodeRun, CodeStudy, Variant};
+
+/// All measurements of the Perfect suite on the simulated Cedar.
+#[derive(Debug, Clone)]
+pub struct PerfectSuite {
+    runs: HashMap<(CodeName, Variant), CodeRun>,
+    pub clusters: usize,
+}
+
+impl PerfectSuite {
+    /// Measure the full suite (13 codes × up to 6 variants). This is the
+    /// expensive step behind Tables 3–6 and Fig. 3: a few minutes of
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure(clusters: usize) -> cedar_machine::Result<PerfectSuite> {
+        let mut runs = HashMap::new();
+        for code in CodeName::ALL {
+            let study = CodeStudy::new(code, clusters)?;
+            for v in Variant::ALL {
+                if let Some(run) = study.run(v)? {
+                    runs.insert((code, v), run);
+                }
+            }
+        }
+        Ok(PerfectSuite { runs, clusters })
+    }
+
+    /// Build a suite from precomputed runs (testing and offline
+    /// analysis).
+    pub fn from_runs(runs: Vec<CodeRun>, clusters: usize) -> PerfectSuite {
+        PerfectSuite {
+            runs: runs.into_iter().map(|r| ((r.code, r.variant), r)).collect(),
+            clusters,
+        }
+    }
+
+    /// One measurement, if it exists (Hand only for Table 4 codes).
+    pub fn get(&self, code: CodeName, v: Variant) -> Option<&CodeRun> {
+        self.runs.get(&(code, v))
+    }
+
+    /// The measurement, panicking when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics for Hand variants of codes without one.
+    pub fn require(&self, code: CodeName, v: Variant) -> &CodeRun {
+        self.get(code, v)
+            .unwrap_or_else(|| panic!("no run for {code} {v}"))
+    }
+
+    /// The best manually-achieved speedup: hand where available, else
+    /// automatable — the Fig. 3 Cedar ensemble.
+    pub fn best_speedup(&self, code: CodeName) -> f64 {
+        self.get(code, Variant::Hand)
+            .or_else(|| self.get(code, Variant::Automatable))
+            .map(|r| r.speedup)
+            .unwrap_or(1.0)
+    }
+
+    /// Automatable MFLOPS ensemble in code order (Table 5's Cedar row).
+    pub fn automatable_mflops(&self) -> Vec<f64> {
+        CodeName::ALL
+            .iter()
+            .map(|&c| self.require(c, Variant::Automatable).mflops)
+            .collect()
+    }
+
+    /// Automatable speedups in code order (Table 6's Cedar column).
+    pub fn automatable_speedups(&self) -> Vec<f64> {
+        CodeName::ALL
+            .iter()
+            .map(|&c| self.require(c, Variant::Automatable).speedup)
+            .collect()
+    }
+}

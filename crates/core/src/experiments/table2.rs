@@ -1,0 +1,169 @@
+//! Table 2: global memory performance under the hardware monitor.
+//!
+//! Four computational kernels — vector load (VL), tridiagonal
+//! matrix–vector multiply (TM), rank-64 update (RK), conjugate gradient
+//! (CG) — run on 8, 16 and 32 processors using global data and
+//! prefetching. The metrics are first-word **Latency** and
+//! **Interarrival** time between the remaining words of a prefetch block,
+//! in instruction cycles, measured at the prefetch unit (minimums: 8 and
+//! 1). RK uses 256-word prefetch blocks and overlaps aggressively, so it
+//! degrades fastest; VL is memory-dominated but uses 32-word compiler
+//! blocks; TM and CG contain register–register vector work that lowers
+//! their demand (§4.1).
+
+use cedar_kernels::staged::cg::StagedCg;
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_kernels::staged::tridiag::TridiagMatvec;
+use cedar_kernels::staged::vload::VectorLoad;
+use cedar_machine::machine::Machine;
+use cedar_machine::MachineConfig;
+
+use crate::report::{f1, f2, Table};
+
+/// Monitor readings for one kernel at one CE count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorPoint {
+    pub ces: usize,
+    pub latency: f64,
+    pub interarrival: f64,
+}
+
+/// One kernel's row set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Kernel {
+    pub name: &'static str,
+    pub points: Vec<MonitorPoint>,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    pub kernels: Vec<Table2Kernel>,
+}
+
+/// Run the Table 2 experiment at 8, 16 and 32 CEs.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run() -> cedar_machine::Result<Table2> {
+    let ce_counts = [8usize, 16, 32];
+    let mut kernels = Vec::new();
+
+    // VL: pure prefetched loads, 32-word compiler blocks.
+    let mut vl_points = Vec::new();
+    for &ces in &ce_counts {
+        let clusters = ces / 8;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let progs = VectorLoad {
+            words_per_ce: 8192,
+            block: 32,
+        }
+        .build(&mut m, clusters);
+        let r = m.run(progs, 2_000_000_000)?;
+        vl_points.push(MonitorPoint {
+            ces,
+            latency: r.prefetch.mean_latency(),
+            interarrival: r.prefetch.mean_interarrival(),
+        });
+    }
+    kernels.push(Table2Kernel {
+        name: "VL",
+        points: vl_points,
+    });
+
+    // TM: tridiagonal matvec.
+    let mut tm_points = Vec::new();
+    for &ces in &ce_counts {
+        let clusters = ces / 8;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let progs = TridiagMatvec {
+            n: 32 * 1024,
+            sweeps: 2,
+        }
+        .build(&mut m, clusters);
+        let r = m.run(progs, 2_000_000_000)?;
+        tm_points.push(MonitorPoint {
+            ces,
+            latency: r.prefetch.mean_latency(),
+            interarrival: r.prefetch.mean_interarrival(),
+        });
+    }
+    kernels.push(Table2Kernel {
+        name: "TM",
+        points: tm_points,
+    });
+
+    // RK: rank-64 update with 256-word blocks, aggressive overlap.
+    let mut rk_points = Vec::new();
+    for &ces in &ce_counts {
+        let clusters = ces / 8;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let kern = Rank64 {
+            n: 128,
+            k: 64,
+            version: Rank64Version::GmPrefetch { block_words: 256 },
+        };
+        let progs = kern.build(&mut m, clusters);
+        let r = m.run(progs, 2_000_000_000)?;
+        rk_points.push(MonitorPoint {
+            ces,
+            latency: r.prefetch.mean_latency(),
+            interarrival: r.prefetch.mean_interarrival(),
+        });
+    }
+    kernels.push(Table2Kernel {
+        name: "RK",
+        points: rk_points,
+    });
+
+    // CG: 5-diagonal conjugate gradient.
+    let mut cg_points = Vec::new();
+    for &ces in &ce_counts {
+        let clusters = ces.div_ceil(8);
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let cg = StagedCg {
+            n: 32 * 1024,
+            iterations: 2,
+        };
+        let progs = cg.build(&mut m, ces);
+        let r = m.run(progs, 2_000_000_000)?;
+        cg_points.push(MonitorPoint {
+            ces,
+            latency: r.prefetch.mean_latency(),
+            interarrival: r.prefetch.mean_interarrival(),
+        });
+    }
+    kernels.push(Table2Kernel {
+        name: "CG",
+        points: cg_points,
+    });
+
+    Ok(Table2 { kernels })
+}
+
+impl Table2 {
+    /// Render the table (latency / interarrival per kernel per CE count).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 2: global memory performance (first-word latency / interarrival, cycles; minima 8 / 1)",
+        );
+        t.header(&["kernel", "8 CEs", "16 CEs", "32 CEs"]);
+        for k in &self.kernels {
+            let mut cols = vec![k.name.to_string()];
+            for p in &k.points {
+                cols.push(format!("{} / {}", f1(p.latency), f2(p.interarrival)));
+            }
+            t.row(cols);
+        }
+        t.render()
+    }
+
+    /// Degradation of a kernel's latency from 8 to 32 CEs.
+    pub fn latency_growth(&self, name: &str) -> Option<f64> {
+        let k = self.kernels.iter().find(|k| k.name == name)?;
+        let first = k.points.first()?.latency;
+        let last = k.points.last()?.latency;
+        Some(last / first)
+    }
+}

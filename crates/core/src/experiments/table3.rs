@@ -1,0 +1,125 @@
+//! Table 3: Cedar execution time, MFLOPS and speed improvement for the
+//! Perfect Benchmarks.
+//!
+//! Columns follow the paper: serial time; speed improvement compiled by
+//! KAP/Cedar; speed improvement with the automatable transformations;
+//! slowdown without Cedar synchronization (relative to automatable);
+//! slowdown without prefetch (relative to the no-synchronization
+//! version); Cedar MFLOPS; and the Cray YMP/8 baseline-compiler MFLOPS
+//! ratio (paper: harmonic-mean YMP MFLOPS 23.7 ≈ 7.4× Cedar).
+
+use cedar_methodology::metrics::harmonic_mean;
+use cedar_perfect::codes::{targets, CodeName};
+use cedar_perfect::reference::{paper, ymp};
+use cedar_perfect::run::Variant;
+
+use super::suite::PerfectSuite;
+use crate::report::{f1, f2, Table};
+
+/// One code's Table 3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    pub code: CodeName,
+    pub serial_seconds: f64,
+    pub kap_speedup: f64,
+    pub auto_speedup: f64,
+    /// Time without Cedar sync / time with (≥ 1).
+    pub no_sync_slowdown: f64,
+    /// Time without prefetch / time without sync (≥ 1).
+    pub no_prefetch_slowdown: f64,
+    pub cedar_mflops: f64,
+    pub ymp_mflops: f64,
+    pub ymp_ratio: f64,
+    /// Calibration targets (reconstructed; see EXPERIMENTS.md).
+    pub target_kap: f64,
+    pub target_auto: f64,
+}
+
+/// The whole Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    pub rows: Vec<Table3Row>,
+    pub cedar_harmonic_mflops: f64,
+    pub ymp_harmonic_mflops: f64,
+    pub ymp_over_cedar: f64,
+}
+
+/// Derive Table 3 from a measured suite.
+pub fn run(suite: &PerfectSuite) -> Table3 {
+    let mut rows = Vec::new();
+    for code in CodeName::ALL {
+        let t = targets(code);
+        let serial = suite.require(code, Variant::Serial);
+        let kap = suite.require(code, Variant::Kap);
+        let auto = suite.require(code, Variant::Automatable);
+        let nosync = suite.require(code, Variant::AutoNoSync);
+        let nopref = suite.require(code, Variant::AutoNoPrefetch);
+        let ymp_mflops = ymp(code).mflops;
+        rows.push(Table3Row {
+            code,
+            serial_seconds: serial.seconds,
+            kap_speedup: kap.speedup,
+            auto_speedup: auto.speedup,
+            no_sync_slowdown: nosync.seconds / auto.seconds,
+            no_prefetch_slowdown: nopref.seconds / nosync.seconds,
+            cedar_mflops: auto.mflops,
+            ymp_mflops,
+            ymp_ratio: ymp_mflops / auto.mflops,
+            target_kap: t.kap_speedup,
+            target_auto: t.auto_speedup,
+        });
+    }
+    let cedar_hm = harmonic_mean(&rows.iter().map(|r| r.cedar_mflops).collect::<Vec<_>>());
+    let ymp_hm = harmonic_mean(&rows.iter().map(|r| r.ymp_mflops).collect::<Vec<_>>());
+    Table3 {
+        cedar_harmonic_mflops: cedar_hm,
+        ymp_harmonic_mflops: ymp_hm,
+        ymp_over_cedar: ymp_hm / cedar_hm,
+        rows,
+    }
+}
+
+impl Table3 {
+    /// Render the paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 3: Cedar execution time, MFLOPS and speed improvement for the Perfect Benchmarks",
+        );
+        t.header(&[
+            "code",
+            "serial s",
+            "KAP x",
+            "(tgt)",
+            "auto x",
+            "(tgt)",
+            "w/o sync",
+            "w/o pref",
+            "MFLOPS",
+            "YMP/Cedar",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.code.to_string(),
+                f1(r.serial_seconds),
+                f1(r.kap_speedup),
+                format!("({})", f1(r.target_kap)),
+                f1(r.auto_speedup),
+                format!("({})", f1(r.target_auto)),
+                f2(r.no_sync_slowdown),
+                f2(r.no_prefetch_slowdown),
+                f2(r.cedar_mflops),
+                f1(r.ymp_ratio),
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&format!(
+            "harmonic means: Cedar {:.2} MFLOPS, YMP/8 {:.1} MFLOPS, ratio {:.1} (paper: {:.1} and {:.1}x)\n",
+            self.cedar_harmonic_mflops,
+            self.ymp_harmonic_mflops,
+            self.ymp_over_cedar,
+            paper::YMP_HARMONIC_MEAN_MFLOPS,
+            paper::YMP_OVER_CEDAR,
+        ));
+        s
+    }
+}

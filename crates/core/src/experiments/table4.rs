@@ -1,0 +1,79 @@
+//! Table 4: execution times for the manually altered Perfect codes.
+//!
+//! The paper reports hand-optimized times and the improvement over the
+//! automatable version *with prefetch and without Cedar synchronization*
+//! (its footnote): ARC2D 68 s (2.1×), BDNA 70 s (1.7×), FLO52 33 s,
+//! DYFESM 31 s, TRFD 7.5 s (2.8×), QCD 21 s (11.4× — speed improvement
+//! 20.8 vs the 1.8 automatable), SPICE ≈ 26 s.
+
+use cedar_perfect::codes::{targets, CodeName};
+use cedar_perfect::run::Variant;
+
+use super::suite::PerfectSuite;
+use crate::report::{f1, opt_f1, Table};
+
+/// One hand-optimized code's row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    pub code: CodeName,
+    pub hand_seconds: f64,
+    /// Improvement over automatable-with-prefetch-without-sync.
+    pub improvement: f64,
+    /// Speed improvement of the hand version over serial.
+    pub hand_speedup: f64,
+    pub paper_seconds: Option<f64>,
+    pub paper_improvement: Option<f64>,
+}
+
+/// The whole Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    pub rows: Vec<Table4Row>,
+}
+
+/// Derive Table 4 from a measured suite.
+pub fn run(suite: &PerfectSuite) -> Table4 {
+    let mut rows = Vec::new();
+    for code in CodeName::ALL {
+        let Some(hand) = suite.get(code, Variant::Hand) else {
+            continue;
+        };
+        let t = targets(code);
+        let nosync = suite.require(code, Variant::AutoNoSync);
+        rows.push(Table4Row {
+            code,
+            hand_seconds: hand.seconds,
+            improvement: nosync.seconds / hand.seconds,
+            hand_speedup: hand.speedup,
+            paper_seconds: t.hand_seconds,
+            paper_improvement: t.hand_improvement,
+        });
+    }
+    Table4 { rows }
+}
+
+impl Table4 {
+    /// Render the paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Table 4: execution times (s) for manually altered Perfect codes");
+        t.header(&[
+            "code",
+            "time s",
+            "(paper)",
+            "improvement",
+            "(paper)",
+            "speedup vs serial",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.code.to_string(),
+                f1(r.hand_seconds),
+                format!("({})", opt_f1(r.paper_seconds)),
+                f1(r.improvement),
+                format!("({})", opt_f1(r.paper_improvement)),
+                f1(r.hand_speedup),
+            ]);
+        }
+        t.render()
+    }
+}

@@ -1,0 +1,83 @@
+//! Table 5: instability for the Perfect codes.
+//!
+//! `In(13, e)` over the 13-code MFLOPS ensembles of three machines:
+//!
+//! |         | In(13,0) | In(13,2) | In(13,6) |
+//! |---------|----------|----------|----------|
+//! | Cedar   | 63.4     | 5.8      | —        |
+//! | Cray 1ᵃ | —        | 10.9     | 4.6      |
+//! | YMP/8   | 75.3     | 29.0     | 5.3      |
+//!
+//! ᵃ with modern compiler. Cedar and the Cray 1 reach workstation-level
+//! stability (In ≤ 6) with two exceptions; the YMP needs six — about half
+//! the codes — and therefore fails PPT2.
+
+use cedar_methodology::ppt::{ppt2, Ppt2Report};
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::reference::{cray1_mflops, paper, ymp_parallel_mflops};
+
+use super::suite::PerfectSuite;
+use crate::report::{f1, Table};
+
+/// The whole Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5 {
+    pub cedar: Ppt2Report,
+    pub cray1: Ppt2Report,
+    pub ymp: Ppt2Report,
+}
+
+/// Derive Table 5: Cedar's ensemble is measured on the simulator; the
+/// Cray rows come from the reference datasets.
+pub fn run(suite: &PerfectSuite) -> Table5 {
+    let cedar_rates = suite.automatable_mflops();
+    let cray1_rates: Vec<f64> = CodeName::ALL.iter().map(|&c| cray1_mflops(c)).collect();
+    let ymp_rates: Vec<f64> = CodeName::ALL.iter().map(|&c| ymp_parallel_mflops(c)).collect();
+    Table5 {
+        cedar: ppt2("Cedar", &cedar_rates, 2),
+        cray1: ppt2("Cray 1", &cray1_rates, 2),
+        ymp: ppt2("YMP/8", &ymp_rates, 2),
+    }
+}
+
+impl Table5 {
+    /// Render the paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Table 5: instability for Perfect codes");
+        t.header(&[
+            "machine",
+            "In(13,0)",
+            "In(13,2)",
+            "In(13,6)",
+            "excl. needed",
+            "PPT2",
+        ]);
+        let fmt = |r: &Ppt2Report| -> Vec<String> {
+            vec![
+                r.machine.clone(),
+                r.in_0.map(f1).unwrap_or_default(),
+                r.in_2.map(f1).unwrap_or_default(),
+                r.in_6.map(f1).unwrap_or_default(),
+                r.exclusions_needed
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| ">6".into()),
+                if r.passes { "pass" } else { "FAIL" }.into(),
+            ]
+        };
+        t.row(fmt(&self.cedar));
+        t.row(fmt(&self.cray1));
+        t.row(fmt(&self.ymp));
+        let mut s = t.render();
+        s.push_str(&format!(
+            "paper: Cedar {:.1}/{:.1}/-, Cray1 -/{:.1}/{:.1}, YMP {:.1}/{:.1}/{:.1}\n",
+            paper::CEDAR_IN_13_0,
+            paper::CEDAR_IN_13_2,
+            paper::CRAY1_IN_13_2,
+            paper::CRAY1_IN_13_6,
+            paper::YMP_IN_13_0,
+            paper::YMP_IN_13_2,
+            paper::YMP_IN_13_6,
+        ));
+        s
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 6: restructuring efficiency.
+//!
+//! Band counts of the compiler-restructured (automatable / autotasked)
+//! versions:
+//!
+//! | level                       | Cedar   | Cray YMP |
+//! |-----------------------------|---------|----------|
+//! | High (E_p ≥ 1/2)            | 1 code  | 0 codes  |
+//! | Intermediate (≥ 1/(2logP))  | 9 codes | 6 codes  |
+//! | Unacceptable                | 3 codes | 7 codes  |
+
+use cedar_methodology::ppt::{ppt3, Ppt3Report};
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::reference::{paper, ymp};
+
+use super::suite::PerfectSuite;
+use crate::report::Table;
+
+/// The whole Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6 {
+    pub cedar: Ppt3Report,
+    pub ymp: Ppt3Report,
+}
+
+/// Derive Table 6 from the measured suite (Cedar) and the YMP reference
+/// speedups.
+pub fn run(suite: &PerfectSuite) -> Table6 {
+    let cedar_speedups = suite.automatable_speedups();
+    let ymp_speedups: Vec<f64> = CodeName::ALL.iter().map(|&c| ymp(c).auto_speedup).collect();
+    Table6 {
+        cedar: ppt3("Cedar", &cedar_speedups, 32),
+        ymp: ppt3("Cray YMP", &ymp_speedups, 8),
+    }
+}
+
+impl Table6 {
+    /// Render the paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Table 6: restructuring efficiency (band counts)");
+        t.header(&["level", "Cedar", "(paper)", "Cray YMP", "(paper)"]);
+        t.row(vec![
+            "High (Ep >= 1/2)".into(),
+            self.cedar.high.to_string(),
+            format!("({})", paper::CEDAR_BANDS.0),
+            self.ymp.high.to_string(),
+            format!("({})", paper::YMP_BANDS.0),
+        ]);
+        t.row(vec![
+            "Intermediate (Ep >= 1/2logP)".into(),
+            self.cedar.intermediate.to_string(),
+            format!("({})", paper::CEDAR_BANDS.1),
+            self.ymp.intermediate.to_string(),
+            format!("({})", paper::YMP_BANDS.1),
+        ]);
+        t.row(vec![
+            "Unacceptable".into(),
+            self.cedar.unacceptable.to_string(),
+            format!("({})", paper::CEDAR_BANDS.2),
+            self.ymp.unacceptable.to_string(),
+            format!("({})", paper::YMP_BANDS.2),
+        ]);
+        t.render()
+    }
+}

@@ -1,0 +1,109 @@
+//! Unit tests of the table/figure derivations over a synthetic suite
+//! (no simulation: the logic, classifications and renders).
+
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::run::{CodeRun, Variant};
+
+use super::suite::PerfectSuite;
+use super::{fig3, table3, table4, table5, table6};
+
+/// A synthetic suite: every code gets serial + kap + auto + ablations;
+/// TRFD gets a hand run.
+fn synthetic() -> PerfectSuite {
+    let mut runs = Vec::new();
+    for (i, code) in CodeName::ALL.into_iter().enumerate() {
+        let serial_s = 100.0 + i as f64 * 10.0;
+        let auto_speedup = 2.0 + i as f64; // 2..14
+        let mk = |variant, speedup: f64, mflops: f64| CodeRun {
+            code,
+            variant,
+            seconds: serial_s / speedup,
+            mflops,
+            speedup,
+            sim_cycles: 1000,
+        };
+        runs.push(mk(Variant::Serial, 1.0, 0.5));
+        runs.push(mk(Variant::Kap, 1.2, 0.6));
+        runs.push(mk(Variant::Automatable, auto_speedup, auto_speedup));
+        runs.push(mk(Variant::AutoNoSync, auto_speedup / 1.1, auto_speedup / 1.1));
+        runs.push(mk(
+            Variant::AutoNoPrefetch,
+            auto_speedup / 1.5,
+            auto_speedup / 1.5,
+        ));
+        if code == CodeName::Trfd {
+            runs.push(mk(Variant::Hand, 30.0, 20.0));
+        }
+    }
+    PerfectSuite::from_runs(runs, 4)
+}
+
+#[test]
+fn table3_rows_and_means() {
+    let t = table3::run(&synthetic());
+    assert_eq!(t.rows.len(), 13);
+    for r in &t.rows {
+        assert!(r.no_sync_slowdown > 1.0 && r.no_sync_slowdown < 1.2);
+        assert!(r.no_prefetch_slowdown > 1.2 && r.no_prefetch_slowdown < 1.5);
+        assert!(r.ymp_ratio > 0.0);
+    }
+    assert!(t.cedar_harmonic_mflops > 0.0);
+    assert!(t.ymp_over_cedar > 1.0);
+    assert!(t.render().contains("harmonic means"));
+}
+
+#[test]
+fn table4_only_hand_codes() {
+    let t = table4::run(&synthetic());
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0].code, CodeName::Trfd);
+    // improvement = nosync.seconds / hand.seconds.
+    let expected = (330.0 / (14.0 / 1.1)) / (330.0 / 30.0);
+    assert!(
+        (t.rows[0].improvement - expected).abs() < 1e-9,
+        "improvement {} vs {}",
+        t.rows[0].improvement,
+        expected
+    );
+    assert!(t.render().contains("TRFD"));
+}
+
+#[test]
+fn table5_uses_automatable_rates() {
+    let t = table5::run(&synthetic());
+    // Rates 2..14 -> In(13,0) = 7.
+    assert!((t.cedar.in_0.unwrap() - 7.0).abs() < 1e-9);
+    assert!(t.cedar.passes);
+    assert!(!t.ymp.passes, "the YMP reference fails PPT2");
+    assert!(t.render().contains("In(13,0)"));
+}
+
+#[test]
+fn table6_band_counts_over_synthetic_speedups() {
+    let t = table6::run(&synthetic());
+    // Speedups 2..14 on 32 CEs: >= 16 high (none), >= 3.2 intermediate
+    // (3.2..14 -> 12 codes: speedups 4..14 plus 3? speedups are 2,3,..,14:
+    // 2 and 3 are below 3.2 -> 2 unacceptable, 11 intermediate).
+    assert_eq!(t.cedar.high, 0);
+    assert_eq!(t.cedar.intermediate, 11);
+    assert_eq!(t.cedar.unacceptable, 2);
+    // The YMP column is reference data (paper's 0/6/7).
+    assert_eq!(
+        (t.ymp.high, t.ymp.intermediate, t.ymp.unacceptable),
+        cedar_perfect::reference::paper::YMP_BANDS
+    );
+}
+
+#[test]
+fn fig3_restricts_to_manual_ensemble() {
+    let f = fig3::run(&synthetic());
+    // Only the 7 manually-optimized codes are plotted.
+    assert_eq!(f.points.len(), 7);
+    let total = f.cedar_counts.0 + f.cedar_counts.1 + f.cedar_counts.2;
+    assert_eq!(total, 7);
+    let s = f.render();
+    assert!(s.contains("TRFD") && s.contains("YMP Ep"));
+    // TRFD's hand speedup 30 -> efficiency ~0.94 -> high.
+    let trfd = f.points.iter().find(|p| p.code == CodeName::Trfd).unwrap();
+    assert!(trfd.cedar_efficiency > 0.9);
+}

@@ -1,0 +1,58 @@
+//! # cedar
+//!
+//! The public facade of the Cedar reproduction: everything needed to
+//! rebuild the evaluation of *"The Cedar System and an Initial
+//! Performance Study"* (ISCA 1993) on a simulated machine.
+//!
+//! The workspace layers:
+//!
+//! * [`machine`](crate::machine) (re-export of `cedar-machine`) — the cycle-level Cedar
+//!   simulator: clusters, vector CEs, shared caches, omega networks,
+//!   global memory with synchronization processors, prefetch units;
+//! * [`xylem`] — the OS layer: gangs, DOALL loop runtime, placement, I/O;
+//! * [`fortran`] — the Cedar Fortran model: loop IR, the KAP and
+//!   "automatable" restructuring levels, lowering to machine programs;
+//! * [`kernels`] — the measured kernels (rank-64 update, VL, TM, CG) in
+//!   both numeric and staged form;
+//! * [`perfect`] — the 13 Perfect Benchmarks workload models plus the
+//!   Cray/CM-5 reference datasets;
+//! * [`methodology`] — speedup/efficiency/stability metrics, performance
+//!   bands, and the Practical Parallelism Tests;
+//! * [`experiments`] — runners that regenerate every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! // Reproduce Table 1 (rank-64 update, three memory versions):
+//! let t1 = cedar::experiments::table1::run(256)?;
+//! println!("{}", t1.render());
+//! # Ok::<(), cedar_machine::MachineError>(())
+//! ```
+
+pub mod experiments;
+pub mod report;
+
+pub use cedar_fortran as fortran;
+pub use cedar_kernels as kernels;
+pub use cedar_machine as machine;
+pub use cedar_methodology as methodology;
+pub use cedar_perfect as perfect;
+pub use cedar_xylem as xylem;
+
+/// A fully configured 32-CE Cedar machine (convenience constructor).
+///
+/// # Errors
+///
+/// Never fails in practice; the canonical configuration is valid.
+pub fn cedar_machine() -> cedar_machine::Result<cedar_machine::Machine> {
+    cedar_machine::Machine::cedar()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_builds_a_machine() {
+        let m = super::cedar_machine().unwrap();
+        assert_eq!(m.config().total_ces(), 32);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title.
+    pub fn new(title: &str) -> Table {
+        Table {
+            title: title.to_string(),
+            ..Table::default()
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header(&mut self, cols: &[&str]) -> &mut Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cols: Vec<String>) -> &mut Self {
+        self.rows.push(cols);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cols: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(c.chars().count());
+                // Right-align numbers, left-align first column.
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+            }
+            line.push('\n');
+            line
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))));
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        if !self.header.is_empty() {
+            out.push_str(&self.header.join(","));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float to one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float to two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an optional float to one decimal, blank when absent.
+pub fn opt_f1(v: Option<f64>) -> String {
+    v.map(f1).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo");
+        t.header(&["code", "x"]);
+        t.row(vec!["LONGNAME".into(), "1.5".into()]);
+        t.row(vec!["ab".into(), "10.25".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("LONGNAME"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("demo");
+        t.header(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("# demo"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(opt_f1(None), "");
+        assert_eq!(opt_f1(Some(2.0)), "2.0");
+    }
+}

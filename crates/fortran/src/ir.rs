@@ -1,0 +1,240 @@
+//! The loop-nest intermediate representation.
+//!
+//! A [`SourceProgram`] describes a Fortran application the way the
+//! restructurer sees it: a sequence of phases (major routines), each with
+//! candidate parallel loops annotated with the *dependence facts* that
+//! determine which transformations are needed to parallelize or vectorize
+//! them, plus irreducible serial glue and I/O. The representation is at
+//! the granularity that drives Cedar performance: trip counts, operation
+//! mixes, memory placement and the transformations of §3.3.
+
+use cedar_xylem::io::IoMode;
+
+/// A restructuring transformation from the paper's "automatable" set
+/// (§3.3), plus the baseline capabilities of the 1988 KAP restructurer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transform {
+    /// Recognize a textually independent loop (baseline KAP capability).
+    BasicDependenceTest,
+    /// Array privatization (loop-local arrays in cluster memory).
+    ArrayPrivatization,
+    /// Parallel reduction recognition.
+    ParallelReduction,
+    /// Advanced (symbolic) induction-variable substitution.
+    InductionSubstitution,
+    /// Run-time data-dependence tests.
+    RuntimeDepTest,
+    /// Balanced stripmining.
+    BalancedStripmining,
+    /// Parallelization in the presence of SAVE and RETURN statements.
+    SaveReturnParallelization,
+    /// Interprocedural analysis.
+    InterproceduralAnalysis,
+    /// Advanced symbolic analysis.
+    SymbolicAnalysis,
+}
+
+impl Transform {
+    /// Every transformation, in a fixed order.
+    pub const ALL: [Transform; 9] = [
+        Transform::BasicDependenceTest,
+        Transform::ArrayPrivatization,
+        Transform::ParallelReduction,
+        Transform::InductionSubstitution,
+        Transform::RuntimeDepTest,
+        Transform::BalancedStripmining,
+        Transform::SaveReturnParallelization,
+        Transform::InterproceduralAnalysis,
+        Transform::SymbolicAnalysis,
+    ];
+}
+
+/// Where a loop's vector operands live before restructuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataHome {
+    /// Shared arrays in global memory.
+    Global,
+    /// Data that privatization can make loop-local in cluster memory.
+    Privatizable,
+}
+
+/// The operation mix of one iteration of a candidate loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyMix {
+    /// Vector operations per iteration.
+    pub vector_ops: u32,
+    /// Elements per vector operation (the natural inner vector length).
+    pub vector_len: u32,
+    /// Floating-point operations per vector element (2 = chained).
+    pub flops_per_elem: u8,
+    /// Fraction of vector operands that must come from global memory even
+    /// after privatization (shared data), in [0, 1].
+    pub global_frac: f64,
+    /// Global vector stores per iteration.
+    pub global_writes: u32,
+    /// Latency-bound scalar global references per iteration (pointer
+    /// chasing, indirection — the TRACK pattern).
+    pub scalar_global_reads: u32,
+    /// Plain scalar cycles per iteration (address arithmetic, branches).
+    pub scalar_cycles: u32,
+}
+
+impl BodyMix {
+    /// Floating-point operations per iteration.
+    pub fn flops_per_iter(&self) -> u64 {
+        u64::from(self.vector_ops) * u64::from(self.vector_len) * u64::from(self.flops_per_elem)
+    }
+}
+
+/// One candidate parallel loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Trip count of the parallelizable loop (granularity driver).
+    pub trips: u64,
+    /// Per-iteration operation mix.
+    pub body: BodyMix,
+    /// Transformations required before the loop may run in parallel.
+    /// Empty + `parallel: true` means even 1988 KAP can do it.
+    pub needs: Vec<Transform>,
+    /// Whether the loop is parallelizable at all (given `needs`).
+    pub parallel: bool,
+    /// Whether the inner loop vectorizes (the Alliant compiler handles
+    /// vectorization; restructuring rarely changes this).
+    pub vectorizable: bool,
+    /// Where the loop's vector data lives; `Privatizable` turns into
+    /// cluster-local access once `ArrayPrivatization` is applied.
+    pub home: DataHome,
+}
+
+impl LoopNest {
+    /// Total floating-point operations of the loop.
+    pub fn flops(&self) -> u64 {
+        self.trips * self.body.flops_per_iter()
+    }
+}
+
+/// An I/O phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoSpec {
+    /// Bytes transferred per call.
+    pub bytes: u64,
+    /// Formatted or unformatted.
+    pub mode: IoMode,
+    /// Operations per call.
+    pub ops: u64,
+    /// Whether the I/O is algorithmically removable (the MG3D
+    /// hand-optimization eliminates file I/O entirely).
+    pub removable: bool,
+}
+
+/// One program phase (a major routine or computation stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Name for reports.
+    pub name: String,
+    /// Candidate loops executed per call, in order.
+    pub loops: Vec<LoopNest>,
+    /// Irreducible serial cycles per call (glue code between loops).
+    pub serial_cycles: u64,
+    /// Optional I/O per call.
+    pub io: Option<IoSpec>,
+    /// Times the phase runs per program execution (timesteps).
+    pub calls: u32,
+    /// Multicluster barriers per call beyond the loop joins (the FLO52
+    /// barrier-sequence pattern).
+    pub extra_barriers: u32,
+}
+
+impl Phase {
+    /// A compute-only phase.
+    pub fn new(name: &str, calls: u32) -> Phase {
+        Phase {
+            name: name.to_string(),
+            loops: Vec::new(),
+            serial_cycles: 0,
+            io: None,
+            calls: calls.max(1),
+            extra_barriers: 0,
+        }
+    }
+
+    /// Total floating-point operations of the phase (all calls).
+    pub fn flops(&self) -> u64 {
+        u64::from(self.calls) * self.loops.iter().map(LoopNest::flops).sum::<u64>()
+    }
+}
+
+/// A whole application as the restructurer sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProgram {
+    /// Program name.
+    pub name: String,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl SourceProgram {
+    /// An empty program.
+    pub fn new(name: &str) -> SourceProgram {
+        SourceProgram {
+            name: name.to_string(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Total floating-point operations.
+    pub fn flops(&self) -> u64 {
+        self.phases.iter().map(Phase::flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> BodyMix {
+        BodyMix {
+            vector_ops: 3,
+            vector_len: 32,
+            flops_per_elem: 2,
+            global_frac: 0.5,
+            global_writes: 1,
+            scalar_global_reads: 0,
+            scalar_cycles: 10,
+        }
+    }
+
+    #[test]
+    fn flop_accounting_composes() {
+        let l = LoopNest {
+            trips: 100,
+            body: mix(),
+            needs: vec![],
+            parallel: true,
+            vectorizable: true,
+            home: DataHome::Global,
+        };
+        assert_eq!(l.body.flops_per_iter(), 192);
+        assert_eq!(l.flops(), 19_200);
+        let mut ph = Phase::new("p", 3);
+        ph.loops.push(l);
+        assert_eq!(ph.flops(), 57_600);
+        let mut prog = SourceProgram::new("x");
+        prog.phases.push(ph.clone());
+        prog.phases.push(ph);
+        assert_eq!(prog.flops(), 115_200);
+    }
+
+    #[test]
+    fn phase_calls_clamped_to_one() {
+        assert_eq!(Phase::new("p", 0).calls, 1);
+    }
+
+    #[test]
+    fn transform_all_is_complete_and_sorted_unique() {
+        let mut v = Transform::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 9);
+    }
+}

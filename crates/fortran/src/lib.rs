@@ -1,0 +1,60 @@
+//! # cedar-fortran
+//!
+//! The Cedar Fortran programming model of the reproduction: a loop-nest
+//! intermediate representation ([`ir`]), the restructurer with its two
+//! capability levels — the retargeted 1988 KAP and the paper's
+//! "automatable" transformation set ([`restructure`]) — and the backend
+//! that lowers restructured programs onto the simulated machine
+//! ([`compile`]).
+//!
+//! Cedar Fortran is a FORTRAN 77 dialect with parallel and vector
+//! extensions: `CDOALL`, `SDOALL` and `XDOALL` loops, `GLOBAL` data
+//! placement, loop-local privatized declarations, compiler-directed
+//! prefetch and access to the global synchronization hardware (§3 of the
+//! paper). The reproduction models programs at the granularity that
+//! determines performance — trip counts, operation mixes, dependence
+//! facts, placement — rather than parsing Fortran text.
+//!
+//! ## Example
+//!
+//! ```
+//! use cedar_fortran::ir::{BodyMix, DataHome, LoopNest, Phase, SourceProgram};
+//! use cedar_fortran::restructure::{Level, Restructurer};
+//! use cedar_fortran::compile::Backend;
+//!
+//! # fn main() -> Result<(), cedar_machine::MachineError> {
+//! let mut src = SourceProgram::new("demo");
+//! let mut ph = Phase::new("main", 1);
+//! ph.loops.push(LoopNest {
+//!     trips: 128,
+//!     body: BodyMix {
+//!         vector_ops: 2,
+//!         vector_len: 32,
+//!         flops_per_elem: 2,
+//!         global_frac: 1.0,
+//!         global_writes: 1,
+//!         scalar_global_reads: 0,
+//!         scalar_cycles: 8,
+//!     },
+//!     needs: vec![],
+//!     parallel: true,
+//!     vectorizable: true,
+//!     home: DataHome::Global,
+//! });
+//! src.phases.push(ph);
+//!
+//! let compiled = Restructurer::default().restructure(&src, Level::Automatable);
+//! let report = Backend::default().execute(&compiled, 4, 100_000_000)?;
+//! assert_eq!(report.flops, src.flops());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compile;
+pub mod ir;
+pub mod passes;
+pub mod restructure;
+
+pub use compile::{Backend, ExecReport, ScalarModel};
+pub use ir::{BodyMix, DataHome, IoSpec, LoopNest, Phase, SourceProgram, Transform};
+pub use restructure::{CompiledLoop, CompiledPhase, CompiledProgram, Level, Restructurer, Schedule};

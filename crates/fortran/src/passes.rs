@@ -1,0 +1,216 @@
+//! The restructuring transformations as first-class passes.
+//!
+//! §3.3 lists the transformations the Cedar compiler project found
+//! necessary for real applications: array privatization, parallel
+//! reductions, advanced induction variable substitution, runtime data
+//! dependence tests, balanced stripmining, and parallelization in the
+//! presence of SAVE and RETURN statements — resting on symbolic and
+//! interprocedural analysis. Each [`Transform`] carries a description of
+//! *what it unlocks* ([`TransformInfo`]); [`apply`] rewrites one loop
+//! given a capability set, and is the single place the restructurer
+//! consults.
+
+use std::collections::BTreeSet;
+
+use crate::ir::{DataHome, LoopNest, Transform};
+
+/// What one transformation contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformInfo {
+    /// Human-readable name (reports, docs).
+    pub name: &'static str,
+    /// Whether the transform can discharge a dependence listed in a
+    /// loop's `needs` (all of them are dependence-breaking except the
+    /// placement/scheduling aides).
+    pub discharges_needs: bool,
+    /// Whether the transform moves loop-local data into cluster memory
+    /// when applied (privatization).
+    pub enables_placement: bool,
+    /// Whether the transform introduces a parallel-reduction epilogue.
+    pub reduction_epilogue: bool,
+    /// Whether the transform improves dispatch granularity (chunked
+    /// self-scheduling).
+    pub enables_chunking: bool,
+}
+
+/// The description of each transformation.
+pub fn info(t: Transform) -> TransformInfo {
+    use Transform::*;
+    match t {
+        BasicDependenceTest => TransformInfo {
+            name: "basic dependence test",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        ArrayPrivatization => TransformInfo {
+            name: "array privatization",
+            discharges_needs: true,
+            enables_placement: true,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        ParallelReduction => TransformInfo {
+            name: "parallel reduction",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: true,
+            enables_chunking: false,
+        },
+        InductionSubstitution => TransformInfo {
+            name: "induction variable substitution",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        RuntimeDepTest => TransformInfo {
+            name: "runtime data-dependence test",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        BalancedStripmining => TransformInfo {
+            name: "balanced stripmining",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: true,
+        },
+        SaveReturnParallelization => TransformInfo {
+            name: "SAVE/RETURN parallelization",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        InterproceduralAnalysis => TransformInfo {
+            name: "interprocedural analysis",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+        SymbolicAnalysis => TransformInfo {
+            name: "symbolic analysis",
+            discharges_needs: true,
+            enables_placement: false,
+            reduction_epilogue: false,
+            enables_chunking: false,
+        },
+    }
+}
+
+/// The outcome of applying a capability set to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    /// All of the loop's `needs` are discharged and it may run parallel.
+    pub parallelized: bool,
+    /// Privatization moved the loop's local data to cluster memory.
+    pub privatized: bool,
+    /// A reduction epilogue is required.
+    pub reduction: bool,
+    /// Chunked dispatch is available.
+    pub chunked: bool,
+}
+
+/// Apply a capability set to a loop.
+pub fn apply(l: &LoopNest, caps: &BTreeSet<Transform>) -> Applied {
+    let needs_met = l.needs.iter().all(|t| caps.contains(t) && info(*t).discharges_needs);
+    let parallelized = l.parallel && needs_met;
+    Applied {
+        parallelized,
+        privatized: parallelized
+            && l.home == DataHome::Privatizable
+            && caps.contains(&Transform::ArrayPrivatization)
+            && info(Transform::ArrayPrivatization).enables_placement,
+        reduction: parallelized
+            && l.needs.contains(&Transform::ParallelReduction)
+            && info(Transform::ParallelReduction).reduction_epilogue,
+        chunked: parallelized
+            && caps.contains(&Transform::BalancedStripmining)
+            && info(Transform::BalancedStripmining).enables_chunking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BodyMix;
+    use crate::restructure::Level;
+
+    fn lp(needs: Vec<Transform>, home: DataHome) -> LoopNest {
+        LoopNest {
+            trips: 10,
+            body: BodyMix {
+                vector_ops: 1,
+                vector_len: 32,
+                flops_per_elem: 2,
+                global_frac: 1.0,
+                global_writes: 0,
+                scalar_global_reads: 0,
+                scalar_cycles: 0,
+            },
+            needs,
+            parallel: true,
+            vectorizable: true,
+            home,
+        }
+    }
+
+    #[test]
+    fn every_transform_has_nonempty_info() {
+        for t in Transform::ALL {
+            let i = info(t);
+            assert!(!i.name.is_empty());
+            assert!(i.discharges_needs);
+        }
+    }
+
+    #[test]
+    fn kap_capabilities_cannot_privatize() {
+        let caps = Level::KapCedar.capabilities();
+        let a = apply(
+            &lp(vec![Transform::ArrayPrivatization], DataHome::Privatizable),
+            &caps,
+        );
+        assert!(!a.parallelized);
+        assert!(!a.privatized);
+    }
+
+    #[test]
+    fn automatable_unlocks_everything_listed() {
+        let caps = Level::Automatable.capabilities();
+        let a = apply(
+            &lp(
+                vec![
+                    Transform::ArrayPrivatization,
+                    Transform::ParallelReduction,
+                    Transform::SaveReturnParallelization,
+                ],
+                DataHome::Privatizable,
+            ),
+            &caps,
+        );
+        assert!(a.parallelized && a.privatized && a.reduction && a.chunked);
+    }
+
+    #[test]
+    fn non_parallel_loops_stay_serial_even_with_all_capabilities() {
+        let caps = Level::Automatable.capabilities();
+        let mut l = lp(vec![], DataHome::Global);
+        l.parallel = false;
+        let a = apply(&l, &caps);
+        assert!(!a.parallelized && !a.privatized && !a.reduction);
+    }
+
+    #[test]
+    fn global_home_never_privatizes() {
+        let caps = Level::Automatable.capabilities();
+        let a = apply(&lp(vec![Transform::ArrayPrivatization], DataHome::Global), &caps);
+        assert!(a.parallelized);
+        assert!(!a.privatized);
+    }
+}

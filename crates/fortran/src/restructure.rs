@@ -1,0 +1,449 @@
+//! The restructurer: KAP/Cedar and the "automatable" transformation set.
+//!
+//! The parallelizing-compiler project had two parts (§3.3): a retargeted
+//! 1988 KAP restructurer, and a set of advanced transformations applied
+//! by hand but believed automatable — array privatization, parallel
+//! reductions, advanced induction-variable substitution, runtime
+//! dependence tests, balanced stripmining, and parallelization in the
+//! presence of SAVE/RETURN, resting on symbolic and interprocedural
+//! analysis. [`Restructurer::restructure`] turns a [`SourceProgram`] into
+//! a [`CompiledProgram`] by deciding, per loop, whether the level's
+//! capabilities unlock its parallelism and how to schedule it (§3.2).
+
+use std::collections::BTreeSet;
+
+use crate::ir::{BodyMix, IoSpec, LoopNest, Phase, SourceProgram, Transform};
+use crate::passes;
+
+/// Restructuring level: the columns of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Uniprocessor scalar baseline.
+    Serial,
+    /// The 1988 KAP restructurer retargeted to Cedar.
+    KapCedar,
+    /// KAP plus the manually-applied automatable transformations.
+    Automatable,
+}
+
+impl Level {
+    /// The transformation set available at this level.
+    pub fn capabilities(self) -> BTreeSet<Transform> {
+        match self {
+            Level::Serial => BTreeSet::new(),
+            Level::KapCedar => [Transform::BasicDependenceTest].into_iter().collect(),
+            Level::Automatable => Transform::ALL.into_iter().collect(),
+        }
+    }
+}
+
+/// How a compiled loop executes on the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Scalar on one CE.
+    Serial,
+    /// Vectorized on one CE.
+    VectorSerial,
+    /// Self-scheduled over one cluster's concurrency bus, other clusters
+    /// idle (the KAP single-cluster confinement).
+    CdoallOneCluster,
+    /// Self-scheduled over the whole machine through global memory.
+    Xdoall,
+    /// SDOALL/CDOALL nest: iterations split over clusters, self-scheduled
+    /// within each cluster over the concurrency bus.
+    SdoallCdoall,
+}
+
+/// A loop after restructuring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledLoop {
+    pub schedule: Schedule,
+    pub trips: u64,
+    pub body: BodyMix,
+    /// Whether privatization moved the loop's local data into cluster
+    /// memory.
+    pub privatized: bool,
+    /// Whether a parallel reduction epilogue is needed.
+    pub reduction: bool,
+    /// Iterations per scheduling dispatch.
+    pub chunk: u32,
+}
+
+/// A phase after restructuring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPhase {
+    pub name: String,
+    pub loops: Vec<CompiledLoop>,
+    pub serial_cycles: u64,
+    pub io: Option<IoSpec>,
+    pub calls: u32,
+    pub extra_barriers: u32,
+}
+
+/// A program after restructuring, ready for lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    pub name: String,
+    pub level: Level,
+    pub phases: Vec<CompiledPhase>,
+}
+
+impl CompiledProgram {
+    /// Total floating-point operations (identical to the source's).
+    pub fn flops(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| {
+                u64::from(p.calls)
+                    * p.loops
+                        .iter()
+                        .map(|l| l.trips * l.body.flops_per_iter())
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Fraction of flops in loops that run in parallel.
+    pub fn parallel_fraction(&self) -> f64 {
+        let mut par = 0u64;
+        let mut tot = 0u64;
+        for p in &self.phases {
+            for l in &p.loops {
+                let f = u64::from(p.calls) * l.trips * l.body.flops_per_iter();
+                tot += f;
+                if matches!(
+                    l.schedule,
+                    Schedule::Xdoall | Schedule::SdoallCdoall | Schedule::CdoallOneCluster
+                ) {
+                    par += f;
+                }
+            }
+        }
+        if tot == 0 {
+            0.0
+        } else {
+            par as f64 / tot as f64
+        }
+    }
+}
+
+/// The restructurer.
+#[derive(Debug, Clone)]
+pub struct Restructurer {
+    /// Per-iteration work (cycles) below which the *automatable* compiler
+    /// prefers the cheap SDOALL/CDOALL hierarchy over XDOALL.
+    pub xdoall_min_iter_cycles: u64,
+    /// Per-iteration work below which 1988 KAP confines a loop to one
+    /// cluster ("in a few cases program execution was confined to a
+    /// single cluster to avoid intercluster overhead"); above it KAP
+    /// emits its default XDOALL.
+    pub kap_one_cluster_below_cycles: u64,
+}
+
+impl Default for Restructurer {
+    fn default() -> Self {
+        Restructurer {
+            // ~10x the 30us XDOALL fetch cost.
+            xdoall_min_iter_cycles: 1800,
+            kap_one_cluster_below_cycles: 300,
+        }
+    }
+}
+
+impl Restructurer {
+    /// Estimate one iteration's execution cycles on a CE (vector rate).
+    fn iter_cycles(body: &BodyMix) -> u64 {
+        let vec = u64::from(body.vector_ops) * (12 + u64::from(body.vector_len));
+        let scalar = u64::from(body.scalar_cycles) + 13 * u64::from(body.scalar_global_reads);
+        vec + scalar
+    }
+
+    /// Restructure a source program at a level.
+    pub fn restructure(&self, src: &SourceProgram, level: Level) -> CompiledProgram {
+        let caps = level.capabilities();
+        let phases = src
+            .phases
+            .iter()
+            .map(|ph| self.restructure_phase(ph, level, &caps))
+            .collect();
+        CompiledProgram {
+            name: src.name.clone(),
+            level,
+            phases,
+        }
+    }
+
+    fn restructure_phase(
+        &self,
+        ph: &Phase,
+        level: Level,
+        caps: &BTreeSet<Transform>,
+    ) -> CompiledPhase {
+        CompiledPhase {
+            name: ph.name.clone(),
+            loops: ph
+                .loops
+                .iter()
+                .map(|l| self.restructure_loop(l, level, caps))
+                .collect(),
+            serial_cycles: ph.serial_cycles,
+            io: ph.io.clone(),
+            calls: ph.calls,
+            extra_barriers: ph.extra_barriers,
+        }
+    }
+
+    fn restructure_loop(
+        &self,
+        l: &LoopNest,
+        level: Level,
+        caps: &BTreeSet<Transform>,
+    ) -> CompiledLoop {
+        let applied = passes::apply(l, caps);
+        let parallelized = applied.parallelized && level != Level::Serial;
+        let privatized = parallelized && applied.privatized;
+        let reduction = parallelized && applied.reduction;
+
+        let schedule = if !parallelized {
+            if level != Level::Serial && l.vectorizable {
+                Schedule::VectorSerial
+            } else {
+                Schedule::Serial
+            }
+        } else {
+            let iter = Self::iter_cycles(&l.body);
+            match level {
+                Level::Serial => unreachable!("serial level never parallelizes"),
+                // 1988 KAP: its default is an XDOALL; only truly
+                // fine-grained loops are confined to one cluster to avoid
+                // intercluster overhead.
+                Level::KapCedar => {
+                    if iter >= self.kap_one_cluster_below_cycles {
+                        Schedule::Xdoall
+                    } else {
+                        Schedule::CdoallOneCluster
+                    }
+                }
+                // Automatable: hierarchical SDOALL/CDOALL for fine grain
+                // (cheap bus dispatch, data distribution), XDOALL when
+                // iterations are heavy enough to amortize it.
+                Level::Automatable => {
+                    if iter >= self.xdoall_min_iter_cycles {
+                        Schedule::Xdoall
+                    } else {
+                        Schedule::SdoallCdoall
+                    }
+                }
+            }
+        };
+        // Balanced stripmining lets the automatable compiler chunk
+        // fine-grained loops; KAP dispatches one iteration at a time.
+        let chunk = if schedule == Schedule::SdoallCdoall && applied.chunked {
+            4
+        } else {
+            1
+        };
+        CompiledLoop {
+            schedule,
+            trips: l.trips,
+            body: l.body.clone(),
+            privatized,
+            reduction,
+            chunk,
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// A human-readable restructuring report: per loop, the chosen
+    /// schedule, placement and why — the compiler's `-verbose` listing.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "restructuring report for {} at {:?}:\n",
+            self.name, self.level
+        );
+        for ph in &self.phases {
+            out.push_str(&format!(
+                "  phase {} (x{} calls, {} serial cycles{})\n",
+                ph.name,
+                ph.calls,
+                ph.serial_cycles,
+                if ph.io.is_some() { ", +I/O" } else { "" }
+            ));
+            for (i, l) in ph.loops.iter().enumerate() {
+                out.push_str(&format!(
+                    "    loop {}: {} trips, {} flops/iter -> {:?}{}{}{}\n",
+                    i,
+                    l.trips,
+                    l.body.flops_per_iter(),
+                    l.schedule,
+                    if l.privatized { ", privatized" } else { "" },
+                    if l.reduction { ", reduction" } else { "" },
+                    if l.chunk > 1 {
+                        format!(", chunk {}", l.chunk)
+                    } else {
+                        String::new()
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BodyMix, DataHome, LoopNest, Phase, SourceProgram, Transform};
+
+    fn body(vector_len: u32) -> BodyMix {
+        BodyMix {
+            vector_ops: 2,
+            vector_len,
+            flops_per_elem: 2,
+            global_frac: 1.0,
+            global_writes: 1,
+            scalar_global_reads: 0,
+            scalar_cycles: 20,
+        }
+    }
+
+    fn lp(needs: Vec<Transform>, home: DataHome) -> LoopNest {
+        LoopNest {
+            trips: 1000,
+            body: body(32),
+            needs,
+            parallel: true,
+            vectorizable: true,
+            home,
+        }
+    }
+
+    fn prog(loops: Vec<LoopNest>) -> SourceProgram {
+        let mut p = SourceProgram::new("t");
+        let mut ph = Phase::new("main", 1);
+        ph.loops = loops;
+        p.phases.push(ph);
+        p
+    }
+
+    #[test]
+    fn serial_level_never_parallelizes() {
+        let r = Restructurer::default();
+        let c = r.restructure(&prog(vec![lp(vec![], DataHome::Global)]), Level::Serial);
+        assert_eq!(c.phases[0].loops[0].schedule, Schedule::Serial);
+        assert_eq!(c.parallel_fraction(), 0.0);
+    }
+
+    #[test]
+    fn kap_handles_basic_loops_but_not_privatization() {
+        let r = Restructurer::default();
+        let basic = lp(vec![Transform::BasicDependenceTest], DataHome::Global);
+        let needs_priv = lp(vec![Transform::ArrayPrivatization], DataHome::Privatizable);
+        let c = r.restructure(&prog(vec![basic, needs_priv]), Level::KapCedar);
+        assert_ne!(c.phases[0].loops[0].schedule, Schedule::Serial);
+        assert_ne!(c.phases[0].loops[0].schedule, Schedule::VectorSerial);
+        // The second loop stays on one CE, but vectorized.
+        assert_eq!(c.phases[0].loops[1].schedule, Schedule::VectorSerial);
+        assert!((c.parallel_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn automatable_unlocks_privatization_and_placement() {
+        let r = Restructurer::default();
+        let needs_priv = lp(vec![Transform::ArrayPrivatization], DataHome::Privatizable);
+        let c = r.restructure(&prog(vec![needs_priv]), Level::Automatable);
+        let l = &c.phases[0].loops[0];
+        assert!(matches!(
+            l.schedule,
+            Schedule::SdoallCdoall | Schedule::Xdoall
+        ));
+        assert!(l.privatized, "privatizable data should move to clusters");
+    }
+
+    #[test]
+    fn granularity_drives_schedule_choice() {
+        let r = Restructurer::default();
+        let mut fine = lp(vec![], DataHome::Global);
+        fine.body = body(8); // ~2*(12+8)+20 = 60 cycles/iter: fine grained
+        let mut coarse = lp(vec![], DataHome::Global);
+        coarse.body.vector_ops = 40;
+        coarse.body.vector_len = 64; // 40*(12+64) >= 1800
+        let c = r.restructure(&prog(vec![fine, coarse]), Level::Automatable);
+        assert_eq!(c.phases[0].loops[0].schedule, Schedule::SdoallCdoall);
+        assert_eq!(c.phases[0].loops[1].schedule, Schedule::Xdoall);
+        // KAP confines the fine loop to one cluster instead.
+        let ck = r.restructure(
+            &prog(vec![lp(vec![], DataHome::Global)]),
+            Level::KapCedar,
+        );
+        let _ = ck;
+    }
+
+    #[test]
+    fn reduction_flag_set_when_transform_used() {
+        let r = Restructurer::default();
+        let red = lp(vec![Transform::ParallelReduction], DataHome::Global);
+        let c = r.restructure(&prog(vec![red.clone()]), Level::Automatable);
+        assert!(c.phases[0].loops[0].reduction);
+        let ck = r.restructure(&prog(vec![red]), Level::KapCedar);
+        assert!(!ck.phases[0].loops[0].reduction);
+        assert_eq!(ck.phases[0].loops[0].schedule, Schedule::VectorSerial);
+    }
+
+    #[test]
+    fn flops_preserved_across_levels() {
+        let r = Restructurer::default();
+        let p = prog(vec![
+            lp(vec![], DataHome::Global),
+            lp(vec![Transform::RuntimeDepTest], DataHome::Privatizable),
+        ]);
+        let src_flops = p.flops();
+        for level in [Level::Serial, Level::KapCedar, Level::Automatable] {
+            assert_eq!(r.restructure(&p, level).flops(), src_flops);
+        }
+    }
+
+    #[test]
+    fn stripmining_gives_chunked_dispatch() {
+        let r = Restructurer::default();
+        let fine = lp(vec![], DataHome::Global);
+        let c = r.restructure(&prog(vec![fine]), Level::Automatable);
+        assert_eq!(c.phases[0].loops[0].chunk, 4);
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use crate::ir::{BodyMix, DataHome, LoopNest, Phase, SourceProgram, Transform};
+
+    #[test]
+    fn explain_mentions_schedules_and_placement() {
+        let mut src = SourceProgram::new("demo");
+        let mut ph = Phase::new("main", 2);
+        ph.loops.push(LoopNest {
+            trips: 100,
+            body: BodyMix {
+                vector_ops: 1,
+                vector_len: 32,
+                flops_per_elem: 2,
+                global_frac: 0.5,
+                global_writes: 1,
+                scalar_global_reads: 0,
+                scalar_cycles: 10,
+            },
+            needs: vec![Transform::ArrayPrivatization],
+            parallel: true,
+            vectorizable: true,
+            home: DataHome::Privatizable,
+        });
+        src.phases.push(ph);
+        let c = Restructurer::default().restructure(&src, Level::Automatable);
+        let report = c.explain();
+        assert!(report.contains("demo"));
+        assert!(report.contains("privatized"));
+        assert!(report.contains("SdoallCdoall") || report.contains("Xdoall"));
+        assert!(report.contains("x2 calls"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the restructurer and backend: for arbitrary
+//! loop-nest IR, every restructuring level preserves the program's
+//! floating-point work, compiled programs execute to completion on the
+//! machine, and capability monotonicity holds (a level with more
+//! transformations never parallelizes less).
+
+use proptest::prelude::*;
+
+use cedar_fortran::compile::Backend;
+use cedar_fortran::ir::{BodyMix, DataHome, LoopNest, Phase, SourceProgram, Transform};
+use cedar_fortran::restructure::{Level, Restructurer, Schedule};
+
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    prop::sample::select(Transform::ALL.to_vec())
+}
+
+fn arb_body() -> impl Strategy<Value = BodyMix> {
+    (
+        1u32..4,
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+        0.0f64..=1.0,
+        0u32..2,
+        0u32..2,
+        0u32..40,
+    )
+        .prop_map(|(ops, len, gf, wr, sgr, sc)| BodyMix {
+            vector_ops: ops,
+            vector_len: len,
+            flops_per_elem: 2,
+            global_frac: gf,
+            global_writes: wr,
+            scalar_global_reads: sgr,
+            scalar_cycles: sc,
+        })
+}
+
+fn arb_loop() -> impl Strategy<Value = LoopNest> {
+    (
+        1u64..200,
+        arb_body(),
+        prop::collection::vec(arb_transform(), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(trips, body, needs, parallel, vectorizable, privatizable)| LoopNest {
+            trips,
+            body,
+            needs,
+            parallel,
+            vectorizable,
+            home: if privatizable {
+                DataHome::Privatizable
+            } else {
+                DataHome::Global
+            },
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = SourceProgram> {
+    prop::collection::vec((arb_loop(), 1u32..3, 0u64..2000), 1..4).prop_map(|phases| {
+        let mut p = SourceProgram::new("prop");
+        for (i, (l, calls, serial)) in phases.into_iter().enumerate() {
+            let mut ph = Phase::new(&format!("ph{i}"), calls);
+            ph.loops.push(l);
+            ph.serial_cycles = serial;
+            p.phases.push(ph);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_levels_preserve_flops_and_complete(src in arb_program()) {
+        let r = Restructurer::default();
+        for level in [Level::Serial, Level::KapCedar, Level::Automatable] {
+            let compiled = r.restructure(&src, level);
+            prop_assert_eq!(compiled.flops(), src.flops());
+            let rep = Backend::default().execute(&compiled, 2, 2_000_000_000).unwrap();
+            prop_assert_eq!(rep.flops, src.flops(), "level {:?}", level);
+        }
+    }
+
+    #[test]
+    fn capability_monotonicity(src in arb_program()) {
+        let r = Restructurer::default();
+        let kap = r.restructure(&src, Level::KapCedar);
+        let auto = r.restructure(&src, Level::Automatable);
+        prop_assert!(
+            auto.parallel_fraction() >= kap.parallel_fraction() - 1e-12,
+            "automatable must parallelize at least what KAP does: {} vs {}",
+            auto.parallel_fraction(),
+            kap.parallel_fraction()
+        );
+        let serial = r.restructure(&src, Level::Serial);
+        prop_assert_eq!(serial.parallel_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serial_level_has_no_parallel_schedules(src in arb_program()) {
+        let r = Restructurer::default();
+        let c = r.restructure(&src, Level::Serial);
+        for ph in &c.phases {
+            for l in &ph.loops {
+                prop_assert_eq!(l.schedule, Schedule::Serial);
+                prop_assert!(!l.privatized);
+                prop_assert!(!l.reduction);
+            }
+        }
+    }
+
+    #[test]
+    fn loops_with_unmet_needs_never_parallelize(
+        mut l in arb_loop(),
+        serial_cycles in 0u64..500,
+    ) {
+        // A loop requiring interprocedural analysis is beyond KAP.
+        l.needs = vec![Transform::InterproceduralAnalysis];
+        l.parallel = true;
+        let mut src = SourceProgram::new("t");
+        let mut ph = Phase::new("p", 1);
+        ph.loops.push(l);
+        ph.serial_cycles = serial_cycles;
+        src.phases.push(ph);
+        let c = Restructurer::default().restructure(&src, Level::KapCedar);
+        prop_assert!(matches!(
+            c.phases[0].loops[0].schedule,
+            Schedule::Serial | Schedule::VectorSerial
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! Dense matrices (column-major) and the rank-k update.
+//!
+//! The Table 1 primitive computes a rank-64 update to an `n × n` matrix:
+//! `C += A · B` with `A` being `n × 64` and `B` being `64 × n`. These are
+//! the *numeric* implementations used for correctness and property tests;
+//! the timing behaviour on Cedar comes from the staged programs in
+//! [`staged`](crate::staged).
+
+/// A column-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column {j} out of range");
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j`.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column {j} out of range");
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Maximum absolute difference against another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+/// `C += A · B`: the rank-`k` update (`k = A.cols = B.rows`), computed
+/// column-by-column with an axpy inner loop — the same dataflow the Cedar
+/// kernel vectorizes (chained multiply–add on a column chunk per memory
+/// operand).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn rank_update(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.rows(), c.rows(), "A rows must match C rows");
+    assert_eq!(b.cols(), c.cols(), "B cols must match C cols");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
+    let k = a.cols();
+    for j in 0..c.cols() {
+        for l in 0..k {
+            let blj = b[(l, j)];
+            let col_a = a.col(l);
+            let col_c = c.col_mut(j);
+            for i in 0..col_c.len() {
+                col_c[i] += col_a[i] * blj;
+            }
+        }
+    }
+}
+
+/// Floating-point operations in a rank-`k` update of an `n × m` result:
+/// 2 per (element, k).
+pub fn rank_update_flops(n: u64, m: u64, k: u64) -> u64 {
+    2 * n * m * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul_add(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+        for i in 0..c.rows() {
+            for j in 0..c.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                c[(i, j)] += s;
+            }
+        }
+    }
+
+    #[test]
+    fn rank_update_matches_naive() {
+        let n = 17;
+        let k = 5;
+        let a = Matrix::from_fn(n, k, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0);
+        let b = Matrix::from_fn(k, n, |i, j| (i + 7 * j) as f64 * 0.5 - 3.0);
+        let mut c1 = Matrix::from_fn(n, n, |i, j| (i as f64) - (j as f64));
+        let mut c2 = c1.clone();
+        rank_update(&mut c1, &a, &b);
+        naive_matmul_add(&mut c2, &a, &b);
+        assert!(c1.max_abs_diff(&c2) < 1e-9);
+    }
+
+    #[test]
+    fn flops_count() {
+        assert_eq!(rank_update_flops(1024, 1024, 64), 134_217_728);
+    }
+
+    #[test]
+    fn indexing_is_column_major() {
+        let m = Matrix::from_fn(3, 2, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.col(1), &[1.0, 11.0, 21.0]);
+        assert_eq!(m[(2, 1)], 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn col_out_of_range_panics() {
+        Matrix::zeros(2, 2).col(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn rank_update_rejects_mismatch() {
+        let mut c = Matrix::zeros(4, 4);
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(2, 4);
+        rank_update(&mut c, &a, &b);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cedar-kernels
+//!
+//! The computational kernels of the Cedar performance study, in two
+//! forms:
+//!
+//! * **Pure numeric implementations** ([`dense`], [`banded`], [`cg`]) —
+//!   real `f64` mathematics, used for correctness and property tests and
+//!   by the downstream methodology crate for operation counting.
+//! * **Staged kernels** ([`staged`]) — the same algorithms expressed as
+//!   Cedar instruction streams and executed on the `cedar-machine`
+//!   simulator; these produce the timing numbers of Table 1, Table 2 and
+//!   the PPT4 scalability study.
+//!
+//! The split mirrors the simulator's design: `cedar-machine` is a timing
+//! model that tracks addresses, queues and tags but not floating-point
+//! values, so numeric truth lives here.
+//!
+//! ## Example: the Table 1 kernel on one cluster
+//!
+//! ```no_run
+//! use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+//! use cedar_machine::machine::Machine;
+//!
+//! # fn main() -> Result<(), cedar_machine::MachineError> {
+//! let mut m = Machine::cedar()?;
+//! let kernel = Rank64::new(Rank64Version::GmPrefetch { block_words: 256 });
+//! let programs = kernel.build(&mut m, 1);
+//! let report = m.run(programs, 1_000_000_000)?;
+//! println!("{:.1} MFLOPS", report.mflops);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod banded;
+pub mod cg;
+pub mod dense;
+pub mod staged;
+
+pub use banded::{tridiagonal, BandedMatrix};
+pub use cg::{axpy, cg_iteration_flops, cg_solve, dot, CgResult};
+pub use dense::{rank_update, rank_update_flops, Matrix};

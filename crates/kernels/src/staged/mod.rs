@@ -1,0 +1,91 @@
+//! Staged kernels: machine instruction streams for the paper's kernels.
+//!
+//! Each staged kernel builds per-CE [`Program`](cedar_machine::program::Program)s
+//! that exercise the simulated Cedar exactly the way the paper's hand- or
+//! compiler-generated code exercised the real machine: global vector
+//! accesses with or without prefetch, cached work arrays in cluster
+//! memory, static column/row partitioning, cluster barriers, and global
+//! reductions.
+//!
+//! | kernel | paper use |
+//! |---|---|
+//! | [`rank64::Rank64`] | Table 1 (three memory versions) and Table 2 "RK" |
+//! | [`vload::VectorLoad`] | Table 2 "VL" |
+//! | [`tridiag::TridiagMatvec`] | Table 2 "TM" |
+//! | [`cg::StagedCg`] | Table 2 "CG" and the PPT4 scalability study |
+//! | [`banded::BandedMatvec`] | the §4.3 Cedar-vs-CM-5 banded matvec comparison |
+//! | [`membw`] | the \[GJTV91\] memory-system characterization probes |
+
+pub mod banded;
+pub mod cg;
+pub mod membw;
+pub mod rank64;
+pub mod tridiag;
+pub mod vload;
+
+use cedar_machine::program::{AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp};
+
+/// Emit `arm(len, stride 1)` + `fire(base)`.
+pub(crate) fn prefetch(b: &mut ProgramBuilder, base: AddressExpr, len: u32) {
+    b.push(Op::PrefetchArm {
+        length: len,
+        stride: 1,
+    });
+    b.push(Op::PrefetchFire { base });
+}
+
+/// Emit a vector op consuming `len` prefetched words with `fpe` flops per
+/// element.
+pub(crate) fn consume(b: &mut ProgramBuilder, len: u32, fpe: u8) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: fpe,
+        operand: MemOperand::Prefetched,
+    });
+}
+
+/// Emit a direct (non-prefetched) global vector read.
+pub(crate) fn gread(b: &mut ProgramBuilder, addr: AddressExpr, len: u32, fpe: u8) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: fpe,
+        operand: MemOperand::GlobalRead { addr, stride: 1 },
+    });
+}
+
+/// Emit a global vector write.
+pub(crate) fn gwrite(b: &mut ProgramBuilder, addr: AddressExpr, len: u32) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: 0,
+        operand: MemOperand::GlobalWrite { addr, stride: 1 },
+    });
+}
+
+/// Emit a register–register vector op.
+pub(crate) fn vreg(b: &mut ProgramBuilder, len: u32, fpe: u8) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: fpe,
+        operand: MemOperand::None,
+    });
+}
+
+/// Emit a cluster-memory vector read (through the shared cache).
+pub(crate) fn cread(b: &mut ProgramBuilder, addr: AddressExpr, len: u32, fpe: u8) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: fpe,
+        operand: MemOperand::ClusterRead { addr, stride: 1 },
+    });
+}
+
+/// Emit a cluster-memory vector write.
+#[allow(dead_code)] // symmetry with cread; used by downstream staged kernels
+pub(crate) fn cwrite(b: &mut ProgramBuilder, addr: AddressExpr, len: u32) {
+    b.vector(VectorOp {
+        length: len,
+        flops_per_element: 0,
+        operand: MemOperand::ClusterWrite { addr, stride: 1 },
+    });
+}

@@ -1,0 +1,421 @@
+//! The rank-64 update on Cedar: the Table 1 kernel.
+//!
+//! Three versions differing only in the mode of access and the transfer
+//! of subblocks to the cluster cache (§4.1):
+//!
+//! * **GM/no-pref** — all vector accesses go directly to global memory
+//!   without prefetching: throughput is pinned by the 13-cycle latency ×
+//!   2 outstanding requests per CE.
+//! * **GM/pref** — identical, but every global stream is prefetched
+//!   (the hand-coded kernel uses 256-word blocks and overlaps
+//!   aggressively, which is also the "RK" row of Table 2).
+//! * **GM/cache** — the 64-column A panel for the current row block is
+//!   copied once into a cached cluster work array; the 64 reuses then run
+//!   at cache speed.
+//!
+//! The A matrix is stored in packed panels (row-chunk major) so that
+//! prefetch streams are unit-stride, as a hand-tuned kernel would lay it
+//! out. All matrices live in global memory.
+
+use cedar_machine::ids::{CeId, ClusterId};
+use cedar_machine::machine::Machine;
+use cedar_machine::program::{AddressExpr, Program, ProgramBuilder};
+use cedar_machine::sched::BarrierScope;
+use cedar_xylem::gang::Gang;
+
+use super::{consume, cread, gread, gwrite, prefetch, vreg};
+
+/// Which memory strategy the kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rank64Version {
+    /// Direct global accesses, no prefetch.
+    GmNoPrefetch,
+    /// Prefetched global accesses with the given block size in words
+    /// (32 = compiler-generated, 256 = hand-coded RK).
+    GmPrefetch { block_words: u32 },
+    /// A panels staged through the cluster cache.
+    GmCache,
+}
+
+/// The rank-64 update kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rank64 {
+    /// Matrix dimension `n` (C is n×n). Must be a multiple of
+    /// 32 × total CEs.
+    pub n: u32,
+    /// Rank of the update (the paper's kernel: 64).
+    pub k: u32,
+    /// Memory strategy.
+    pub version: Rank64Version,
+}
+
+impl Rank64 {
+    /// The paper's kernel at a simulation-friendly size.
+    pub fn new(version: Rank64Version) -> Rank64 {
+        Rank64 {
+            n: 256,
+            k: 64,
+            version,
+        }
+    }
+
+    /// Floating-point operations of the update: `2·n²·k`.
+    pub fn flops(&self) -> u64 {
+        2 * u64::from(self.n) * u64::from(self.n) * u64::from(self.k)
+    }
+
+    /// Build the per-CE programs for the first `clusters` clusters of `m`.
+    /// Columns are block-partitioned; uneven counts give the first CEs one
+    /// extra column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a multiple of 32, `k` not a multiple of 8, or
+    /// there are fewer columns than CEs.
+    pub fn build(&self, m: &mut Machine, clusters: usize) -> Vec<(CeId, Program)> {
+        let cpc = m.config().ces_per_cluster;
+        let p = clusters * cpc;
+        assert!(self.n.is_multiple_of(32), "n must be a multiple of 32");
+        assert!(
+            self.n as usize >= p,
+            "n={} must be at least the CE count {p}",
+            self.n
+        );
+        assert!(self.k.is_multiple_of(8), "k must be a multiple of 8");
+
+        let n = u64::from(self.n);
+        let k = u64::from(self.k);
+        let chunks = n / 32; // row chunks
+        // Global layout: packed A panels, then B (col-major, k×n), then C.
+        let a_base = 0u64;
+        let b_base = a_base + n * k;
+        let c_base = b_base + k * n;
+
+        match self.version {
+            Rank64Version::GmNoPrefetch => {
+                self.build_gm(m, clusters, p, chunks, a_base, b_base, c_base, None)
+            }
+            Rank64Version::GmPrefetch { block_words } => self.build_gm(
+                m,
+                clusters,
+                p,
+                chunks,
+                a_base,
+                b_base,
+                c_base,
+                Some(block_words),
+            ),
+            Rank64Version::GmCache => {
+                self.build_cache(m, clusters, cpc, chunks, a_base, b_base, c_base)
+            }
+        }
+    }
+
+    /// The two pure-global-memory versions.
+    #[allow(clippy::too_many_arguments)]
+    fn build_gm(
+        &self,
+        m: &mut Machine,
+        clusters: usize,
+        p: usize,
+        chunks: u64,
+        a_base: u64,
+        b_base: u64,
+        c_base: u64,
+        block: Option<u32>,
+    ) -> Vec<(CeId, Program)> {
+        let cpc = m.config().ces_per_cluster;
+        let n = u64::from(self.n);
+        let k = u64::from(self.k);
+        let mut gang = Gang::clusters(clusters, cpc);
+        gang.each(|i, _ce, b| {
+            let (first_col, my_cols) = split(n, p as u64, i as u64);
+            // Skew the CEs' start times so the shared A-panel streams do
+            // not sweep the interleaved modules in lockstep (on the real
+            // machine self-scheduling and interrupts provide this skew
+            // for free; our static programs must add it).
+            b.scalar(1 + (i as u32) * 4 + (i as u32) / 8);
+            // depth 0: local column loop.
+            b.repeat(my_cols as u32, |b| {
+                // Load the b column (k words) into registers.
+                let baddr = AddressExpr::new(b_base + first_col * k).with_coeff(0, k as i64);
+                match block {
+                    Some(_) => {
+                        prefetch(b, baddr, self.k);
+                        consume(b, self.k, 0);
+                    }
+                    None => gread(b, baddr, self.k, 0),
+                }
+                // depth 1: row-chunk loop.
+                b.repeat(chunks as u32, |b| {
+                    let caddr = AddressExpr::new(c_base + first_col * n)
+                        .with_coeff(0, n as i64)
+                        .with_coeff(1, 32);
+                    // Load the C chunk.
+                    match block {
+                        Some(_) => {
+                            prefetch(b, caddr.clone(), 32);
+                            consume(b, 32, 0);
+                        }
+                        None => gread(b, caddr.clone(), 32, 0),
+                    }
+                    // 64 chained triads against the packed A panel.
+                    let panel = AddressExpr::new(a_base).with_coeff(1, (k * 32) as i64);
+                    match block {
+                        None => {
+                            // depth 2: k loop, direct reads.
+                            b.repeat(self.k, |b| {
+                                gread(b, panel.clone().with_coeff(2, 32), 32, 2);
+                            });
+                        }
+                        Some(bw) => {
+                            let triads_per_block = (bw / 32).max(1);
+                            let groups = self.k / triads_per_block;
+                            // The hand-coded large-block kernel rotates
+                            // each CE's accumulation order so the CEs do
+                            // not sweep the memory modules in lockstep
+                            // (addition commutes; the compiler's 32-word
+                            // version does not bother).
+                            let rot = if bw >= 64 { i as u32 % groups } else { 0 };
+                            let emit_groups = |b: &mut ProgramBuilder,
+                                               count: u32,
+                                               first: u32| {
+                                if count == 0 {
+                                    return;
+                                }
+                                let base = AddressExpr::new(
+                                    a_base + u64::from(first) * u64::from(bw),
+                                )
+                                .with_coeff(1, (k * 32) as i64);
+                                // depth 2: prefetch-block loop.
+                                b.repeat(count, |b| {
+                                    prefetch(
+                                        b,
+                                        base.clone().with_coeff(2, i64::from(bw)),
+                                        bw,
+                                    );
+                                    b.repeat(triads_per_block, |b| {
+                                        consume(b, 32, 2);
+                                    });
+                                });
+                            };
+                            emit_groups(b, groups - rot, rot);
+                            emit_groups(b, rot, 0);
+                        }
+                    }
+                    // Store the C chunk.
+                    gwrite(b, caddr, 32);
+                });
+            });
+        });
+        gang.finish()
+    }
+
+    /// The cluster-cache version: A panels staged per cluster.
+    #[allow(clippy::too_many_arguments)]
+    fn build_cache(
+        &self,
+        m: &mut Machine,
+        clusters: usize,
+        cpc: usize,
+        chunks: u64,
+        a_base: u64,
+        b_base: u64,
+        c_base: u64,
+    ) -> Vec<(CeId, Program)> {
+        let n = u64::from(self.n);
+        let k = u64::from(self.k);
+        let panel_words = k * 32;
+        // One barrier per cluster, reused (epoch-addressed) across chunks.
+        let barriers: Vec<_> = (0..clusters)
+            .map(|c| m.alloc_barrier(BarrierScope::Cluster(ClusterId(c)), cpc as u32))
+            .collect();
+        let copy_share = (panel_words / cpc as u64) as u32;
+        let mut gang = Gang::clusters(clusters, cpc);
+        gang.each(|_, ce, b| {
+            let cluster = ce.cluster(cpc).0;
+            let lane = ce.index_in_cluster(cpc) as u64;
+            let (cluster_first, cluster_cols) = split(n, clusters as u64, cluster as u64);
+            let (lane_off, my_cols) = split(cluster_cols, cpc as u64, lane);
+            let first_col = cluster_first + lane_off;
+            let work = 0u64; // cluster work array base
+            // depth 0: row-chunk loop.
+            b.repeat(chunks as u32, |b| {
+                // Cooperative panel copy-in: my share, prefetched.
+                cedar_xylem::copy::global_to_cluster(
+                    b,
+                    a_base + lane * u64::from(copy_share),
+                    work + lane * u64::from(copy_share),
+                    copy_share,
+                    Some((
+                        cedar_xylem::gang::LoopVar::direct(0),
+                        panel_words as i64,
+                        0,
+                    )),
+                    true,
+                );
+                b.push(cedar_machine::program::Op::Barrier {
+                    barrier: barriers[cluster],
+                });
+                // depth 1: my columns.
+                b.repeat(my_cols as u32, |b| {
+                    // b column into registers (PFU is otherwise idle here).
+                    let baddr =
+                        AddressExpr::new(b_base + first_col * k).with_coeff(1, k as i64);
+                    prefetch(b, baddr, self.k);
+                    consume(b, self.k, 0);
+                    // C chunk into registers.
+                    let caddr = AddressExpr::new(c_base + first_col * n)
+                        .with_coeff(1, n as i64)
+                        .with_coeff(0, 32);
+                    prefetch(b, caddr.clone(), 32);
+                    consume(b, 32, 0);
+                    // depth 2: 64 triads at cache speed.
+                    b.repeat(self.k, |b| {
+                        cread(b, AddressExpr::new(work).with_coeff(2, 32), 32, 2);
+                    });
+                    gwrite(b, caddr, 32);
+                });
+                b.push(cedar_machine::program::Op::Barrier {
+                    barrier: barriers[cluster],
+                });
+            });
+        });
+        gang.finish()
+    }
+}
+
+/// Block-partition `total` items over `parts`, giving part `i` its
+/// `(start, count)`; the first `total % parts` parts get one extra item.
+fn split(total: u64, parts: u64, i: u64) -> (u64, u64) {
+    let base = total / parts;
+    let extra = total % parts;
+    let count = base + u64::from(i < extra);
+    let start = i * base + i.min(extra);
+    (start, count)
+}
+
+/// A register-only calibration variant: what the machine would do with an
+/// infinitely fast memory system (used to compute effective peak).
+pub fn effective_peak_program(n: u32, k: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let chunks = n / 32;
+    b.repeat(n, |b| {
+        b.repeat(chunks, |b| {
+            b.repeat(k, |b| {
+                vreg(b, 32, 2);
+            });
+        });
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMIT: u64 = 200_000_000;
+
+    fn mflops(version: Rank64Version, clusters: usize, n: u32) -> f64 {
+        let mut m = Machine::cedar().unwrap();
+        let kern = Rank64 {
+            n,
+            k: 64,
+            version,
+        };
+        let progs = kern.build(&mut m, clusters);
+        let r = m.run(progs, LIMIT).unwrap();
+        assert_eq!(r.flops, kern.flops(), "flop accounting");
+        r.mflops
+    }
+
+    #[test]
+    fn no_prefetch_one_cluster_is_latency_bound() {
+        let mf = mflops(Rank64Version::GmNoPrefetch, 1, 64);
+        // Paper: 14.5 MFLOPS on 8 CEs. Accept a generous band.
+        assert!(mf > 8.0 && mf < 25.0, "GM/no-pref 1 cluster = {mf:.1}");
+    }
+
+    #[test]
+    fn prefetch_beats_no_prefetch_substantially() {
+        let nopref = mflops(Rank64Version::GmNoPrefetch, 1, 64);
+        let pref = mflops(
+            Rank64Version::GmPrefetch { block_words: 256 },
+            1,
+            64,
+        );
+        let ratio = pref / nopref;
+        assert!(
+            ratio > 2.0,
+            "prefetch should give ~3.5x on one cluster: {nopref:.1} -> {pref:.1}"
+        );
+    }
+
+    #[test]
+    fn cache_version_scales_and_beats_prefetch_at_four_clusters() {
+        let pref4 = mflops(Rank64Version::GmPrefetch { block_words: 256 }, 4, 256);
+        let cache4 = mflops(Rank64Version::GmCache, 4, 256);
+        assert!(
+            cache4 > pref4,
+            "cache should win at 4 clusters: pref={pref4:.1} cache={cache4:.1}"
+        );
+    }
+
+    #[test]
+    fn effective_peak_is_about_three_quarters_of_absolute() {
+        let mut m = Machine::cedar().unwrap();
+        let p = effective_peak_program(32, 64);
+        let r = m
+            .run(vec![(cedar_machine::ids::CeId(0), p)], LIMIT)
+            .unwrap();
+        // absolute peak 11.76 MFLOPS; startup-limited ~8.4-8.6.
+        assert!(
+            r.mflops > 7.5 && r.mflops < 9.5,
+            "effective peak per CE = {:.2}",
+            r.mflops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn non_chunked_n_rejected() {
+        let mut m = Machine::cedar().unwrap();
+        Rank64 {
+            n: 100,
+            k: 64,
+            version: Rank64Version::GmNoPrefetch,
+        }
+        .build(&mut m, 3);
+    }
+
+    #[test]
+    fn uneven_column_split_covers_everything() {
+        // 3 clusters × 8 CEs = 24 CEs over 256 columns: uneven split.
+        let mut m = Machine::cedar().unwrap();
+        let kern = Rank64 {
+            n: 256,
+            k: 64,
+            version: Rank64Version::GmCache,
+        };
+        let progs = kern.build(&mut m, 3);
+        let r = m.run(progs, 500_000_000).unwrap();
+        assert_eq!(r.flops, kern.flops());
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        for total in [1u64, 7, 24, 256] {
+            for parts in [1u64, 3, 8, 24] {
+                let mut covered = 0;
+                let mut next = 0;
+                for i in 0..parts {
+                    let (start, count) = super::split(total, parts, i);
+                    assert_eq!(start, next, "contiguous");
+                    next = start + count;
+                    covered += count;
+                }
+                assert_eq!(covered, total, "total={total} parts={parts}");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The tridiagonal matrix–vector multiply (Table 2 "TM").
+//!
+//! `y = A·x` with `A` tridiagonal, vectorized by diagonals: per 32-element
+//! chunk the kernel streams the three diagonals and the `x` chunk from
+//! global memory (32-word compiler prefetches) and performs two
+//! register–register shift/add operations — the register–register work
+//! that lowers TM's demand on the memory system relative to VL and RK
+//! (§4.1).
+
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::program::{AddressExpr, Program};
+use cedar_xylem::gang::Gang;
+
+use super::{consume, gwrite, prefetch, vreg};
+
+/// Tridiagonal matvec kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TridiagMatvec {
+    /// System size; rows are block-partitioned over the CEs.
+    pub n: u32,
+    /// Number of repeated multiplies (the kernel loops to give the
+    /// monitor a stable sample).
+    pub sweeps: u32,
+}
+
+impl TridiagMatvec {
+    /// The Table 2 configuration.
+    pub fn new() -> TridiagMatvec {
+        TridiagMatvec {
+            n: 64 * 1024,
+            sweeps: 4,
+        }
+    }
+
+    /// Flops: 3 diagonal triads (2 each) + 2 register ops (1 each) per
+    /// element per sweep.
+    pub fn flops(&self) -> u64 {
+        u64::from(self.n) * u64::from(self.sweeps) * 8
+    }
+
+    /// Build per-CE programs over the first `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a multiple of 32 × the CE count.
+    pub fn build(&self, m: &mut Machine, clusters: usize) -> Vec<(CeId, Program)> {
+        let cpc = m.config().ces_per_cluster;
+        let p = (clusters * cpc) as u32;
+        assert!(
+            self.n.is_multiple_of(32 * p),
+            "n={} must divide over {p} CEs in 32-element chunks",
+            self.n
+        );
+        let n = u64::from(self.n);
+        // Layout: three diagonals, then x, then y.
+        let diag = |d: u64| d * n;
+        let x_base = 3 * n;
+        let y_base = 4 * n;
+        let chunks_per_ce = self.n / (32 * p);
+        let mut gang = Gang::clusters(clusters, cpc);
+        gang.each(|i, _ce, b| {
+            let row0 = i as u64 * u64::from(chunks_per_ce) * 32;
+            // Start skew: spreads the CEs' module-sweep phases.
+            b.scalar(1 + (i as u32) * 4 + (i as u32) / 8);
+            b.repeat(self.sweeps, |b| {
+                // depth 1: my row chunks.
+                b.repeat(chunks_per_ce, |b| {
+                    let off = |base: u64| AddressExpr::new(base + row0).with_coeff(1, 32);
+                    // x chunk into registers.
+                    prefetch(b, off(x_base), 32);
+                    consume(b, 32, 0);
+                    // three diagonal triads.
+                    for d in 0..3 {
+                        prefetch(b, off(diag(d)), 32);
+                        consume(b, 32, 2);
+                    }
+                    // register-register shift/adds for the off-diagonals.
+                    vreg(b, 32, 1);
+                    vreg(b, 32, 1);
+                    // store y chunk.
+                    gwrite(b, off(y_base), 32);
+                });
+            });
+        });
+        gang.finish()
+    }
+}
+
+impl Default for TridiagMatvec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tm_flop_accounting() {
+        let mut m = Machine::cedar().unwrap();
+        let tm = TridiagMatvec { n: 2048, sweeps: 2 };
+        let progs = tm.build(&mut m, 1);
+        let r = m.run(progs, 50_000_000).unwrap();
+        assert_eq!(r.flops, tm.flops());
+    }
+
+    #[test]
+    fn tm_has_lower_memory_intensity_than_vl() {
+        // Per word fetched, TM does more compute; its prefetch request
+        // rate per cycle should be lower than VL's.
+        let mut m = Machine::cedar().unwrap();
+        let tm = TridiagMatvec { n: 8192, sweeps: 1 };
+        let progs = tm.build(&mut m, 1);
+        let r_tm = m.run(progs, 50_000_000).unwrap();
+        let tm_rate = r_tm.prefetch.requests as f64 / r_tm.cycles as f64;
+
+        let mut m = Machine::cedar().unwrap();
+        let vl = super::super::vload::VectorLoad {
+            words_per_ce: 4096,
+            block: 32,
+        };
+        let progs = vl.build(&mut m, 1);
+        let r_vl = m.run(progs, 50_000_000).unwrap();
+        let vl_rate = r_vl.prefetch.requests as f64 / r_vl.cycles as f64;
+        assert!(
+            tm_rate < vl_rate,
+            "TM demand {tm_rate:.3} should be below VL {vl_rate:.3}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! The vector-load kernel (Table 2 "VL").
+//!
+//! Pure prefetched vector loads from global memory: each CE sweeps its
+//! own region in compiler-sized blocks (32 words). Dominated by memory
+//! accesses but with lower access intensity than the 256-word-block RK
+//! kernel, so it degrades more slowly under contention (§4.1).
+
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::program::{AddressExpr, Program};
+use cedar_xylem::gang::Gang;
+
+use super::{consume, prefetch};
+
+/// Vector-load kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorLoad {
+    /// Words each CE loads.
+    pub words_per_ce: u32,
+    /// Prefetch block size (32 = compiler-generated).
+    pub block: u32,
+}
+
+impl VectorLoad {
+    /// The Table 2 configuration.
+    pub fn new() -> VectorLoad {
+        VectorLoad {
+            words_per_ce: 16 * 1024,
+            block: 32,
+        }
+    }
+
+    /// Build per-CE programs over the first `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_ce` is not a multiple of `block`.
+    pub fn build(&self, m: &mut Machine, clusters: usize) -> Vec<(CeId, Program)> {
+        assert!(self.block > 0 && self.words_per_ce.is_multiple_of(self.block));
+        let cpc = m.config().ces_per_cluster;
+        let blocks = self.words_per_ce / self.block;
+        let mut gang = Gang::clusters(clusters, cpc);
+        gang.each(|i, _ce, b| {
+            // Offset regions off module alignment per CE (a real code's
+            // arrays are never all module-aligned).
+            let base = u64::from(self.words_per_ce) * i as u64 + 3 * i as u64;
+            // Start skew: spreads the CEs' module-sweep phases (the real
+            // machine's scheduling provides this naturally).
+            b.scalar(1 + (i as u32) * 4 + (i as u32) / 8);
+            b.repeat(blocks, |b| {
+                prefetch(
+                    b,
+                    AddressExpr::new(base).with_coeff(0, i64::from(self.block)),
+                    self.block,
+                );
+                consume(b, self.block, 0);
+            });
+        });
+        gang.finish()
+    }
+}
+
+impl Default for VectorLoad {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vl_prefetches_every_word_once() {
+        let mut m = Machine::cedar().unwrap();
+        let vl = VectorLoad {
+            words_per_ce: 1024,
+            block: 32,
+        };
+        let progs = vl.build(&mut m, 1);
+        let r = m.run(progs, 50_000_000).unwrap();
+        assert_eq!(r.prefetch.requests, 8 * 1024);
+        assert_eq!(r.prefetch.words_returned, 8 * 1024);
+        assert_eq!(r.flops, 0);
+    }
+
+    #[test]
+    fn vl_latency_grows_with_machine_size() {
+        let lat = |clusters: usize| {
+            let mut m = Machine::cedar().unwrap();
+            let progs = VectorLoad {
+                words_per_ce: 2048,
+                block: 32,
+            }
+            .build(&mut m, clusters);
+            let r = m.run(progs, 50_000_000).unwrap();
+            r.prefetch.mean_latency()
+        };
+        let l1 = lat(1);
+        let l4 = lat(4);
+        assert!(l4 > l1, "latency should grow: {l1:.1} -> {l4:.1}");
+    }
+}

@@ -1,0 +1,329 @@
+//! The per-cluster concurrency control bus.
+//!
+//! Every CE in an Alliant cluster connects to a concurrency control bus
+//! whose instructions implement fast fork, join and synchronization:
+//! `concurrent start` spreads a parallel loop across the cluster in a few
+//! cycles, and the CEs then self-schedule iterations among themselves over
+//! the bus (§2 "Alliant clusters"). The bus model serializes one
+//! dispatch transaction per [`dispatch_cycles`](crate::config::CcBusConfig)
+//! and provides counted cluster barriers for loop joins.
+//!
+//! Counters and barriers are *epoch addressed*: a loop that executes many
+//! times (e.g. inside a timestep loop) uses a fresh logical counter each
+//! entry, exactly as the runtime library allocates fresh control blocks,
+//! so no reset protocol is needed.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::CcBusConfig;
+use crate::time::Cycle;
+
+/// One pending counter-dispatch transaction.
+#[derive(Debug, Clone, Copy)]
+struct CounterReq {
+    ce: usize,
+    slot: usize,
+    epoch: u64,
+    chunk: u32,
+    limit: u64,
+}
+
+#[derive(Debug, Default)]
+struct BarrierWait {
+    arrived: u32,
+    waiting: Vec<usize>,
+}
+
+/// Result of asking the bus for the cluster's next SDOALL value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdoallTake {
+    /// The next value for this CE (every CE of the cluster sees the same
+    /// sequence of values, each exactly once).
+    Ready(u64),
+    /// No value buffered and no fetch in flight: this CE is elected to
+    /// fetch the next value from the global counter on the cluster's
+    /// behalf.
+    Fetch,
+    /// Another CE's fetch is in flight; retry next cycle.
+    Wait,
+}
+
+#[derive(Debug, Default)]
+struct SdoallState {
+    values: Vec<u64>,
+    cursor: Vec<usize>,
+    fetch_in_flight: bool,
+}
+
+/// Bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcBusStats {
+    /// Counter dispatch transactions granted.
+    pub dispatches: u64,
+    /// Barrier releases performed.
+    pub barrier_releases: u64,
+}
+
+/// One cluster's concurrency control bus.
+#[derive(Debug)]
+pub struct CcBus {
+    dispatch_cycles: u32,
+    join_cycles: u32,
+    start_cycles: u32,
+    next_free: Cycle,
+    pending: VecDeque<CounterReq>,
+    /// `(slot, epoch)` → counter value.
+    values: HashMap<(usize, u64), u64>,
+    /// Per-CE granted old counter value.
+    grants: Vec<Option<u64>>,
+    /// `(barrier slot, epoch)` → arrival state.
+    barriers: HashMap<(usize, u64), BarrierWait>,
+    /// `(sdoall counter id, epoch)` → shared-value state.
+    sdoall: HashMap<(usize, u64), SdoallState>,
+    /// Per-CE barrier release time.
+    releases: Vec<Option<Cycle>>,
+    n_counters: usize,
+    stats: CcBusStats,
+}
+
+impl CcBus {
+    /// Build a bus for a cluster of `ces` processors.
+    pub fn new(cfg: &CcBusConfig, ces: usize) -> CcBus {
+        CcBus {
+            dispatch_cycles: cfg.dispatch_cycles.max(1),
+            join_cycles: cfg.join_cycles,
+            start_cycles: cfg.start_cycles,
+            next_free: Cycle::ZERO,
+            pending: VecDeque::new(),
+            values: HashMap::new(),
+            grants: vec![None; ces],
+            barriers: HashMap::new(),
+            sdoall: HashMap::new(),
+            releases: vec![None; ces],
+            n_counters: 0,
+            stats: CcBusStats::default(),
+        }
+    }
+
+    /// Cycles a `concurrent start` broadcast takes.
+    pub fn start_cycles(&self) -> u32 {
+        self.start_cycles
+    }
+
+    /// Allocate a counter slot on this bus.
+    pub fn alloc_counter(&mut self) -> usize {
+        self.n_counters += 1;
+        self.n_counters - 1
+    }
+
+    /// Queue a bounded fetch-and-add: grants `old`, adding `chunk` only
+    /// while `old < limit`.
+    pub fn request_counter(&mut self, ce: usize, slot: usize, epoch: u64, chunk: u32, limit: u64) {
+        debug_assert!(slot < self.n_counters, "counter slot not allocated");
+        self.pending.push_back(CounterReq {
+            ce,
+            slot,
+            epoch,
+            chunk,
+            limit,
+        });
+    }
+
+    /// Take a granted counter value for `ce`, if one arrived.
+    pub fn take_grant(&mut self, ce: usize) -> Option<u64> {
+        self.grants[ce].take()
+    }
+
+    /// Arrive at cluster barrier `(slot, epoch)` expecting `expected`
+    /// participants. When the last participant arrives, all are released
+    /// after the join delay.
+    pub fn arrive_barrier(&mut self, now: Cycle, ce: usize, slot: usize, epoch: u64, expected: u32) {
+        let w = self.barriers.entry((slot, epoch)).or_default();
+        w.arrived += 1;
+        w.waiting.push(ce);
+        if w.arrived >= expected {
+            let release_at = now + u64::from(self.join_cycles);
+            let waiting = std::mem::take(&mut w.waiting);
+            self.barriers.remove(&(slot, epoch));
+            for ce in waiting {
+                self.releases[ce] = Some(release_at);
+            }
+            self.stats.barrier_releases += 1;
+        }
+    }
+
+    /// Take `ce`'s barrier release time, if released.
+    pub fn take_release(&mut self, ce: usize) -> Option<Cycle> {
+        self.releases[ce].take()
+    }
+
+    /// Advance one cycle: grant at most one dispatch per
+    /// `dispatch_cycles`.
+    pub fn tick(&mut self, now: Cycle) {
+        if now < self.next_free {
+            return;
+        }
+        if let Some(req) = self.pending.pop_front() {
+            let v = self.values.entry((req.slot, req.epoch)).or_insert(0);
+            let old = *v;
+            if old < req.limit {
+                *v = old + u64::from(req.chunk);
+            }
+            self.grants[req.ce] = Some(old);
+            self.stats.dispatches += 1;
+            self.next_free = now + u64::from(self.dispatch_cycles);
+        }
+    }
+
+    /// Take the next SDOALL value for CE `ce` (index within the cluster)
+    /// from shared counter `id` at `epoch`; the cluster holds `ces`
+    /// members.
+    pub fn sdoall_take(&mut self, ce: usize, id: usize, epoch: u64, ces: usize) -> SdoallTake {
+        let st = self.sdoall.entry((id, epoch)).or_insert_with(|| SdoallState {
+            values: Vec::new(),
+            cursor: vec![0; ces],
+            fetch_in_flight: false,
+        });
+        if st.cursor.len() < ces {
+            st.cursor.resize(ces, 0);
+        }
+        if st.cursor[ce] < st.values.len() {
+            let v = st.values[st.cursor[ce]];
+            st.cursor[ce] += 1;
+            SdoallTake::Ready(v)
+        } else if !st.fetch_in_flight {
+            st.fetch_in_flight = true;
+            SdoallTake::Fetch
+        } else {
+            SdoallTake::Wait
+        }
+    }
+
+    /// Post a value fetched from the global counter on the cluster's
+    /// behalf; it becomes visible to every CE of the cluster.
+    pub fn sdoall_post(&mut self, id: usize, epoch: u64, value: u64) {
+        let st = self
+            .sdoall
+            .entry((id, epoch))
+            .or_default();
+        st.values.push(value);
+        st.fetch_in_flight = false;
+    }
+
+    /// Reset all counter/barrier state (between independent runs).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.values.clear();
+        self.barriers.clear();
+        self.sdoall.clear();
+        self.grants.iter_mut().for_each(|g| *g = None);
+        self.releases.iter_mut().for_each(|r| *r = None);
+        self.next_free = Cycle::ZERO;
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CcBusStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> CcBus {
+        CcBus::new(&CcBusConfig::cedar(), 8)
+    }
+
+    #[test]
+    fn counter_grants_are_serialized_by_dispatch_time() {
+        let mut b = bus();
+        let slot = b.alloc_counter();
+        for ce in 0..4 {
+            b.request_counter(ce, slot, 0, 1, 100);
+        }
+        // dispatch_cycles = 2: grants land at t=0,2,4,6.
+        b.tick(Cycle(0));
+        assert_eq!(b.take_grant(0), Some(0));
+        assert_eq!(b.take_grant(1), None);
+        b.tick(Cycle(1)); // bus busy
+        assert_eq!(b.take_grant(1), None);
+        b.tick(Cycle(2));
+        assert_eq!(b.take_grant(1), Some(1));
+        b.tick(Cycle(4));
+        b.tick(Cycle(6));
+        assert_eq!(b.take_grant(2), Some(2));
+        assert_eq!(b.take_grant(3), Some(3));
+        assert_eq!(b.stats().dispatches, 4);
+    }
+
+    #[test]
+    fn counter_respects_limit() {
+        let mut b = bus();
+        let slot = b.alloc_counter();
+        let mut t = 0;
+        let mut got = Vec::new();
+        for ce in 0..5 {
+            b.request_counter(ce, slot, 0, 2, 5);
+        }
+        for _ in 0..5 {
+            b.tick(Cycle(t));
+            t += 2;
+        }
+        for ce in 0..5 {
+            got.push(b.take_grant(ce).unwrap());
+        }
+        // Chunks of 2 toward limit 5: 0, 2, 4, then saturate.
+        assert_eq!(got[..3], [0, 2, 4]);
+        assert!(got[3] >= 5 && got[4] >= 5);
+    }
+
+    #[test]
+    fn epochs_are_independent() {
+        let mut b = bus();
+        let slot = b.alloc_counter();
+        b.request_counter(0, slot, 0, 1, 10);
+        b.tick(Cycle(0));
+        assert_eq!(b.take_grant(0), Some(0));
+        b.request_counter(0, slot, 1, 1, 10);
+        b.tick(Cycle(10));
+        // Fresh epoch starts at zero again.
+        assert_eq!(b.take_grant(0), Some(0));
+    }
+
+    #[test]
+    fn barrier_releases_all_on_last_arrival() {
+        let mut b = bus();
+        b.arrive_barrier(Cycle(5), 0, 0, 0, 3);
+        b.arrive_barrier(Cycle(6), 1, 0, 0, 3);
+        assert_eq!(b.take_release(0), None);
+        b.arrive_barrier(Cycle(9), 2, 0, 0, 3);
+        // join_cycles = 4.
+        assert_eq!(b.take_release(0), Some(Cycle(13)));
+        assert_eq!(b.take_release(1), Some(Cycle(13)));
+        assert_eq!(b.take_release(2), Some(Cycle(13)));
+        assert_eq!(b.stats().barrier_releases, 1);
+    }
+
+    #[test]
+    fn barrier_epochs_do_not_collide() {
+        let mut b = bus();
+        b.arrive_barrier(Cycle(0), 0, 0, 0, 2);
+        b.arrive_barrier(Cycle(0), 1, 0, 1, 2); // different epoch
+        assert_eq!(b.take_release(0), None);
+        assert_eq!(b.take_release(1), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = bus();
+        let slot = b.alloc_counter();
+        b.request_counter(0, slot, 0, 1, 10);
+        b.tick(Cycle(0));
+        b.reset();
+        assert_eq!(b.take_grant(0), None);
+        b.request_counter(0, slot, 0, 1, 10);
+        b.tick(Cycle(0));
+        assert_eq!(b.take_grant(0), Some(0));
+    }
+}

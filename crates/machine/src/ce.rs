@@ -1,0 +1,1238 @@
+//! The computational element (CE) execution engine.
+//!
+//! Each CE is a pipelined 68020-compatible processor with a vector unit:
+//! eight 32-word vector registers, register–memory vector instructions
+//! with one memory operand, 11.8 MFLOPS peak on chained 64-bit operations.
+//! The engine executes a [`Program`] as a state machine advanced one cycle
+//! at a time, interacting with the shared cluster cache, its private
+//! prefetch unit, the forward network port and the concurrency control
+//! bus.
+
+use std::collections::HashMap;
+
+use crate::cache::{CacheAccess, ClusterCache};
+use crate::ccbus::CcBus;
+use crate::config::{CeConfig, MachineConfig};
+use crate::ids::{CeId, ClusterId};
+use crate::memory::address::{module_of, page_of};
+use crate::memory::sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};
+use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind, Stream};
+use crate::network::Omega;
+use crate::prefetch::{Pfu, PrefetchStats};
+use crate::program::{Block, MemOperand, Op, Program, VectorOp};
+use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
+use crate::time::Cycle;
+use crate::vm::Tlb;
+
+/// Everything a CE touches outside itself during one tick.
+pub struct CeContext<'a> {
+    /// The forward network (request injection at this CE's port).
+    pub forward: &'a mut Omega,
+    /// The CE's cluster's shared cache.
+    pub cache: &'a mut ClusterCache,
+    /// The CE's cluster's concurrency control bus.
+    pub ccbus: &'a mut CcBus,
+    /// The CE's cluster's TLB (used when VM modelling is enabled).
+    pub tlb: &'a mut Tlb,
+    /// The machine-wide page table (used when VM modelling is enabled).
+    pub page_table: &'a mut crate::vm::PageTable,
+    /// Machine counter registry.
+    pub counters: &'a [CounterDef],
+    /// Machine barrier registry.
+    pub barriers: &'a [BarrierDef],
+    /// The external event tracer (software event posting).
+    pub tracer: &'a mut crate::monitor::EventTracer,
+}
+
+/// Per-CE execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CeStats {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Vector elements processed.
+    pub vector_elements: u64,
+    /// Cycles spent blocked waiting on memory (vector/scalar data).
+    pub stall_mem: u64,
+    /// Cycles spent blocked on synchronization (counters, barriers,
+    /// fences).
+    pub stall_sync: u64,
+    /// TLB misses taken (VM modelling enabled only).
+    pub tlb_misses: u64,
+    /// Hard (first-touch) page faults taken (VM modelling enabled only).
+    pub page_faults: u64,
+    /// Cycles spent in virtual-memory activity (TLB misses + faults).
+    pub vm_cycles: u64,
+    /// Cycle at which the program finished (0 if still running).
+    pub done_at: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GbPhase {
+    AwaitArrive,
+    PollWait { at: Cycle },
+    AwaitPoll,
+}
+
+#[derive(Debug, Clone)]
+enum CeState {
+    Fetch,
+    Stall { until: Cycle },
+    VectorDirect {
+        base: u64,
+        stride: i64,
+        length: u32,
+        issued: u32,
+        completed: u32,
+        start_at: Cycle,
+        /// Gather: element addresses are pseudo-randomly scattered.
+        gather: bool,
+    },
+    VectorPref {
+        length: u32,
+        consumed: u32,
+        start_at: Cycle,
+    },
+    VectorGWrite {
+        base: u64,
+        stride: i64,
+        length: u32,
+        issued: u32,
+        start_at: Cycle,
+        /// Scatter: element addresses are pseudo-randomly scattered.
+        scatter: bool,
+    },
+    VectorCache {
+        base: u64,
+        stride: i64,
+        write: bool,
+        length: u32,
+        issued: u32,
+        last_ready: Cycle,
+        start_at: Cycle,
+    },
+    AwaitScalarRead,
+    AwaitSync,
+    AwaitCounter,
+    AwaitClusterBarrier,
+    GlobalBarrier {
+        barrier: usize,
+        epoch: u64,
+        phase: GbPhase,
+        /// Consecutive failed polls (drives exponential backoff so
+        /// spinning CEs do not saturate the barrier's memory module).
+        misses: u32,
+    },
+    AwaitFence,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+enum FrameKind {
+    Root,
+    Repeat { remaining: u32 },
+    SelfSched {
+        counter: usize,
+        limit: u64,
+        chunk: u32,
+        dispatch_cost: u32,
+        epoch: u64,
+        chunk_end: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    block: Block,
+    pc: usize,
+    kind: FrameKind,
+}
+
+enum Step {
+    Progress,
+    Blocked,
+}
+
+/// One CE's execution engine.
+pub struct CeEngine {
+    id: CeId,
+    cluster: ClusterId,
+    ce_in_cluster: usize,
+    cfg: CeConfig,
+    vm_enabled: bool,
+    page_words: u64,
+    tlb_miss_cycles: u32,
+    page_fault_cycles: u32,
+    modules: usize,
+    frames: Vec<Frame>,
+    indices: Vec<u64>,
+    state: CeState,
+    pfu: Pfu,
+    pending_pkt: Option<Packet>,
+    outstanding_reads: u32,
+    outstanding_writes: u32,
+    direct_ready: std::collections::VecDeque<Cycle>,
+    scalar_ready: Option<Cycle>,
+    sync_result: Option<SyncOutcome>,
+    counter_epochs: HashMap<usize, u64>,
+    barrier_uses: HashMap<usize, u64>,
+    /// Elected to fetch the next shared-SDOALL value; waiting for the
+    /// port to free.
+    sdoall_must_fetch: bool,
+    /// The shared-SDOALL fetch is in flight; its reply must be posted to
+    /// the cluster bus.
+    sdoall_awaiting_reply: bool,
+    ces_per_cluster: usize,
+    vm_stall_until: Cycle,
+    stats: CeStats,
+}
+
+impl std::fmt::Debug for CeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CeEngine")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("frames", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CeEngine {
+    /// Build an engine for CE `id` loaded with `program`.
+    pub fn new(id: CeId, cfg: &MachineConfig, program: Program) -> CeEngine {
+        let ces_per_cluster = cfg.ces_per_cluster;
+        let root = Frame {
+            block: program.body().clone(),
+            pc: 0,
+            kind: FrameKind::Root,
+        };
+        CeEngine {
+            id,
+            cluster: id.cluster(ces_per_cluster),
+            ce_in_cluster: id.index_in_cluster(ces_per_cluster),
+            cfg: cfg.ce.clone(),
+            vm_enabled: cfg.vm.enabled,
+            page_words: cfg.vm.page_words,
+            tlb_miss_cycles: cfg.vm.tlb_miss_cycles,
+            page_fault_cycles: cfg.vm.page_fault_cycles,
+            modules: cfg.global_memory.modules,
+            frames: vec![root],
+            indices: Vec::new(),
+            state: CeState::Fetch,
+            pfu: Pfu::new(id, &cfg.prefetch, cfg.vm.page_words, cfg.global_memory.modules),
+            pending_pkt: None,
+            outstanding_reads: 0,
+            outstanding_writes: 0,
+            direct_ready: std::collections::VecDeque::new(),
+            scalar_ready: None,
+            sync_result: None,
+            counter_epochs: HashMap::new(),
+            barrier_uses: HashMap::new(),
+            sdoall_must_fetch: false,
+            sdoall_awaiting_reply: false,
+            ces_per_cluster,
+            vm_stall_until: Cycle::ZERO,
+            stats: CeStats::default(),
+        }
+    }
+
+    /// This CE's id.
+    pub fn id(&self) -> CeId {
+        self.id
+    }
+
+    /// This CE's cluster.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// True when the program has run to completion and every generated
+    /// request has left the CE.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, CeState::Done) && self.pending_pkt.is_none()
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> CeStats {
+        self.stats
+    }
+
+    /// Prefetch-unit statistics (flushing the in-progress trace).
+    pub fn prefetch_stats(&mut self) -> PrefetchStats {
+        self.pfu.flush_trace();
+        self.pfu.stats()
+    }
+
+    /// Handle a reply arriving from the reverse network.
+    pub fn receive(&mut self, now: Cycle, reply: MemReply) {
+        match reply.stream {
+            Stream::Prefetch { elem, fire_seq } => self.pfu.receive(now, elem, fire_seq),
+            Stream::Direct { .. } => self
+                .direct_ready
+                .push_back(now + u64::from(self.cfg.global_read_extra)),
+            Stream::Scalar => {
+                self.scalar_ready = Some(now + u64::from(self.cfg.global_read_extra));
+            }
+            Stream::Sync => self.sync_result = Some(SyncOutcome::decode(reply.value)),
+            Stream::WriteAck => {
+                self.outstanding_writes = self.outstanding_writes.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self, now: Cycle, ctx: &mut CeContext<'_>) {
+        // Flush a request that failed injection last cycle (even when the
+        // program has finished — the final store must still drain).
+        if let Some(pkt) = self.pending_pkt.take() {
+            if !ctx.forward.try_inject(self.id.port().0, pkt) {
+                self.pending_pkt = Some(pkt);
+            }
+        }
+        if matches!(self.state, CeState::Done) {
+            return;
+        }
+        // The PFU shares the CE's network port.
+        self.pfu.tick(now, self.id.port().0, ctx.forward);
+
+        if now < self.vm_stall_until {
+            self.stats.stall_mem += 1;
+            return;
+        }
+
+        let mut progressed = false;
+        for _ in 0..16 {
+            match self.step(now, ctx) {
+                Step::Progress => progressed = true,
+                Step::Blocked => break,
+            }
+        }
+        if !progressed {
+            match self.state {
+                CeState::VectorDirect { .. }
+                | CeState::VectorPref { .. }
+                | CeState::VectorCache { .. }
+                | CeState::VectorGWrite { .. }
+                | CeState::AwaitScalarRead => self.stats.stall_mem += 1,
+                CeState::AwaitCounter
+                | CeState::AwaitClusterBarrier
+                | CeState::GlobalBarrier { .. }
+                | CeState::AwaitSync
+                | CeState::AwaitFence => self.stats.stall_sync += 1,
+                _ => {}
+            }
+        }
+        if self.is_done() && self.stats.done_at == 0 {
+            self.stats.done_at = now.0;
+        }
+    }
+
+    fn step(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        match self.state.clone() {
+            CeState::Done => Step::Blocked,
+            CeState::Fetch => self.fetch(now, ctx),
+            CeState::Stall { until } => {
+                if now >= until {
+                    self.state = CeState::Fetch;
+                    Step::Progress
+                } else {
+                    Step::Blocked
+                }
+            }
+            CeState::VectorDirect {
+                base,
+                stride,
+                length,
+                issued,
+                completed,
+                start_at,
+                gather,
+            } => self.step_vector_direct(
+                now, ctx, base, stride, length, issued, completed, start_at, gather,
+            ),
+            CeState::VectorPref {
+                length,
+                consumed,
+                start_at,
+            } => {
+                if now < start_at {
+                    return Step::Blocked;
+                }
+                if consumed >= length {
+                    self.state = CeState::Fetch;
+                    return Step::Progress;
+                }
+                if self.pfu.try_consume() {
+                    self.stats.vector_elements += 1;
+                    let consumed = consumed + 1;
+                    self.state = if consumed >= length {
+                        CeState::Fetch
+                    } else {
+                        CeState::VectorPref {
+                            length,
+                            consumed,
+                            start_at,
+                        }
+                    };
+                    if consumed >= length {
+                        return Step::Progress;
+                    }
+                }
+                Step::Blocked
+            }
+            CeState::VectorGWrite {
+                base,
+                stride,
+                length,
+                issued,
+                start_at,
+                scatter,
+            } => self.step_vector_gwrite(now, ctx, base, stride, length, issued, start_at, scatter),
+            CeState::VectorCache {
+                base,
+                stride,
+                write,
+                length,
+                issued,
+                last_ready,
+                start_at,
+            } => self.step_vector_cache(
+                now, ctx, base, stride, write, length, issued, last_ready, start_at,
+            ),
+            CeState::AwaitScalarRead => {
+                if let Some(at) = self.scalar_ready {
+                    if now >= at {
+                        self.scalar_ready = None;
+                        self.outstanding_reads = self.outstanding_reads.saturating_sub(1);
+                        self.state = CeState::Fetch;
+                        return Step::Progress;
+                    }
+                }
+                Step::Blocked
+            }
+            CeState::AwaitSync => {
+                if self.sync_result.take().is_some() {
+                    self.state = CeState::Fetch;
+                    Step::Progress
+                } else {
+                    Step::Blocked
+                }
+            }
+            CeState::AwaitCounter => self.step_await_counter(now, ctx),
+            CeState::AwaitClusterBarrier => {
+                if let Some(at) = ctx.ccbus.take_release(self.ce_in_cluster) {
+                    self.state = CeState::Stall { until: at };
+                    Step::Progress
+                } else {
+                    Step::Blocked
+                }
+            }
+            CeState::GlobalBarrier {
+                barrier,
+                epoch,
+                phase,
+                misses,
+            } => self.step_global_barrier(now, ctx, barrier, epoch, phase, misses),
+            CeState::AwaitFence => {
+                if self.outstanding_writes == 0 {
+                    self.state = CeState::Fetch;
+                    Step::Progress
+                } else {
+                    Step::Blocked
+                }
+            }
+        }
+    }
+
+    // ---- fetch / dispatch -------------------------------------------------
+
+    fn fetch(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        let frame = self.frames.last_mut().expect("engine always has a frame");
+        if frame.pc >= frame.block.len() {
+            return self.end_of_block(now, ctx);
+        }
+        let op = frame.block[frame.pc].clone();
+        self.dispatch(now, ctx, op)
+    }
+
+    fn end_of_block(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        let frame = self.frames.last_mut().expect("frame");
+        match &mut frame.kind {
+            FrameKind::Root => {
+                self.state = CeState::Done;
+                Step::Progress
+            }
+            FrameKind::Repeat { remaining } => {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    frame.pc = 0;
+                    *self.indices.last_mut().expect("loop index") += 1;
+                } else {
+                    self.frames.pop();
+                    self.indices.pop();
+                }
+                Step::Progress
+            }
+            FrameKind::SelfSched {
+                chunk_end, ..
+            } => {
+                let cur = *self.indices.last().expect("loop index");
+                if cur + 1 < *chunk_end {
+                    frame.pc = 0;
+                    *self.indices.last_mut().expect("loop index") += 1;
+                    Step::Progress
+                } else {
+                    self.request_chunk(now, ctx)
+                }
+            }
+        }
+    }
+
+    /// Issue the next-chunk request for the top (SelfSched) frame.
+    fn request_chunk(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        let FrameKind::SelfSched {
+            counter,
+            limit,
+            chunk,
+            epoch,
+            ..
+        } = self.frames.last().expect("frame").kind.clone()
+        else {
+            unreachable!("request_chunk on non-selfsched frame");
+        };
+        match ctx.counters[counter] {
+            CounterDef::Cluster { slot, .. } => {
+                ctx.ccbus
+                    .request_counter(self.ce_in_cluster, slot, epoch, chunk, limit);
+                self.state = CeState::AwaitCounter;
+                Step::Progress
+            }
+            CounterDef::Global { base_addr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let addr = base_addr + epoch;
+                let instr = SyncInstr {
+                    test: Some((Rel::Lt, limit.min(i32::MAX as u64) as i32)),
+                    op: SyncOpKind::Add(chunk as i32),
+                };
+                self.send_sync(now, ctx, addr, instr);
+                self.state = CeState::AwaitCounter;
+                Step::Progress
+            }
+            CounterDef::GlobalShared { .. } => {
+                // The take/fetch/post protocol runs in AwaitCounter.
+                self.state = CeState::AwaitCounter;
+                Step::Progress
+            }
+        }
+    }
+
+    fn step_await_counter(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        // Either a bus grant or a network sync reply resolves the wait.
+        let frame_kind = self.frames.last().expect("frame").kind.clone();
+        let FrameKind::SelfSched {
+            counter,
+            limit,
+            chunk,
+            dispatch_cost,
+            ..
+        } = frame_kind
+        else {
+            unreachable!("AwaitCounter without a SelfSched frame");
+        };
+        let got: Option<u64> = match ctx.counters[counter] {
+            CounterDef::Cluster { .. } => ctx.ccbus.take_grant(self.ce_in_cluster),
+            CounterDef::Global { .. } => self.sync_result.take().map(|o| o.old as u64),
+            CounterDef::GlobalShared { base_addr } => {
+                let FrameKind::SelfSched { epoch, .. } =
+                    self.frames.last().expect("frame").kind
+                else {
+                    unreachable!();
+                };
+                // 1. A fetch we own: post the reply to the cluster bus.
+                if self.sdoall_awaiting_reply {
+                    let Some(out) = self.sync_result.take() else {
+                        return Step::Blocked;
+                    };
+                    self.sdoall_awaiting_reply = false;
+                    ctx.ccbus.sdoall_post(counter, epoch, out.old as u64);
+                }
+                // 2. An election we owe a fetch for.
+                if self.sdoall_must_fetch {
+                    if self.pending_pkt.is_some() {
+                        return Step::Blocked;
+                    }
+                    let addr = base_addr + epoch;
+                    let instr = SyncInstr {
+                        test: Some((Rel::Lt, limit.min(i32::MAX as u64) as i32)),
+                        op: SyncOpKind::Add(chunk as i32),
+                    };
+                    self.send_sync(now, ctx, addr, instr);
+                    self.sdoall_must_fetch = false;
+                    self.sdoall_awaiting_reply = true;
+                    return Step::Progress;
+                }
+                // 3. Take the cluster's next value (or get elected).
+                match ctx.ccbus.sdoall_take(
+                    self.ce_in_cluster,
+                    counter,
+                    epoch,
+                    self.ces_per_cluster,
+                ) {
+                    crate::ccbus::SdoallTake::Ready(v) => Some(v),
+                    crate::ccbus::SdoallTake::Fetch => {
+                        self.sdoall_must_fetch = true;
+                        return Step::Progress;
+                    }
+                    crate::ccbus::SdoallTake::Wait => return Step::Blocked,
+                }
+            }
+        };
+        let Some(v) = got else {
+            let _ = now;
+            return Step::Blocked;
+        };
+        if v >= limit {
+            self.frames.pop();
+            self.indices.pop();
+            self.state = CeState::Fetch;
+            return Step::Progress;
+        }
+        let end = (v + u64::from(chunk)).min(limit);
+        if let FrameKind::SelfSched { chunk_end, .. } =
+            &mut self.frames.last_mut().expect("frame").kind
+        {
+            *chunk_end = end;
+        }
+        *self.indices.last_mut().expect("loop index") = v;
+        self.frames.last_mut().expect("frame").pc = 0;
+        self.state = if dispatch_cost > 0 {
+            CeState::Stall {
+                until: now + u64::from(dispatch_cost),
+            }
+        } else {
+            CeState::Fetch
+        };
+        Step::Progress
+    }
+
+    fn dispatch(&mut self, now: Cycle, ctx: &mut CeContext<'_>, op: Op) -> Step {
+        match op {
+            Op::ScalarWork { cycles } => {
+                self.advance_pc();
+                self.state = CeState::Stall {
+                    until: now + u64::from(cycles.max(1)),
+                };
+                Step::Progress
+            }
+            Op::ScalarFlops {
+                flops,
+                cycles_per_flop,
+            } => {
+                self.advance_pc();
+                self.stats.flops += u64::from(flops);
+                self.state = CeState::Stall {
+                    until: now + u64::from(flops) * u64::from(cycles_per_flop.max(1)),
+                };
+                Step::Progress
+            }
+            Op::ScalarGlobalRead { addr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let a = addr.eval(&self.indices);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.outstanding_reads += 1;
+                let pkt = Packet::read_request(
+                    module_of(a, self.modules).0,
+                    MemRequest {
+                        ce: self.id,
+                        kind: RequestKind::Read,
+                        addr: a,
+                        stream: Stream::Scalar,
+                        issued: now,
+                    },
+                );
+                self.queue_pkt(ctx, pkt);
+                self.state = CeState::AwaitScalarRead;
+                Step::Progress
+            }
+            Op::ScalarGlobalWrite { addr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let a = addr.eval(&self.indices);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.outstanding_writes += 1;
+                let pkt = Packet::write_request(
+                    module_of(a, self.modules).0,
+                    MemRequest {
+                        ce: self.id,
+                        kind: RequestKind::Write,
+                        addr: a,
+                        stream: Stream::WriteAck,
+                        issued: now,
+                    },
+                );
+                self.queue_pkt(ctx, pkt);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            Op::Vector(v) => self.dispatch_vector(now, v),
+            Op::PrefetchArm { length, stride } => {
+                self.advance_pc();
+                self.pfu.arm(length, stride);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            Op::PrefetchFire { base } => {
+                let a = base.eval(&self.indices);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.pfu.fire(now, a);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            Op::PrefetchRewind => {
+                self.advance_pc();
+                self.pfu.rewind();
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            Op::Repeat { count, body } => {
+                self.advance_pc();
+                if count == 0 {
+                    return Step::Progress;
+                }
+                self.frames.push(Frame {
+                    block: body,
+                    pc: 0,
+                    kind: FrameKind::Repeat { remaining: count },
+                });
+                self.indices.push(0);
+                Step::Progress
+            }
+            Op::SelfSchedLoop {
+                counter,
+                limit,
+                chunk,
+                dispatch_cost,
+                body,
+            } => {
+                self.advance_pc();
+                if limit == 0 {
+                    return Step::Progress;
+                }
+                let e = self.counter_epochs.entry(counter.0).or_insert(0);
+                let epoch = *e;
+                *e += 1;
+                self.frames.push(Frame {
+                    block: body,
+                    pc: 0,
+                    kind: FrameKind::SelfSched {
+                        counter: counter.0,
+                        limit,
+                        chunk,
+                        dispatch_cost,
+                        epoch,
+                        chunk_end: 0,
+                    },
+                });
+                self.indices.push(0);
+                self.request_chunk(now, ctx)
+            }
+            Op::Barrier { barrier } => self.dispatch_barrier(now, ctx, barrier.0),
+            Op::SyncOp { addr, instr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                let a = addr.eval(&self.indices);
+                self.send_sync(now, ctx, a, instr);
+                self.state = CeState::AwaitSync;
+                Step::Progress
+            }
+            Op::Fence => {
+                self.advance_pc();
+                self.state = CeState::AwaitFence;
+                Step::Progress
+            }
+            Op::PostEvent { tag } => {
+                self.advance_pc();
+                // Tag layout: caller tag in the high bits, CE id low.
+                ctx.tracer.post(now, (tag << 8) | self.id.0 as u32);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+        }
+    }
+
+    fn dispatch_vector(&mut self, now: Cycle, v: VectorOp) -> Step {
+        self.advance_pc();
+        let start_at = now + u64::from(self.cfg.vector_startup);
+        self.stats.flops += u64::from(v.flops_per_element) * u64::from(v.length);
+        match v.operand {
+            MemOperand::None => {
+                self.stats.vector_elements += u64::from(v.length);
+                self.state = CeState::Stall {
+                    until: start_at + u64::from(v.length),
+                };
+            }
+            MemOperand::Prefetched => {
+                self.state = CeState::VectorPref {
+                    length: v.length,
+                    consumed: 0,
+                    start_at,
+                };
+            }
+            MemOperand::GlobalRead { addr, stride } => {
+                self.state = CeState::VectorDirect {
+                    base: addr.eval(&self.indices),
+                    stride,
+                    length: v.length,
+                    issued: 0,
+                    completed: 0,
+                    start_at,
+                    gather: false,
+                };
+            }
+            MemOperand::GlobalGather { addr } => {
+                self.state = CeState::VectorDirect {
+                    base: addr.eval(&self.indices),
+                    stride: 1,
+                    length: v.length,
+                    issued: 0,
+                    completed: 0,
+                    start_at,
+                    gather: true,
+                };
+            }
+            MemOperand::GlobalWrite { addr, stride } => {
+                self.state = CeState::VectorGWrite {
+                    base: addr.eval(&self.indices),
+                    stride,
+                    length: v.length,
+                    issued: 0,
+                    start_at,
+                    scatter: false,
+                };
+            }
+            MemOperand::GlobalScatter { addr } => {
+                self.state = CeState::VectorGWrite {
+                    base: addr.eval(&self.indices),
+                    stride: 1,
+                    length: v.length,
+                    issued: 0,
+                    start_at,
+                    scatter: true,
+                };
+            }
+            MemOperand::ClusterRead { addr, stride } => {
+                self.state = CeState::VectorCache {
+                    base: addr.eval(&self.indices),
+                    stride,
+                    write: false,
+                    length: v.length,
+                    issued: 0,
+                    last_ready: start_at,
+                    start_at,
+                };
+            }
+            MemOperand::ClusterWrite { addr, stride } => {
+                self.state = CeState::VectorCache {
+                    base: addr.eval(&self.indices),
+                    stride,
+                    write: true,
+                    length: v.length,
+                    issued: 0,
+                    last_ready: start_at,
+                    start_at,
+                };
+            }
+        }
+        Step::Progress
+    }
+
+    fn dispatch_barrier(&mut self, now: Cycle, ctx: &mut CeContext<'_>, barrier: usize) -> Step {
+        let def = ctx.barriers[barrier];
+        let e = self.barrier_uses.entry(barrier).or_insert(0);
+        match def.scope {
+            BarrierScope::Cluster(_) => {
+                let epoch = *e;
+                *e += 1;
+                self.advance_pc();
+                ctx.ccbus.arrive_barrier(
+                    now,
+                    self.ce_in_cluster,
+                    def.base_addr as usize,
+                    epoch,
+                    def.expected,
+                );
+                self.state = CeState::AwaitClusterBarrier;
+                Step::Progress
+            }
+            BarrierScope::Global => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let epoch = *e;
+                *e += 1;
+                self.advance_pc();
+                let addr = def.base_addr + epoch;
+                self.send_sync(now, ctx, addr, SyncInstr::fetch_add(1));
+                self.state = CeState::GlobalBarrier {
+                    barrier,
+                    epoch,
+                    phase: GbPhase::AwaitArrive,
+                    misses: 0,
+                };
+                Step::Progress
+            }
+        }
+    }
+
+    fn step_global_barrier(
+        &mut self,
+        now: Cycle,
+        ctx: &mut CeContext<'_>,
+        barrier: usize,
+        epoch: u64,
+        phase: GbPhase,
+        misses: u32,
+    ) -> Step {
+        let def = ctx.barriers[barrier];
+        // Exponential backoff: early polls are prompt, long waits back off
+        // so spinning CEs do not saturate the barrier's memory module.
+        let backoff = |m: u32| -> u64 {
+            let base = u64::from(self.cfg.barrier_poll_cycles);
+            (base << m.min(7)).min(2048)
+        };
+        match phase {
+            GbPhase::AwaitArrive => {
+                let Some(out) = self.sync_result.take() else {
+                    return Step::Blocked;
+                };
+                if out.old + 1 >= def.expected as i32 {
+                    // Last arriver: barrier complete.
+                    self.state = CeState::Stall { until: now + 1 };
+                } else {
+                    // Estimate remaining arrivals to start with a matched
+                    // backoff: nearly-complete barriers poll promptly.
+                    let missing = (def.expected as i32 - (out.old + 1)).max(1) as u32;
+                    let start = if missing > 4 { 3 } else { 0 };
+                    self.state = CeState::GlobalBarrier {
+                        barrier,
+                        epoch,
+                        phase: GbPhase::PollWait {
+                            at: now + backoff(start),
+                        },
+                        misses: start,
+                    };
+                }
+                Step::Progress
+            }
+            GbPhase::PollWait { at } => {
+                if now < at || self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let addr = def.base_addr + epoch;
+                self.send_sync(now, ctx, addr, SyncInstr::test_ge_read(def.expected as i32));
+                self.state = CeState::GlobalBarrier {
+                    barrier,
+                    epoch,
+                    phase: GbPhase::AwaitPoll,
+                    misses,
+                };
+                Step::Progress
+            }
+            GbPhase::AwaitPoll => {
+                let Some(out) = self.sync_result.take() else {
+                    return Step::Blocked;
+                };
+                if out.passed {
+                    self.state = CeState::Stall { until: now + 1 };
+                } else {
+                    self.state = CeState::GlobalBarrier {
+                        barrier,
+                        epoch,
+                        phase: GbPhase::PollWait {
+                            at: now + backoff(misses + 1),
+                        },
+                        misses: misses + 1,
+                    };
+                }
+                Step::Progress
+            }
+        }
+    }
+
+    // ---- vector element stepping ------------------------------------------
+
+    /// Pseudo-random element address for gather/scatter: deterministic
+    /// hash of (base, element) spread over a 64K-word window.
+    fn scatter_addr(base: u64, elem: u32) -> u64 {
+        let h = (base ^ (u64::from(elem) << 17))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        base + (h >> 40) % 65_536
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_vector_direct(
+        &mut self,
+        now: Cycle,
+        ctx: &mut CeContext<'_>,
+        base: u64,
+        stride: i64,
+        length: u32,
+        mut issued: u32,
+        mut completed: u32,
+        start_at: Cycle,
+        gather: bool,
+    ) -> Step {
+        // Collect completions that have matured.
+        while let Some(&at) = self.direct_ready.front() {
+            if at <= now {
+                self.direct_ready.pop_front();
+                completed += 1;
+                self.outstanding_reads = self.outstanding_reads.saturating_sub(1);
+                self.stats.vector_elements += 1;
+            } else {
+                break;
+            }
+        }
+        if completed >= length {
+            self.state = CeState::Fetch;
+            return Step::Progress;
+        }
+        if now >= start_at
+            && issued < length
+            && self.outstanding_reads < self.cfg.max_outstanding_global
+            && self.pending_pkt.is_none()
+        {
+            let a = if gather {
+                Self::scatter_addr(base, issued)
+            } else {
+                (base as i64 + i64::from(issued) * stride) as u64
+            };
+            if self.vm_check(now, ctx, a) {
+                self.state = CeState::VectorDirect {
+                    base,
+                    stride,
+                    length,
+                    issued,
+                    completed,
+                    start_at,
+                    gather,
+                };
+                return Step::Blocked;
+            }
+            self.outstanding_reads += 1;
+            let pkt = Packet::read_request(
+                module_of(a, self.modules).0,
+                MemRequest {
+                    ce: self.id,
+                    kind: RequestKind::Read,
+                    addr: a,
+                    stream: Stream::Direct { elem: issued },
+                    issued: now,
+                },
+            );
+            self.queue_pkt(ctx, pkt);
+            issued += 1;
+        }
+        self.state = CeState::VectorDirect {
+            base,
+            stride,
+            length,
+            issued,
+            completed,
+            start_at,
+            gather,
+        };
+        Step::Blocked
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_vector_gwrite(
+        &mut self,
+        now: Cycle,
+        ctx: &mut CeContext<'_>,
+        base: u64,
+        stride: i64,
+        length: u32,
+        mut issued: u32,
+        start_at: Cycle,
+        scatter: bool,
+    ) -> Step {
+        if issued >= length {
+            self.state = CeState::Fetch;
+            return Step::Progress;
+        }
+        if now >= start_at && self.pending_pkt.is_none() {
+            let a = if scatter {
+                Self::scatter_addr(base, issued)
+            } else {
+                (base as i64 + i64::from(issued) * stride) as u64
+            };
+            if self.vm_check(now, ctx, a) {
+                self.state = CeState::VectorGWrite {
+                    base,
+                    stride,
+                    length,
+                    issued,
+                    start_at,
+                    scatter,
+                };
+                return Step::Blocked;
+            }
+            self.outstanding_writes += 1;
+            let pkt = Packet::write_request(
+                module_of(a, self.modules).0,
+                MemRequest {
+                    ce: self.id,
+                    kind: RequestKind::Write,
+                    addr: a,
+                    stream: Stream::WriteAck,
+                    issued: now,
+                },
+            );
+            self.queue_pkt(ctx, pkt);
+            issued += 1;
+            self.stats.vector_elements += 1;
+            if issued >= length {
+                self.state = CeState::Fetch;
+                return Step::Progress;
+            }
+        }
+        self.state = CeState::VectorGWrite {
+            base,
+            stride,
+            length,
+            issued,
+            start_at,
+            scatter,
+        };
+        Step::Blocked
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_vector_cache(
+        &mut self,
+        now: Cycle,
+        ctx: &mut CeContext<'_>,
+        base: u64,
+        stride: i64,
+        write: bool,
+        length: u32,
+        mut issued: u32,
+        mut last_ready: Cycle,
+        start_at: Cycle,
+    ) -> Step {
+        if issued >= length && (write || now >= last_ready) {
+            self.state = CeState::Fetch;
+            return Step::Progress;
+        }
+        if now >= start_at && issued < length {
+            let a = (base as i64 + i64::from(issued) * stride) as u64;
+            if self.vm_check(now, ctx, a) {
+                self.state = CeState::VectorCache {
+                    base,
+                    stride,
+                    write,
+                    length,
+                    issued,
+                    last_ready,
+                    start_at,
+                };
+                return Step::Blocked;
+            }
+            match ctx.cache.access(now, self.ce_in_cluster, a, write) {
+                CacheAccess::Ready { at } | CacheAccess::Pending { at } => {
+                    if !write && at > last_ready {
+                        last_ready = at;
+                    }
+                    issued += 1;
+                    self.stats.vector_elements += 1;
+                }
+                CacheAccess::Stall => {}
+            }
+            if issued >= length && write {
+                self.state = CeState::Fetch;
+                return Step::Progress;
+            }
+        }
+        self.state = CeState::VectorCache {
+            base,
+            stride,
+            write,
+            length,
+            issued,
+            last_ready,
+            start_at,
+        };
+        Step::Blocked
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn advance_pc(&mut self) {
+        self.frames.last_mut().expect("frame").pc += 1;
+    }
+
+    fn queue_pkt(&mut self, ctx: &mut CeContext<'_>, pkt: Packet) {
+        debug_assert!(self.pending_pkt.is_none());
+        if !ctx.forward.try_inject(self.id.port().0, pkt) {
+            self.pending_pkt = Some(pkt);
+        }
+    }
+
+    fn send_sync(&mut self, now: Cycle, ctx: &mut CeContext<'_>, addr: u64, instr: SyncInstr) {
+        let pkt = Packet::sync_request(
+            module_of(addr, self.modules).0,
+            MemRequest {
+                ce: self.id,
+                kind: RequestKind::Sync(instr),
+                addr,
+                stream: Stream::Sync,
+                issued: now,
+            },
+        );
+        self.queue_pkt(ctx, pkt);
+    }
+
+    /// VM address translation; returns true (and charges the stall) on a
+    /// TLB miss when VM modelling is enabled. A miss whose PTE is valid in
+    /// global memory costs the PTE fetch; a machine-wide first touch is a
+    /// hard fault serviced by Xylem.
+    fn vm_check(&mut self, now: Cycle, ctx: &mut CeContext<'_>, addr: u64) -> bool {
+        if !self.vm_enabled {
+            return false;
+        }
+        let page = page_of(addr, self.page_words);
+        if ctx.tlb.touch(page) {
+            false
+        } else {
+            self.stats.tlb_misses += 1;
+            let cost = if ctx.page_table.miss(page) {
+                u64::from(self.tlb_miss_cycles)
+            } else {
+                self.stats.page_faults += 1;
+                u64::from(self.page_fault_cycles)
+            };
+            self.stats.vm_cycles += cost;
+            self.vm_stall_until = now + cost;
+            true
+        }
+    }
+}
+
+/// Sanity: epoch spacing is far beyond any realistic loop re-entry count.
+const _: () = assert!(EPOCH_SPACING > 1 << 20);

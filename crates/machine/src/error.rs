@@ -1,0 +1,73 @@
+//! Error types for the machine simulator.
+
+use core::fmt;
+
+use crate::ids::{CeId, CounterId};
+
+/// Errors raised while building or running a simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The machine configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A program referenced a CE outside the configured machine.
+    NoSuchCe(CeId),
+    /// A program referenced an undeclared scheduling counter.
+    NoSuchCounter(CounterId),
+    /// A program is malformed (e.g. consumes prefetch data that was never
+    /// armed, or nests loops deeper than the supported depth).
+    BadProgram { ce: CeId, reason: String },
+    /// The simulation exceeded its cycle budget without completing —
+    /// almost always a deadlocked program (e.g. a barrier some CE never
+    /// reaches).
+    CycleLimitExceeded { limit: u64 },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidConfig(msg) => write!(f, "invalid machine configuration: {msg}"),
+            MachineError::NoSuchCe(ce) => write!(f, "no such CE: {ce}"),
+            MachineError::NoSuchCounter(c) => write!(f, "no such scheduling counter: {c}"),
+            MachineError::BadProgram { ce, reason } => {
+                write!(f, "bad program on {ce}: {reason}")
+            }
+            MachineError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded {limit} cycles without completing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Convenient result alias for machine operations.
+pub type Result<T> = std::result::Result<T, MachineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<MachineError> = vec![
+            MachineError::InvalidConfig("x".into()),
+            MachineError::NoSuchCe(CeId(99)),
+            MachineError::NoSuchCounter(CounterId(3)),
+            MachineError::BadProgram {
+                ce: CeId(0),
+                reason: "oops".into(),
+            },
+            MachineError::CycleLimitExceeded { limit: 10 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineError>();
+    }
+}

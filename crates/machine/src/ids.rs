@@ -1,0 +1,150 @@
+//! Strongly-typed identifiers for machine components.
+//!
+//! Cedar has three natural coordinate systems: the flat *system* view
+//! (32 CEs, 32 global-memory modules, 32 network ports), the *cluster*
+//! view (4 clusters of 8 CEs), and the *memory* view (modules, pages).
+//! Newtypes keep these from being mixed up (C-NEWTYPE).
+
+use core::fmt;
+
+/// A system-wide computational element index (`0..n_clusters * ces_per_cluster`).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_machine::ids::{CeId, ClusterId};
+/// let ce = CeId(13);
+/// assert_eq!(ce.cluster(8), ClusterId(1));
+/// assert_eq!(ce.index_in_cluster(8), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CeId(pub usize);
+
+impl CeId {
+    /// The cluster this CE belongs to, given the machine's CEs-per-cluster.
+    pub fn cluster(self, ces_per_cluster: usize) -> ClusterId {
+        ClusterId(self.0 / ces_per_cluster)
+    }
+
+    /// The CE's index within its cluster.
+    pub fn index_in_cluster(self, ces_per_cluster: usize) -> usize {
+        self.0 % ces_per_cluster
+    }
+
+    /// The global-network port this CE injects into (one port per CE).
+    pub fn port(self) -> PortId {
+        PortId(self.0)
+    }
+}
+
+impl fmt::Display for CeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CE{}", self.0)
+    }
+}
+
+/// A cluster index (`0..n_clusters`). Each cluster is one Alliant FX/8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub usize);
+
+impl ClusterId {
+    /// System-wide id of the `i`-th CE in this cluster.
+    pub fn ce(self, i: usize, ces_per_cluster: usize) -> CeId {
+        CeId(self.0 * ces_per_cluster + i)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+/// A port on one of the two unidirectional global networks.
+///
+/// Port `i` on the forward network is fed by CE `i`; port `j` on the
+/// output side reaches global-memory module `j` (and symmetrically on
+/// the reverse network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// A global-memory module index. Global memory is double-word (8-byte)
+/// interleaved across modules, so word `w` lives in module `w % n_modules`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub usize);
+
+impl ModuleId {
+    /// The reverse-network port this module injects replies into.
+    pub fn port(self) -> PortId {
+        PortId(self.0)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mod{}", self.0)
+    }
+}
+
+/// A virtual-memory page number (4 KB pages, i.e. 512 64-bit words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{}", self.0)
+    }
+}
+
+/// Identifier of a machine-level shared loop-scheduling counter.
+///
+/// Counters back self-scheduled parallel loops: `Cluster` counters live on
+/// a cluster's concurrency control bus, `Global` counters live in a
+/// global-memory synchronization processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(pub usize);
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctr{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_cluster_mapping_round_trips() {
+        let ces_per_cluster = 8;
+        for c in 0..4 {
+            for i in 0..ces_per_cluster {
+                let ce = ClusterId(c).ce(i, ces_per_cluster);
+                assert_eq!(ce.cluster(ces_per_cluster), ClusterId(c));
+                assert_eq!(ce.index_in_cluster(ces_per_cluster), i);
+            }
+        }
+    }
+
+    #[test]
+    fn ce_port_is_identity() {
+        assert_eq!(CeId(31).port(), PortId(31));
+        assert_eq!(ModuleId(7).port(), PortId(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CeId(3).to_string(), "CE3");
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
+        assert_eq!(PortId(9).to_string(), "port9");
+        assert_eq!(ModuleId(1).to_string(), "mod1");
+        assert_eq!(PageId(77).to_string(), "page77");
+        assert_eq!(CounterId(4).to_string(), "ctr4");
+    }
+}

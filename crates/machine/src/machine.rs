@@ -1,0 +1,415 @@
+//! The complete Cedar machine: clusters, networks, global memory.
+//!
+//! [`Machine`] owns four (configurable) Alliant clusters — each a shared
+//! cache, cluster memory, concurrency control bus and TLB — two omega
+//! networks, and the interleaved global memory with its synchronization
+//! processors. Programs are loaded one per CE and the machine ticks all
+//! components in a fixed, deterministic order until every program
+//! completes.
+
+use crate::cache::{CacheStats, ClusterCache};
+use crate::ccbus::{CcBus, CcBusStats};
+use crate::ce::{CeContext, CeEngine, CeStats};
+use crate::config::MachineConfig;
+use crate::error::{MachineError, Result};
+use crate::ids::{CeId, ClusterId, CounterId};
+use crate::memory::cluster_mem::ClusterMemory;
+use crate::memory::global::GlobalMemory;
+use crate::memory::module::ModuleStats;
+use crate::network::packet::{Packet, Payload};
+use crate::network::{NetSink, NetStats, Omega};
+use crate::monitor::{EventTracer, Histogrammer};
+use crate::prefetch::PrefetchStats;
+use crate::program::{BarrierId, Op, Program};
+use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
+use crate::time::{mflops, Cycle};
+use crate::vm::{PageTable, Tlb, TlbStats};
+
+/// Base of the address region the machine hands out for synchronization
+/// words (counters, barriers). Kept far above any data address a workload
+/// uses; the interleaving still spreads it across modules.
+const SYNC_REGION_BASE: u64 = 1 << 40;
+
+/// Where a loop-scheduling counter should live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterScope {
+    /// On one cluster's concurrency control bus (CDOALL-style).
+    Cluster(ClusterId),
+    /// In global memory (XDOALL-style).
+    Global,
+    /// In global memory at cluster granularity (self-scheduled
+    /// SDOALL-style): values are fetched once per cluster and broadcast
+    /// over the concurrency bus.
+    SdoallGlobal,
+}
+
+/// One cluster: shared cache (owning the cluster memory), concurrency
+/// control bus, and TLB.
+#[derive(Debug)]
+pub struct Cluster {
+    pub(crate) cache: ClusterCache,
+    pub(crate) ccbus: CcBus,
+    pub(crate) tlb: Tlb,
+}
+
+/// Results of one [`Machine::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cycles from run start to the last CE finishing (networks drained).
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured cycle time.
+    pub seconds: f64,
+    /// Total floating-point operations performed by all CEs.
+    pub flops: u64,
+    /// Sustained MFLOPS over the run.
+    pub mflops: f64,
+    /// Per-CE execution statistics for the CEs that ran programs.
+    pub ce_stats: Vec<(CeId, CeStats)>,
+    /// Aggregate prefetch statistics over all CEs in this run.
+    pub prefetch: PrefetchStats,
+    /// Per-CE prefetch statistics.
+    pub prefetch_per_ce: Vec<(CeId, PrefetchStats)>,
+    /// Forward network statistics (cumulative over the machine's life).
+    pub net_forward: NetStats,
+    /// Reverse network statistics (cumulative).
+    pub net_reverse: NetStats,
+    /// Per-cluster cache statistics (cumulative).
+    pub cache: Vec<CacheStats>,
+    /// Aggregate global-memory statistics (cumulative).
+    pub memory: ModuleStats,
+    /// Per-cluster TLB statistics (cumulative; all zero unless VM enabled).
+    pub tlb: Vec<TlbStats>,
+    /// Per-cluster concurrency-bus statistics (cumulative).
+    pub ccbus: Vec<CcBusStats>,
+}
+
+/// The simulated Cedar machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    now: Cycle,
+    forward: Omega,
+    reverse: Omega,
+    gmem: GlobalMemory,
+    clusters: Vec<Cluster>,
+    counters: Vec<CounterDef>,
+    barriers: Vec<BarrierDef>,
+    next_sync_slot: u64,
+    next_bus_barrier_slot: usize,
+    engines: Vec<Option<CeEngine>>,
+    page_table: PageTable,
+    tracer: EventTracer,
+    latency_histogram: Histogrammer,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(cfg: MachineConfig) -> Result<Machine> {
+        cfg.validate().map_err(MachineError::InvalidConfig)?;
+        let ports = cfg.network_ports();
+        let clusters = (0..cfg.clusters)
+            .map(|_| Cluster {
+                cache: ClusterCache::new(
+                    &cfg.cache,
+                    cfg.ces_per_cluster,
+                    ClusterMemory::new(&cfg.cluster_memory),
+                ),
+                ccbus: CcBus::new(&cfg.ccbus, cfg.ces_per_cluster),
+                tlb: Tlb::new(cfg.vm.tlb_entries),
+            })
+            .collect();
+        Ok(Machine {
+            forward: Omega::new(ports, &cfg.network),
+            reverse: Omega::new(ports, &cfg.network),
+            gmem: GlobalMemory::new(&cfg.global_memory),
+            clusters,
+            counters: Vec::new(),
+            barriers: Vec::new(),
+            next_sync_slot: 0,
+            next_bus_barrier_slot: 0,
+            engines: Vec::new(),
+            page_table: PageTable::new(),
+            tracer: EventTracer::new(),
+            latency_histogram: Histogrammer::with_bins(512),
+            now: Cycle::ZERO,
+            cfg,
+        })
+    }
+
+    /// A full 32-CE Cedar.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the canonical configuration is valid).
+    pub fn cedar() -> Result<Machine> {
+        Machine::new(MachineConfig::cedar())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The machine-wide page table (virtual-memory studies).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The external event tracer (records software-posted events).
+    pub fn tracer(&self) -> &EventTracer {
+        &self.tracer
+    }
+
+    /// The prefetch first-word round-trip latency histogram collected by
+    /// the monitoring hardware on the reverse network (cycles, capped at
+    /// the last bin).
+    pub fn latency_histogram(&self) -> &Histogrammer {
+        &self.latency_histogram
+    }
+
+    /// Allocate a self-scheduling counter.
+    pub fn alloc_counter(&mut self, scope: CounterScope) -> CounterId {
+        let def = match scope {
+            CounterScope::Cluster(cluster) => {
+                let slot = self.clusters[cluster.0].ccbus.alloc_counter();
+                CounterDef::Cluster { cluster, slot }
+            }
+            CounterScope::Global => {
+                let base = self.alloc_sync_base();
+                CounterDef::Global { base_addr: base }
+            }
+            CounterScope::SdoallGlobal => {
+                let base = self.alloc_sync_base();
+                CounterDef::GlobalShared { base_addr: base }
+            }
+        };
+        self.counters.push(def);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Allocate a barrier for `expected` participants.
+    pub fn alloc_barrier(&mut self, scope: BarrierScope, expected: u32) -> BarrierId {
+        let base_addr = match scope {
+            BarrierScope::Cluster(_) => {
+                let slot = self.next_bus_barrier_slot;
+                self.next_bus_barrier_slot += 1;
+                slot as u64
+            }
+            BarrierScope::Global => self.alloc_sync_base(),
+        };
+        self.barriers.push(BarrierDef {
+            scope,
+            expected,
+            base_addr,
+        });
+        BarrierId(self.barriers.len() - 1)
+    }
+
+    fn alloc_sync_base(&mut self) -> u64 {
+        let slot = self.next_sync_slot;
+        self.next_sync_slot += 1;
+        // The +1 keeps successive slots (and successive epochs) on
+        // different memory modules.
+        SYNC_REGION_BASE + slot * (EPOCH_SPACING + 1)
+    }
+
+    /// Run `programs` (one per CE) to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::NoSuchCe`] if a program targets a CE outside the
+    ///   configured machine.
+    /// * [`MachineError::BadProgram`] if a program references an
+    ///   unallocated counter or barrier.
+    /// * [`MachineError::CycleLimitExceeded`] if the run does not finish
+    ///   within `limit` cycles (almost always a deadlocked barrier).
+    pub fn run(&mut self, programs: Vec<(CeId, Program)>, limit: u64) -> Result<RunReport> {
+        let total = self.cfg.total_ces();
+        // Fresh engines restart their counter/barrier epochs at zero, so
+        // stale synchronization words from a previous run must go.
+        self.gmem.clear_sync();
+        self.page_table.reset();
+        for cl in &mut self.clusters {
+            cl.ccbus.reset();
+            cl.tlb.flush();
+        }
+        self.engines = (0..total).map(|_| None).collect();
+        for (ce, program) in programs {
+            if ce.0 >= total {
+                return Err(MachineError::NoSuchCe(ce));
+            }
+            self.validate_program(ce, &program)?;
+            self.engines[ce.0] = Some(CeEngine::new(ce, &self.cfg, program));
+        }
+
+        let start = self.now;
+        while !self.all_done() {
+            if self.now.saturating_since(start) > limit {
+                return Err(MachineError::CycleLimitExceeded { limit });
+            }
+            self.tick();
+        }
+        Ok(self.report(start))
+    }
+
+    /// Advance the machine one cycle.
+    fn tick(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.gmem.tick(now, &mut self.reverse);
+        {
+            let mut sink = CeSink {
+                engines: &mut self.engines,
+                histogram: &mut self.latency_histogram,
+                now,
+            };
+            self.reverse.tick(&mut sink);
+        }
+        self.forward.tick(&mut self.gmem);
+        for cl in &mut self.clusters {
+            cl.ccbus.tick(now);
+        }
+        let Machine {
+            engines,
+            clusters,
+            forward,
+            counters,
+            barriers,
+            page_table,
+            tracer,
+            ..
+        } = self;
+        for e in engines.iter_mut().flatten() {
+            let cluster = &mut clusters[e.cluster().0];
+            let mut ctx = CeContext {
+                forward,
+                cache: &mut cluster.cache,
+                ccbus: &mut cluster.ccbus,
+                tlb: &mut cluster.tlb,
+                page_table,
+                counters,
+                barriers,
+                tracer,
+            };
+            e.tick(now, &mut ctx);
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.engines.iter().flatten().all(CeEngine::is_done)
+            && self.forward.is_idle()
+            && self.reverse.is_idle()
+            && self.gmem.is_idle()
+    }
+
+    fn report(&mut self, start: Cycle) -> RunReport {
+        let cycles = self.now.saturating_since(start);
+        let mut flops = 0;
+        let mut ce_stats = Vec::new();
+        let mut prefetch = PrefetchStats::default();
+        let mut prefetch_per_ce = Vec::new();
+        for e in self.engines.iter_mut().flatten() {
+            let s = e.stats();
+            flops += s.flops;
+            ce_stats.push((e.id(), s));
+            let p = e.prefetch_stats();
+            prefetch.merge(&p);
+            prefetch_per_ce.push((e.id(), p));
+        }
+        RunReport {
+            cycles,
+            seconds: Cycle(cycles).to_seconds(self.cfg.cycle_ns),
+            flops,
+            mflops: mflops(flops, cycles, self.cfg.cycle_ns),
+            ce_stats,
+            prefetch,
+            prefetch_per_ce,
+            net_forward: self.forward.stats(),
+            net_reverse: self.reverse.stats(),
+            cache: self.clusters.iter().map(|c| c.cache.stats()).collect(),
+            memory: self.gmem.total_stats(),
+            tlb: self.clusters.iter().map(|c| c.tlb.stats()).collect(),
+            ccbus: self.clusters.iter().map(|c| c.ccbus.stats()).collect(),
+        }
+    }
+
+    fn validate_program(&self, ce: CeId, program: &Program) -> Result<()> {
+        fn walk(
+            ops: &[Op],
+            counters: usize,
+            barriers: usize,
+            ce: CeId,
+        ) -> Result<()> {
+            for op in ops {
+                match op {
+                    Op::SelfSchedLoop { counter, body, .. } => {
+                        if counter.0 >= counters {
+                            return Err(MachineError::BadProgram {
+                                ce,
+                                reason: format!("unallocated counter {}", counter.0),
+                            });
+                        }
+                        walk(body, counters, barriers, ce)?;
+                    }
+                    Op::Repeat { body, .. } => walk(body, counters, barriers, ce)?,
+                    Op::Barrier { barrier }
+                        if barrier.0 >= barriers => {
+                            return Err(MachineError::BadProgram {
+                                ce,
+                                reason: format!("unallocated barrier {}", barrier.0),
+                            });
+                        }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        walk(
+            program.body(),
+            self.counters.len(),
+            self.barriers.len(),
+            ce,
+        )
+    }
+}
+
+/// Routes reverse-network deliveries into CE engines, histogramming
+/// prefetch round trips on the way past (the external monitor probes the
+/// reverse-network signals on the real machine).
+struct CeSink<'a> {
+    engines: &'a mut [Option<CeEngine>],
+    histogram: &'a mut Histogrammer,
+    now: Cycle,
+}
+
+impl NetSink for CeSink<'_> {
+    fn try_begin(&mut self, _port: usize) -> bool {
+        // The CE side always sinks replies (prefetch buffer slots and
+        // reply latches are pre-reserved by the requests themselves).
+        true
+    }
+
+    fn deliver(&mut self, port: usize, packet: Packet) {
+        if let Payload::Reply(r) = packet.payload {
+            if matches!(r.stream, crate::network::packet::Stream::Prefetch { .. }) {
+                self.histogram
+                    .record(self.now.saturating_since(r.req_issued) as usize);
+            }
+            if let Some(Some(e)) = self.engines.get_mut(port) {
+                e.receive(self.now, r);
+            }
+        } else {
+            debug_assert!(false, "request packet delivered to CE side");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The Cedar memory hierarchy: global shared memory (interleaved modules
+//! with synchronization processors) and per-cluster local memories.
+//!
+//! Cluster memories form a distributed memory system in addition to the
+//! global shared memory; data moves between them only via explicit,
+//! software-controlled copies (§2 "Memory Hierarchy").
+
+pub mod address;
+pub mod cluster_mem;
+pub mod global;
+pub mod module;
+pub mod sync;
+
+pub use address::{crosses_page, module_of, page_of, MemSpace};
+pub use cluster_mem::{ClusterMemStats, ClusterMemory};
+pub use global::GlobalMemory;
+pub use module::{Module, ModuleStats};
+pub use sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};

@@ -1,0 +1,327 @@
+//! One global-memory module.
+//!
+//! Each module owns a request queue, a bank that services one 64-bit word
+//! access every [`service_cycles`](crate::config::GlobalMemoryConfig), and
+//! a synchronization processor that executes the indivisible
+//! Test-And-Operate instructions of [`sync`](crate::memory::sync) against
+//! the module's 32-bit synchronization words.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::GlobalMemoryConfig;
+use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind};
+use crate::network::Omega;
+use crate::time::Cycle;
+
+/// Statistics for one memory module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Requests fully serviced.
+    pub requests: u64,
+    /// Of which synchronization instructions.
+    pub sync_requests: u64,
+    /// Cycles the bank was busy servicing.
+    pub busy_cycles: u64,
+    /// Cycles a completed reply waited because the reverse network refused
+    /// injection (reverse-path backpressure).
+    pub reply_stall_cycles: u64,
+    /// Cumulative queue occupancy, one sample per tick (divide by ticks for
+    /// the mean).
+    pub queue_occupancy_sum: u64,
+}
+
+/// A single interleaved global-memory module.
+#[derive(Debug)]
+pub struct Module {
+    /// This module's index (also its network port on both networks).
+    port: usize,
+    service_cycles: u32,
+    sync_extra_cycles: u32,
+    queue_cap: usize,
+    queue: VecDeque<MemRequest>,
+    /// Request in service and the cycle it finishes.
+    current: Option<(MemRequest, Cycle)>,
+    /// Completed reply waiting for reverse-network injection.
+    pending_reply: Option<Packet>,
+    /// 32-bit synchronization words owned by this module.
+    sync_vars: HashMap<u64, i32>,
+    stats: ModuleStats,
+}
+
+impl Module {
+    /// Create a module at network port `port`.
+    pub fn new(port: usize, cfg: &GlobalMemoryConfig) -> Module {
+        Module {
+            port,
+            service_cycles: cfg.service_cycles,
+            sync_extra_cycles: cfg.sync_extra_cycles,
+            queue_cap: cfg.request_queue,
+            queue: VecDeque::new(),
+            current: None,
+            pending_reply: None,
+            sync_vars: HashMap::new(),
+            stats: ModuleStats::default(),
+        }
+    }
+
+    /// True when a new request packet can begin arriving (used as the
+    /// forward network's sink acceptance test).
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_cap
+    }
+
+    /// Enqueue a fully received request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`Module::can_accept`] is false — the network
+    /// must not deliver into a full queue.
+    pub fn enqueue(&mut self, req: MemRequest) {
+        assert!(
+            self.queue.len() < self.queue_cap,
+            "module queue overflow: flow control violated"
+        );
+        self.queue.push_back(req);
+    }
+
+    /// True when the module holds no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.current.is_none() && self.pending_reply.is_none()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ModuleStats {
+        self.stats
+    }
+
+    /// Peek a synchronization word (testing / debugging aid).
+    pub fn sync_value(&self, addr: u64) -> i32 {
+        self.sync_vars.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Clear all synchronization words (between independent runs).
+    pub fn clear_sync(&mut self) {
+        self.sync_vars.clear();
+    }
+
+    /// Advance one cycle: retire finished service into a reply, inject the
+    /// pending reply into the reverse network, start the next request.
+    pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {
+        if self.is_idle() {
+            return;
+        }
+        self.stats.queue_occupancy_sum += self.queue.len() as u64;
+
+        // Retire a finished service into a pending reply.
+        if let Some((req, done_at)) = self.current {
+            if now >= done_at {
+                self.current = None;
+                self.stats.requests += 1;
+                self.pending_reply = Some(self.make_reply(req));
+            } else {
+                self.stats.busy_cycles += 1;
+            }
+        }
+
+        // Try to inject a waiting reply.
+        if let Some(pkt) = self.pending_reply.take() {
+            if !reverse.try_inject(self.port, pkt) {
+                self.stats.reply_stall_cycles += 1;
+                self.pending_reply = Some(pkt);
+            }
+        }
+
+        // Start the next request if the bank is free. A pending reply that
+        // could not inject stalls the bank (the reply latch is occupied),
+        // which is how reverse-network congestion throttles memory.
+        if self.current.is_none() && self.pending_reply.is_none() {
+            if let Some(req) = self.queue.pop_front() {
+                let mut cost = self.service_cycles;
+                if let RequestKind::Sync(_) = req.kind {
+                    cost += self.sync_extra_cycles;
+                    self.stats.sync_requests += 1;
+                }
+                self.current = Some((req, now + u64::from(cost)));
+                self.stats.busy_cycles += 1;
+            }
+        }
+    }
+
+    fn make_reply(&mut self, req: MemRequest) -> Packet {
+        match req.kind {
+            RequestKind::Read => Packet::reply(
+                req.ce.0,
+                MemReply {
+                    ce: req.ce,
+                    stream: req.stream,
+                    addr: req.addr,
+                    value: 0,
+                    req_issued: req.issued,
+                },
+            ),
+            RequestKind::Write => Packet::write_ack(
+                req.ce.0,
+                MemReply {
+                    ce: req.ce,
+                    stream: crate::network::packet::Stream::WriteAck,
+                    addr: req.addr,
+                    value: 0,
+                    req_issued: req.issued,
+                },
+            ),
+            RequestKind::Sync(instr) => {
+                let v = self.sync_vars.entry(req.addr).or_insert(0);
+                let outcome = instr.apply(v);
+                Packet::reply(
+                    req.ce.0,
+                    MemReply {
+                        ce: req.ce,
+                        stream: req.stream,
+                        addr: req.addr,
+                        value: outcome.encode(),
+                        req_issued: req.issued,
+                    },
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::ids::CeId;
+    use crate::memory::sync::{SyncInstr, SyncOutcome};
+    use crate::network::packet::{Payload, Stream};
+    use crate::network::NetSink;
+
+    fn cfg() -> GlobalMemoryConfig {
+        GlobalMemoryConfig::cedar()
+    }
+
+    fn req(kind: RequestKind, addr: u64) -> MemRequest {
+        MemRequest {
+            ce: CeId(3),
+            kind,
+            addr,
+            stream: Stream::Scalar,
+            issued: Cycle(0),
+        }
+    }
+
+    #[derive(Default)]
+    struct Collect {
+        got: Vec<(usize, Packet)>,
+    }
+    impl NetSink for Collect {
+        fn try_begin(&mut self, _p: usize) -> bool {
+            true
+        }
+        fn deliver(&mut self, p: usize, pkt: Packet) {
+            self.got.push((p, pkt));
+        }
+    }
+
+    fn drain(m: &mut Module, net: &mut Omega, sink: &mut Collect, cycles: u64) {
+        for c in 0..cycles {
+            m.tick(Cycle(c), net);
+            net.tick(sink);
+        }
+    }
+
+    #[test]
+    fn read_produces_reply_to_requesting_ce() {
+        let mut m = Module::new(5, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        m.enqueue(req(RequestKind::Read, 37));
+        drain(&mut m, &mut net, &mut sink, 20);
+        assert_eq!(sink.got.len(), 1);
+        assert_eq!(sink.got[0].0, 3); // CE 3's port
+        match sink.got[0].1.payload {
+            Payload::Reply(r) => {
+                assert_eq!(r.ce, CeId(3));
+                assert_eq!(r.addr, 37);
+            }
+            _ => panic!("expected reply"),
+        }
+        assert!(m.is_idle());
+        assert_eq!(m.stats().requests, 1);
+    }
+
+    #[test]
+    fn service_time_is_charged() {
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        m.enqueue(req(RequestKind::Read, 0));
+        // service_cycles = 2: started at t=0, done at t=2, injected at t=2.
+        m.tick(Cycle(0), &mut net); // starts service
+        assert!(!m.is_idle());
+        m.tick(Cycle(1), &mut net);
+        assert!(net.is_idle(), "no reply before service completes");
+        m.tick(Cycle(2), &mut net);
+        assert!(!net.is_idle(), "reply injected when service completes");
+        drain(&mut m, &mut net, &mut sink, 10);
+        assert_eq!(sink.got.len(), 1);
+    }
+
+    #[test]
+    fn sync_instructions_are_atomic_and_sequenced() {
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        for _ in 0..3 {
+            m.enqueue(req(RequestKind::Sync(SyncInstr::fetch_add(1)), 100));
+        }
+        drain(&mut m, &mut net, &mut sink, 60);
+        assert_eq!(sink.got.len(), 3);
+        let mut olds: Vec<i32> = sink
+            .got
+            .iter()
+            .map(|(_, p)| match p.payload {
+                Payload::Reply(r) => SyncOutcome::decode(r.value).old,
+                _ => panic!("reply expected"),
+            })
+            .collect();
+        olds.sort_unstable();
+        assert_eq!(olds, vec![0, 1, 2]);
+        assert_eq!(m.sync_value(100), 3);
+        assert_eq!(m.stats().sync_requests, 3);
+    }
+
+    #[test]
+    fn write_produces_ack() {
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        m.enqueue(req(RequestKind::Write, 8));
+        drain(&mut m, &mut net, &mut sink, 20);
+        assert_eq!(sink.got.len(), 1);
+        match sink.got[0].1.payload {
+            Payload::Reply(r) => assert_eq!(r.stream, Stream::WriteAck),
+            _ => panic!("expected ack"),
+        }
+        assert_eq!(sink.got[0].1.words, 1);
+    }
+
+    #[test]
+    fn backpressure_counts_queue_refusal() {
+        let mut m = Module::new(0, &cfg());
+        for _ in 0..cfg().request_queue {
+            assert!(m.can_accept());
+            m.enqueue(req(RequestKind::Read, 0));
+        }
+        assert!(!m.can_accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn enqueue_over_capacity_panics() {
+        let mut m = Module::new(0, &cfg());
+        for _ in 0..=cfg().request_queue {
+            m.enqueue(req(RequestKind::Read, 0));
+        }
+    }
+}

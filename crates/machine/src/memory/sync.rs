@@ -1,0 +1,253 @@
+//! Memory-based synchronization.
+//!
+//! Cedar implements a set of indivisible synchronization instructions in
+//! each global-memory module, executed by a special processor at the
+//! module (§2 "Memory-based Synchronization"). The instructions follow the
+//! Zhu–Yew scheme \[ZhYe87\]: *Test-And-Operate*, where Test is any
+//! relational operation on 32-bit data and Operate is a Read, Write, Add,
+//! Subtract or Logical operation, applied only when the test passes.
+
+/// Relational test applied to the current 32-bit value at the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Rel {
+    /// Evaluate `value REL operand`.
+    pub fn eval(self, value: i32, operand: i32) -> bool {
+        match self {
+            Rel::Eq => value == operand,
+            Rel::Ne => value != operand,
+            Rel::Lt => value < operand,
+            Rel::Le => value <= operand,
+            Rel::Gt => value > operand,
+            Rel::Ge => value >= operand,
+        }
+    }
+}
+
+/// The Operate half of Test-And-Operate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOpKind {
+    /// Return the value, leave memory unchanged.
+    Read,
+    /// Store the operand.
+    Write(i32),
+    /// Add the operand (wrapping, as 32-bit hardware would).
+    Add(i32),
+    /// Subtract the operand (wrapping).
+    Sub(i32),
+    /// Bitwise AND with the operand.
+    And(i32),
+    /// Bitwise OR with the operand.
+    Or(i32),
+}
+
+/// A complete Cedar synchronization instruction.
+///
+/// With `test: None` the operation is unconditional (a plain atomic).
+/// The classic Test-And-Set is [`SyncInstr::test_and_set`].
+///
+/// # Examples
+///
+/// ```
+/// use cedar_machine::memory::sync::{SyncInstr, SyncOutcome};
+/// let mut v = 0i32;
+/// // fetch-and-add 1 (loop self-scheduling): returns old value.
+/// let out = SyncInstr::fetch_add(1).apply(&mut v);
+/// assert_eq!(out, SyncOutcome { old: 0, passed: true });
+/// assert_eq!(v, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncInstr {
+    /// Optional relational test `value REL operand`.
+    pub test: Option<(Rel, i32)>,
+    /// Operation performed when the test passes (or unconditionally).
+    pub op: SyncOpKind,
+}
+
+/// Result of executing a [`SyncInstr`]: the value observed before the
+/// operation, and whether the test passed (always true when no test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    pub old: i32,
+    pub passed: bool,
+}
+
+impl SyncOutcome {
+    /// Pack into the 64-bit reply-value field: bit 32 = passed, low 32 bits
+    /// = old value.
+    pub fn encode(self) -> i64 {
+        ((self.passed as i64) << 32) | (self.old as u32 as i64)
+    }
+
+    /// Unpack from a reply-value field.
+    pub fn decode(v: i64) -> SyncOutcome {
+        SyncOutcome {
+            old: v as u32 as i32,
+            passed: (v >> 32) & 1 == 1,
+        }
+    }
+}
+
+impl SyncInstr {
+    /// Atomic read.
+    pub fn read() -> SyncInstr {
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Read,
+        }
+    }
+
+    /// Atomic write.
+    pub fn write(v: i32) -> SyncInstr {
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Write(v),
+        }
+    }
+
+    /// Fetch-and-add: returns the old value, adds `delta`.
+    pub fn fetch_add(delta: i32) -> SyncInstr {
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Add(delta),
+        }
+    }
+
+    /// Test-And-Set: sets the word to 1, returns the old value; "acquired"
+    /// iff the old value was 0.
+    pub fn test_and_set() -> SyncInstr {
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Write(1),
+        }
+    }
+
+    /// Test `value >= threshold` And Read — the barrier-poll instruction.
+    pub fn test_ge_read(threshold: i32) -> SyncInstr {
+        SyncInstr {
+            test: Some((Rel::Ge, threshold)),
+            op: SyncOpKind::Read,
+        }
+    }
+
+    /// Execute against a value in place, returning the outcome.
+    pub fn apply(self, value: &mut i32) -> SyncOutcome {
+        let old = *value;
+        let passed = match self.test {
+            None => true,
+            Some((rel, operand)) => rel.eval(old, operand),
+        };
+        if passed {
+            match self.op {
+                SyncOpKind::Read => {}
+                SyncOpKind::Write(v) => *value = v,
+                SyncOpKind::Add(v) => *value = old.wrapping_add(v),
+                SyncOpKind::Sub(v) => *value = old.wrapping_sub(v),
+                SyncOpKind::And(v) => *value = old & v,
+                SyncOpKind::Or(v) => *value = old | v,
+            }
+        }
+        SyncOutcome { old, passed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_eval() {
+        assert!(Rel::Eq.eval(3, 3));
+        assert!(Rel::Ne.eval(3, 4));
+        assert!(Rel::Lt.eval(3, 4));
+        assert!(Rel::Le.eval(4, 4));
+        assert!(Rel::Gt.eval(5, 4));
+        assert!(Rel::Ge.eval(4, 4));
+        assert!(!Rel::Ge.eval(3, 4));
+    }
+
+    #[test]
+    fn test_and_set_acquires_once() {
+        let mut v = 0;
+        let first = SyncInstr::test_and_set().apply(&mut v);
+        let second = SyncInstr::test_and_set().apply(&mut v);
+        assert_eq!(first.old, 0);
+        assert_eq!(second.old, 1);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn fetch_add_sequences() {
+        let mut v = 0;
+        for i in 0..10 {
+            assert_eq!(SyncInstr::fetch_add(1).apply(&mut v).old, i);
+        }
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn failed_test_leaves_memory_unchanged() {
+        let mut v = 2;
+        let out = SyncInstr {
+            test: Some((Rel::Ge, 5)),
+            op: SyncOpKind::Add(100),
+        }
+        .apply(&mut v);
+        assert!(!out.passed);
+        assert_eq!(out.old, 2);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn barrier_poll_passes_at_threshold() {
+        let mut v = 7;
+        assert!(SyncInstr::test_ge_read(7).apply(&mut v).passed);
+        assert!(!SyncInstr::test_ge_read(8).apply(&mut v).passed);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn outcome_encoding_round_trips() {
+        for old in [i32::MIN, -1, 0, 1, i32::MAX] {
+            for passed in [false, true] {
+                let o = SyncOutcome { old, passed };
+                assert_eq!(SyncOutcome::decode(o.encode()), o);
+            }
+        }
+    }
+
+    #[test]
+    fn logical_and_arith_ops_wrap() {
+        let mut v = i32::MAX;
+        SyncInstr::fetch_add(1).apply(&mut v);
+        assert_eq!(v, i32::MIN);
+        let mut v = 0b1100;
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::And(0b1010),
+        }
+        .apply(&mut v);
+        assert_eq!(v, 0b1000);
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Or(0b0011),
+        }
+        .apply(&mut v);
+        assert_eq!(v, 0b1011);
+        let mut v = 5;
+        SyncInstr {
+            test: None,
+            op: SyncOpKind::Sub(7),
+        }
+        .apply(&mut v);
+        assert_eq!(v, -2);
+    }
+}

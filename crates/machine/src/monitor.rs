@@ -1,0 +1,191 @@
+//! Performance-monitoring hardware.
+//!
+//! Cedar monitors performance with external hardware: event tracers that
+//! each collect a million time-stamped events and histogrammers with 64 K
+//! 32-bit counters, attachable to any accessible hardware signal; programs
+//! can also post software events (§2 "Performance monitoring"). The
+//! simulator provides the same two devices; the prefetch-latency numbers
+//! of Table 2 come from probes built on them.
+
+use crate::time::Cycle;
+
+/// Default tracer capacity: 1 M events, as on the real hardware.
+pub const TRACER_CAPACITY: usize = 1 << 20;
+
+/// Default histogrammer size: 64 K 32-bit counters.
+pub const HISTOGRAM_BINS: usize = 1 << 16;
+
+/// A time-stamped event trace with bounded capacity.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_machine::monitor::EventTracer;
+/// use cedar_machine::time::Cycle;
+/// let mut t = EventTracer::with_capacity(2);
+/// t.post(Cycle(1), 7);
+/// t.post(Cycle(2), 8);
+/// t.post(Cycle(3), 9); // dropped: tracer is full
+/// assert_eq!(t.events().len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventTracer {
+    capacity: usize,
+    events: Vec<(Cycle, u32)>,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// A tracer with the hardware's 1 M-event capacity.
+    pub fn new() -> EventTracer {
+        Self::with_capacity(TRACER_CAPACITY)
+    }
+
+    /// A tracer with a custom capacity (tracers can be cascaded on the
+    /// real machine to capture more events).
+    pub fn with_capacity(capacity: usize) -> EventTracer {
+        EventTracer {
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Record an event; drops (and counts) once full.
+    pub fn post(&mut self, at: Cycle, tag: u32) {
+        if self.events.len() < self.capacity {
+            self.events.push((at, tag));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The collected events in posting order.
+    pub fn events(&self) -> &[(Cycle, u32)] {
+        &self.events
+    }
+
+    /// Events dropped after the tracer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear the trace for a new experiment.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for EventTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A histogramming counter array with saturating 32-bit bins; samples
+/// beyond the last bin land in it (a catch-all overflow bin, as when the
+/// hardware is programmed with a final open bucket).
+#[derive(Debug, Clone)]
+pub struct Histogrammer {
+    bins: Vec<u32>,
+}
+
+impl Histogrammer {
+    /// A histogrammer with the hardware's 64 K counters.
+    pub fn new() -> Histogrammer {
+        Self::with_bins(HISTOGRAM_BINS)
+    }
+
+    /// A histogrammer with a custom number of bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn with_bins(bins: usize) -> Histogrammer {
+        assert!(bins > 0, "histogrammer needs at least one bin");
+        Histogrammer {
+            bins: vec![0; bins],
+        }
+    }
+
+    /// Count a sample at `value` (clamped into the last bin).
+    pub fn record(&mut self, value: usize) {
+        let i = value.min(self.bins.len() - 1);
+        self.bins[i] = self.bins[i].saturating_add(1);
+    }
+
+    /// The raw bins.
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// Total samples recorded (saturating bins may undercount).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|&b| u64::from(b)).sum()
+    }
+
+    /// Mean of the recorded distribution, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| i as u64 * u64::from(b))
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Clear all bins.
+    pub fn clear(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+impl Default for Histogrammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_until_full() {
+        let mut t = EventTracer::with_capacity(3);
+        for i in 0..5 {
+            t.post(Cycle(i), i as u32);
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 2);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_and_overflow() {
+        let mut h = Histogrammer::with_bins(4);
+        h.record(0);
+        h.record(2);
+        h.record(100); // clamps to bin 3
+        assert_eq!(h.total(), 3);
+        assert!((h.mean() - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+        h.clear();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn default_sizes_match_hardware() {
+        assert_eq!(EventTracer::new().capacity, TRACER_CAPACITY);
+        assert_eq!(Histogrammer::new().bins().len(), HISTOGRAM_BINS);
+    }
+}

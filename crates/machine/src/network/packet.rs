@@ -1,0 +1,181 @@
+//! Network packets.
+//!
+//! Cedar network packets consist of one to four 64-bit words; the first
+//! word carries routing control and the memory address (§2 "Global
+//! Network"). The simulator accounts for packet length in words when
+//! charging link bandwidth, but carries the semantic payload out-of-band
+//! in the [`Packet`] struct rather than encoding it into bits.
+
+use crate::ids::CeId;
+use crate::memory::sync::SyncInstr;
+use crate::time::Cycle;
+
+/// What a reply (or the consumption side of a request) is for. The stream
+/// tells the receiving CE which unit the data belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// A direct (non-prefetched) vector element load; `elem` is the element
+    /// index within the executing vector instruction.
+    Direct { elem: u32 },
+    /// A prefetch-unit request; `elem` indexes the prefetch buffer slot and
+    /// `fire_seq` identifies which `fire` the request belongs to (stale
+    /// replies from an invalidated prefetch are dropped).
+    Prefetch { elem: u32, fire_seq: u64 },
+    /// A scalar load.
+    Scalar,
+    /// A synchronization instruction result (Test-And-Set / Test-And-Op).
+    Sync,
+    /// Acknowledgement of a write (used only for fence tracking; the real
+    /// Cedar global memory is weakly ordered and does not acknowledge
+    /// individual writes to the CE pipeline).
+    WriteAck,
+}
+
+/// The operation a request packet asks a memory module to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Read one 64-bit word.
+    Read,
+    /// Write one 64-bit word.
+    Write,
+    /// An indivisible synchronization instruction executed by the module's
+    /// synchronization processor.
+    Sync(SyncInstr),
+}
+
+/// A request travelling CE → memory on the forward network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Issuing CE.
+    pub ce: CeId,
+    /// Operation.
+    pub kind: RequestKind,
+    /// Global word address.
+    pub addr: u64,
+    /// Which CE-side unit consumes the reply.
+    pub stream: Stream,
+    /// Cycle the request entered the network port (for latency monitoring).
+    pub issued: Cycle,
+}
+
+/// A reply travelling memory → CE on the reverse network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReply {
+    /// Destination CE.
+    pub ce: CeId,
+    /// Which CE-side unit consumes this reply.
+    pub stream: Stream,
+    /// Address the reply answers.
+    pub addr: u64,
+    /// Result value for sync operations (old value, or 1/0 test outcome in
+    /// the low bit — see [`SyncInstr`](crate::memory::sync::SyncInstr)).
+    pub value: i64,
+    /// Cycle the original request entered the network.
+    pub req_issued: Cycle,
+}
+
+/// Packet payload: either a request (forward net) or a reply (reverse net).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    Request(MemRequest),
+    Reply(MemReply),
+}
+
+/// One network packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Destination port (memory module for forward, CE for reverse).
+    pub dst: usize,
+    /// Length in 64-bit words including the routing/header word (1..=4).
+    pub words: u8,
+    /// Semantic payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// A 1-word read-request packet (header word carries the address).
+    pub fn read_request(dst: usize, req: MemRequest) -> Packet {
+        Packet {
+            dst,
+            words: 1,
+            payload: Payload::Request(req),
+        }
+    }
+
+    /// A 2-word write-request packet (header + data).
+    pub fn write_request(dst: usize, req: MemRequest) -> Packet {
+        Packet {
+            dst,
+            words: 2,
+            payload: Payload::Request(req),
+        }
+    }
+
+    /// A 1-word sync-request packet (the operand rides in the header in the
+    /// real machine's memory-mapped encoding).
+    pub fn sync_request(dst: usize, req: MemRequest) -> Packet {
+        Packet {
+            dst,
+            words: 1,
+            payload: Payload::Request(req),
+        }
+    }
+
+    /// A 2-word read/sync reply (header + data).
+    pub fn reply(dst: usize, reply: MemReply) -> Packet {
+        Packet {
+            dst,
+            words: 2,
+            payload: Payload::Reply(reply),
+        }
+    }
+
+    /// A 1-word write acknowledgement.
+    pub fn write_ack(dst: usize, reply: MemReply) -> Packet {
+        Packet {
+            dst,
+            words: 1,
+            payload: Payload::Reply(reply),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CeId;
+
+    fn req() -> MemRequest {
+        MemRequest {
+            ce: CeId(0),
+            kind: RequestKind::Read,
+            addr: 42,
+            stream: Stream::Scalar,
+            issued: Cycle(0),
+        }
+    }
+
+    #[test]
+    fn packet_word_counts_match_paper_format() {
+        assert_eq!(Packet::read_request(3, req()).words, 1);
+        assert_eq!(Packet::write_request(3, req()).words, 2);
+        let rep = MemReply {
+            ce: CeId(0),
+            stream: Stream::Scalar,
+            addr: 42,
+            value: 0,
+            req_issued: Cycle(0),
+        };
+        assert_eq!(Packet::reply(0, rep).words, 2);
+        assert_eq!(Packet::write_ack(0, rep).words, 1);
+        // All packets within the 1..=4 word format of the paper.
+        for p in [
+            Packet::read_request(3, req()),
+            Packet::write_request(3, req()),
+            Packet::reply(0, rep),
+            Packet::write_ack(0, rep),
+        ] {
+            assert!((1..=4).contains(&p.words));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! CE programs: the instruction-stream model executed by the simulator.
+//!
+//! A [`Program`] is a tree of [`Op`]s. It abstracts the 68020+vector
+//! instruction set to the granularity that determines timing: scalar work,
+//! register–memory vector instructions with one memory operand, prefetch
+//! arm/fire, synchronization instructions, loop constructs (counted
+//! repeats and self-scheduled parallel loops) and barriers. Addresses are
+//! affine expressions in the enclosing loop indices so that one compact
+//! program can sweep large data structures.
+
+use std::rc::Rc;
+
+use crate::ids::CounterId;
+use crate::memory::sync::SyncInstr;
+
+/// Identifier of a machine-level barrier allocated with
+/// [`Machine::alloc_barrier`](crate::machine::Machine::alloc_barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub usize);
+
+/// An affine address expression: `base + Σ coeffs[d] · loop_index[d]`,
+/// where `d` is the absolute nesting depth of the enclosing loops
+/// (0 = outermost).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_machine::program::AddressExpr;
+/// // base 1000, plus 64 words per outer-loop iteration:
+/// let a = AddressExpr::new(1000).with_coeff(0, 64);
+/// assert_eq!(a.eval(&[3]), 1000 + 3 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressExpr {
+    /// Base word address.
+    pub base: u64,
+    /// `(loop depth, words per iteration)` pairs.
+    pub coeffs: Vec<(u8, i64)>,
+}
+
+impl AddressExpr {
+    /// A constant address.
+    pub fn new(base: u64) -> AddressExpr {
+        AddressExpr {
+            base,
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// Add a dependence on the loop at `depth` with the given word stride.
+    pub fn with_coeff(mut self, depth: u8, coeff: i64) -> AddressExpr {
+        self.coeffs.push((depth, coeff));
+        self
+    }
+
+    /// Evaluate under the current loop indices (index 0 = outermost).
+    /// Depths beyond the provided stack contribute zero.
+    pub fn eval(&self, indices: &[u64]) -> u64 {
+        let mut a = self.base as i64;
+        for &(d, c) in &self.coeffs {
+            if let Some(&i) = indices.get(d as usize) {
+                a += c * i as i64;
+            }
+        }
+        a as u64
+    }
+}
+
+impl From<u64> for AddressExpr {
+    fn from(base: u64) -> AddressExpr {
+        AddressExpr::new(base)
+    }
+}
+
+/// The single memory operand of a register–memory vector instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemOperand {
+    /// Register–register: no memory operand.
+    None,
+    /// Strided read from global memory, one direct request per element
+    /// (limited to two outstanding — the GM/no-pref mode of Table 1).
+    GlobalRead { addr: AddressExpr, stride: i64 },
+    /// Consume elements from the prefetch buffer in request order.
+    Prefetched,
+    /// Strided write to global memory (writes do not stall the CE).
+    GlobalWrite { addr: AddressExpr, stride: i64 },
+    /// Strided read from cluster memory through the shared cache.
+    ClusterRead { addr: AddressExpr, stride: i64 },
+    /// Strided write to cluster memory through the shared cache.
+    ClusterWrite { addr: AddressExpr, stride: i64 },
+    /// Indexed (gather) read from global memory: element addresses are
+    /// data-dependent and effectively scattered over the modules. Like
+    /// direct reads, gathers bypass the prefetch unit and are limited to
+    /// two outstanding requests.
+    GlobalGather { addr: AddressExpr },
+    /// Indexed (scatter) write to global memory.
+    GlobalScatter { addr: AddressExpr },
+}
+
+/// One vector instruction: up to `length` elements, `flops_per_element`
+/// floating-point operations each (2 with chaining — e.g. a multiply–add
+/// triad), and at most one memory operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorOp {
+    pub length: u32,
+    pub flops_per_element: u8,
+    pub operand: MemOperand,
+}
+
+/// A straight-line block of operations, cheaply shareable between loop
+/// frames and across CEs.
+pub type Block = Rc<[Op]>;
+
+/// One operation in a CE program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Busy scalar computation for the given number of cycles.
+    ScalarWork { cycles: u32 },
+    /// Scalar floating-point work: `flops` operations at
+    /// `cycles_per_flop` cycles each (the 68020+FPU scalar rate; used for
+    /// unvectorized baselines so MFLOPS accounting stays truthful).
+    ScalarFlops { flops: u32, cycles_per_flop: u8 },
+    /// A single scalar load from global memory (latency-bound).
+    ScalarGlobalRead { addr: AddressExpr },
+    /// A single scalar store to global memory (does not stall).
+    ScalarGlobalWrite { addr: AddressExpr },
+    /// A vector instruction.
+    Vector(VectorOp),
+    /// Arm the prefetch unit with a shape.
+    PrefetchArm { length: u32, stride: i64 },
+    /// Fire the prefetch unit at an address (asynchronous; overlaps with
+    /// subsequent computation).
+    PrefetchFire { base: AddressExpr },
+    /// Rewind the prefetch buffer to reuse its contents.
+    PrefetchRewind,
+    /// Execute the body `count` times; pushes a loop index.
+    Repeat { count: u32, body: Block },
+    /// A self-scheduled parallel loop: iterations are fetched in chunks
+    /// from a shared counter until `limit`; pushes a loop index.
+    /// `dispatch_cost` cycles are charged after each successful chunk
+    /// fetch (runtime-library software around the counter access).
+    SelfSchedLoop {
+        counter: CounterId,
+        limit: u64,
+        chunk: u32,
+        dispatch_cost: u32,
+        body: Block,
+    },
+    /// Wait at a machine barrier.
+    Barrier { barrier: BarrierId },
+    /// Issue a synchronization instruction to a global address and wait
+    /// for the result.
+    SyncOp { addr: AddressExpr, instr: SyncInstr },
+    /// Wait until all of this CE's outstanding global writes have been
+    /// acknowledged (software fence; the global memory is weakly ordered).
+    Fence,
+    /// Post a software event to the performance-monitoring hardware
+    /// (§2 "Performance monitoring": programs can post events to the
+    /// external tracers).
+    PostEvent { tag: u32 },
+}
+
+/// A complete program for one CE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    body: Block,
+}
+
+impl Program {
+    /// Wrap a block as a program.
+    pub fn from_block(body: Block) -> Program {
+        Program { body }
+    }
+
+    /// An empty program (the CE finishes immediately).
+    pub fn empty() -> Program {
+        Program {
+            body: Rc::from(Vec::new()),
+        }
+    }
+
+    /// The top-level block.
+    pub fn body(&self) -> &Block {
+        &self.body
+    }
+
+    /// Total static operation count (for sanity checks and reporting).
+    pub fn op_count(&self) -> usize {
+        fn count(block: &Block) -> usize {
+            block
+                .iter()
+                .map(|op| match op {
+                    Op::Repeat { body, .. } | Op::SelfSchedLoop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+/// Builder for CE programs with structured nesting.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_machine::program::{ProgramBuilder, VectorOp, MemOperand};
+/// let mut b = ProgramBuilder::new();
+/// b.scalar(10);
+/// b.repeat(4, |b| {
+///     b.vector(VectorOp {
+///         length: 32,
+///         flops_per_element: 2,
+///         operand: MemOperand::None,
+///     });
+/// });
+/// let p = b.build();
+/// assert_eq!(p.op_count(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    stack: Vec<Vec<Op>>,
+    depth: u8,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            stack: vec![Vec::new()],
+            depth: 0,
+        }
+    }
+
+    /// Current loop nesting depth — the depth the *next* enclosed loop
+    /// index will get, usable in [`AddressExpr::with_coeff`].
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Append any operation.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.stack
+            .last_mut()
+            .expect("builder always has an open block")
+            .push(op);
+        self
+    }
+
+    /// Append scalar work.
+    pub fn scalar(&mut self, cycles: u32) -> &mut Self {
+        self.push(Op::ScalarWork { cycles })
+    }
+
+    /// Append a vector instruction.
+    pub fn vector(&mut self, v: VectorOp) -> &mut Self {
+        self.push(Op::Vector(v))
+    }
+
+    /// Append a counted loop; `f` fills the body. The body sees its index
+    /// at depth [`ProgramBuilder::depth`] as captured *before* this call.
+    pub fn repeat(&mut self, count: u32, f: impl FnOnce(&mut ProgramBuilder)) -> &mut Self {
+        self.stack.push(Vec::new());
+        self.depth += 1;
+        f(self);
+        self.depth -= 1;
+        let body = self.stack.pop().expect("pushed above");
+        self.push(Op::Repeat {
+            count,
+            body: Rc::from(body),
+        })
+    }
+
+    /// Append a self-scheduled loop over `0..limit` in chunks of `chunk`.
+    pub fn self_sched(
+        &mut self,
+        counter: CounterId,
+        limit: u64,
+        chunk: u32,
+        f: impl FnOnce(&mut ProgramBuilder),
+    ) -> &mut Self {
+        self.self_sched_with_cost(counter, limit, chunk, 0, f)
+    }
+
+    /// [`ProgramBuilder::self_sched`] with a per-dispatch software cost.
+    pub fn self_sched_with_cost(
+        &mut self,
+        counter: CounterId,
+        limit: u64,
+        chunk: u32,
+        dispatch_cost: u32,
+        f: impl FnOnce(&mut ProgramBuilder),
+    ) -> &mut Self {
+        assert!(chunk > 0, "self-scheduled chunk must be nonzero");
+        self.stack.push(Vec::new());
+        self.depth += 1;
+        f(self);
+        self.depth -= 1;
+        let body = self.stack.pop().expect("pushed above");
+        self.push(Op::SelfSchedLoop {
+            counter,
+            limit,
+            chunk,
+            dispatch_cost,
+            body: Rc::from(body),
+        })
+    }
+
+    /// Finish and return the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a nested block is still open (cannot happen
+    /// through the closure API).
+    pub fn build(mut self) -> Program {
+        assert_eq!(self.stack.len(), 1, "unclosed block in program builder");
+        Program {
+            body: Rc::from(self.stack.pop().expect("root block")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_expr_eval() {
+        let a = AddressExpr::new(100).with_coeff(0, 10).with_coeff(1, -2);
+        assert_eq!(a.eval(&[]), 100);
+        assert_eq!(a.eval(&[3]), 130);
+        assert_eq!(a.eval(&[3, 5]), 120);
+        // Depths beyond the stack are ignored.
+        let b = AddressExpr::new(0).with_coeff(4, 1000);
+        assert_eq!(b.eval(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn builder_nests_and_counts() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.depth(), 0);
+        b.scalar(5);
+        b.repeat(3, |b| {
+            assert_eq!(b.depth(), 1);
+            b.repeat(2, |b| {
+                assert_eq!(b.depth(), 2);
+                b.scalar(1);
+            });
+        });
+        let p = b.build();
+        assert_eq!(p.op_count(), 4);
+    }
+
+    #[test]
+    fn empty_program() {
+        assert_eq!(Program::empty().op_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be nonzero")]
+    fn zero_chunk_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.self_sched(CounterId(0), 10, 0, |_| {});
+    }
+
+    #[test]
+    fn from_u64_address() {
+        let a: AddressExpr = 7u64.into();
+        assert_eq!(a.eval(&[]), 7);
+    }
+}

@@ -1,0 +1,52 @@
+//! Machine-level scheduling resources: shared loop counters and barriers.
+//!
+//! Self-scheduled loops draw iterations from a shared counter that lives
+//! either on a cluster's concurrency control bus (CDOALL-style, a few
+//! cycles per dispatch) or in a global-memory synchronization processor
+//! (XDOALL-style, a network round trip per dispatch). Barriers likewise
+//! come in cluster (bus-counted) and global (memory-counter plus spin
+//! polling) flavors. Both are *epoch addressed*: each entry of the loop or
+//! barrier uses a fresh logical instance, so nested re-execution needs no
+//! reset protocol.
+
+use crate::ids::ClusterId;
+
+/// Spacing between epoch addresses of one global counter/barrier: allows
+/// ~16 M uses before two logical instances could collide.
+pub const EPOCH_SPACING: u64 = 1 << 24;
+
+/// Where a self-scheduling counter lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterDef {
+    /// On a cluster's concurrency control bus.
+    Cluster { cluster: ClusterId, slot: usize },
+    /// In global memory; epoch `e` of the counter is the synchronization
+    /// word at `base_addr + e`.
+    Global { base_addr: u64 },
+    /// In global memory, but scheduled at *cluster* granularity: one CE
+    /// fetches each value on its cluster's behalf and the concurrency bus
+    /// hands it to every cluster member — the self-scheduled SDOALL of
+    /// §3.2.
+    GlobalShared { base_addr: u64 },
+}
+
+/// Which CEs a barrier synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierScope {
+    /// The CEs of one cluster, via the concurrency control bus.
+    Cluster(ClusterId),
+    /// CEs across clusters, via a global-memory counter and spin polling.
+    Global,
+}
+
+/// A machine barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierDef {
+    pub scope: BarrierScope,
+    /// Number of participating CEs.
+    pub expected: u32,
+    /// For global barriers: epoch `e` counts arrivals in the
+    /// synchronization word at `base_addr + e`. For cluster barriers this
+    /// is the bus barrier slot.
+    pub base_addr: u64,
+}

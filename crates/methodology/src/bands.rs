@@ -1,0 +1,116 @@
+//! Acceptable-performance bands.
+//!
+//! "We shall use P/2 and P/(2 log P), for P ≥ 8, as levels that denote
+//! **high** performance and **acceptable** performance, respectively. We
+//! refer to speedups in the three bands defined by these two levels as
+//! high, intermediate, or unacceptable." (§4.3)
+
+/// The three performance bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Band {
+    /// Speedup ≥ P/2 (efficiency ≥ 1/2).
+    High,
+    /// Speedup ≥ P / (2·log₂ P) but below P/2.
+    Intermediate,
+    /// Below the acceptable level.
+    Unacceptable,
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Band::High => "high",
+            Band::Intermediate => "intermediate",
+            Band::Unacceptable => "unacceptable",
+        })
+    }
+}
+
+/// The high-performance speedup level `P/2`.
+pub fn high_level(p: u32) -> f64 {
+    f64::from(p) / 2.0
+}
+
+/// The acceptable speedup level `P / (2·log₂ P)`.
+///
+/// # Panics
+///
+/// Panics for `p < 2` (the paper applies the levels for `P ≥ 8`).
+pub fn acceptable_level(p: u32) -> f64 {
+    assert!(p >= 2, "bands are defined for multiple processors");
+    f64::from(p) / (2.0 * f64::from(p).log2())
+}
+
+/// Classify a speedup on `p` processors.
+pub fn classify(speedup: f64, p: u32) -> Band {
+    if speedup >= high_level(p) {
+        Band::High
+    } else if speedup >= acceptable_level(p) {
+        Band::Intermediate
+    } else {
+        Band::Unacceptable
+    }
+}
+
+/// Classify an efficiency (`speedup / p`) on `p` processors.
+pub fn classify_efficiency(eff: f64, p: u32) -> Band {
+    classify(eff * f64::from(p), p)
+}
+
+/// Band counts of an ensemble of speedups: `(high, intermediate,
+/// unacceptable)` — the Table 6 row format.
+pub fn band_counts(speedups: &[f64], p: u32) -> (usize, usize, usize) {
+    let mut h = 0;
+    let mut i = 0;
+    let mut u = 0;
+    for &s in speedups {
+        match classify(s, p) {
+            Band::High => h += 1,
+            Band::Intermediate => i += 1,
+            Band::Unacceptable => u += 1,
+        }
+    }
+    (h, i, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_for_cedar_and_ymp() {
+        // 32 processors: high ≥ 16, acceptable ≥ 32/(2·5) = 3.2.
+        assert!((high_level(32) - 16.0).abs() < 1e-12);
+        assert!((acceptable_level(32) - 3.2).abs() < 1e-12);
+        // 8 processors: high ≥ 4, acceptable ≥ 8/6.
+        assert!((high_level(8) - 4.0).abs() < 1e-12);
+        assert!((acceptable_level(8) - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify(16.0, 32), Band::High);
+        assert_eq!(classify(15.9, 32), Band::Intermediate);
+        assert_eq!(classify(3.2, 32), Band::Intermediate);
+        assert_eq!(classify(3.1, 32), Band::Unacceptable);
+    }
+
+    #[test]
+    fn efficiency_classification_matches() {
+        assert_eq!(classify_efficiency(0.5, 32), Band::High);
+        assert_eq!(classify_efficiency(0.11, 32), Band::Intermediate);
+        assert_eq!(classify_efficiency(0.09, 32), Band::Unacceptable);
+    }
+
+    #[test]
+    fn counts() {
+        let (h, i, u) = band_counts(&[20.0, 10.0, 4.0, 1.0], 32);
+        assert_eq!((h, i, u), (1, 2, 1));
+    }
+
+    #[test]
+    fn band_ordering_and_display() {
+        assert!(Band::High < Band::Intermediate);
+        assert_eq!(Band::Unacceptable.to_string(), "unacceptable");
+    }
+}

@@ -1,0 +1,41 @@
+//! # cedar-methodology
+//!
+//! The performance-evaluation methodology of the Cedar paper (§4.3): a
+//! framework for judging whether a parallel system delivers *practical
+//! parallelism*.
+//!
+//! * [`metrics`] — speedup, efficiency, harmonic means;
+//! * [`stability`] — the paper's stability/instability measure
+//!   `St(P, Nᵢ, K, e)` with optimal outlier exclusion;
+//! * [`bands`] — the high (≥ P/2) / intermediate (≥ P/(2 log₂ P)) /
+//!   unacceptable speedup bands;
+//! * [`ppt`] — the five Practical Parallelism Tests, with evaluators for
+//!   PPT1 (delivered performance), PPT2 (stable performance), PPT3
+//!   (portability/programmability via compiler restructuring) and PPT4
+//!   (code and architecture scalability). PPT5 (scalable
+//!   reimplementability) is out of the paper's scope and therefore out of
+//!   this crate's.
+//!
+//! ## Example
+//!
+//! ```
+//! use cedar_methodology::bands::{classify, Band};
+//! use cedar_methodology::stability::instability;
+//!
+//! // A 32-processor machine delivering 10x is intermediate:
+//! assert_eq!(classify(10.0, 32), Band::Intermediate);
+//! // An ensemble with a 100:1 spread is wildly unstable:
+//! assert!(instability(&[0.5, 3.0, 50.0], 0).unwrap() == 100.0);
+//! ```
+
+pub mod bands;
+pub mod metrics;
+pub mod ppt;
+pub mod stability;
+
+pub use bands::{acceptable_level, band_counts, classify, classify_efficiency, high_level, Band};
+pub use metrics::{arithmetic_mean, efficiency, harmonic_mean, speedup};
+pub use ppt::{
+    ppt1, ppt2, ppt3, ppt4, CodePoint, Ppt1Report, Ppt2Report, Ppt3Report, Ppt4Report, ScalePoint,
+};
+pub use stability::{exclusions_for_stability, instability, stability, STABLE_INSTABILITY_BOUND};

@@ -1,0 +1,94 @@
+//! Basic performance metrics: speedup, efficiency, rate means.
+//!
+//! The paper uses speedup and efficiency as the abstract measures of
+//! performance, MFLOPS as the rate measure (taking floating-point counts
+//! from the Cray hardware performance monitor), and harmonic means to
+//! summarize rate ensembles (§4.3).
+
+/// Speedup of a parallel time over a baseline time.
+///
+/// # Panics
+///
+/// Panics if `parallel_seconds` is not positive.
+pub fn speedup(baseline_seconds: f64, parallel_seconds: f64) -> f64 {
+    assert!(
+        parallel_seconds > 0.0,
+        "parallel time must be positive, got {parallel_seconds}"
+    );
+    baseline_seconds / parallel_seconds
+}
+
+/// Parallel efficiency `E_p = speedup / p`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero.
+pub fn efficiency(speedup: f64, p: u32) -> f64 {
+    assert!(p > 0, "processor count must be nonzero");
+    speedup / f64::from(p)
+}
+
+/// Harmonic mean of a rate ensemble — the right mean for MFLOPS over a
+/// fixed workload set. Returns 0 for an empty ensemble.
+///
+/// # Panics
+///
+/// Panics if any rate is not positive.
+pub fn harmonic_mean(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for &r in rates {
+        assert!(r > 0.0, "rates must be positive, got {r}");
+        s += 1.0 / r;
+    }
+    rates.len() as f64 / s
+}
+
+/// Arithmetic mean (for completeness in reports). Returns 0 when empty.
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let s = speedup(100.0, 12.5);
+        assert!((s - 8.0).abs() < 1e-12);
+        assert!((efficiency(s, 32) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_slow_codes() {
+        let hm = harmonic_mean(&[100.0, 1.0]);
+        assert!((hm - 2.0 / 1.01).abs() < 1e-9);
+        // Far below the arithmetic mean.
+        assert!(hm < arithmetic_mean(&[100.0, 1.0]) / 10.0);
+    }
+
+    #[test]
+    fn empty_means_are_zero() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn harmonic_mean_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn speedup_rejects_zero_time() {
+        speedup(1.0, 0.0);
+    }
+}

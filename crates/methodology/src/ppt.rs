@@ -1,0 +1,265 @@
+//! The Practical Parallelism Tests.
+//!
+//! The paper proposes five criteria (§4.3) built around the *Fundamental
+//! Principle of Parallel Processing* — clock speed is interchangeable
+//! with parallelism while (A) maintaining delivered performance that is
+//! (B) stable over a class of computations:
+//!
+//! 1. **Delivered performance** — the system delivers speedup or rate for
+//!    a useful set of codes.
+//! 2. **Stable performance** — that performance stays within a stability
+//!    range as program structures, data structures and sizes vary.
+//! 3. **Portability and programmability** — compilers reach acceptable
+//!    levels.
+//! 4. **Code and architecture scalability** — performance holds across
+//!    processor counts and data sizes.
+//! 5. **Technology and scalable reimplementability** — out of the paper's
+//!    scope ("we shall not deal with [it] further, in this paper"); this
+//!    reproduction likewise only documents it.
+
+use crate::bands::{band_counts, classify, Band};
+use crate::stability::{exclusions_for_stability, instability, STABLE_INSTABILITY_BOUND};
+
+/// One code's performance on one machine (for PPT1/Fig 3-style scatter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodePoint {
+    pub code: String,
+    /// Speedup over the machine's serial baseline.
+    pub speedup: f64,
+}
+
+/// PPT1 verdict for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt1Report {
+    pub machine: String,
+    pub processors: u32,
+    pub points: Vec<(CodePoint, Band)>,
+    pub high: usize,
+    pub intermediate: usize,
+    pub unacceptable: usize,
+    /// "On the average acceptable": majority of points at intermediate
+    /// band or better.
+    pub passes: bool,
+}
+
+/// Evaluate PPT1 (delivered performance) for a set of code speedups.
+pub fn ppt1(machine: &str, processors: u32, points: Vec<CodePoint>) -> Ppt1Report {
+    let classified: Vec<(CodePoint, Band)> = points
+        .into_iter()
+        .map(|pt| {
+            let b = classify(pt.speedup, processors);
+            (pt, b)
+        })
+        .collect();
+    let speedups: Vec<f64> = classified.iter().map(|(p, _)| p.speedup).collect();
+    let (high, intermediate, unacceptable) = band_counts(&speedups, processors);
+    let passes = high + intermediate > unacceptable;
+    Ppt1Report {
+        machine: machine.to_string(),
+        processors,
+        points: classified,
+        high,
+        intermediate,
+        unacceptable,
+        passes,
+    }
+}
+
+/// PPT2 verdict for one machine's rate ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt2Report {
+    pub machine: String,
+    /// `In(K, e)` for `e = 0, 2, 6` — the Table 5 row.
+    pub in_0: Option<f64>,
+    pub in_2: Option<f64>,
+    pub in_6: Option<f64>,
+    /// Exclusions needed to reach workstation-level stability (In ≤ 6).
+    pub exclusions_needed: Option<usize>,
+    /// Passes with at most `allowed_exclusions`.
+    pub passes: bool,
+}
+
+/// Evaluate PPT2 (stable performance) on a MFLOPS ensemble, allowing up
+/// to `allowed_exclusions` outliers (the paper accepts two).
+pub fn ppt2(machine: &str, mflops: &[f64], allowed_exclusions: usize) -> Ppt2Report {
+    let needed = exclusions_for_stability(mflops, mflops.len().saturating_sub(2));
+    Ppt2Report {
+        machine: machine.to_string(),
+        in_0: instability(mflops, 0),
+        in_2: instability(mflops, 2),
+        in_6: instability(mflops, 6),
+        exclusions_needed: needed,
+        passes: needed.is_some_and(|e| e <= allowed_exclusions),
+    }
+}
+
+/// PPT3 verdict: restructuring efficiency band counts (Table 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt3Report {
+    pub machine: String,
+    pub high: usize,
+    pub intermediate: usize,
+    pub unacceptable: usize,
+}
+
+/// Evaluate PPT3 (portability/programmability) from compiler-restructured
+/// speedups.
+pub fn ppt3(machine: &str, restructured_speedups: &[f64], processors: u32) -> Ppt3Report {
+    let (high, intermediate, unacceptable) = band_counts(restructured_speedups, processors);
+    Ppt3Report {
+        machine: machine.to_string(),
+        high,
+        intermediate,
+        unacceptable,
+    }
+}
+
+/// One (processors, problem size) measurement for PPT4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    pub processors: u32,
+    pub n: u64,
+    pub mflops: f64,
+    /// Speedup over the 1-processor (or smallest-P) run at the same N.
+    pub speedup: f64,
+}
+
+/// PPT4 verdict: the band at each (P, N) plus size-stability per P.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ppt4Report {
+    pub machine: String,
+    pub points: Vec<(ScalePoint, Band)>,
+    /// Per processor count: stability of MFLOPS across problem sizes
+    /// (PPT4 demands St(P, N, 1, 0) ≥ 0.5).
+    pub size_stability: Vec<(u32, f64)>,
+    /// Largest processor count at which no point is unacceptable and the
+    /// size-stability criterion holds.
+    pub scalable_up_to: Option<u32>,
+}
+
+/// PPT4 acceptance: stability across sizes of at least 0.5 (the paper is
+/// "more restrictive here than in PPT2").
+pub const PPT4_SIZE_STABILITY: f64 = 0.5;
+
+/// Evaluate PPT4 (code and architecture scalability).
+pub fn ppt4(machine: &str, points: Vec<ScalePoint>) -> Ppt4Report {
+    let classified: Vec<(ScalePoint, Band)> = points
+        .iter()
+        .map(|&pt| (pt, classify(pt.speedup, pt.processors)))
+        .collect();
+    let mut procs: Vec<u32> = points.iter().map(|p| p.processors).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    let mut size_stability = Vec::new();
+    for &p in &procs {
+        let rates: Vec<f64> = points
+            .iter()
+            .filter(|x| x.processors == p)
+            .map(|x| x.mflops)
+            .collect();
+        let st = if rates.len() >= 2 {
+            crate::stability::stability(&rates, 0).unwrap_or(1.0)
+        } else {
+            1.0
+        };
+        size_stability.push((p, st));
+    }
+    let scalable_up_to = procs
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let ok_bands = classified
+                .iter()
+                .filter(|(pt, _)| pt.processors == p)
+                .all(|(_, b)| *b != Band::Unacceptable);
+            let ok_stable = size_stability
+                .iter()
+                .find(|(pp, _)| *pp == p)
+                .is_some_and(|(_, st)| *st >= PPT4_SIZE_STABILITY);
+            ok_bands && ok_stable
+        })
+        .max();
+    Ppt4Report {
+        machine: machine.to_string(),
+        points: classified,
+        size_stability,
+        scalable_up_to,
+    }
+}
+
+/// The workstation-stability bound PPT2 uses, re-exported for reports.
+pub fn stability_bound() -> f64 {
+    STABLE_INSTABILITY_BOUND
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppt1_counts_and_verdict() {
+        let pts = vec![
+            CodePoint {
+                code: "A".into(),
+                speedup: 20.0,
+            },
+            CodePoint {
+                code: "B".into(),
+                speedup: 8.0,
+            },
+            CodePoint {
+                code: "C".into(),
+                speedup: 1.0,
+            },
+        ];
+        let r = ppt1("cedar", 32, pts);
+        assert_eq!((r.high, r.intermediate, r.unacceptable), (1, 1, 1));
+        assert!(r.passes);
+    }
+
+    #[test]
+    fn ppt2_exclusion_logic() {
+        // One terrible and one stellar code; the rest tight.
+        let rates = [0.2, 3.0, 3.5, 4.0, 4.5, 5.0, 40.0];
+        let r = ppt2("cedar", &rates, 2);
+        assert!(r.in_0.unwrap() > 100.0);
+        assert!(r.in_2.unwrap() < 6.0, "in2={:?}", r.in_2);
+        assert_eq!(r.exclusions_needed, Some(2));
+        assert!(r.passes);
+        // A machine needing six exclusions fails with two allowed.
+        let wild = [0.1, 0.5, 1.0, 3.0, 9.0, 27.0, 81.0, 160.0];
+        let r = ppt2("ymp", &wild, 2);
+        assert!(!r.passes);
+    }
+
+    #[test]
+    fn ppt3_is_band_counts() {
+        let r = ppt3("cedar", &[17.0, 5.0, 4.0, 1.0], 32);
+        assert_eq!((r.high, r.intermediate, r.unacceptable), (1, 2, 1));
+    }
+
+    #[test]
+    fn ppt4_scalability_detection() {
+        let mut pts = Vec::new();
+        for &p in &[8u32, 32] {
+            for &n in &[10_000u64, 100_000] {
+                pts.push(ScalePoint {
+                    processors: p,
+                    n,
+                    mflops: if p == 32 && n == 10_000 { 10.0 } else { 40.0 },
+                    speedup: if p == 32 && n == 10_000 {
+                        2.0 // unacceptable at 32
+                    } else {
+                        f64::from(p) * 0.6
+                    },
+                });
+            }
+        }
+        let r = ppt4("cedar", pts);
+        // 8 procs fine; 32 has an unacceptable small-size point and poor
+        // size stability (10/40 = 0.25).
+        assert_eq!(r.scalable_up_to, Some(8));
+        let st32 = r.size_stability.iter().find(|(p, _)| *p == 32).unwrap().1;
+        assert!(st32 < 0.5);
+    }
+}

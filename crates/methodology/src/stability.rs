@@ -1,0 +1,124 @@
+//! Stability and instability of a performance ensemble.
+//!
+//! The paper defines stability on `P` processors of an ensemble of `K`
+//! codes as
+//!
+//! ```text
+//! St(P, Nᵢ, K, e) = min performance(Iᵢ, e) / max performance(Iᵢ, e)
+//! ```
+//!
+//! where `e` computations are excluded from the ensemble because their
+//! results are outliers; instability `In` is the inverse (§4.3). The
+//! paper's Table 5 reports `In(13, 0)`, `In(13, 2)` and `In(13, 6)` over
+//! the Perfect codes: outliers are excluded to *best* stabilize the
+//! ensemble, which for a min/max ratio always means dropping from the
+//! extremes — [`instability`] searches every bottom/top split.
+
+/// Stability of an ensemble with `e` excluded outliers: the largest
+/// achievable min/max ratio after dropping `e` values from the extremes.
+/// Returns `None` when fewer than two values remain.
+pub fn stability(perf: &[f64], e: usize) -> Option<f64> {
+    let kept = perf.len().checked_sub(e)?;
+    if kept < 2 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = perf.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("performance values are comparable"));
+    // Drop `lo` from the bottom and `e - lo` from the top; keep the best.
+    let mut best: Option<f64> = None;
+    for lo in 0..=e {
+        let hi = e - lo;
+        let min = sorted[lo];
+        let max = sorted[sorted.len() - 1 - hi];
+        if max <= 0.0 {
+            continue;
+        }
+        let st = min / max;
+        if best.is_none_or(|b| st > b) {
+            best = Some(st);
+        }
+    }
+    best
+}
+
+/// Instability `In = 1 / St`, the form Table 5 reports.
+pub fn instability(perf: &[f64], e: usize) -> Option<f64> {
+    stability(perf, e).map(|st| 1.0 / st)
+}
+
+/// The stability criterion. The paper notes an instability of about 5
+/// has been common on workstations for the Perfect codes and judges a
+/// system stable when a small number of exceptions brings `In(K, e)` to
+/// that neighbourhood. Its verdicts require the operational bound to sit
+/// above the Cray 1's `In(13,2) = 10.9` (which "passes with two
+/// exceptions") and below the YMP's `In(13,2) = 29.0` (which does not);
+/// we use 12.
+pub const STABLE_INSTABILITY_BOUND: f64 = 12.0;
+
+/// Smallest number of exclusions that brings the ensemble to
+/// workstation-level stability, or `None` if even `max_e` exclusions do
+/// not suffice.
+pub fn exclusions_for_stability(perf: &[f64], max_e: usize) -> Option<usize> {
+    (0..=max_e).find(|&e| {
+        instability(perf, e).is_some_and(|i| i <= STABLE_INSTABILITY_BOUND)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_exclusions_is_min_over_max() {
+        let st = stability(&[1.0, 2.0, 10.0], 0).unwrap();
+        assert!((st - 0.1).abs() < 1e-12);
+        assert!((instability(&[1.0, 2.0, 10.0], 0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusions_pick_the_best_split() {
+        // Values 1, 8, 9, 10, 100: dropping 1 and 100 (one each side)
+        // beats dropping two from either side.
+        let v = [1.0, 8.0, 9.0, 10.0, 100.0];
+        let st = stability(&v, 2).unwrap();
+        assert!((st - 0.8).abs() < 1e-12, "st={st}");
+    }
+
+    #[test]
+    fn exclusion_of_one_side_only_when_better() {
+        // 0.1, 0.2, 5, 5.5, 6: best two exclusions drop both low values.
+        let v = [0.1, 0.2, 5.0, 5.5, 6.0];
+        let st = stability(&v, 2).unwrap();
+        assert!((st - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_exclusions_is_none() {
+        assert_eq!(stability(&[1.0, 2.0], 1), None);
+        assert_eq!(stability(&[1.0], 0), None);
+        assert_eq!(instability(&[], 0), None);
+    }
+
+    #[test]
+    fn exclusions_for_stability_finds_minimum() {
+        // In(·,0) = 100; dropping the single outlier gives 2.
+        let v = [1.0, 50.0, 60.0, 80.0, 100.0];
+        assert_eq!(exclusions_for_stability(&v, 6), Some(1));
+        // Already stable ensembles need none.
+        assert_eq!(exclusions_for_stability(&[2.0, 3.0], 6), Some(0));
+        // Hopeless ensembles report None.
+        let wild = [1.0, 10.0, 300.0, 1000.0];
+        assert_eq!(exclusions_for_stability(&wild, 1), None);
+    }
+
+    #[test]
+    fn stability_monotone_in_exclusions() {
+        let v = [0.2, 1.0, 3.0, 9.0, 11.0, 30.0, 80.0];
+        let mut last = 0.0;
+        for e in 0..=4 {
+            let st = stability(&v, e).unwrap();
+            assert!(st >= last, "e={e}: {st} < {last}");
+            last = st;
+        }
+    }
+}

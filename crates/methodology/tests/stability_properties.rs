@@ -1,0 +1,77 @@
+//! Property-based verification that the stability measure's
+//! extremes-only exclusion search is *optimal*: for small ensembles,
+//! brute-force search over every subset of exclusions never beats it.
+
+use proptest::prelude::*;
+
+use cedar_methodology::bands::{acceptable_level, classify, high_level, Band};
+use cedar_methodology::stability::{instability, stability};
+
+/// Brute force: best achievable min/max ratio after removing any `e`
+/// elements (not just extremes).
+fn brute_force_stability(perf: &[f64], e: usize) -> Option<f64> {
+    let n = perf.len();
+    if n < e + 2 {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    // Iterate bitmasks with exactly e bits set.
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != e {
+            continue;
+        }
+        let kept: Vec<f64> = (0..n)
+            .filter(|i| mask & (1 << i) == 0)
+            .map(|i| perf[i])
+            .collect();
+        let min = kept.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = kept.iter().cloned().fold(0.0, f64::max);
+        let st = min / max;
+        if best.is_none_or(|b| st > b) {
+            best = Some(st);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn extremes_only_exclusion_is_optimal(
+        xs in prop::collection::vec(0.01f64..100.0, 3..10),
+        e in 0usize..3,
+    ) {
+        prop_assume!(xs.len() >= e + 2);
+        let fast = stability(&xs, e).unwrap();
+        let brute = brute_force_stability(&xs, e).unwrap();
+        prop_assert!((fast - brute).abs() < 1e-12, "fast {fast} vs brute {brute}");
+    }
+
+    #[test]
+    fn instability_at_least_one(
+        xs in prop::collection::vec(0.01f64..100.0, 2..12),
+        e in 0usize..4,
+    ) {
+        prop_assume!(xs.len() >= e + 2);
+        let inst = instability(&xs, e).unwrap();
+        prop_assert!(inst >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bands_are_a_partition_and_monotone(s in 0.0f64..40.0, s2 in 0.0f64..40.0) {
+        let p = 32;
+        let (lo, hi) = (s.min(s2), s.max(s2));
+        let (blo, bhi) = (classify(lo, p), classify(hi, p));
+        // Higher speedup never gets a worse band.
+        prop_assert!(bhi <= blo, "bands must be monotone: {bhi:?} for {hi} vs {blo:?} for {lo}");
+        // Thresholds consistent with the level functions.
+        if hi >= high_level(p) {
+            prop_assert_eq!(bhi, Band::High);
+        } else if hi >= acceptable_level(p) {
+            prop_assert_eq!(bhi, Band::Intermediate);
+        } else {
+            prop_assert_eq!(bhi, Band::Unacceptable);
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! The thirteen Perfect Benchmarks® as Cedar workload models.
+//!
+//! Each code is a [`CodeSpec`] whose components were calibrated against
+//! the paper's narrative and reported numbers (Table 3 prose, Table 4,
+//! §3.3/§4.2): which codes the 1988 KAP already handled (ARC2D, FLO52),
+//! which needed array privatization and the other automatable transforms,
+//! which are dominated by scalar access (TRACK) or serial semantics
+//! (QCD's random-number generator, SPICE), where formatted I/O dominates
+//! (BDNA), where multicluster barrier sequences bite (FLO52), and where
+//! limited parallelism makes prefetch matter most (DYFESM). The exact
+//! Table 3 figures are not all legible in the surviving scan; the
+//! [`CodeTargets`] next to each spec record the reconstruction this model
+//! is calibrated to, and EXPERIMENTS.md documents the provenance.
+//!
+//! Hand-optimized variants ([`CodeSpec`] returned by [`hand_spec`])
+//! implement the §4.2 "Hand Optimization" changes: BDNA's unformatted
+//! I/O, ARC2D's removal of unnecessary computation plus aggressive data
+//! distribution, FLO52's barrier restructuring, DYFESM's reshaped data
+//! structures and algorithm change, TRFD's cache/vector kernels and
+//! distributed-memory version, QCD's hand-coded parallel random-number
+//! generator, and SPICE's algorithmic overhaul.
+
+use cedar_fortran::ir::{BodyMix, Transform};
+use cedar_xylem::io::{IoMode, IoModel};
+
+use crate::model::{CodeSpec, Component, ParClass};
+
+/// The thirteen Perfect codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodeName {
+    Adm,
+    Arc2d,
+    Bdna,
+    Dyfesm,
+    Flo52,
+    Mdg,
+    Mg3d,
+    Ocean,
+    Qcd,
+    Spec77,
+    Spice,
+    Track,
+    Trfd,
+}
+
+impl CodeName {
+    /// All codes, in the customary order.
+    pub const ALL: [CodeName; 13] = [
+        CodeName::Adm,
+        CodeName::Arc2d,
+        CodeName::Bdna,
+        CodeName::Dyfesm,
+        CodeName::Flo52,
+        CodeName::Mdg,
+        CodeName::Mg3d,
+        CodeName::Ocean,
+        CodeName::Qcd,
+        CodeName::Spec77,
+        CodeName::Spice,
+        CodeName::Track,
+        CodeName::Trfd,
+    ];
+}
+
+impl std::fmt::Display for CodeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CodeName::Adm => "ADM",
+            CodeName::Arc2d => "ARC2D",
+            CodeName::Bdna => "BDNA",
+            CodeName::Dyfesm => "DYFESM",
+            CodeName::Flo52 => "FLO52",
+            CodeName::Mdg => "MDG",
+            CodeName::Mg3d => "MG3D",
+            CodeName::Ocean => "OCEAN",
+            CodeName::Qcd => "QCD",
+            CodeName::Spec77 => "SPEC77",
+            CodeName::Spice => "SPICE",
+            CodeName::Track => "TRACK",
+            CodeName::Trfd => "TRFD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reconstruction targets the model is calibrated to (see EXPERIMENTS.md
+/// for provenance; values anchored in the paper where it is legible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeTargets {
+    /// Serial (uniprocessor scalar) time, seconds.
+    pub serial_seconds: f64,
+    /// Speed improvement, KAP/Cedar-compiled, 4 clusters.
+    pub kap_speedup: f64,
+    /// Speed improvement, automatable transformations, 4 clusters.
+    pub auto_speedup: f64,
+    /// Hand-optimized execution time (Table 4), if the paper gives one.
+    pub hand_seconds: Option<f64>,
+    /// Table 4 improvement over automatable-with-prefetch-without-sync.
+    pub hand_improvement: Option<f64>,
+}
+
+/// The calibration targets for one code.
+pub fn targets(code: CodeName) -> CodeTargets {
+    use CodeName::*;
+    let (serial, kap, auto, hand, imp) = match code {
+        Adm => (900.0, 1.3, 5.0, None, None),
+        Arc2d => (1000.0, 4.5, 8.0, Some(68.0), Some(2.1)),
+        Bdna => (1100.0, 1.5, 9.0, Some(70.0), Some(1.7)),
+        Dyfesm => (450.0, 1.8, 6.0, Some(31.0), None),
+        Flo52 => (350.0, 4.5, 7.0, Some(33.0), None),
+        Mdg => (4000.0, 1.1, 3.0, None, None),
+        Mg3d => (6000.0, 1.0, 8.0, None, None),
+        Ocean => (2800.0, 1.3, 5.0, None, None),
+        Qcd => (450.0, 1.1, 1.8, Some(21.0), Some(11.4)),
+        Spec77 => (2400.0, 1.5, 6.0, None, None),
+        Spice => (350.0, 1.1, 1.2, Some(26.0), None),
+        Track => (270.0, 1.2, 3.4, None, None),
+        Trfd => (230.0, 2.0, 17.0, Some(7.5), Some(2.8)),
+    };
+    CodeTargets {
+        serial_seconds: serial,
+        kap_speedup: kap,
+        auto_speedup: auto,
+        hand_seconds: hand,
+        hand_improvement: imp,
+    }
+}
+
+/// Simulated flop budget per code (scaled instance).
+const SIM_FLOPS: u64 = 500_000;
+
+fn body(
+    vector_ops: u32,
+    vector_len: u32,
+    global_frac: f64,
+    global_writes: u32,
+    scalar_global_reads: u32,
+    scalar_cycles: u32,
+) -> BodyMix {
+    BodyMix {
+        vector_ops,
+        vector_len,
+        flops_per_elem: 2,
+        global_frac,
+        global_writes,
+        scalar_global_reads,
+        scalar_cycles,
+    }
+}
+
+fn auto(needs: &[Transform]) -> ParClass {
+    ParClass::Auto(needs.to_vec())
+}
+
+/// Formatted/unformatted I/O sized as a fraction of the scaled serial
+/// compute time.
+fn io_spec(frac_of_serial: f64, mode: IoMode, removable: bool) -> cedar_fortran::ir::IoSpec {
+    // Scaled serial compute ≈ SIM_FLOPS × 4 cycles.
+    let io_cycles = (SIM_FLOPS as f64 * 4.0 * frac_of_serial / (1.0 - frac_of_serial)) as u64;
+    let model = IoModel::cedar();
+    let per_byte = match mode {
+        IoMode::Formatted => model.formatted_cycles_per_byte,
+        IoMode::Unformatted => model.unformatted_cycles_per_byte,
+    };
+    let ops = 4;
+    let bytes = ((io_cycles.saturating_sub(ops * model.per_call_cycles)) as f64 / per_byte) as u64;
+    cedar_fortran::ir::IoSpec {
+        bytes,
+        mode,
+        ops,
+        removable,
+    }
+}
+
+/// The baseline (as-distributed) model of `code`.
+pub fn spec(code: CodeName) -> CodeSpec {
+    use CodeName::*;
+    use Transform::*;
+    let t = targets(code);
+    let components = match code {
+        // ADM: pseudospectral air-pollution model. Parallelism hidden
+        // behind array privatization and interprocedural analysis.
+        Adm => vec![
+            Component::compute(
+                "transport",
+                0.50,
+                auto(&[ArrayPrivatization, InterproceduralAnalysis]),
+                body(2, 32, 0.4, 1, 0, 20),
+            )
+            .privatized()
+            .not_vectorizable(), // assumed dependences block vectorization too
+            Component::compute(
+                "vertical",
+                0.28,
+                auto(&[ArrayPrivatization, SymbolicAnalysis]),
+                body(1, 16, 0.5, 1, 0, 24),
+            )
+            .privatized(),
+            Component::compute("setup", 0.06, ParClass::Kap, body(2, 32, 1.0, 1, 0, 10)),
+            Component::compute("serial-glue", 0.16, ParClass::Never, body(1, 8, 1.0, 0, 1, 30))
+                .not_vectorizable(),
+        ],
+        // ARC2D: implicit 2-D fluid code; highly vectorizable, largely
+        // parallel as written — the 1988 KAP already does well.
+        Arc2d => vec![
+            Component::compute("sweeps-x", 0.40, ParClass::Kap, body(4, 64, 0.9, 2, 0, 12)),
+            Component::compute("sweeps-y", 0.29, ParClass::Kap, body(4, 64, 0.9, 2, 0, 12)),
+            Component::compute(
+                "filters",
+                0.13,
+                auto(&[ArrayPrivatization, InductionSubstitution]),
+                body(3, 32, 0.5, 1, 0, 14),
+            )
+            .privatized(),
+            Component::compute(
+                "filters-priv",
+                0.10,
+                auto(&[ArrayPrivatization, SymbolicAnalysis]),
+                body(3, 32, 0.5, 1, 0, 14),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute("glue", 0.09, ParClass::Never, body(1, 8, 1.0, 0, 0, 20))
+                .not_vectorizable(),
+        ],
+        // BDNA: molecular dynamics of DNA; parallel after privatization
+        // and reductions, with heavy formatted output.
+        Bdna => vec![
+            Component::compute(
+                "forces",
+                0.68,
+                auto(&[ArrayPrivatization, ParallelReduction]),
+                body(3, 32, 0.5, 1, 0, 16),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute(
+                "correlations",
+                0.24,
+                auto(&[ParallelReduction, SymbolicAnalysis]),
+                body(2, 32, 0.6, 1, 0, 16),
+            ),
+            Component::compute("glue", 0.04, ParClass::Never, body(1, 16, 1.0, 0, 0, 20))
+                .not_vectorizable()
+                .with_io(io_spec(0.045, IoMode::Formatted, false)),
+        ],
+        // DYFESM: finite-element structural dynamics with a very small
+        // Perfect data set: limited parallelism (few elements), heavy
+        // global vector traffic on few processors.
+        Dyfesm => vec![
+            Component::compute(
+                "element-loops",
+                0.62,
+                auto(&[ArrayPrivatization, RuntimeDepTest]),
+                body(6, 16, 0.9, 2, 0, 40),
+            )
+            .with_trips_cap(8) // the small data set caps parallelism
+            .with_calls(4),
+            Component::compute(
+                "solver",
+                0.27,
+                auto(&[ParallelReduction, BalancedStripmining]),
+                body(2, 16, 0.9, 1, 0, 24),
+            )
+            .with_calls(4),
+            Component::compute("glue", 0.12, ParClass::Never, body(1, 8, 1.0, 0, 0, 24))
+                .not_vectorizable()
+                .with_calls(4),
+        ],
+        // FLO52: transonic-flow multigrid code; well vectorized and
+        // largely KAP-parallel, but its major routines need sequences of
+        // multicluster barriers at the Perfect problem size.
+        Flo52 => vec![
+            Component::compute("euler-sweeps", 0.50, ParClass::Kap, body(3, 48, 0.9, 1, 0, 12))
+                .with_calls(8)
+                .with_barriers(3),
+            Component::compute(
+                "multigrid",
+                0.30,
+                auto(&[ArrayPrivatization, BalancedStripmining]),
+                body(2, 24, 0.6, 1, 0, 14),
+            )
+            .privatized()
+            .with_calls(8)
+            .with_barriers(2),
+            Component::compute(
+                "recurrences",
+                0.16,
+                ParClass::Never,
+                body(1, 24, 1.0, 0, 0, 12),
+            )
+            .with_calls(8),
+            Component::compute("glue", 0.05, ParClass::Never, body(1, 8, 1.0, 0, 0, 16))
+                .not_vectorizable()
+                .with_calls(8),
+        ],
+        // MDG: liquid-water molecular dynamics; large serial neighbour
+        // bookkeeping, parallel force loops needing privatization and
+        // reductions.
+        Mdg => vec![
+            Component::compute(
+                "forces",
+                0.72,
+                auto(&[ArrayPrivatization, ParallelReduction, SaveReturnParallelization]),
+                body(2, 32, 0.6, 1, 0, 20),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute("neighbours", 0.18, ParClass::Never, body(1, 8, 1.0, 0, 2, 40))
+                .not_vectorizable(),
+            Component::compute("glue", 0.10, ParClass::Never, body(1, 8, 1.0, 0, 0, 20)),
+        ],
+        // MG3D: seismic migration; huge, regular, parallel after
+        // privatization; dominated by file I/O in the original form
+        // (eliminated in the version Table 3 reports, marked removable).
+        Mg3d => vec![
+            Component::compute(
+                "migration",
+                0.77,
+                auto(&[ArrayPrivatization, InductionSubstitution]),
+                body(4, 64, 0.8, 2, 0, 12),
+            )
+            .privatized()
+            .not_vectorizable()
+            .with_io(io_spec(0.30, IoMode::Unformatted, true)),
+            Component::compute(
+                "fft",
+                0.12,
+                auto(&[BalancedStripmining]),
+                body(2, 32, 0.8, 1, 0, 16),
+            ),
+            Component::compute("glue", 0.11, ParClass::Never, body(1, 16, 1.0, 0, 0, 16))
+                .not_vectorizable(),
+        ],
+        // OCEAN: 2-D ocean dynamics; fine-grained parallel loops whose
+        // self-scheduling needs the low-overhead Cedar synchronization.
+        Ocean => vec![
+            Component::compute(
+                "timestep-loops",
+                0.64,
+                auto(&[ArrayPrivatization, InductionSubstitution]),
+                body(1, 24, 0.8, 1, 0, 16),
+            )
+            .not_vectorizable()
+            .with_calls(6),
+            Component::compute(
+                "ffts",
+                0.20,
+                auto(&[BalancedStripmining, SymbolicAnalysis]),
+                body(1, 32, 0.8, 1, 0, 12),
+            )
+            .with_calls(6),
+            Component::compute("glue", 0.16, ParClass::Never, body(1, 12, 1.0, 0, 0, 20))
+                .not_vectorizable()
+                .with_calls(6),
+        ],
+        // QCD: lattice gauge theory; the sequential random-number
+        // generator serializes half the code.
+        Qcd => vec![
+            Component::compute(
+                "update",
+                0.42,
+                auto(&[ArrayPrivatization, RuntimeDepTest]),
+                body(2, 16, 0.6, 1, 0, 24),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute("rng", 0.50, ParClass::Never, body(1, 8, 1.0, 0, 0, 16))
+                .not_vectorizable(),
+            Component::compute("measure", 0.08, ParClass::Kap, body(1, 16, 0.8, 0, 0, 16)),
+        ],
+        // SPEC77: spectral weather simulation; mixture of transform
+        // parallelism and serial spectral bookkeeping.
+        Spec77 => vec![
+            Component::compute(
+                "transforms",
+                0.58,
+                auto(&[ArrayPrivatization, InductionSubstitution]),
+                body(2, 32, 0.7, 1, 0, 16),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute("physics", 0.26, auto(&[ParallelReduction]), body(2, 24, 0.7, 1, 0, 18)),
+            Component::compute("glue", 0.16, ParClass::Never, body(1, 12, 1.0, 0, 0, 24))
+                .not_vectorizable(),
+        ],
+        // SPICE: circuit simulation; sparse-matrix pointer chasing and
+        // serial control flow — the archetypal poor performer.
+        Spice => vec![
+            Component::compute(
+                "model-eval",
+                0.16,
+                auto(&[RuntimeDepTest, InterproceduralAnalysis]),
+                body(1, 8, 0.9, 0, 2, 40),
+            )
+            .not_vectorizable(),
+            Component::compute("lu-solve", 0.76, ParClass::Never, body(1, 4, 1.0, 0, 3, 40))
+                .not_vectorizable(),
+            Component::compute("glue", 0.08, ParClass::Never, body(1, 4, 1.0, 0, 1, 40))
+                .not_vectorizable(),
+        ],
+        // TRACK: missile tracking; dominated by scalar accesses and
+        // short, irregular loops.
+        Track => vec![
+            Component::compute(
+                "smoothing",
+                0.58,
+                auto(&[RuntimeDepTest, InterproceduralAnalysis]),
+                body(1, 8, 0.8, 0, 3, 30),
+            ),
+            Component::compute("association", 0.30, ParClass::Never, body(1, 8, 1.0, 0, 2, 30))
+                .not_vectorizable(),
+            Component::compute("glue", 0.12, ParClass::Kap, body(1, 8, 0.9, 0, 1, 20)),
+        ],
+        // TRFD: two-electron integral transformation; matrix-multiply
+        // rich, fully parallel after privatization — the best automatable
+        // performer.
+        Trfd => vec![
+            Component::compute(
+                "transform-1",
+                0.60,
+                auto(&[ArrayPrivatization]),
+                body(4, 64, 0.5, 1, 0, 10),
+            )
+            .privatized(),
+            Component::compute(
+                "transform-2",
+                0.36,
+                auto(&[ArrayPrivatization, InductionSubstitution]),
+                body(4, 64, 0.5, 1, 0, 10),
+            )
+            .privatized()
+            .not_vectorizable(),
+            Component::compute("glue", 0.045, ParClass::Never, body(1, 16, 1.0, 0, 0, 16))
+                .not_vectorizable(),
+        ],
+    };
+    CodeSpec {
+        name: code_name_str(code),
+        real_serial_seconds: t.serial_seconds,
+        sim_flops: SIM_FLOPS,
+        components,
+    }
+}
+
+/// The hand-optimized variant of `code`, if the paper reports one
+/// (Table 4); `None` otherwise.
+pub fn hand_spec(code: CodeName) -> Option<CodeSpec> {
+    use CodeName::*;
+    use Transform::*;
+    let base = spec(code);
+    let mut s = base.clone();
+    match code {
+        // BDNA: replace formatted with unformatted I/O (same data volume,
+        // binary transfer).
+        Bdna => {
+            for c in &mut s.components {
+                if let Some(io) = &mut c.io {
+                    io.mode = IoMode::Unformatted;
+                }
+            }
+        }
+        // ARC2D: remove unnecessary computation (fewer flops) and
+        // distribute data aggressively into cluster memory.
+        Arc2d => {
+            s.sim_flops = (s.sim_flops as f64 * 0.82) as u64;
+            for c in &mut s.components {
+                c.privatizable = true;
+                c.body.global_frac *= 0.5;
+                if c.name == "glue" {
+                    // the removed redundant computation was largely in
+                    // the serial glue
+                    c.weight = 0.065;
+                }
+            }
+        }
+        // FLO52: one multicluster barrier plus cluster-local sequences in
+        // place of each barrier chain; recurrences eliminated.
+        Flo52 => {
+            for c in &mut s.components {
+                c.barriers = c.barriers.min(1);
+                if c.name == "recurrences" {
+                    c.class = auto(&[SymbolicAnalysis]);
+                    c.vectorizable = true;
+                }
+            }
+        }
+        // DYFESM: reshaped data structures, assembler kernels using the
+        // prefetch unit aggressively, and an algorithm exposing more
+        // parallelism through the SDOALL/CDOALL hierarchy.
+        Dyfesm => {
+            for c in &mut s.components {
+                c.trips_cap = None;
+                c.body.vector_len = 32;
+                c.privatizable = true;
+                c.body.global_frac *= 0.6;
+                if c.name == "glue" {
+                    c.weight = 0.06;
+                    c.vectorizable = false;
+                }
+            }
+        }
+        // TRFD: high-performance kernels exploiting caches and vector
+        // registers; the distributed-memory version removes the
+        // multicluster paging pathology.
+        Trfd => {
+            for c in &mut s.components {
+                c.body.vector_len = 64;
+                c.body.global_frac *= 0.3;
+                c.privatizable = true;
+                if c.name == "glue" {
+                    c.weight = 0.025;
+                }
+            }
+        }
+        // QCD: hand-coded parallel random-number generator.
+        Qcd => {
+            for c in &mut s.components {
+                if c.name == "rng" {
+                    c.class = auto(&[ArrayPrivatization]);
+                    c.vectorizable = true;
+                    c.body.vector_len = 16;
+                    c.privatizable = true;
+                    c.weight = 0.47;
+                }
+            }
+            // Residual serialization of the generator's seed chain.
+            s.components.push(
+                Component::compute("rng-seed-chain", 0.022, ParClass::Never, body(1, 8, 1.0, 0, 0, 16))
+                    .not_vectorizable(),
+            );
+        }
+        // SPICE: new approaches in all major phases.
+        Spice => {
+            for c in &mut s.components {
+                match c.name {
+                    "lu-solve" => {
+                        c.class = auto(&[RuntimeDepTest, SymbolicAnalysis]);
+                        c.vectorizable = true;
+                        c.body.vector_len = 16;
+                        c.body.scalar_global_reads = 1;
+                    }
+                    "model-eval" => {
+                        c.vectorizable = true;
+                        c.body.vector_len = 16;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(s)
+}
+
+fn code_name_str(code: CodeName) -> &'static str {
+    match code {
+        CodeName::Adm => "ADM",
+        CodeName::Arc2d => "ARC2D",
+        CodeName::Bdna => "BDNA",
+        CodeName::Dyfesm => "DYFESM",
+        CodeName::Flo52 => "FLO52",
+        CodeName::Mdg => "MDG",
+        CodeName::Mg3d => "MG3D",
+        CodeName::Ocean => "OCEAN",
+        CodeName::Qcd => "QCD",
+        CodeName::Spec77 => "SPEC77",
+        CodeName::Spice => "SPICE",
+        CodeName::Track => "TRACK",
+        CodeName::Trfd => "TRFD",
+    }
+}
+
+// Builder helpers on Component (kept here: the DSL is only used by specs).
+impl Component {
+    fn privatized(mut self) -> Component {
+        self.privatizable = true;
+        self
+    }
+    fn not_vectorizable(mut self) -> Component {
+        self.vectorizable = false;
+        self
+    }
+    fn with_calls(mut self, calls: u32) -> Component {
+        self.calls = calls;
+        self
+    }
+    fn with_barriers(mut self, barriers: u32) -> Component {
+        self.barriers = barriers;
+        self
+    }
+    fn with_io(mut self, io: cedar_fortran::ir::IoSpec) -> Component {
+        self.io = Some(io);
+        self
+    }
+    fn with_trips_cap(mut self, cap: u64) -> Component {
+        self.trips_cap = Some(cap);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_have_sane_weights() {
+        for code in CodeName::ALL {
+            let s = spec(code);
+            let w = s.total_weight();
+            assert!(
+                (0.95..=1.05).contains(&w),
+                "{code}: component weights sum to {w}"
+            );
+            assert!(!s.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn hand_variants_exist_for_table4_codes() {
+        let with_hand: Vec<CodeName> = CodeName::ALL
+            .into_iter()
+            .filter(|c| hand_spec(*c).is_some())
+            .collect();
+        assert_eq!(
+            with_hand,
+            vec![
+                CodeName::Arc2d,
+                CodeName::Bdna,
+                CodeName::Dyfesm,
+                CodeName::Flo52,
+                CodeName::Qcd,
+                CodeName::Spice,
+                CodeName::Trfd,
+            ]
+        );
+    }
+
+    #[test]
+    fn targets_follow_table4_where_given() {
+        assert_eq!(targets(CodeName::Trfd).hand_seconds, Some(7.5));
+        assert_eq!(targets(CodeName::Qcd).hand_improvement, Some(11.4));
+        assert_eq!(targets(CodeName::Arc2d).hand_seconds, Some(68.0));
+        assert!(targets(CodeName::Mdg).hand_seconds.is_none());
+    }
+
+    #[test]
+    fn specs_convert_to_ir() {
+        for code in CodeName::ALL {
+            let src = spec(code).to_source();
+            assert!(!src.phases.is_empty(), "{code}");
+            assert!(src.flops() > 0, "{code}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CodeName::Flo52.to_string(), "FLO52");
+        assert_eq!(CodeName::ALL.len(), 13);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cedar-perfect
+//!
+//! The Perfect Benchmarks® side of the Cedar reproduction: workload
+//! models of the thirteen codes ([`codes`], [`model`]), a runner
+//! producing every Table 3/Table 4 configuration on the simulated machine
+//! ([`run`]), and the published Cray YMP/8, Cray 1 and CM-5 reference
+//! datasets the paper compares against ([`reference`](crate::reference)).
+//!
+//! The real Perfect codes are tens of thousands of lines of Fortran with
+//! proprietary inputs that ran minutes to hours on 1990 hardware. The
+//! reproduction substitutes calibrated workload *models*: each code is a
+//! weighted set of loop families whose dependence structure, granularity
+//! and memory behaviour match the paper's description, scaled down so the
+//! cycle-level simulator can execute them (rates and speedups are
+//! scale-invariant; times are reported at paper scale).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use cedar_perfect::codes::CodeName;
+//! use cedar_perfect::run::{CodeStudy, Variant};
+//!
+//! # fn main() -> Result<(), cedar_machine::MachineError> {
+//! let study = CodeStudy::new(CodeName::Trfd, 4)?;
+//! let auto = study.run(Variant::Automatable)?.unwrap();
+//! println!(
+//!     "TRFD automatable: {:.1}s, {:.1} MFLOPS, {:.1}x",
+//!     auto.seconds, auto.mflops, auto.speedup
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codes;
+pub mod cray;
+pub mod model;
+pub mod reference;
+pub mod run;
+
+pub use codes::{hand_spec, spec, targets, CodeName, CodeTargets};
+pub use cray::{character, CodeCharacter, VectorMachine};
+pub use model::{CodeSpec, Component, ParClass};
+pub use run::{study_code, CodeRun, CodeStudy, Variant};

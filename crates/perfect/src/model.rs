@@ -1,0 +1,222 @@
+//! From code specifications to loop-nest IR.
+//!
+//! A [`CodeSpec`] describes one Perfect Benchmarks program as a weighted
+//! set of [`Component`]s — each a family of loops with a characteristic
+//! shape (granularity, memory mix, vectorizability) and a *parallelism
+//! class* saying which restructuring level can parallelize it. The model
+//! is calibrated: component weights and shapes are chosen so the
+//! simulated machine reproduces the paper's reported times and speedups;
+//! the calibration targets live next to each code in
+//! [`codes`](crate::codes) and the reconstruction is documented in
+//! EXPERIMENTS.md.
+//!
+//! Because the real codes run minutes to hours, the simulator executes a
+//! *scaled* instance: each code performs [`CodeSpec::sim_flops`] simulated
+//! floating-point operations with per-iteration granularity preserved,
+//! and reported times are multiplied by the flop ratio. Rates (MFLOPS)
+//! and speedups are scale-invariant.
+
+use cedar_fortran::ir::{BodyMix, DataHome, IoSpec, LoopNest, Phase, SourceProgram, Transform};
+
+/// Which restructuring capability a component's loops need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParClass {
+    /// Parallel as written: the 1988 KAP finds it.
+    Kap,
+    /// Parallel only after the listed automatable transformations.
+    Auto(Vec<Transform>),
+    /// Not parallelizable by any compiler (serial semantics, I/O,
+    /// pointer-chasing).
+    Never,
+}
+
+/// One weighted workload component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Fraction of the code's floating-point work in this component.
+    pub weight: f64,
+    /// Parallelism class.
+    pub class: ParClass,
+    /// Per-iteration operation mix (granularity driver).
+    pub body: BodyMix,
+    /// Whether the inner loops vectorize.
+    pub vectorizable: bool,
+    /// Whether the component's local data is privatizable.
+    pub privatizable: bool,
+    /// Outer repetitions in the simulated instance (timesteps).
+    pub calls: u32,
+    /// Extra multicluster barriers per call (FLO52-style sequences).
+    pub barriers: u32,
+    /// I/O attached to this component (per call).
+    pub io: Option<IoSpec>,
+    /// Pure serial cycles per call *in addition* to loop work (set
+    /// automatically for `Never` components without flops).
+    pub serial_cycles: u64,
+    /// Cap on the parallel trip count — limited parallelism (the DYFESM
+    /// small-data-set situation). When capped, the per-iteration work is
+    /// scaled up to preserve the component's flop share.
+    pub trips_cap: Option<u64>,
+}
+
+impl Component {
+    /// A compute component with the given weight and class.
+    pub fn compute(name: &'static str, weight: f64, class: ParClass, body: BodyMix) -> Component {
+        Component {
+            name,
+            weight,
+            class,
+            body,
+            vectorizable: true,
+            privatizable: false,
+            calls: 1,
+            barriers: 0,
+            io: None,
+            serial_cycles: 0,
+            trips_cap: None,
+        }
+    }
+
+    fn flops_per_iter(&self) -> u64 {
+        self.body.flops_per_iter().max(1)
+    }
+}
+
+/// A complete Perfect-code specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeSpec {
+    /// Program name.
+    pub name: &'static str,
+    /// The paper-era serial (uniprocessor scalar) execution time this
+    /// model is calibrated to, in seconds.
+    pub real_serial_seconds: f64,
+    /// Simulated floating-point operations (scaled-down instance).
+    pub sim_flops: u64,
+    /// Workload components (weights should sum to ~1).
+    pub components: Vec<Component>,
+}
+
+impl CodeSpec {
+    /// Build the loop-nest IR of the scaled instance.
+    ///
+    /// Each component becomes one phase whose loop trip count is derived
+    /// from its flop share, preserving the per-iteration granularity.
+    pub fn to_source(&self) -> SourceProgram {
+        let mut prog = SourceProgram::new(self.name);
+        for c in &self.components {
+            let mut ph = Phase::new(c.name, c.calls);
+            let target = (self.sim_flops as f64 * c.weight) as u64;
+            let per_call = target / u64::from(c.calls.max(1));
+            let mut trips = (per_call / c.flops_per_iter()).max(1);
+            let mut body = c.body.clone();
+            if let Some(cap) = c.trips_cap {
+                if trips > cap {
+                    // Limited parallelism: fewer, heavier iterations with
+                    // the same total flops.
+                    trips = cap;
+                    let per_iter = (per_call / cap).max(1);
+                    let per_vec =
+                        u64::from(body.vector_len) * u64::from(body.flops_per_elem);
+                    body.vector_ops = (per_iter / per_vec).max(1) as u32;
+                }
+            }
+            let (parallel, needs) = match &c.class {
+                ParClass::Kap => (true, vec![]),
+                ParClass::Auto(t) => (true, t.clone()),
+                ParClass::Never => (false, vec![]),
+            };
+            ph.loops.push(LoopNest {
+                trips,
+                body,
+                needs,
+                parallel,
+                vectorizable: c.vectorizable,
+                home: if c.privatizable {
+                    DataHome::Privatizable
+                } else {
+                    DataHome::Global
+                },
+            });
+            ph.serial_cycles = c.serial_cycles;
+            ph.io = c.io.clone();
+            ph.extra_barriers = c.barriers;
+            prog.phases.push(ph);
+        }
+        prog
+    }
+
+    /// Ratio from simulated time to reported (paper-scale) time, derived
+    /// from the calibration target: the scaled instance must map onto
+    /// `real_serial_seconds` when run serially.
+    ///
+    /// The scale is `real_serial_seconds / simulated_serial_seconds`; the
+    /// runner measures the denominator once per code.
+    pub fn total_weight(&self) -> f64 {
+        self.components.iter().map(|c| c.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> BodyMix {
+        BodyMix {
+            vector_ops: 2,
+            vector_len: 32,
+            flops_per_elem: 2,
+            global_frac: 1.0,
+            global_writes: 1,
+            scalar_global_reads: 0,
+            scalar_cycles: 10,
+        }
+    }
+
+    #[test]
+    fn to_source_preserves_flop_budget_roughly() {
+        let spec = CodeSpec {
+            name: "t",
+            real_serial_seconds: 100.0,
+            sim_flops: 600_000,
+            components: vec![
+                Component::compute("a", 0.7, ParClass::Kap, mix()),
+                Component::compute("b", 0.3, ParClass::Never, mix()),
+            ],
+        };
+        let src = spec.to_source();
+        let f = src.flops() as f64;
+        assert!(
+            (f - 600_000.0).abs() / 600_000.0 < 0.02,
+            "flops {f} off target"
+        );
+        assert_eq!(src.phases.len(), 2);
+    }
+
+    #[test]
+    fn trips_derived_from_weights() {
+        let spec = CodeSpec {
+            name: "t",
+            real_serial_seconds: 1.0,
+            sim_flops: 128_000,
+            components: vec![Component::compute("a", 1.0, ParClass::Kap, mix())],
+        };
+        let src = spec.to_source();
+        // 128 flops/iter -> 1000 trips.
+        assert_eq!(src.phases[0].loops[0].trips, 1000);
+    }
+
+    #[test]
+    fn weights_sum() {
+        let spec = CodeSpec {
+            name: "t",
+            real_serial_seconds: 1.0,
+            sim_flops: 1,
+            components: vec![
+                Component::compute("a", 0.25, ParClass::Kap, mix()),
+                Component::compute("b", 0.75, ParClass::Never, mix()),
+            ],
+        };
+        assert!((spec.total_weight() - 1.0).abs() < 1e-12);
+    }
+}

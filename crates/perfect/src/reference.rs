@@ -1,0 +1,215 @@
+//! Published reference data for the comparison machines.
+//!
+//! The paper compares Cedar against the Cray YMP/8 (baseline-compiler
+//! MFLOPS ratios in Table 3, autotasked instability in Table 5,
+//! restructuring-efficiency bands in Table 6, manually-optimized
+//! efficiencies in Fig. 3), the Cray 1 (Table 5, "with modern compiler"),
+//! and the TMC CM-5 without floating-point accelerators (banded
+//! matrix–vector products from \[FWPS92\], used in the PPT4 discussion).
+//!
+//! These machines are *datasets*, not simulations: the paper itself uses
+//! them only as published numbers. Where the surviving scan is illegible
+//! the values are reconstructions calibrated to the paper's summary
+//! statistics (YMP harmonic-mean MFLOPS 23.7 ≈ 7.4× Cedar; the Table 5
+//! instabilities; the Table 6 band counts; Fig. 3's "half high / half
+//! intermediate, one unacceptable"). EXPERIMENTS.md documents each.
+
+use crate::codes::CodeName;
+
+/// Per-code Cray YMP/8 reference values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YmpRef {
+    /// Baseline-compiler (single-CPU vectorized) MFLOPS — the Table 3
+    /// ratio column numerator.
+    pub mflops: f64,
+    /// Speedup of the automatically restructured / autotasked version on
+    /// 8 CPUs over one CPU (drives Table 6 and Table 5).
+    pub auto_speedup: f64,
+    /// Speedup of the manually optimized version on 8 CPUs, where
+    /// published (drives Fig. 3).
+    pub manual_speedup: Option<f64>,
+}
+
+/// Cray YMP/8 reference data.
+pub fn ymp(code: CodeName) -> YmpRef {
+    use CodeName::*;
+    let (mflops, auto_speedup, manual) = match code {
+        Adm => (16.0, 0.9, None),
+        Arc2d => (85.0, 2.3, Some(5.6)),
+        Bdna => (25.0, 1.1, Some(2.0)),
+        Dyfesm => (30.0, 1.5, Some(2.4)),
+        Flo52 => (90.0, 2.5, Some(4.8)),
+        Mdg => (35.0, 1.0, None),
+        Mg3d => (50.0, 1.2, None),
+        Ocean => (25.0, 1.4, None),
+        Qcd => (8.0, 1.0, Some(1.6)),
+        Spec77 => (40.0, 1.6, None),
+        Spice => (7.0, 0.45, Some(1.0)),
+        Track => (9.0, 1.05, None),
+        Trfd => (60.0, 2.8, Some(4.4)),
+    };
+    YmpRef {
+        mflops,
+        auto_speedup,
+        manual_speedup: manual,
+    }
+}
+
+/// The YMP/8 MFLOPS of the 8-CPU autotasked runs (Table 5's ensemble).
+pub fn ymp_parallel_mflops(code: CodeName) -> f64 {
+    let r = ymp(code);
+    r.mflops * r.auto_speedup
+}
+
+/// Cray 1 MFLOPS "with modern compiler" (Table 5 ensemble), derived from
+/// the analytic vector-machine model in [`cray`](crate::cray).
+pub fn cray1_mflops(code: CodeName) -> f64 {
+    let m = crate::cray::VectorMachine::cray1();
+    m.code_mflops(&crate::cray::character(code))
+}
+
+/// One CM-5 banded matrix–vector measurement \[FWPS92\]: 32 processors,
+/// no floating-point accelerators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cm5Point {
+    /// Matrix bandwidth.
+    pub bandwidth: u32,
+    /// Problem size N.
+    pub n: u64,
+    /// Delivered MFLOPS on 32 processors.
+    pub mflops: f64,
+}
+
+/// The CM-5 banded matvec series quoted in §4.3: BW=3 delivers 28–32
+/// MFLOPS and BW=11 delivers 58–67 MFLOPS as N ranges over 16K…256K on
+/// 32 processors; performance is *intermediate* (not high) relative to
+/// 32, 256 and 512 processors throughout.
+pub fn cm5_banded_series() -> Vec<Cm5Point> {
+    let sizes: [u64; 5] = [16_384, 32_768, 65_536, 131_072, 262_144];
+    let mut out = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let t = i as f64 / (sizes.len() - 1) as f64;
+        out.push(Cm5Point {
+            bandwidth: 3,
+            n,
+            mflops: 28.0 + t * (32.0 - 28.0),
+        });
+        out.push(Cm5Point {
+            bandwidth: 11,
+            n,
+            mflops: 58.0 + t * (67.0 - 58.0),
+        });
+    }
+    out
+}
+
+/// Paper-quoted summary statistics used to validate the reconstruction.
+pub mod paper {
+    /// YMP/8 harmonic-mean MFLOPS (baseline compiler) over the Perfect
+    /// codes.
+    pub const YMP_HARMONIC_MEAN_MFLOPS: f64 = 23.7;
+    /// Cedar automatable harmonic mean is 7.4× smaller.
+    pub const YMP_OVER_CEDAR: f64 = 7.4;
+    /// Table 5 instabilities.
+    pub const CEDAR_IN_13_0: f64 = 63.4;
+    pub const CEDAR_IN_13_2: f64 = 5.8;
+    pub const CRAY1_IN_13_2: f64 = 10.9;
+    pub const CRAY1_IN_13_6: f64 = 4.6;
+    pub const YMP_IN_13_0: f64 = 75.3;
+    pub const YMP_IN_13_2: f64 = 29.0;
+    pub const YMP_IN_13_6: f64 = 5.3;
+    /// Table 6 band counts (high, intermediate, unacceptable).
+    pub const CEDAR_BANDS: (usize, usize, usize) = (1, 9, 3);
+    pub const YMP_BANDS: (usize, usize, usize) = (0, 6, 7);
+    /// Table 1 (MFLOPS for the rank-64 update).
+    pub const TABLE1_NOPREF: [f64; 4] = [14.5, 29.0, 43.0, 55.0];
+    pub const TABLE1_PREF: [f64; 4] = [50.0, 84.0, 96.0, 104.0];
+    pub const TABLE1_CACHE: [f64; 4] = [52.0, 104.0, 152.0, 208.0];
+    /// Absolute and effective (vector-startup-limited) peak MFLOPS.
+    pub const PEAK_MFLOPS: f64 = 376.0;
+    pub const EFFECTIVE_PEAK_MFLOPS: f64 = 274.0;
+    /// §4.3 absolute rates: Cedar CG 34–48 MFLOPS for N = 10K…172K.
+    pub const CEDAR_CG_MFLOPS_RANGE: (f64, f64) = (34.0, 48.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harmonic_mean(xs: impl Iterator<Item = f64>) -> f64 {
+        let mut n = 0.0;
+        let mut s = 0.0;
+        for x in xs {
+            n += 1.0;
+            s += 1.0 / x;
+        }
+        n / s
+    }
+
+    #[test]
+    fn ymp_harmonic_mean_near_paper_value() {
+        let hm = harmonic_mean(CodeName::ALL.iter().map(|&c| ymp(c).mflops));
+        assert!(
+            (hm - paper::YMP_HARMONIC_MEAN_MFLOPS).abs() / paper::YMP_HARMONIC_MEAN_MFLOPS < 0.25,
+            "YMP harmonic mean {hm:.1} vs paper 23.7"
+        );
+    }
+
+    #[test]
+    fn ymp_band_counts_match_table6() {
+        // Bands on 8 processors: high ≥ P/2 = 4; acceptable ≥ P/(2 log2 P)
+        // = 8/6 ≈ 1.333.
+        let mut high = 0;
+        let mut mid = 0;
+        let mut bad = 0;
+        for c in CodeName::ALL {
+            let s = ymp(c).auto_speedup;
+            if s >= 4.0 {
+                high += 1;
+            } else if s >= 8.0 / (2.0 * 3.0) {
+                mid += 1;
+            } else {
+                bad += 1;
+            }
+        }
+        assert_eq!((high, mid, bad), paper::YMP_BANDS);
+    }
+
+    #[test]
+    fn ymp_manual_is_half_high_half_intermediate_one_unacceptable() {
+        let mut high = 0;
+        let mut mid = 0;
+        let mut bad = 0;
+        for c in CodeName::ALL {
+            if let Some(s) = ymp(c).manual_speedup {
+                if s >= 4.0 {
+                    high += 1;
+                } else if s >= 8.0 / 6.0 {
+                    mid += 1;
+                } else {
+                    bad += 1;
+                }
+            }
+        }
+        assert_eq!(bad, 1, "one unacceptable YMP point in Fig 3");
+        assert!(high >= 3 && mid >= 3, "half high, half intermediate");
+    }
+
+    #[test]
+    fn cm5_series_covers_paper_ranges() {
+        let pts = cm5_banded_series();
+        let bw3: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.bandwidth == 3)
+            .map(|p| p.mflops)
+            .collect();
+        let bw11: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.bandwidth == 11)
+            .map(|p| p.mflops)
+            .collect();
+        assert!(bw3.iter().all(|&m| (28.0..=32.0).contains(&m)));
+        assert!(bw11.iter().all(|&m| (58.0..=67.0).contains(&m)));
+        assert_eq!(pts.len(), 10);
+    }
+}

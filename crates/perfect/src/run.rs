@@ -1,0 +1,246 @@
+//! Running Perfect codes on the simulated Cedar.
+//!
+//! A [`CodeStudy`] measures one code at every configuration of Table 3
+//! plus the Table 4 hand-optimized variant: serial baseline, KAP/Cedar,
+//! automatable, automatable without Cedar synchronization, automatable
+//! without prefetch, and hand. Results are reported at paper scale: the
+//! serial simulation fixes the time scale
+//! (`real_serial_seconds / simulated_serial_seconds`), which then applies
+//! to every variant of the code.
+
+use cedar_fortran::compile::Backend;
+use cedar_fortran::restructure::{Level, Restructurer};
+use cedar_fortran::SourceProgram;
+use cedar_xylem::costs::XylemCosts;
+
+use crate::codes::{hand_spec, spec, targets, CodeName};
+
+/// The measured configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Uniprocessor scalar baseline.
+    Serial,
+    /// Compiled by KAP/Cedar.
+    Kap,
+    /// Automatable transformations (prefetch + Cedar synchronization).
+    Automatable,
+    /// Automatable without Cedar synchronization for loop scheduling.
+    AutoNoSync,
+    /// Automatable without prefetch (and without Cedar synchronization,
+    /// following the paper's column nesting).
+    AutoNoPrefetch,
+    /// Hand-optimized (prefetch, no Cedar synchronization — the Table 4
+    /// footnote configuration). Only exists for the Table 4 codes.
+    Hand,
+}
+
+impl Variant {
+    /// All variants in report order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Serial,
+        Variant::Kap,
+        Variant::Automatable,
+        Variant::AutoNoSync,
+        Variant::AutoNoPrefetch,
+        Variant::Hand,
+    ];
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Variant::Serial => "serial",
+            Variant::Kap => "kap/cedar",
+            Variant::Automatable => "automatable",
+            Variant::AutoNoSync => "auto w/o synch",
+            Variant::AutoNoPrefetch => "auto w/o prefetch",
+            Variant::Hand => "hand",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One measured configuration of one code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeRun {
+    pub code: CodeName,
+    pub variant: Variant,
+    /// Execution time at paper scale, seconds.
+    pub seconds: f64,
+    /// Sustained MFLOPS (scale-invariant).
+    pub mflops: f64,
+    /// Speed improvement over the serial baseline.
+    pub speedup: f64,
+    /// Simulated cycles (diagnostic).
+    pub sim_cycles: u64,
+}
+
+/// Study of one code: caches the serial baseline that fixes the scale.
+#[derive(Debug)]
+pub struct CodeStudy {
+    code: CodeName,
+    clusters: usize,
+    limit: u64,
+    scale: f64,
+    serial_sim_seconds: f64,
+    serial_run: CodeRun,
+}
+
+impl CodeStudy {
+    /// Measure the serial baseline of `code` on `clusters` clusters
+    /// (parallel variants use all of them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn new(code: CodeName, clusters: usize) -> cedar_machine::Result<CodeStudy> {
+        let limit = 4_000_000_000;
+        let t = targets(code);
+        let src = source_for(code, Variant::Serial);
+        let compiled = Restructurer::default().restructure(&src, Level::Serial);
+        let rep = Backend::new(XylemCosts::cedar()).execute(&compiled, 1, limit)?;
+        let scale = t.serial_seconds / rep.seconds;
+        Ok(CodeStudy {
+            code,
+            clusters,
+            limit,
+            scale,
+            serial_sim_seconds: rep.seconds,
+            serial_run: CodeRun {
+                code,
+                variant: Variant::Serial,
+                seconds: t.serial_seconds,
+                mflops: rep.mflops,
+                speedup: 1.0,
+                sim_cycles: rep.cycles,
+            },
+        })
+    }
+
+    /// The code under study.
+    pub fn code(&self) -> CodeName {
+        self.code
+    }
+
+    /// Simulated→paper time scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Run one variant. Returns `None` for [`Variant::Hand`] on codes
+    /// without a hand-optimized version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run(&self, variant: Variant) -> cedar_machine::Result<Option<CodeRun>> {
+        if variant == Variant::Serial {
+            return Ok(Some(self.serial_run));
+        }
+        if variant == Variant::Hand && hand_spec(self.code).is_none() {
+            return Ok(None);
+        }
+        let src = source_for(self.code, variant);
+        let (level, costs) = match variant {
+            Variant::Serial => unreachable!(),
+            Variant::Kap => (Level::KapCedar, XylemCosts::cedar()),
+            Variant::Automatable => (Level::Automatable, XylemCosts::cedar()),
+            Variant::AutoNoSync => (Level::Automatable, XylemCosts::cedar_without_sync()),
+            Variant::AutoNoPrefetch => {
+                (Level::Automatable, XylemCosts::cedar_without_prefetch())
+            }
+            // Table 4 footnote: "We use prefetch but not Cedar
+            // synchronization."
+            Variant::Hand => (Level::Automatable, XylemCosts::cedar_without_sync()),
+        };
+        let compiled = Restructurer::default().restructure(&src, level);
+        let rep = Backend::new(costs).execute(&compiled, self.clusters, self.limit)?;
+        let seconds = rep.seconds * self.scale;
+        Ok(Some(CodeRun {
+            code: self.code,
+            variant,
+            seconds,
+            mflops: rep.mflops,
+            speedup: self.serial_sim_seconds * self.scale / seconds,
+            sim_cycles: rep.cycles,
+        }))
+    }
+}
+
+/// The IR a variant runs: hand codes swap in the hand specification, and
+/// the automatable level drops removable I/O (the MG3D Table 3 footnote).
+fn source_for(code: CodeName, variant: Variant) -> SourceProgram {
+    let s = match variant {
+        Variant::Hand => hand_spec(code).unwrap_or_else(|| spec(code)),
+        _ => spec(code),
+    };
+    let mut src = s.to_source();
+    if matches!(
+        variant,
+        Variant::Automatable | Variant::AutoNoSync | Variant::AutoNoPrefetch | Variant::Hand
+    ) {
+        for ph in &mut src.phases {
+            if ph.io.as_ref().is_some_and(|io| io.removable) {
+                ph.io = None;
+            }
+        }
+    }
+    src
+}
+
+/// Convenience: the full Table 3 row-set of one code (serial, KAP,
+/// automatable, both ablations, and hand when available).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn study_code(code: CodeName, clusters: usize) -> cedar_machine::Result<Vec<CodeRun>> {
+    let study = CodeStudy::new(code, clusters)?;
+    let mut out = Vec::new();
+    for v in Variant::ALL {
+        if let Some(run) = study.run(v)? {
+            out.push(run);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_run_matches_calibration_target() {
+        let study = CodeStudy::new(CodeName::Trfd, 4).unwrap();
+        let serial = study.run(Variant::Serial).unwrap().unwrap();
+        let t = targets(CodeName::Trfd);
+        assert!((serial.seconds - t.serial_seconds).abs() < 1e-6);
+        assert!((serial.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn automatable_beats_kap_beats_serial_on_trfd() {
+        let study = CodeStudy::new(CodeName::Trfd, 4).unwrap();
+        let kap = study.run(Variant::Kap).unwrap().unwrap();
+        let auto = study.run(Variant::Automatable).unwrap().unwrap();
+        assert!(kap.speedup > 1.0, "kap {}", kap.speedup);
+        assert!(auto.speedup > kap.speedup, "auto {}", auto.speedup);
+    }
+
+    #[test]
+    fn hand_only_for_table4_codes() {
+        let study = CodeStudy::new(CodeName::Mdg, 4).unwrap();
+        assert!(study.run(Variant::Hand).unwrap().is_none());
+    }
+
+    #[test]
+    fn spice_barely_improves() {
+        let study = CodeStudy::new(CodeName::Spice, 4).unwrap();
+        let auto = study.run(Variant::Automatable).unwrap().unwrap();
+        assert!(
+            auto.speedup < 2.5,
+            "SPICE should be a poor performer: {}",
+            auto.speedup
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the Perfect workload-model construction.
+
+use proptest::prelude::*;
+
+use cedar_fortran::ir::BodyMix;
+use cedar_perfect::codes::CodeName;
+use cedar_perfect::model::{CodeSpec, Component, ParClass};
+
+fn arb_body() -> impl Strategy<Value = BodyMix> {
+    (1u32..5, prop::sample::select(vec![8u32, 16, 32, 64]), 0u32..60).prop_map(
+        |(ops, len, sc)| BodyMix {
+            vector_ops: ops,
+            vector_len: len,
+            flops_per_elem: 2,
+            global_frac: 0.8,
+            global_writes: 1,
+            scalar_global_reads: 0,
+            scalar_cycles: sc,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generated IR's flop total tracks the spec's budget within the
+    /// rounding of trips × per-iteration work.
+    #[test]
+    fn flop_budget_respected(
+        weights in prop::collection::vec(0.05f64..1.0, 1..5),
+        bodies in prop::collection::vec(arb_body(), 5),
+        sim_flops in 100_000u64..1_000_000,
+    ) {
+        let total: f64 = weights.iter().sum();
+        let comps: Vec<Component> = weights
+            .iter()
+            .zip(&bodies)
+            .enumerate()
+            .map(|(i, (w, b))| {
+                Component::compute(
+                    Box::leak(format!("c{i}").into_boxed_str()),
+                    w / total,
+                    ParClass::Kap,
+                    b.clone(),
+                )
+            })
+            .collect();
+        let spec = CodeSpec {
+            name: "prop",
+            real_serial_seconds: 100.0,
+            sim_flops,
+            components: comps,
+        };
+        let src = spec.to_source();
+        let f = src.flops() as f64;
+        // Rounding loses at most one iteration's flops per component.
+        let slack: f64 = bodies
+            .iter()
+            .take(weights.len())
+            .map(|b| b.flops_per_iter() as f64)
+            .sum::<f64>()
+            + weights.len() as f64;
+        prop_assert!(
+            (f - sim_flops as f64).abs() <= slack + 0.02 * sim_flops as f64,
+            "flops {f} vs budget {sim_flops} (slack {slack})"
+        );
+    }
+
+    /// The trips cap preserves the flop share by fattening iterations.
+    #[test]
+    fn trips_cap_preserves_flops(cap in 1u64..32, body in arb_body()) {
+        let mut c = Component::compute("capped", 1.0, ParClass::Kap, body);
+        c.trips_cap = Some(cap);
+        let spec = CodeSpec {
+            name: "prop",
+            real_serial_seconds: 1.0,
+            sim_flops: 400_000,
+            components: vec![c],
+        };
+        let src = spec.to_source();
+        let l = &src.phases[0].loops[0];
+        prop_assert!(l.trips <= cap);
+        let f = src.flops() as f64;
+        prop_assert!(
+            (f - 400_000.0).abs() < 0.05 * 400_000.0 + 2.0 * l.body.flops_per_iter() as f64,
+            "flops {f}"
+        );
+    }
+}
+
+#[test]
+fn every_code_has_positive_mflops_references() {
+    use cedar_perfect::reference::{cray1_mflops, ymp, ymp_parallel_mflops};
+    for c in CodeName::ALL {
+        assert!(ymp(c).mflops > 0.0);
+        assert!(ymp_parallel_mflops(c) > 0.0);
+        assert!(cray1_mflops(c) > 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Runtime-library costs.
+//!
+//! The paper reports the loop-scheduling costs of the Xylem runtime: an
+//! XDOALL has a typical startup latency of 90 µs and fetching the next
+//! iteration takes about 30 µs, because processors are started,
+//! terminated and scheduled through global memory; a CDOALL starts in a
+//! few microseconds over the concurrency control bus (§3.2). When Cedar
+//! synchronization instructions are *not* used, loop self-scheduling falls
+//! back to Test-And-Set locking with several extra global round trips —
+//! the "w/o synch" column of Table 3.
+
+use cedar_machine::time::{Cycle, CEDAR_CYCLE_NS};
+
+/// Scheduling and service costs of the Xylem runtime, in CE cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XylemCosts {
+    /// XDOALL loop startup (fork through global memory): ~90 µs.
+    pub xdoall_startup: u32,
+    /// XDOALL next-iteration fetch: ~30 µs with Cedar synchronization.
+    pub xdoall_fetch: u32,
+    /// Extra per-fetch cost when Cedar synchronization instructions are
+    /// not used (Test-And-Set lock, read, update, unlock: several global
+    /// round trips plus retry under contention).
+    pub no_sync_fetch_penalty: u32,
+    /// SDOALL startup (cluster dispatch through global memory).
+    pub sdoall_startup: u32,
+    /// CDOALL startup via the concurrency control bus ("a few µs" —
+    /// dominated by the software around the fast bus broadcast).
+    pub cdoall_startup: u32,
+    /// Software overhead around a multicluster barrier, per participant.
+    pub barrier_software: u32,
+    /// Extra cycles per cluster-loop dispatch when the lock-based
+    /// fallback replaces Cedar synchronization in the runtime's
+    /// self-scheduling structures (charged per chunk).
+    pub no_sync_cluster_penalty: u32,
+    /// Whether the runtime uses Cedar synchronization instructions for
+    /// global loop self-scheduling (Table 3 ablation).
+    pub use_cedar_sync: bool,
+    /// Whether compiler-directed prefetch is enabled (Table 3 ablation).
+    pub use_prefetch: bool,
+}
+
+impl XylemCosts {
+    /// The measured costs of the Cedar runtime.
+    pub fn cedar() -> XylemCosts {
+        XylemCosts {
+            xdoall_startup: Cycle::from_micros(90.0, CEDAR_CYCLE_NS).0 as u32,
+            xdoall_fetch: Cycle::from_micros(30.0, CEDAR_CYCLE_NS).0 as u32,
+            no_sync_fetch_penalty: Cycle::from_micros(45.0, CEDAR_CYCLE_NS).0 as u32,
+            sdoall_startup: Cycle::from_micros(40.0, CEDAR_CYCLE_NS).0 as u32,
+            cdoall_startup: Cycle::from_micros(2.0, CEDAR_CYCLE_NS).0 as u32,
+            barrier_software: Cycle::from_micros(5.0, CEDAR_CYCLE_NS).0 as u32,
+            no_sync_cluster_penalty: Cycle::from_micros(50.0, CEDAR_CYCLE_NS).0 as u32,
+            use_cedar_sync: true,
+            use_prefetch: true,
+        }
+    }
+
+    /// Cedar costs with Cedar synchronization disabled for loop
+    /// scheduling (the Table 3 "w/o synch" configuration).
+    pub fn cedar_without_sync() -> XylemCosts {
+        XylemCosts {
+            use_cedar_sync: false,
+            ..Self::cedar()
+        }
+    }
+
+    /// Cedar costs with compiler prefetch disabled (the Table 3
+    /// "w/o prefetch" configuration — also implies no Cedar sync, as the
+    /// paper's column ordering does).
+    pub fn cedar_without_prefetch() -> XylemCosts {
+        XylemCosts {
+            use_cedar_sync: false,
+            use_prefetch: false,
+            ..Self::cedar()
+        }
+    }
+
+    /// Effective per-fetch cost of a global (XDOALL) self-scheduled loop.
+    pub fn global_fetch_cycles(&self) -> u32 {
+        if self.use_cedar_sync {
+            self.xdoall_fetch
+        } else {
+            self.xdoall_fetch + self.no_sync_fetch_penalty
+        }
+    }
+
+    /// Extra per-dispatch cost of a cluster self-scheduled loop when Cedar
+    /// synchronization is unavailable to the runtime.
+    pub fn cluster_dispatch_extra(&self) -> u32 {
+        if self.use_cedar_sync {
+            0
+        } else {
+            self.no_sync_cluster_penalty
+        }
+    }
+}
+
+impl Default for XylemCosts {
+    fn default() -> Self {
+        Self::cedar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_costs_match_paper_microseconds() {
+        let c = XylemCosts::cedar();
+        // 90us / 170ns ≈ 530 cycles; 30us ≈ 177 cycles.
+        assert!((525..=535).contains(&c.xdoall_startup), "{}", c.xdoall_startup);
+        assert!((170..=180).contains(&c.xdoall_fetch), "{}", c.xdoall_fetch);
+        assert!(c.cdoall_startup < 20);
+        assert!(c.use_cedar_sync && c.use_prefetch);
+    }
+
+    #[test]
+    fn no_sync_raises_fetch_cost() {
+        let with = XylemCosts::cedar().global_fetch_cycles();
+        let without = XylemCosts::cedar_without_sync().global_fetch_cycles();
+        assert!(without > 2 * with, "with={with} without={without}");
+    }
+
+    #[test]
+    fn without_prefetch_also_disables_sync() {
+        let c = XylemCosts::cedar_without_prefetch();
+        assert!(!c.use_prefetch && !c.use_cedar_sync);
+    }
+}

@@ -1,0 +1,191 @@
+//! Gangs: the set of CEs a computation runs on, with one program builder
+//! per CE.
+//!
+//! Xylem gang-schedules cluster tasks: a computation owns whole clusters
+//! and builds one instruction stream per CE. [`Gang`] wraps that
+//! construction; [`LoopVar`] carries an affine mapping from a loop's
+//! machine-level index to the logical iteration number (used by static
+//! scheduling, where cluster `c` of `C` executes iterations `c, c+C, …`).
+
+use cedar_machine::ids::{CeId, ClusterId};
+use cedar_machine::program::{AddressExpr, Program, ProgramBuilder};
+
+/// A logical loop variable: `logical = offset + scale · machine_index`,
+/// where `machine_index` is the loop index at `depth` in the enclosing
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopVar {
+    /// Nesting depth of the machine loop carrying this variable.
+    pub depth: u8,
+    /// Stride between successive machine iterations.
+    pub scale: i64,
+    /// Logical value of machine iteration 0.
+    pub offset: i64,
+}
+
+impl LoopVar {
+    /// A direct (identity-mapped) loop variable at `depth`.
+    pub fn direct(depth: u8) -> LoopVar {
+        LoopVar {
+            depth,
+            scale: 1,
+            offset: 0,
+        }
+    }
+
+    /// Extend an address expression with `coeff · logical`:
+    /// `base + coeff·offset` constant part plus `coeff·scale` per machine
+    /// iteration.
+    pub fn term(&self, addr: AddressExpr, coeff: i64) -> AddressExpr {
+        let base = (addr.base as i64 + coeff * self.offset) as u64;
+        AddressExpr {
+            base,
+            ..addr
+        }
+        .with_coeff(self.depth, coeff * self.scale)
+    }
+
+    /// Convenience: `base + coeff · logical` from a plain base address.
+    pub fn addr(&self, base: u64, coeff: i64) -> AddressExpr {
+        self.term(AddressExpr::new(base), coeff)
+    }
+}
+
+/// A gang of CEs under construction: one [`ProgramBuilder`] per CE.
+#[derive(Debug)]
+pub struct Gang {
+    ces: Vec<CeId>,
+    ces_per_cluster: usize,
+    builders: Vec<ProgramBuilder>,
+}
+
+impl Gang {
+    /// A gang over the first `clusters` clusters of a machine with
+    /// `ces_per_cluster` CEs each — the configuration of every experiment
+    /// in the paper.
+    pub fn clusters(clusters: usize, ces_per_cluster: usize) -> Gang {
+        let ces: Vec<CeId> = (0..clusters * ces_per_cluster).map(CeId).collect();
+        Gang {
+            builders: ces.iter().map(|_| ProgramBuilder::new()).collect(),
+            ces,
+            ces_per_cluster,
+        }
+    }
+
+    /// A gang over an explicit CE list.
+    pub fn of_ces(ces: Vec<CeId>, ces_per_cluster: usize) -> Gang {
+        Gang {
+            builders: ces.iter().map(|_| ProgramBuilder::new()).collect(),
+            ces,
+            ces_per_cluster,
+        }
+    }
+
+    /// Number of CEs in the gang.
+    pub fn len(&self) -> usize {
+        self.ces.len()
+    }
+
+    /// True when the gang has no CEs.
+    pub fn is_empty(&self) -> bool {
+        self.ces.is_empty()
+    }
+
+    /// The CEs of the gang.
+    pub fn ces(&self) -> &[CeId] {
+        &self.ces
+    }
+
+    /// Number of distinct clusters the gang spans.
+    pub fn cluster_count(&self) -> usize {
+        let mut cl: Vec<usize> = self
+            .ces
+            .iter()
+            .map(|ce| ce.cluster(self.ces_per_cluster).0)
+            .collect();
+        cl.sort_unstable();
+        cl.dedup();
+        cl.len()
+    }
+
+    /// CEs per cluster in the underlying machine.
+    pub fn ces_per_cluster(&self) -> usize {
+        self.ces_per_cluster
+    }
+
+    /// The cluster of gang member `i`.
+    pub fn cluster_of(&self, i: usize) -> ClusterId {
+        self.ces[i].cluster(self.ces_per_cluster)
+    }
+
+    /// Emit into every member's program: `f(gang index, CE, builder)`.
+    pub fn each(&mut self, mut f: impl FnMut(usize, CeId, &mut ProgramBuilder)) {
+        for (i, b) in self.builders.iter_mut().enumerate() {
+            f(i, self.ces[i], b);
+        }
+    }
+
+    /// Emit only on the gang leader (member 0); used for serial sections.
+    pub fn leader(&mut self, f: impl FnOnce(&mut ProgramBuilder)) {
+        f(&mut self.builders[0]);
+    }
+
+    /// Finish construction, returning the per-CE programs for
+    /// [`Machine::run`](cedar_machine::machine::Machine::run).
+    pub fn finish(self) -> Vec<(CeId, Program)> {
+        self.ces
+            .into_iter()
+            .zip(self.builders)
+            .map(|(ce, b)| (ce, b.build()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gang_over_two_clusters() {
+        let g = Gang::clusters(2, 8);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.cluster_count(), 2);
+        assert_eq!(g.cluster_of(0), ClusterId(0));
+        assert_eq!(g.cluster_of(15), ClusterId(1));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn loopvar_affine_addressing() {
+        // cluster 2 of 4: logical = 2 + 4*i; coeff 100 words per iteration.
+        let lv = LoopVar {
+            depth: 0,
+            scale: 4,
+            offset: 2,
+        };
+        let a = lv.addr(1000, 100);
+        assert_eq!(a.eval(&[0]), 1000 + 200);
+        assert_eq!(a.eval(&[3]), 1000 + 100 * (2 + 12));
+    }
+
+    #[test]
+    fn each_emits_per_ce() {
+        let mut g = Gang::clusters(1, 4);
+        g.each(|i, ce, b| {
+            assert_eq!(ce, CeId(i));
+            b.scalar(1 + i as u32);
+        });
+        let progs = g.finish();
+        assert_eq!(progs.len(), 4);
+        for (_, p) in &progs {
+            assert_eq!(p.op_count(), 1);
+        }
+    }
+
+    #[test]
+    fn direct_loopvar_is_identity() {
+        let lv = LoopVar::direct(1);
+        let a = lv.addr(5, 7);
+        assert_eq!(a.eval(&[99, 3]), 5 + 21);
+    }
+}

@@ -1,0 +1,55 @@
+//! # cedar-xylem
+//!
+//! The Xylem operating-system layer of the Cedar reproduction: the
+//! abstractions programs use to run on the simulated machine.
+//!
+//! Xylem links the four Alliant cluster operating systems into the Cedar
+//! OS, exporting virtual memory, scheduling and file-system services
+//! \[EABM91\]. For the performance study, the relevant services are:
+//!
+//! * **gang construction** ([`gang::Gang`]) — one instruction stream per
+//!   CE of a cluster task;
+//! * **the loop runtime** ([`loops::Xylem`]) — XDOALL / SDOALL / CDOALL
+//!   emitters with the paper's measured scheduling costs
+//!   ([`costs::XylemCosts`]);
+//! * **data placement** ([`space::AddressSpace`]) and **explicit
+//!   global↔cluster copies** ([`copy`]);
+//! * **the I/O cost model** ([`io::IoModel`]) behind the BDNA
+//!   formatted-vs-unformatted contrast.
+//!
+//! ## Example: a parallel loop over the whole machine
+//!
+//! ```
+//! use cedar_machine::machine::Machine;
+//! use cedar_machine::program::{MemOperand, VectorOp};
+//! use cedar_xylem::{gang::Gang, loops::Xylem};
+//!
+//! # fn main() -> Result<(), cedar_machine::MachineError> {
+//! let mut m = Machine::cedar()?;
+//! let x = Xylem::default();
+//! let mut gang = Gang::clusters(4, 8);
+//! x.xdoall(&mut m, &mut gang, 64, 1, |_ce, _i, b| {
+//!     b.vector(VectorOp {
+//!         length: 32,
+//!         flops_per_element: 2,
+//!         operand: MemOperand::None,
+//!     });
+//! });
+//! let report = m.run(gang.finish(), 10_000_000)?;
+//! assert_eq!(report.flops, 64 * 64);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod copy;
+pub mod costs;
+pub mod gang;
+pub mod io;
+pub mod loops;
+pub mod space;
+
+pub use costs::XylemCosts;
+pub use gang::{Gang, LoopVar};
+pub use io::{IoMode, IoModel};
+pub use loops::{NestedResources, Xylem};
+pub use space::AddressSpace;

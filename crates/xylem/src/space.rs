@@ -1,0 +1,132 @@
+//! Data placement: the Xylem view of the memory hierarchy.
+//!
+//! Cedar Fortran places data in cluster memory by default; a `GLOBAL`
+//! attribute puts it in shared global memory, and loop-local declarations
+//! make per-processor private copies in cluster memory (§3.1).
+//! [`AddressSpace`] is a simple bump allocator over both halves of the
+//! physical word-address space, used by kernels and workload models to
+//! lay out their arrays.
+
+use cedar_machine::ids::ClusterId;
+
+/// Word-granular allocator for global and per-cluster memory.
+///
+/// # Examples
+///
+/// ```
+/// use cedar_xylem::space::AddressSpace;
+/// use cedar_machine::ids::ClusterId;
+/// let mut s = AddressSpace::new(4);
+/// let a = s.global(1024);
+/// let b = s.global(1024);
+/// assert!(b >= a + 1024);
+/// let c0 = s.cluster(ClusterId(0), 100);
+/// let c1 = s.cluster(ClusterId(1), 100);
+/// // Cluster spaces are independent (separate memories), so both start low.
+/// assert_eq!(c0, c1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next_global: u64,
+    next_cluster: Vec<u64>,
+}
+
+impl AddressSpace {
+    /// An allocator for a machine with `clusters` clusters.
+    pub fn new(clusters: usize) -> AddressSpace {
+        AddressSpace {
+            next_global: 0,
+            next_cluster: vec![0; clusters],
+        }
+    }
+
+    /// Allocate `words` of global shared memory, page-aligned, returning
+    /// the base word address.
+    pub fn global(&mut self, words: u64) -> u64 {
+        let base = self.next_global;
+        self.next_global += round_up(words, 512);
+        base
+    }
+
+    /// Allocate `words` of one cluster's memory, line-aligned.
+    pub fn cluster(&mut self, cluster: ClusterId, words: u64) -> u64 {
+        let next = &mut self.next_cluster[cluster.0];
+        let base = *next;
+        *next += round_up(words, 4);
+        base
+    }
+
+    /// Allocate the same-sized region in *every* cluster's memory at a
+    /// common base address (SDOALL data distribution keeps layouts
+    /// congruent across clusters). Returns the common base.
+    pub fn all_clusters(&mut self, words: u64) -> u64 {
+        let base = self
+            .next_cluster
+            .iter()
+            .copied()
+            .max()
+            .expect("allocator has at least one cluster");
+        let aligned = round_up(words, 4);
+        for next in &mut self.next_cluster {
+            *next = base + aligned;
+        }
+        base
+    }
+
+    /// Words of global memory allocated so far.
+    pub fn global_used(&self) -> u64 {
+        self.next_global
+    }
+}
+
+fn round_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_allocations_are_page_aligned_and_disjoint() {
+        let mut s = AddressSpace::new(4);
+        let a = s.global(100);
+        let b = s.global(600);
+        assert_eq!(a % 512, 0);
+        assert_eq!(b % 512, 0);
+        assert_eq!(b, 512);
+        assert_eq!(s.global(1), 512 + 1024);
+    }
+
+    #[test]
+    fn cluster_allocations_are_independent() {
+        let mut s = AddressSpace::new(2);
+        let a0 = s.cluster(ClusterId(0), 10);
+        let a1 = s.cluster(ClusterId(1), 10);
+        assert_eq!(a0, a1);
+        let b0 = s.cluster(ClusterId(0), 10);
+        assert_eq!(b0, 12); // 10 rounded to line (4 words) = 12
+    }
+
+    #[test]
+    fn all_clusters_gives_congruent_bases() {
+        let mut s = AddressSpace::new(3);
+        s.cluster(ClusterId(1), 100);
+        let base = s.all_clusters(50);
+        // After one cluster has private allocations, the common base must
+        // clear them all.
+        assert!(base >= 100);
+        let next0 = s.cluster(ClusterId(0), 1);
+        let next2 = s.cluster(ClusterId(2), 1);
+        assert_eq!(next0, next2);
+        assert!(next0 >= base + 50);
+    }
+
+    #[test]
+    fn global_used_tracks() {
+        let mut s = AddressSpace::new(1);
+        assert_eq!(s.global_used(), 0);
+        s.global(1);
+        assert_eq!(s.global_used(), 512);
+    }
+}

@@ -1,0 +1,88 @@
+//! The §4.3 methodology as a library: the Practical Parallelism Tests
+//! applied to published reference data, without any simulation (fast).
+//!
+//! ```text
+//! cargo run --release -p cedar-examples --bin judging_parallelism
+//! ```
+
+use cedar::methodology::bands::{acceptable_level, classify, high_level};
+use cedar::methodology::metrics::harmonic_mean;
+use cedar::methodology::ppt::{ppt2, CodePoint};
+use cedar::methodology::{ppt1, ppt3};
+use cedar::perfect::codes::CodeName;
+use cedar::perfect::reference::{cray1_mflops, ymp, ymp_parallel_mflops};
+use cedar_examples::banner;
+
+fn main() {
+    banner("Judging parallelism: the five Practical Parallelism Tests");
+    println!("high performance : speedup >= P/2        (32 CEs: {})", high_level(32));
+    println!(
+        "acceptable       : speedup >= P/(2 log P) (32 CEs: {:.1})",
+        acceptable_level(32)
+    );
+
+    banner("PPT1 - delivered performance (YMP/8 manual versions)");
+    let pts: Vec<CodePoint> = CodeName::ALL
+        .iter()
+        .filter_map(|&c| {
+            ymp(c).manual_speedup.map(|s| CodePoint {
+                code: c.to_string(),
+                speedup: s,
+            })
+        })
+        .collect();
+    let r = ppt1("Cray YMP/8", 8, pts);
+    for (pt, band) in &r.points {
+        println!("  {:8} speedup {:4.1}  [{band}]", pt.code, pt.speedup);
+    }
+    println!(
+        "  bands H/I/U = {}/{}/{} -> PPT1 {}",
+        r.high,
+        r.intermediate,
+        r.unacceptable,
+        if r.passes { "PASS" } else { "FAIL" }
+    );
+
+    banner("PPT2 - stable performance (Table 5 reference ensembles)");
+    for (name, rates) in [
+        (
+            "Cray 1 ",
+            CodeName::ALL.iter().map(|&c| cray1_mflops(c)).collect::<Vec<_>>(),
+        ),
+        (
+            "YMP/8  ",
+            CodeName::ALL
+                .iter()
+                .map(|&c| ymp_parallel_mflops(c))
+                .collect::<Vec<_>>(),
+        ),
+    ] {
+        let rep = ppt2(name, &rates, 2);
+        println!(
+            "  {name} In(13,0)={:6.1}  In(13,2)={:5.1}  In(13,6)={:4.1}  exclusions needed: {:?}  -> {}",
+            rep.in_0.unwrap_or(f64::NAN),
+            rep.in_2.unwrap_or(f64::NAN),
+            rep.in_6.unwrap_or(f64::NAN),
+            rep.exclusions_needed,
+            if rep.passes { "PASS" } else { "FAIL (unstable)" }
+        );
+    }
+
+    banner("PPT3 - portability/programmability (YMP autotasked speedups)");
+    let speedups: Vec<f64> = CodeName::ALL.iter().map(|&c| ymp(c).auto_speedup).collect();
+    let rep = ppt3("Cray YMP", &speedups, 8);
+    println!(
+        "  restructuring bands H/I/U = {}/{}/{} (paper Table 6: 0/6/7)",
+        rep.high, rep.intermediate, rep.unacceptable
+    );
+    for (c, s) in CodeName::ALL.iter().zip(&speedups) {
+        println!("    {:8} {:4.2}x  [{}]", c.to_string(), s, classify(*s, 8));
+    }
+
+    banner("rates");
+    let hm = harmonic_mean(&CodeName::ALL.iter().map(|&c| ymp(c).mflops).collect::<Vec<_>>());
+    println!(
+        "  YMP/8 baseline harmonic-mean MFLOPS = {hm:.1} (paper: 23.7, 7.4x Cedar's automatable)"
+    );
+    println!("\nPPT4 needs machine runs (see the ppt4 bench); PPT5 is out of the paper's scope.");
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples exercise the public `cedar` API on the scenarios the
+//! paper's introduction motivates: programming the memory hierarchy
+//! (`memory_study`), restructuring real applications (`perfect_code`),
+//! scalability studies (`cg_scaling`), and judging parallel systems
+//! (`judging_parallelism`). Start with `quickstart`.
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}

@@ -1,0 +1,68 @@
+//! The performance-monitoring hardware in action: software-posted events
+//! in the tracer and the reverse-network latency histogrammer.
+//!
+//! ```text
+//! cargo run --release -p cedar-examples --bin monitor_demo
+//! ```
+
+use cedar::machine::ids::CeId;
+use cedar::machine::program::{AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp};
+use cedar_examples::banner;
+
+const PHASE_START: u32 = 1;
+const PHASE_END: u32 = 2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("performance monitoring: event tracer + latency histogrammer");
+    let mut m = cedar::cedar_machine()?;
+    let mut progs = Vec::new();
+    for ce in 0..8usize {
+        let mut b = ProgramBuilder::new();
+        b.scalar(1 + (ce as u32) * 4);
+        b.push(Op::PostEvent { tag: PHASE_START });
+        b.repeat(32, |b| {
+            b.push(Op::PrefetchArm {
+                length: 32,
+                stride: 1,
+            });
+            b.push(Op::PrefetchFire {
+                base: AddressExpr::new((ce * 100_003) as u64).with_coeff(0, 32),
+            });
+            b.vector(VectorOp {
+                length: 32,
+                flops_per_element: 2,
+                operand: MemOperand::Prefetched,
+            });
+        });
+        b.push(Op::PostEvent { tag: PHASE_END });
+        progs.push((CeId(ce), b.build()));
+    }
+    let r = m.run(progs, 10_000_000)?;
+
+    println!("\nsoftware events (cycle, phase, CE):");
+    for (at, tag) in m.tracer().events() {
+        println!(
+            "  {:>8}  {}  CE{}",
+            at.0,
+            if tag >> 8 == PHASE_START { "start" } else { "end  " },
+            tag & 0xff
+        );
+    }
+
+    println!("\nprefetch round-trip latency histogram (cycles: count):");
+    let h = m.latency_histogram();
+    for (cycles, &count) in h.bins().iter().enumerate() {
+        if count > 0 && cycles < 64 {
+            println!("  {cycles:>3}: {count:>6} {}", "#".repeat((count as usize / 64).min(60)));
+        }
+    }
+    println!(
+        "\nmean round trip {:.1} cycles over {} words; PFU first-word latency {:.1}, interarrival {:.2}",
+        h.mean(),
+        h.total(),
+        r.prefetch.mean_latency(),
+        r.prefetch.mean_interarrival()
+    );
+    println!("(the paper's external tracers hold 1M events; histogrammers 64K counters)");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Tests of the experiment runners at debug-friendly scale: the tables
+//! render, the paper's qualitative claims hold on the simulator.
+
+use cedar::experiments::table1;
+use cedar::methodology::bands::Band;
+use cedar::methodology::ppt::{ppt2, ppt3};
+use cedar::perfect::codes::CodeName;
+use cedar::perfect::reference::{cray1_mflops, paper, ymp, ymp_parallel_mflops};
+
+#[test]
+fn table1_small_instance_preserves_the_ordering() {
+    let t1 = table1::run(64).unwrap();
+    assert_eq!(t1.rows.len(), 3);
+    for clusters in 0..4 {
+        let nopref = t1.rows[0].measured[clusters];
+        let pref = t1.rows[1].measured[clusters];
+        let cache = t1.rows[2].measured[clusters];
+        assert!(
+            pref > nopref,
+            "prefetch wins at {} clusters: {nopref} vs {pref}",
+            clusters + 1
+        );
+        assert!(
+            cache > nopref,
+            "cache wins at {} clusters: {nopref} vs {cache}",
+            clusters + 1
+        );
+    }
+    // The cache version scales nearly linearly (paper: 52 -> 208).
+    let cache = &t1.rows[2].measured;
+    assert!(
+        cache[3] > 3.0 * cache[0],
+        "cache should scale ~4x over clusters: {cache:?}"
+    );
+    // Rendering includes both measured and paper rows.
+    let s = t1.render();
+    assert!(s.contains("GM/no-pref") && s.contains("paper"));
+}
+
+#[test]
+fn table5_reference_side_reproduces_the_papers_verdicts() {
+    // The YMP is unstable (needs ~6 exclusions); Cedar's row is measured
+    // on the simulator in the full bench — here we verify the reference
+    // machines, which are pure data.
+    let ymp_rates: Vec<f64> = CodeName::ALL
+        .iter()
+        .map(|&c| ymp_parallel_mflops(c))
+        .collect();
+    let r = ppt2("YMP/8", &ymp_rates, 2);
+    assert!(!r.passes, "the YMP fails PPT2 in the paper");
+    assert!(
+        r.in_0.unwrap() > 30.0,
+        "YMP In(13,0) is terrible (paper 75.3): {:?}",
+        r.in_0
+    );
+    assert!(
+        r.exclusions_needed.unwrap_or(99) >= 4,
+        "YMP needs about half the codes excluded (paper: 6): {:?}",
+        r.exclusions_needed
+    );
+
+    let cray1: Vec<f64> = CodeName::ALL.iter().map(|&c| cray1_mflops(c)).collect();
+    let r1 = ppt2("Cray 1", &cray1, 2);
+    assert!(r1.passes, "the Cray 1 passes with two exclusions");
+}
+
+#[test]
+fn table6_reference_side_matches_band_counts() {
+    let ymp_speedups: Vec<f64> = CodeName::ALL.iter().map(|&c| ymp(c).auto_speedup).collect();
+    let r = ppt3("Cray YMP", &ymp_speedups, 8);
+    assert_eq!(
+        (r.high, r.intermediate, r.unacceptable),
+        paper::YMP_BANDS,
+        "Table 6 YMP column"
+    );
+}
+
+#[test]
+fn fig3_ymp_points_have_one_unacceptable() {
+    use cedar::methodology::bands::classify;
+    let mut bad = 0;
+    for c in CodeName::ALL {
+        if let Some(s) = ymp(c).manual_speedup {
+            if classify(s, 8) == Band::Unacceptable {
+                bad += 1;
+            }
+        }
+    }
+    assert_eq!(bad, 1, "paper: the YMP has one unacceptable point, Cedar none");
+}
+
+#[test]
+fn cm5_reference_is_intermediate_everywhere() {
+    let pts = cedar::perfect::reference::cm5_banded_series();
+    assert!(!pts.is_empty());
+    for p in &pts {
+        // 28-67 MFLOPS on 32 processors without FP accelerators is the
+        // paper's intermediate regime.
+        assert!(p.mflops >= 28.0 && p.mflops <= 67.0);
+    }
+}
+
+#[test]
+fn report_tables_render_nonempty() {
+    use cedar::report::Table;
+    let mut t = Table::new("x");
+    t.header(&["a"]);
+    t.row(vec!["1".into()]);
+    assert!(!t.render().is_empty());
+    assert!(!t.to_csv().is_empty());
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use cedar_machine::machine::Machine;
+
+/// A full Cedar, panicking on configuration errors (tests only).
+pub fn cedar() -> Machine {
+    Machine::cedar().expect("canonical Cedar configuration is valid")
+}

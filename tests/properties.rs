@@ -1,0 +1,203 @@
+//! Property-based tests on the stack's core invariants (proptest).
+
+use proptest::prelude::*;
+
+use cedar_kernels::banded::BandedMatrix;
+use cedar_kernels::cg::{cg_solve, dot};
+use cedar_kernels::dense::{rank_update, Matrix};
+use cedar_machine::config::NetworkConfig;
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::memory::sync::{SyncInstr, SyncOpKind};
+use cedar_machine::network::packet::{MemRequest, Packet, Payload, RequestKind, Stream};
+use cedar_machine::network::{NetSink, Omega};
+use cedar_machine::program::{MemOperand, ProgramBuilder, VectorOp};
+use cedar_machine::time::Cycle;
+use cedar_methodology::stability::{instability, stability};
+
+#[derive(Default)]
+struct Collect {
+    got: Vec<(usize, u64)>,
+}
+impl NetSink for Collect {
+    fn try_begin(&mut self, _p: usize) -> bool {
+        true
+    }
+    fn deliver(&mut self, p: usize, pkt: Packet) {
+        if let Payload::Request(r) = pkt.payload {
+            self.got.push((p, r.addr));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every packet injected into the omega network arrives exactly once,
+    /// at the right port, for arbitrary traffic patterns.
+    #[test]
+    fn network_delivers_everything_exactly_once(
+        radix in prop::sample::select(vec![2usize, 4, 8]),
+        traffic in prop::collection::vec((0usize..32, 0usize..32, 1u8..4), 1..40),
+    ) {
+        let mut net = Omega::new(
+            32,
+            &NetworkConfig { radix, queue_words: 2, words_per_cycle: 1 },
+        );
+        let size = net.size();
+        let mut sink = Collect::default();
+        let mut expected = Vec::new();
+        let mut pending: Vec<(usize, Packet)> = Vec::new();
+        for (tag, &(src, dst, words)) in traffic.iter().enumerate() {
+            let (src, dst) = (src % size, dst % size);
+            expected.push((dst, tag as u64));
+            pending.push((
+                src,
+                Packet {
+                    dst,
+                    words,
+                    payload: Payload::Request(MemRequest {
+                        ce: CeId(0),
+                        kind: RequestKind::Read,
+                        addr: tag as u64,
+                        stream: Stream::Scalar,
+                        issued: Cycle(0),
+                    }),
+                },
+            ));
+        }
+        let mut guard = 0;
+        while !pending.is_empty() || !net.is_idle() {
+            pending.retain(|(src, pkt)| !net.try_inject(*src, *pkt));
+            net.tick(&mut sink);
+            guard += 1;
+            prop_assert!(guard < 100_000, "network did not drain");
+        }
+        let mut got = sink.got.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Sync instructions are linearizable at a module: any interleaving of
+    /// fetch-adds sums correctly.
+    #[test]
+    fn sync_fetch_add_is_atomic(deltas in prop::collection::vec(-50i32..50, 1..30)) {
+        let mut v = 0i32;
+        let mut sum = 0i64;
+        for &d in &deltas {
+            SyncInstr { test: None, op: SyncOpKind::Add(d) }.apply(&mut v);
+            sum += i64::from(d);
+        }
+        prop_assert_eq!(i64::from(v), sum as i32 as i64);
+    }
+
+    /// The machine conserves flops: whatever the program shape, the run
+    /// reports exactly the flops the program encodes.
+    #[test]
+    fn machine_conserves_flops(
+        lens in prop::collection::vec(1u32..64, 1..6),
+        reps in 1u32..4,
+    ) {
+        let mut m = Machine::cedar().unwrap();
+        let mut b = ProgramBuilder::new();
+        let mut expect = 0u64;
+        b.repeat(reps, |b| {
+            for &l in &lens {
+                b.vector(VectorOp {
+                    length: l,
+                    flops_per_element: 2,
+                    operand: MemOperand::None,
+                });
+            }
+        });
+        for &l in &lens {
+            expect += u64::from(l) * 2 * u64::from(reps);
+        }
+        let r = m.run(vec![(CeId(0), b.build())], 10_000_000).unwrap();
+        prop_assert_eq!(r.flops, expect);
+    }
+
+    /// Stability is scale-invariant and within (0, 1].
+    #[test]
+    fn stability_properties(
+        mut xs in prop::collection::vec(0.001f64..1000.0, 2..12),
+        scale in 0.001f64..1000.0,
+        e in 0usize..3,
+    ) {
+        prop_assume!(xs.len() >= e + 2);
+        let st = stability(&xs, e).unwrap();
+        prop_assert!(st > 0.0 && st <= 1.0 + 1e-12);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let st2 = stability(&scaled, e).unwrap();
+        prop_assert!((st - st2).abs() < 1e-9 * (1.0 + st.abs()));
+        // Instability is its inverse.
+        let inst = instability(&xs, e).unwrap();
+        prop_assert!((inst * st - 1.0).abs() < 1e-9);
+        // Permutation-invariant.
+        xs.reverse();
+        prop_assert!((stability(&xs, e).unwrap() - st).abs() < 1e-12);
+    }
+
+    /// Banded matvec agrees with the dense definition for arbitrary
+    /// bands.
+    #[test]
+    fn banded_matvec_matches_dense(
+        n in 3usize..24,
+        half in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(2 * half + 1 <= 2 * n - 1);
+        let bw = 2 * half + 1;
+        let f = |i: usize, j: usize| ((i * 31 + j * 17 + seed as usize) % 13) as f64 - 6.0;
+        let a = BandedMatrix::from_fn(n, bw, f);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let mut y = vec![0.0; n];
+        a.matvec(&x, &mut y);
+        for i in 0..n {
+            let want: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-9);
+        }
+    }
+
+    /// rank_update is linear in B: scaling B scales the update.
+    #[test]
+    fn rank_update_linear_in_b(n in 2usize..12, k in 1usize..5, s in -3.0f64..3.0) {
+        let a = Matrix::from_fn(n, k, |i, j| (i + 2 * j) as f64 * 0.5 - 1.0);
+        let b1 = Matrix::from_fn(k, n, |i, j| (3 * i + j) as f64 * 0.25 - 2.0);
+        let bs = Matrix::from_fn(k, n, |i, j| b1[(i, j)] * s);
+        let mut c1 = Matrix::zeros(n, n);
+        let mut c2 = Matrix::zeros(n, n);
+        rank_update(&mut c1, &a, &b1);
+        rank_update(&mut c2, &a, &bs);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((c2[(i, j)] - s * c1[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// CG solves random SPD-ish penta systems to tolerance.
+    #[test]
+    fn cg_converges_on_diagonally_dominant_systems(n in 8usize..64, seed in 0u64..100) {
+        let a = BandedMatrix::from_fn(n, 5, |i, j| {
+            if i == j {
+                8.0
+            } else {
+                -(((i + j + seed as usize) % 3) as f64) / 2.0
+            }
+        });
+        // Symmetrize: from_fn above is already symmetric in (i+j).
+        let xtrue: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&xtrue, &mut b);
+        let mut x = vec![0.0; n];
+        let res = cg_solve(&a, &b, &mut x, 1e-9, 4 * n);
+        prop_assert!(res.converged, "residual {}", res.residual);
+        let err: f64 = dot(
+            &x.iter().zip(&xtrue).map(|(a, b)| a - b).collect::<Vec<_>>(),
+            &x.iter().zip(&xtrue).map(|(a, b)| a - b).collect::<Vec<_>>(),
+        );
+        prop_assert!(err.sqrt() < 1e-5, "error {err}");
+    }
+}
