@@ -9,6 +9,8 @@ use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_machine::machine::Machine;
 use cedar_machine::MachineConfig;
 
+type Tweak = Box<dyn Fn(&mut MachineConfig)>;
+
 fn run(mutate: impl Fn(&mut MachineConfig)) -> f64 {
     let mut cfg = MachineConfig::cedar();
     mutate(&mut cfg);
@@ -25,8 +27,11 @@ fn run(mutate: impl Fn(&mut MachineConfig)) -> f64 {
 fn main() {
     println!("== ablation: cluster-cache geometry (rank-64 GM/cache, 4 clusters, n = 128) ==");
     println!("{:40} {:>10}", "configuration", "MFLOPS");
-    let cases: Vec<(&str, Box<dyn Fn(&mut MachineConfig)>)> = vec![
-        ("baseline (512 KB, 8 w/c, 2 misses/CE)", Box::new(|_c: &mut MachineConfig| {})),
+    let cases: Vec<(&str, Tweak)> = vec![
+        (
+            "baseline (512 KB, 8 w/c, 2 misses/CE)",
+            Box::new(|_c: &mut MachineConfig| {}),
+        ),
         (
             "capacity 64 KB",
             Box::new(|c| c.cache.capacity_bytes = 64 * 1024),

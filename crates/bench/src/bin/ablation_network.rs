@@ -12,19 +12,14 @@ use cedar_machine::MachineConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = if cedar_bench::quick() { 128 } else { 256 };
-    println!("== ablation: network queue depth and radix (rank-64 GM/pref, 4 clusters, n = {n}) ==");
+    println!(
+        "== ablation: network queue depth and radix (rank-64 GM/pref, 4 clusters, n = {n}) =="
+    );
     println!(
         "{:>8} {:>8} {:>10} {:>12} {:>14}",
         "radix", "queue", "MFLOPS", "latency cy", "interarrival"
     );
-    for &(radix, queue) in &[
-        (8usize, 1usize),
-        (8, 2),
-        (8, 4),
-        (8, 8),
-        (4, 2),
-        (2, 2),
-    ] {
+    for &(radix, queue) in &[(8usize, 1usize), (8, 2), (8, 4), (8, 8), (4, 2), (2, 2)] {
         let mut cfg = MachineConfig::cedar();
         cfg.network.radix = radix;
         cfg.network.queue_words = queue;

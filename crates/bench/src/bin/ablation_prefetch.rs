@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let r = m.run(progs, 8_000_000_000)?;
             println!(
                 "{:>10} {:>10} {:>10.1} {:>12.1} {:>14.2}",
-                if block == 0 { "none".to_string() } else { block.to_string() },
+                if block == 0 {
+                    "none".to_string()
+                } else {
+                    block.to_string()
+                },
                 clusters,
                 r.mflops,
                 r.prefetch.mean_latency(),

@@ -1,7 +1,7 @@
 //! Regenerate Fig3 from a fresh measurement of the Perfect suite.
 //! (Tables 3-6 and Fig. 3 share the ensemble; `table3` prints them all.)
 
-use cedar::experiments::{suite::PerfectSuite, fig3};
+use cedar::experiments::{fig3, suite::PerfectSuite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("measuring the Perfect suite (13 codes x 6 variants; a few minutes)...");

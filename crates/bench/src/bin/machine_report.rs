@@ -1,0 +1,53 @@
+//! Run one kernel on the full 32-CE Cedar machine and dump the complete
+//! instrumentation picture: the per-run counter tree (flat text on
+//! stdout) and a Chrome-trace JSON timeline of per-CE utilization
+//! (written to a file, openable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+//!
+//! ```text
+//! cargo run --release -p cedar-bench --bin machine_report [TRACE.json]
+//! ```
+//!
+//! The trace path defaults to `machine_trace.json` in the current
+//! directory. `CEDAR_BENCH_QUICK=1` shrinks the problem size.
+
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_machine::machine::Machine;
+use cedar_machine::stats::export;
+use cedar_machine::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "machine_trace.json".to_string());
+    let n = if cedar_bench::quick() { 64 } else { 256 };
+
+    let clusters = 4;
+    eprintln!("running rank-64 update (n = {n}, GM/cache) on 32-CE Cedar...");
+    let cfg = MachineConfig::cedar_with_clusters(clusters);
+    let cycle_ns = cfg.cycle_ns;
+    let mut m = Machine::new(cfg)?;
+    let kern = Rank64 {
+        n,
+        k: 64,
+        version: Rank64Version::GmCache,
+    };
+    let progs = kern.build(&mut m, clusters);
+    let r = m.run(progs, 8_000_000_000)?;
+
+    println!(
+        "rank-64 update, n = {n}: {:.1} MFLOPS over {} cycles",
+        r.mflops, r.cycles
+    );
+    println!();
+    println!("== per-run counter tree (stats delta) ==");
+    print!("{}", export::flat_text(&r.stats));
+
+    let trace = export::chrome_trace(m.timeline(), &r.stats, cycle_ns);
+    std::fs::write(&trace_path, &trace)?;
+    eprintln!(
+        "wrote Chrome trace to {trace_path} ({} bytes); open in chrome://tracing or ui.perfetto.dev",
+        trace.len()
+    );
+    Ok(())
+}

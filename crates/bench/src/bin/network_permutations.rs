@@ -85,7 +85,10 @@ fn main() {
         ("identity", Box::new(|s, _n| s)),
         ("shift by 1", Box::new(|s, n| (s + 1) % n)),
         ("shift by n/2", Box::new(|s, n| (s + n / 2) % n)),
-        ("perfect shuffle", Box::new(|s, n| (s * 2) % n + (s * 2) / n)),
+        (
+            "perfect shuffle",
+            Box::new(|s, n| (s * 2) % n + (s * 2) / n),
+        ),
         ("bit reversal", Box::new(|s, _n| bit_reverse(s, 6))),
         (
             "transpose (swap digit halves)",

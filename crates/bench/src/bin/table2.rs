@@ -10,6 +10,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{name}: latency grows {g:.2}x from 8 to 32 CEs");
         }
     }
-    println!("paper: RK degrades most (256-word blocks, aggressive overlap); VL next; TM and CG least.");
+    println!(
+        "paper: RK degrades most (256-word blocks, aggressive overlap); VL next; TM and CG least."
+    );
     Ok(())
 }

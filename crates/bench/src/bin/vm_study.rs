@@ -62,10 +62,7 @@ fn build(clusters: usize, distributed: bool) -> (Machine, Vec<(CeId, Program)>) 
                 let trips = (quarter / cpc as u64) as u32;
                 b.repeat(4, |b| {
                     b.repeat(trips, |b| {
-                        emit_page_read(
-                            b,
-                            AddressExpr::new(base).with_coeff(1, (cpc * 512) as i64),
-                        );
+                        emit_page_read(b, AddressExpr::new(base).with_coeff(1, (cpc * 512) as i64));
                     });
                 });
             } else {

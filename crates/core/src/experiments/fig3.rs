@@ -42,9 +42,7 @@ pub fn run(suite: &PerfectSuite) -> Fig3 {
     let mut cc = (0, 0, 0);
     let mut yc = (0, 0, 0);
     for code in CodeName::ALL {
-        if cedar_perfect::codes::hand_spec(code).is_none()
-            && ymp(code).manual_speedup.is_none()
-        {
+        if cedar_perfect::codes::hand_spec(code).is_none() && ymp(code).manual_speedup.is_none() {
             continue;
         }
         let cedar_eff = suite.best_speedup(code) / 32.0;
@@ -85,7 +83,9 @@ pub fn run(suite: &PerfectSuite) -> Fig3 {
 impl Fig3 {
     /// Render the point list plus an ASCII scatter.
     pub fn render(&self) -> String {
-        let mut t = Table::new("Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)");
+        let mut t = Table::new(
+            "Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)",
+        );
         t.header(&["code", "Cedar Ep", "band", "YMP Ep", "band"]);
         for p in &self.points {
             t.row(vec![
@@ -135,7 +135,9 @@ impl Fig3 {
                 grid[y][x] = p.code.to_string().chars().next().unwrap_or('?');
             }
         }
-        let mut s = String::from("Cedar Ep ^  (x-axis: YMP/8 Ep; '.' = high band edge, ':' = acceptable edge)\n");
+        let mut s = String::from(
+            "Cedar Ep ^  (x-axis: YMP/8 Ep; '.' = high band edge, ':' = acceptable edge)\n",
+        );
         for row in grid {
             s.push_str("  |");
             s.extend(row);

@@ -13,8 +13,6 @@
 //! | [`ppt4`]   | §4.3 PPT4 — CG scalability vs the CM-5 |
 
 pub mod fig3;
-#[cfg(test)]
-mod tests;
 pub mod ppt4;
 pub mod suite;
 pub mod table1;
@@ -23,5 +21,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+#[cfg(test)]
+mod tests;
 
 pub use suite::PerfectSuite;

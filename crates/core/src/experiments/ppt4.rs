@@ -184,9 +184,7 @@ impl Ppt4Study {
             .cedar
             .points
             .iter()
-            .filter(|(pt, b)| {
-                pt.processors == 32 && *b == cedar_methodology::bands::Band::High
-            })
+            .filter(|(pt, b)| pt.processors == 32 && *b == cedar_methodology::bands::Band::High)
             .map(|(pt, _)| pt.n)
             .collect();
         ns.sort_unstable();

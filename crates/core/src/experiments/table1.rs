@@ -11,7 +11,7 @@
 
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_machine::machine::Machine;
-use cedar_machine::MachineConfig;
+use cedar_machine::{MachineConfig, MachineStats};
 use cedar_perfect::reference::paper;
 
 use crate::report::{f1, Table};
@@ -22,6 +22,9 @@ pub struct Table1Row {
     pub version: &'static str,
     pub measured: [f64; 4],
     pub paper: [f64; 4],
+    /// Per-run stats delta from the machine-wide instrumentation layer,
+    /// one registry per cluster count (index `c` holds `c + 1` clusters).
+    pub stats: Vec<MachineStats>,
 }
 
 /// The whole experiment result.
@@ -42,7 +45,11 @@ pub struct Table1 {
 /// Propagates simulator errors.
 pub fn run(n: u32) -> cedar_machine::Result<Table1> {
     let versions: [(&'static str, Rank64Version, [f64; 4]); 3] = [
-        ("GM/no-pref", Rank64Version::GmNoPrefetch, paper::TABLE1_NOPREF),
+        (
+            "GM/no-pref",
+            Rank64Version::GmNoPrefetch,
+            paper::TABLE1_NOPREF,
+        ),
         (
             "GM/pref",
             Rank64Version::GmPrefetch { block_words: 32 },
@@ -53,17 +60,20 @@ pub fn run(n: u32) -> cedar_machine::Result<Table1> {
     let mut rows = Vec::new();
     for (name, version, paper_row) in versions {
         let mut measured = [0.0; 4];
+        let mut stats = Vec::with_capacity(4);
         for clusters in 1..=4usize {
             let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
             let kern = Rank64 { n, k: 64, version };
             let progs = kern.build(&mut m, clusters);
             let r = m.run(progs, 8_000_000_000)?;
             measured[clusters - 1] = r.mflops;
+            stats.push(r.stats);
         }
         rows.push(Table1Row {
             version: name,
             measured,
             paper: paper_row,
+            stats,
         });
     }
     Ok(Table1 { rows, n })

@@ -10,13 +10,22 @@
 //! degrades fastest; VL is memory-dominated but uses 32-word compiler
 //! blocks; TM and CG contain register–register vector work that lowers
 //! their demand (§4.1).
+//!
+//! The Table 2 numbers now come from the shared stats layer
+//! ([`cedar_machine::stats`]): each run's [`RunReport::stats`] delta
+//! carries the prefetch counters and the `prefetch.latency` histogram
+//! alongside every other subsystem counter, and the per-point registry is
+//! attached to the result via [`Table2Kernel::stats`] so latency figures
+//! can be cross-checked against network and memory-bank contention.
+//!
+//! [`RunReport::stats`]: cedar_machine::machine::RunReport::stats
 
 use cedar_kernels::staged::cg::StagedCg;
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_kernels::staged::tridiag::TridiagMatvec;
 use cedar_kernels::staged::vload::VectorLoad;
 use cedar_machine::machine::Machine;
-use cedar_machine::MachineConfig;
+use cedar_machine::{MachineConfig, MachineStats};
 
 use crate::report::{f1, f2, Table};
 
@@ -33,6 +42,9 @@ pub struct MonitorPoint {
 pub struct Table2Kernel {
     pub name: &'static str,
     pub points: Vec<MonitorPoint>,
+    /// Per-run stats delta from the machine-wide instrumentation layer,
+    /// aligned with `points` (one registry per CE count).
+    pub stats: Vec<MachineStats>,
 }
 
 /// The whole experiment.
@@ -52,6 +64,7 @@ pub fn run() -> cedar_machine::Result<Table2> {
 
     // VL: pure prefetched loads, 32-word compiler blocks.
     let mut vl_points = Vec::new();
+    let mut vl_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
         let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
@@ -66,14 +79,17 @@ pub fn run() -> cedar_machine::Result<Table2> {
             latency: r.prefetch.mean_latency(),
             interarrival: r.prefetch.mean_interarrival(),
         });
+        vl_stats.push(r.stats);
     }
     kernels.push(Table2Kernel {
         name: "VL",
         points: vl_points,
+        stats: vl_stats,
     });
 
     // TM: tridiagonal matvec.
     let mut tm_points = Vec::new();
+    let mut tm_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
         let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
@@ -88,14 +104,17 @@ pub fn run() -> cedar_machine::Result<Table2> {
             latency: r.prefetch.mean_latency(),
             interarrival: r.prefetch.mean_interarrival(),
         });
+        tm_stats.push(r.stats);
     }
     kernels.push(Table2Kernel {
         name: "TM",
         points: tm_points,
+        stats: tm_stats,
     });
 
     // RK: rank-64 update with 256-word blocks, aggressive overlap.
     let mut rk_points = Vec::new();
+    let mut rk_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
         let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
@@ -111,14 +130,17 @@ pub fn run() -> cedar_machine::Result<Table2> {
             latency: r.prefetch.mean_latency(),
             interarrival: r.prefetch.mean_interarrival(),
         });
+        rk_stats.push(r.stats);
     }
     kernels.push(Table2Kernel {
         name: "RK",
         points: rk_points,
+        stats: rk_stats,
     });
 
     // CG: 5-diagonal conjugate gradient.
     let mut cg_points = Vec::new();
+    let mut cg_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces.div_ceil(8);
         let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
@@ -133,10 +155,12 @@ pub fn run() -> cedar_machine::Result<Table2> {
             latency: r.prefetch.mean_latency(),
             interarrival: r.prefetch.mean_interarrival(),
         });
+        cg_stats.push(r.stats);
     }
     kernels.push(Table2Kernel {
         name: "CG",
         points: cg_points,
+        stats: cg_stats,
     });
 
     Ok(Table2 { kernels })

@@ -32,7 +32,10 @@ pub struct Table5 {
 pub fn run(suite: &PerfectSuite) -> Table5 {
     let cedar_rates = suite.automatable_mflops();
     let cray1_rates: Vec<f64> = CodeName::ALL.iter().map(|&c| cray1_mflops(c)).collect();
-    let ymp_rates: Vec<f64> = CodeName::ALL.iter().map(|&c| ymp_parallel_mflops(c)).collect();
+    let ymp_rates: Vec<f64> = CodeName::ALL
+        .iter()
+        .map(|&c| ymp_parallel_mflops(c))
+        .collect();
     Table5 {
         cedar: ppt2("Cedar", &cedar_rates, 2),
         cray1: ppt2("Cray 1", &cray1_rates, 2),

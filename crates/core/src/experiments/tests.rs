@@ -25,7 +25,11 @@ fn synthetic() -> PerfectSuite {
         runs.push(mk(Variant::Serial, 1.0, 0.5));
         runs.push(mk(Variant::Kap, 1.2, 0.6));
         runs.push(mk(Variant::Automatable, auto_speedup, auto_speedup));
-        runs.push(mk(Variant::AutoNoSync, auto_speedup / 1.1, auto_speedup / 1.1));
+        runs.push(mk(
+            Variant::AutoNoSync,
+            auto_speedup / 1.1,
+            auto_speedup / 1.1,
+        ));
         runs.push(mk(
             Variant::AutoNoPrefetch,
             auto_speedup / 1.5,

@@ -26,8 +26,23 @@
 //! // Reproduce Table 1 (rank-64 update, three memory versions):
 //! let t1 = cedar::experiments::table1::run(256)?;
 //! println!("{}", t1.render());
+//!
+//! // Every run also carries a per-run delta of the machine-wide stats
+//! // registry (`cedar_machine::stats`): cache hits, network conflicts,
+//! // memory-bank contention, per-CE busy/stall/idle cycles, and more.
+//! // Render the cache counters behind the 4-cluster GM/cache result:
+//! let stats = &t1.rows[2].stats[3];
+//! println!(
+//!     "{}",
+//!     cedar::report::StatsTable::render_filtered(stats, |g| g == "cache")
+//! );
 //! # Ok::<(), cedar_machine::MachineError>(())
 //! ```
+//!
+//! Table 2's latency/interarrival numbers likewise come from the shared
+//! stats layer (the `prefetch.*` counters and `prefetch.latency`
+//! histogram) rather than a one-off probe; see
+//! [`experiments::table2`].
 
 pub mod experiments;
 pub mod report;

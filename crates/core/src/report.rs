@@ -1,5 +1,7 @@
 //! Plain-text table rendering for experiment reports.
 
+use cedar_machine::stats::MachineStats;
+
 /// A simple fixed-width table builder.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -70,7 +72,10 @@ impl Table {
         };
         if !self.header.is_empty() {
             out.push_str(&fmt_row(&self.header, &widths));
-            out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))));
+            out.push_str(&format!(
+                "{}\n",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+            ));
         }
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -90,6 +95,72 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Renders a [`MachineStats`] registry (a snapshot or a per-run delta)
+/// as grouped [`Table`]s: one row per counter, grouped by the first
+/// dotted segment of the counter name, plus a histogram summary table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsTable;
+
+impl StatsTable {
+    /// Render every counter group and histogram in `stats`.
+    pub fn render(stats: &MachineStats) -> String {
+        Self::render_filtered(stats, |_| true)
+    }
+
+    /// Render only the counters whose top-level group (`cache`, `net`,
+    /// `gmem`, …) satisfies `keep`.
+    pub fn render_filtered(stats: &MachineStats, keep: impl Fn(&str) -> bool) -> String {
+        let mut out = String::new();
+        let mut current: Option<(String, Table)> = None;
+        for (name, value) in stats.counters() {
+            let group = Self::group_of(name);
+            if !keep(group) {
+                continue;
+            }
+            if current.as_ref().map(|(g, _)| g.as_str()) != Some(group) {
+                if let Some((_, t)) = current.take() {
+                    out.push_str(&t.render());
+                }
+                let mut t = Table::new(group);
+                t.header(&["counter", "value"]);
+                current = Some((group.to_string(), t));
+            }
+            if let Some((_, t)) = current.as_mut() {
+                t.row(vec![name.to_string(), value.to_string()]);
+            }
+        }
+        if let Some((_, t)) = current.take() {
+            out.push_str(&t.render());
+        }
+        let histograms: Vec<_> = stats
+            .histograms()
+            .filter(|(name, _)| keep(Self::group_of(name)))
+            .collect();
+        if !histograms.is_empty() {
+            let mut t = Table::new("histograms");
+            t.header(&["histogram", "total", "mean", "p50", "p95", "p99"]);
+            for (name, h) in histograms {
+                t.row(vec![
+                    name.to_string(),
+                    h.total().to_string(),
+                    f1(h.mean()),
+                    h.percentile(0.50).to_string(),
+                    h.percentile(0.95).to_string(),
+                    h.percentile(0.99).to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// The top-level group of a counter name: the leading segment up to
+    /// the first `.` or `[`.
+    fn group_of(name: &str) -> &str {
+        name.split(['.', '[']).next().unwrap_or(name)
     }
 }
 
@@ -134,6 +205,21 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("# demo"));
+    }
+
+    #[test]
+    fn stats_table_groups_counters() {
+        let mut s = MachineStats::new();
+        s.set("cache.hits", 12);
+        s.set("cache[0].hits", 12);
+        s.set("net.fwd.packets_injected", 3);
+        let out = StatsTable::render(&s);
+        assert!(out.contains("== cache =="));
+        assert!(out.contains("== net =="));
+        assert!(out.contains("cache[0].hits"));
+        let filtered = StatsTable::render_filtered(&s, |g| g == "net");
+        assert!(!filtered.contains("cache"));
+        assert!(filtered.contains("packets_injected"));
     }
 
     #[test]

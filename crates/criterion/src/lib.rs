@@ -1,0 +1,126 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API subset `cedar-bench` uses.
+//!
+//! The real crate cannot be fetched in the offline build environment, so
+//! this workspace member shadows it via a `[workspace.dependencies]` path
+//! entry. Each benchmark closure is run a handful of times and the mean
+//! wall-clock time is printed; there is no statistical analysis, warm-up
+//! tuning, or HTML report.
+
+use std::time::Instant;
+
+const DEFAULT_SAMPLES: usize = 10;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed_ns: 0,
+    };
+    let mut total_ns: u128 = 0;
+    let mut runs: u64 = 0;
+    for _ in 0..samples {
+        b.elapsed_ns = 0;
+        f(&mut b);
+        total_ns += b.elapsed_ns;
+        runs += b.iterations;
+    }
+    let mean_ns = if runs == 0 {
+        0
+    } else {
+        total_ns / runs as u128
+    };
+    println!("bench {name:<48} {:>12.3} ms/iter", mean_ns as f64 / 1e6);
+}
+
+/// Re-exported for compatibility; benches in this workspace use
+/// `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| vec![0u8; 16].len()));
+        g.finish();
+    }
+}

@@ -188,17 +188,7 @@ impl Backend {
                     }
                     for (li, l) in ph.loops.iter().enumerate() {
                         let (res, addrs) = &plans[pi][li];
-                        self.emit_loop(
-                            b,
-                            l,
-                            res,
-                            addrs,
-                            i,
-                            cluster,
-                            lane,
-                            total_clusters,
-                            p,
-                        );
+                        self.emit_loop(b, l, res, addrs, i, cluster, lane, total_clusters, p);
                     }
                     if ph.extra_barriers > 0 {
                         if let Some(bar) = phase_barriers[pi] {
@@ -299,13 +289,7 @@ impl Backend {
                 b.self_sched(*counter, l.trips, 1, |b| {
                     let depth = b.depth() - 1;
                     b.scalar(fetch);
-                    self.emit_body(
-                        b,
-                        l,
-                        addrs,
-                        cedar_xylem::gang::LoopVar::direct(depth),
-                        lane,
-                    );
+                    self.emit_body(b, l, addrs, cedar_xylem::gang::LoopVar::direct(depth), lane);
                 });
                 self.emit_reduction(b, l, addrs);
                 self.join(b, res);
@@ -435,10 +419,7 @@ impl Backend {
                     b.vector(VectorOp {
                         length: len,
                         flops_per_element: mix.flops_per_elem,
-                        operand: MemOperand::GlobalRead {
-                            addr,
-                            stride: 1,
-                        },
+                        operand: MemOperand::GlobalRead { addr, stride: 1 },
                     });
                 }
             } else {
@@ -473,8 +454,7 @@ impl Backend {
     /// The whole loop at scalar speed on the leader.
     fn emit_serial_scalar(&self, b: &mut ProgramBuilder, l: &CompiledLoop) {
         let fpi = l.body.flops_per_iter();
-        let extra =
-            u64::from(l.body.scalar_cycles) + 13 * u64::from(l.body.scalar_global_reads);
+        let extra = u64::from(l.body.scalar_cycles) + 13 * u64::from(l.body.scalar_global_reads);
         let trips = clamp_u32(l.trips);
         let cpf = self.scalar.cycles_per_flop;
         b.repeat(trips, |b| {
@@ -605,7 +585,9 @@ mod tests {
     fn run(level: Level, clusters: usize, src: &SourceProgram) -> ExecReport {
         let r = Restructurer::default();
         let compiled = r.restructure(src, level);
-        Backend::default().execute(&compiled, clusters, LIMIT).unwrap()
+        Backend::default()
+            .execute(&compiled, clusters, LIMIT)
+            .unwrap()
     }
 
     #[test]

@@ -57,4 +57,6 @@ pub mod restructure;
 
 pub use compile::{Backend, ExecReport, ScalarModel};
 pub use ir::{BodyMix, DataHome, IoSpec, LoopNest, Phase, SourceProgram, Transform};
-pub use restructure::{CompiledLoop, CompiledPhase, CompiledProgram, Level, Restructurer, Schedule};
+pub use restructure::{
+    CompiledLoop, CompiledPhase, CompiledProgram, Level, Restructurer, Schedule,
+};

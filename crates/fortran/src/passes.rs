@@ -118,7 +118,10 @@ pub struct Applied {
 
 /// Apply a capability set to a loop.
 pub fn apply(l: &LoopNest, caps: &BTreeSet<Transform>) -> Applied {
-    let needs_met = l.needs.iter().all(|t| caps.contains(t) && info(*t).discharges_needs);
+    let needs_met = l
+        .needs
+        .iter()
+        .all(|t| caps.contains(t) && info(*t).discharges_needs);
     let parallelized = l.parallel && needs_met;
     Applied {
         parallelized,
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn global_home_never_privatizes() {
         let caps = Level::Automatable.capabilities();
-        let a = apply(&lp(vec![Transform::ArrayPrivatization], DataHome::Global), &caps);
+        let a = apply(
+            &lp(vec![Transform::ArrayPrivatization], DataHome::Global),
+            &caps,
+        );
         assert!(a.parallelized);
         assert!(!a.privatized);
     }

@@ -373,10 +373,7 @@ mod tests {
         assert_eq!(c.phases[0].loops[0].schedule, Schedule::SdoallCdoall);
         assert_eq!(c.phases[0].loops[1].schedule, Schedule::Xdoall);
         // KAP confines the fine loop to one cluster instead.
-        let ck = r.restructure(
-            &prog(vec![lp(vec![], DataHome::Global)]),
-            Level::KapCedar,
-        );
+        let ck = r.restructure(&prog(vec![lp(vec![], DataHome::Global)]), Level::KapCedar);
         let _ = ck;
     }
 

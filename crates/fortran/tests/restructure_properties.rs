@@ -43,18 +43,20 @@ fn arb_loop() -> impl Strategy<Value = LoopNest> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(trips, body, needs, parallel, vectorizable, privatizable)| LoopNest {
-            trips,
-            body,
-            needs,
-            parallel,
-            vectorizable,
-            home: if privatizable {
-                DataHome::Privatizable
-            } else {
-                DataHome::Global
+        .prop_map(
+            |(trips, body, needs, parallel, vectorizable, privatizable)| LoopNest {
+                trips,
+                body,
+                needs,
+                parallel,
+                vectorizable,
+                home: if privatizable {
+                    DataHome::Privatizable
+                } else {
+                    DataHome::Global
+                },
             },
-        })
+        )
 }
 
 fn arb_program() -> impl Strategy<Value = SourceProgram> {

@@ -24,7 +24,10 @@ impl BandedMatrix {
     /// Panics if `bandwidth` is even, zero, or wider than the matrix.
     pub fn zeros(n: usize, bandwidth: usize) -> BandedMatrix {
         assert!(bandwidth % 2 == 1, "bandwidth must be odd");
-        assert!(bandwidth >= 1 && bandwidth < 2 * n, "bandwidth out of range");
+        assert!(
+            bandwidth >= 1 && bandwidth < 2 * n,
+            "bandwidth out of range"
+        );
         let half = bandwidth / 2;
         BandedMatrix {
             n,

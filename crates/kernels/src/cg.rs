@@ -27,13 +27,7 @@ pub struct CgResult {
 /// # Panics
 ///
 /// Panics if `b` and `x` lengths do not match `A`.
-pub fn cg_solve(
-    a: &BandedMatrix,
-    b: &[f64],
-    x: &mut [f64],
-    tol: f64,
-    max_iter: usize,
-) -> CgResult {
+pub fn cg_solve(a: &BandedMatrix, b: &[f64], x: &mut [f64], tol: f64, max_iter: usize) -> CgResult {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);

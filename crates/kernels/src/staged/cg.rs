@@ -120,7 +120,7 @@ impl StagedCg {
                     b.scalar(BARRIER_SOFTWARE);
                     b.push(Op::Barrier { barrier });
                     b.scalar(8); // alpha = rr/pq
-                    // ---- x += alpha p ; r -= alpha q ----
+                                 // ---- x += alpha p ; r -= alpha q ----
                     b.scalar(PHASE_OVERHEAD);
                     b.repeat(nchunks, |b| {
                         let off =
@@ -171,9 +171,9 @@ impl StagedCg {
     /// Propagates machine errors (notably the cycle limit on deadlock).
     pub fn mflops_on_cedar(&self, ces: usize) -> cedar_machine::Result<f64> {
         let clusters = ces.div_ceil(8).max(1);
-        let mut m = Machine::new(
-            cedar_machine::MachineConfig::cedar_with_clusters(clusters.min(4)),
-        )?;
+        let mut m = Machine::new(cedar_machine::MachineConfig::cedar_with_clusters(
+            clusters.min(4),
+        ))?;
         let progs = self.build(&mut m, ces);
         let r = m.run(progs, 2_000_000_000)?;
         // Use the intended flop count (identical to emitted — checked in

@@ -86,7 +86,7 @@ impl Rank64 {
         let n = u64::from(self.n);
         let k = u64::from(self.k);
         let chunks = n / 32; // row chunks
-        // Global layout: packed A panels, then B (col-major, k×n), then C.
+                             // Global layout: packed A panels, then B (col-major, k×n), then C.
         let a_base = 0u64;
         let b_base = a_base + n * k;
         let c_base = b_base + k * n;
@@ -177,23 +177,16 @@ impl Rank64 {
                             // (addition commutes; the compiler's 32-word
                             // version does not bother).
                             let rot = if bw >= 64 { i as u32 % groups } else { 0 };
-                            let emit_groups = |b: &mut ProgramBuilder,
-                                               count: u32,
-                                               first: u32| {
+                            let emit_groups = |b: &mut ProgramBuilder, count: u32, first: u32| {
                                 if count == 0 {
                                     return;
                                 }
-                                let base = AddressExpr::new(
-                                    a_base + u64::from(first) * u64::from(bw),
-                                )
-                                .with_coeff(1, (k * 32) as i64);
+                                let base =
+                                    AddressExpr::new(a_base + u64::from(first) * u64::from(bw))
+                                        .with_coeff(1, (k * 32) as i64);
                                 // depth 2: prefetch-block loop.
                                 b.repeat(count, |b| {
-                                    prefetch(
-                                        b,
-                                        base.clone().with_coeff(2, i64::from(bw)),
-                                        bw,
-                                    );
+                                    prefetch(b, base.clone().with_coeff(2, i64::from(bw)), bw);
                                     b.repeat(triads_per_block, |b| {
                                         consume(b, 32, 2);
                                     });
@@ -239,7 +232,7 @@ impl Rank64 {
             let (lane_off, my_cols) = split(cluster_cols, cpc as u64, lane);
             let first_col = cluster_first + lane_off;
             let work = 0u64; // cluster work array base
-            // depth 0: row-chunk loop.
+                             // depth 0: row-chunk loop.
             b.repeat(chunks as u32, |b| {
                 // Cooperative panel copy-in: my share, prefetched.
                 cedar_xylem::copy::global_to_cluster(
@@ -247,11 +240,7 @@ impl Rank64 {
                     a_base + lane * u64::from(copy_share),
                     work + lane * u64::from(copy_share),
                     copy_share,
-                    Some((
-                        cedar_xylem::gang::LoopVar::direct(0),
-                        panel_words as i64,
-                        0,
-                    )),
+                    Some((cedar_xylem::gang::LoopVar::direct(0), panel_words as i64, 0)),
                     true,
                 );
                 b.push(cedar_machine::program::Op::Barrier {
@@ -260,8 +249,7 @@ impl Rank64 {
                 // depth 1: my columns.
                 b.repeat(my_cols as u32, |b| {
                     // b column into registers (PFU is otherwise idle here).
-                    let baddr =
-                        AddressExpr::new(b_base + first_col * k).with_coeff(1, k as i64);
+                    let baddr = AddressExpr::new(b_base + first_col * k).with_coeff(1, k as i64);
                     prefetch(b, baddr, self.k);
                     consume(b, self.k, 0);
                     // C chunk into registers.
@@ -318,11 +306,7 @@ mod tests {
 
     fn mflops(version: Rank64Version, clusters: usize, n: u32) -> f64 {
         let mut m = Machine::cedar().unwrap();
-        let kern = Rank64 {
-            n,
-            k: 64,
-            version,
-        };
+        let kern = Rank64 { n, k: 64, version };
         let progs = kern.build(&mut m, clusters);
         let r = m.run(progs, LIMIT).unwrap();
         assert_eq!(r.flops, kern.flops(), "flop accounting");
@@ -339,11 +323,7 @@ mod tests {
     #[test]
     fn prefetch_beats_no_prefetch_substantially() {
         let nopref = mflops(Rank64Version::GmNoPrefetch, 1, 64);
-        let pref = mflops(
-            Rank64Version::GmPrefetch { block_words: 256 },
-            1,
-            64,
-        );
+        let pref = mflops(Rank64Version::GmPrefetch { block_words: 256 }, 1, 64);
         let ratio = pref / nopref;
         assert!(
             ratio > 2.0,

@@ -51,6 +51,8 @@ pub struct CacheStats {
     pub mshr_stalls: u64,
     /// Dirty lines written back.
     pub writebacks: u64,
+    /// Valid lines replaced by a fill (dirty or clean).
+    pub evictions: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +162,7 @@ impl ClusterCache {
         // Victim selection and write-back.
         let way = self.victim(set);
         if let Some(old) = self.tags[set][way] {
+            self.stats.evictions += 1;
             if old.dirty {
                 self.mem.writeback(now, self.line_words as u32);
                 self.stats.writebacks += 1;
@@ -305,11 +308,7 @@ mod tests {
     fn dirty_eviction_writes_back() {
         let mut cfg = CacheConfig::cedar();
         cfg.capacity_bytes = 2 * 32 * 2; // 2 sets × 2 ways × 1 line
-        let mut c = ClusterCache::new(
-            &cfg,
-            1,
-            ClusterMemory::new(&ClusterMemoryConfig::cedar()),
-        );
+        let mut c = ClusterCache::new(&cfg, 1, ClusterMemory::new(&ClusterMemoryConfig::cedar()));
         // Write line A (set 0), then fill two more lines mapping to set 0
         // to evict it.
         let mut now = Cycle(0);

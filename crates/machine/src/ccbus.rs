@@ -31,7 +31,9 @@ struct CounterReq {
 #[derive(Debug, Default)]
 struct BarrierWait {
     arrived: u32,
-    waiting: Vec<usize>,
+    /// Each waiting CE with the cycle it arrived, so the release can
+    /// account the wait time.
+    waiting: Vec<(usize, Cycle)>,
 }
 
 /// Result of asking the bus for the cluster's next SDOALL value.
@@ -60,8 +62,17 @@ struct SdoallState {
 pub struct CcBusStats {
     /// Counter dispatch transactions granted.
     pub dispatches: u64,
+    /// Counter dispatch transactions requested (granted or still queued).
+    pub counter_requests: u64,
     /// Barrier releases performed.
     pub barrier_releases: u64,
+    /// Individual CE arrivals at cluster barriers.
+    pub barrier_arrivals: u64,
+    /// Total cycles CEs spent parked at cluster barriers, from each CE's
+    /// arrival to the barrier's release.
+    pub barrier_wait_cycles: u64,
+    /// SDOALL values broadcast over the bus.
+    pub sdoall_posts: u64,
 }
 
 /// One cluster's concurrency control bus.
@@ -120,6 +131,7 @@ impl CcBus {
     /// while `old < limit`.
     pub fn request_counter(&mut self, ce: usize, slot: usize, epoch: u64, chunk: u32, limit: u64) {
         debug_assert!(slot < self.n_counters, "counter slot not allocated");
+        self.stats.counter_requests += 1;
         self.pending.push_back(CounterReq {
             ce,
             slot,
@@ -137,15 +149,24 @@ impl CcBus {
     /// Arrive at cluster barrier `(slot, epoch)` expecting `expected`
     /// participants. When the last participant arrives, all are released
     /// after the join delay.
-    pub fn arrive_barrier(&mut self, now: Cycle, ce: usize, slot: usize, epoch: u64, expected: u32) {
+    pub fn arrive_barrier(
+        &mut self,
+        now: Cycle,
+        ce: usize,
+        slot: usize,
+        epoch: u64,
+        expected: u32,
+    ) {
         let w = self.barriers.entry((slot, epoch)).or_default();
         w.arrived += 1;
-        w.waiting.push(ce);
+        w.waiting.push((ce, now));
+        self.stats.barrier_arrivals += 1;
         if w.arrived >= expected {
             let release_at = now + u64::from(self.join_cycles);
             let waiting = std::mem::take(&mut w.waiting);
             self.barriers.remove(&(slot, epoch));
-            for ce in waiting {
+            for (ce, arrived_at) in waiting {
+                self.stats.barrier_wait_cycles += release_at.saturating_since(arrived_at);
                 self.releases[ce] = Some(release_at);
             }
             self.stats.barrier_releases += 1;
@@ -179,11 +200,14 @@ impl CcBus {
     /// from shared counter `id` at `epoch`; the cluster holds `ces`
     /// members.
     pub fn sdoall_take(&mut self, ce: usize, id: usize, epoch: u64, ces: usize) -> SdoallTake {
-        let st = self.sdoall.entry((id, epoch)).or_insert_with(|| SdoallState {
-            values: Vec::new(),
-            cursor: vec![0; ces],
-            fetch_in_flight: false,
-        });
+        let st = self
+            .sdoall
+            .entry((id, epoch))
+            .or_insert_with(|| SdoallState {
+                values: Vec::new(),
+                cursor: vec![0; ces],
+                fetch_in_flight: false,
+            });
         if st.cursor.len() < ces {
             st.cursor.resize(ces, 0);
         }
@@ -202,12 +226,10 @@ impl CcBus {
     /// Post a value fetched from the global counter on the cluster's
     /// behalf; it becomes visible to every CE of the cluster.
     pub fn sdoall_post(&mut self, id: usize, epoch: u64, value: u64) {
-        let st = self
-            .sdoall
-            .entry((id, epoch))
-            .or_default();
+        let st = self.sdoall.entry((id, epoch)).or_default();
         st.values.push(value);
         st.fetch_in_flight = false;
+        self.stats.sdoall_posts += 1;
     }
 
     /// Reset all counter/barrier state (between independent runs).

@@ -51,6 +51,12 @@ pub struct CeStats {
     pub flops: u64,
     /// Vector elements processed.
     pub vector_elements: u64,
+    /// Cycles in which the CE made forward progress (issued or retired
+    /// work, including modelled fixed-latency compute stalls).
+    pub busy: u64,
+    /// Cycles after the CE's program completed while the rest of the
+    /// machine was still running.
+    pub idle: u64,
     /// Cycles spent blocked waiting on memory (vector/scalar data).
     pub stall_mem: u64,
     /// Cycles spent blocked on synchronization (counters, barriers,
@@ -76,7 +82,9 @@ enum GbPhase {
 #[derive(Debug, Clone)]
 enum CeState {
     Fetch,
-    Stall { until: Cycle },
+    Stall {
+        until: Cycle,
+    },
     VectorDirect {
         base: u64,
         stride: i64,
@@ -129,7 +137,9 @@ enum CeState {
 #[derive(Debug, Clone)]
 enum FrameKind {
     Root,
-    Repeat { remaining: u32 },
+    Repeat {
+        remaining: u32,
+    },
     SelfSched {
         counter: usize,
         limit: u64,
@@ -218,7 +228,12 @@ impl CeEngine {
             frames: vec![root],
             indices: Vec::new(),
             state: CeState::Fetch,
-            pfu: Pfu::new(id, &cfg.prefetch, cfg.vm.page_words, cfg.global_memory.modules),
+            pfu: Pfu::new(
+                id,
+                &cfg.prefetch,
+                cfg.vm.page_words,
+                cfg.global_memory.modules,
+            ),
             pending_pkt: None,
             outstanding_reads: 0,
             outstanding_writes: 0,
@@ -262,6 +277,13 @@ impl CeEngine {
         self.pfu.stats()
     }
 
+    /// Prefetch-unit statistics without flushing the in-progress trace
+    /// (read-only snapshots mid-run; an active fire's latency samples are
+    /// not yet folded in).
+    pub fn prefetch_stats_raw(&self) -> PrefetchStats {
+        self.pfu.stats()
+    }
+
     /// Handle a reply arriving from the reverse network.
     pub fn receive(&mut self, now: Cycle, reply: MemReply) {
         match reply.stream {
@@ -289,6 +311,7 @@ impl CeEngine {
             }
         }
         if matches!(self.state, CeState::Done) {
+            self.stats.idle += 1;
             return;
         }
         // The PFU shares the CE's network port.
@@ -312,14 +335,18 @@ impl CeEngine {
                 | CeState::VectorPref { .. }
                 | CeState::VectorCache { .. }
                 | CeState::VectorGWrite { .. }
-                | CeState::AwaitScalarRead => self.stats.stall_mem += 1,
+                | CeState::AwaitScalarRead
+                | CeState::Fetch => self.stats.stall_mem += 1,
                 CeState::AwaitCounter
                 | CeState::AwaitClusterBarrier
                 | CeState::GlobalBarrier { .. }
                 | CeState::AwaitSync
                 | CeState::AwaitFence => self.stats.stall_sync += 1,
-                _ => {}
+                // Timed execution stalls model compute latency: busy.
+                _ => self.stats.busy += 1,
             }
+        } else {
+            self.stats.busy += 1;
         }
         if self.is_done() && self.stats.done_at == 0 {
             self.stats.done_at = now.0;
@@ -472,9 +499,7 @@ impl CeEngine {
                 }
                 Step::Progress
             }
-            FrameKind::SelfSched {
-                chunk_end, ..
-            } => {
+            FrameKind::SelfSched { chunk_end, .. } => {
                 let cur = *self.indices.last().expect("loop index");
                 if cur + 1 < *chunk_end {
                     frame.pc = 0;
@@ -544,8 +569,7 @@ impl CeEngine {
             CounterDef::Cluster { .. } => ctx.ccbus.take_grant(self.ce_in_cluster),
             CounterDef::Global { .. } => self.sync_result.take().map(|o| o.old as u64),
             CounterDef::GlobalShared { base_addr } => {
-                let FrameKind::SelfSched { epoch, .. } =
-                    self.frames.last().expect("frame").kind
+                let FrameKind::SelfSched { epoch, .. } = self.frames.last().expect("frame").kind
                 else {
                     unreachable!();
                 };
@@ -979,8 +1003,7 @@ impl CeEngine {
     /// Pseudo-random element address for gather/scatter: deterministic
     /// hash of (base, element) spread over a 64K-word window.
     fn scatter_addr(base: u64, elem: u32) -> u64 {
-        let h = (base ^ (u64::from(elem) << 17))
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = (base ^ (u64::from(elem) << 17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         base + (h >> 40) % 65_536
     }
 

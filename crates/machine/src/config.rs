@@ -358,7 +358,11 @@ impl MachineConfig {
         if self.cache.line_bytes == 0 || !self.cache.line_bytes.is_multiple_of(8) {
             return Err("cache line size must be a nonzero multiple of 8 bytes".into());
         }
-        if !self.cache.capacity_bytes.is_multiple_of(self.cache.line_bytes * self.cache.associativity) {
+        if !self
+            .cache
+            .capacity_bytes
+            .is_multiple_of(self.cache.line_bytes * self.cache.associativity)
+        {
             return Err("cache capacity must divide evenly into sets".into());
         }
         if self.cache.banks == 0 {

@@ -49,6 +49,7 @@ pub mod network;
 pub mod prefetch;
 pub mod program;
 pub mod sched;
+pub mod stats;
 pub mod time;
 pub mod vm;
 
@@ -58,4 +59,5 @@ pub use ids::{CeId, ClusterId, CounterId, ModuleId, PageId, PortId};
 pub use machine::{CounterScope, Machine, RunReport};
 pub use program::{AddressExpr, BarrierId, MemOperand, Op, Program, ProgramBuilder, VectorOp};
 pub use sched::BarrierScope;
+pub use stats::{MachineStats, UtilSample, UtilizationTimeline};
 pub use time::Cycle;

@@ -16,12 +16,13 @@ use crate::ids::{CeId, ClusterId, CounterId};
 use crate::memory::cluster_mem::ClusterMemory;
 use crate::memory::global::GlobalMemory;
 use crate::memory::module::ModuleStats;
+use crate::monitor::{EventTracer, Histogrammer};
 use crate::network::packet::{Packet, Payload};
 use crate::network::{NetSink, NetStats, Omega};
-use crate::monitor::{EventTracer, Histogrammer};
 use crate::prefetch::PrefetchStats;
 use crate::program::{BarrierId, Op, Program};
 use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
+use crate::stats::{MachineStats, UtilSample, UtilizationTimeline};
 use crate::time::{mflops, Cycle};
 use crate::vm::{PageTable, Tlb, TlbStats};
 
@@ -81,6 +82,10 @@ pub struct RunReport {
     pub tlb: Vec<TlbStats>,
     /// Per-cluster concurrency-bus statistics (cumulative).
     pub ccbus: Vec<CcBusStats>,
+    /// Full instrumentation-registry delta over this run: every counter
+    /// and histogram of [`Machine::stats`], bracketed between run start
+    /// and run end.
+    pub stats: MachineStats,
 }
 
 /// The simulated Cedar machine.
@@ -100,6 +105,7 @@ pub struct Machine {
     page_table: PageTable,
     tracer: EventTracer,
     latency_histogram: Histogrammer,
+    timeline: UtilizationTimeline,
 }
 
 impl Machine {
@@ -136,6 +142,7 @@ impl Machine {
             page_table: PageTable::new(),
             tracer: EventTracer::new(),
             latency_histogram: Histogrammer::with_bins(512),
+            timeline: UtilizationTimeline::new(cfg.total_ces()),
             now: Cycle::ZERO,
             cfg,
         })
@@ -172,9 +179,173 @@ impl Machine {
 
     /// The prefetch first-word round-trip latency histogram collected by
     /// the monitoring hardware on the reverse network (cycles, capped at
-    /// the last bin).
+    /// the last bin). Also exposed through [`Machine::stats`] as the
+    /// `prefetch.latency` histogram.
     pub fn latency_histogram(&self) -> &Histogrammer {
         &self.latency_histogram
+    }
+
+    /// Per-CE utilization timeline of the current (or most recent) run.
+    pub fn timeline(&self) -> &UtilizationTimeline {
+        &self.timeline
+    }
+
+    /// Snapshot the full instrumentation registry: named counters and
+    /// histograms from every subsystem (see [`crate::stats`] for the
+    /// namespace). Cache, network, memory and bus counters are cumulative
+    /// over the machine's life; `ce.*` and `prefetch.*` counters reset at
+    /// each [`run`](Machine::run). Bracket a region with
+    /// [`MachineStats::delta`].
+    pub fn stats(&self) -> MachineStats {
+        let mut s = MachineStats::new();
+        s.set("machine.cycles", self.now.0);
+
+        // Cluster caches and their memories.
+        let mut agg = CacheStats::default();
+        for (c, cl) in self.clusters.iter().enumerate() {
+            let cs = cl.cache.stats();
+            let accesses = cs.hits + cs.misses;
+            s.set(format!("cache[{c}].accesses"), accesses);
+            s.set(format!("cache[{c}].hits"), cs.hits);
+            s.set(format!("cache[{c}].misses"), cs.misses);
+            s.set(format!("cache[{c}].evictions"), cs.evictions);
+            s.set(format!("cache[{c}].writebacks"), cs.writebacks);
+            s.set(format!("cache[{c}].bank_stalls"), cs.bank_stalls);
+            s.set(format!("cache[{c}].mshr_stalls"), cs.mshr_stalls);
+            let ms = cl.cache.mem_stats();
+            s.set(format!("cmem[{c}].fills"), ms.fills);
+            s.set(format!("cmem[{c}].writebacks"), ms.writebacks);
+            s.set(format!("cmem[{c}].words"), ms.words);
+            agg.hits += cs.hits;
+            agg.misses += cs.misses;
+            agg.evictions += cs.evictions;
+            agg.writebacks += cs.writebacks;
+            agg.bank_stalls += cs.bank_stalls;
+            agg.mshr_stalls += cs.mshr_stalls;
+        }
+        s.set("cache.accesses", agg.hits + agg.misses);
+        s.set("cache.hits", agg.hits);
+        s.set("cache.misses", agg.misses);
+        s.set("cache.evictions", agg.evictions);
+        s.set("cache.writebacks", agg.writebacks);
+        s.set("cache.bank_stalls", agg.bank_stalls);
+        s.set("cache.mshr_stalls", agg.mshr_stalls);
+
+        // Both omega networks.
+        for (prefix, net) in [("net.fwd", &self.forward), ("net.rev", &self.reverse)] {
+            let ns = net.stats();
+            s.set(format!("{prefix}.packets_injected"), ns.packets_injected);
+            s.set(format!("{prefix}.packets_delivered"), ns.packets_delivered);
+            s.set(format!("{prefix}.words_moved"), ns.words_moved);
+            s.set(format!("{prefix}.blocked_moves"), ns.blocked_moves);
+            s.set(format!("{prefix}.conflicts"), ns.arbitration_losses);
+            for (stage, &n) in net.stage_conflicts().iter().enumerate() {
+                s.set(format!("{prefix}.stage[{stage}].conflicts"), n);
+            }
+            for (stage, &n) in net.stage_blocked().iter().enumerate() {
+                s.set(format!("{prefix}.stage[{stage}].blocked"), n);
+            }
+            s.set_histogram(
+                format!("{prefix}.queue_depth"),
+                net.queue_depth_histogram().clone(),
+            );
+        }
+
+        // Global-memory banks and their Test-And-Operate sync processors.
+        let gs = self.gmem.total_stats();
+        s.set("gmem.accesses", gs.requests);
+        s.set("gmem.sync_ops", gs.sync_requests);
+        s.set("gmem.busy_cycles", gs.busy_cycles);
+        s.set("gmem.conflict_stalls", gs.conflict_stall_cycles);
+        s.set("gmem.reply_stalls", gs.reply_stall_cycles);
+        for (bank, ms) in self.gmem.per_module_stats().enumerate() {
+            s.set(format!("gmem.bank[{bank}].accesses"), ms.requests);
+            s.set(format!("gmem.bank[{bank}].sync_ops"), ms.sync_requests);
+            s.set(
+                format!("gmem.bank[{bank}].conflict_stalls"),
+                ms.conflict_stall_cycles,
+            );
+        }
+
+        // Concurrency control buses.
+        let mut bus_agg = CcBusStats::default();
+        for (c, cl) in self.clusters.iter().enumerate() {
+            let bs = cl.ccbus.stats();
+            s.set(format!("ccbus[{c}].dispatches"), bs.dispatches);
+            s.set(format!("ccbus[{c}].counter_requests"), bs.counter_requests);
+            s.set(format!("ccbus[{c}].barrier_arrivals"), bs.barrier_arrivals);
+            s.set(format!("ccbus[{c}].barrier_releases"), bs.barrier_releases);
+            s.set(
+                format!("ccbus[{c}].barrier_wait_cycles"),
+                bs.barrier_wait_cycles,
+            );
+            s.set(format!("ccbus[{c}].sdoall_posts"), bs.sdoall_posts);
+            bus_agg.dispatches += bs.dispatches;
+            bus_agg.counter_requests += bs.counter_requests;
+            bus_agg.barrier_arrivals += bs.barrier_arrivals;
+            bus_agg.barrier_releases += bs.barrier_releases;
+            bus_agg.barrier_wait_cycles += bs.barrier_wait_cycles;
+            bus_agg.sdoall_posts += bs.sdoall_posts;
+        }
+        s.set("ccbus.dispatches", bus_agg.dispatches);
+        s.set("ccbus.counter_requests", bus_agg.counter_requests);
+        s.set("ccbus.barrier_arrivals", bus_agg.barrier_arrivals);
+        s.set("ccbus.barrier_releases", bus_agg.barrier_releases);
+        s.set("ccbus.barrier_wait_cycles", bus_agg.barrier_wait_cycles);
+        s.set("ccbus.sdoall_posts", bus_agg.sdoall_posts);
+
+        // TLBs and paging.
+        let mut tlb = TlbStats::default();
+        for cl in &self.clusters {
+            let ts = cl.tlb.stats();
+            tlb.hits += ts.hits;
+            tlb.misses += ts.misses;
+        }
+        s.set("tlb.hits", tlb.hits);
+        s.set("tlb.misses", tlb.misses);
+        s.set("vm.hard_faults", self.page_table.hard_faults());
+        s.set("vm.soft_faults", self.page_table.soft_faults());
+
+        // Prefetch units and CEs (reset per run with the engines).
+        let mut pf = PrefetchStats::default();
+        let mut ce_busy = 0u64;
+        let mut ce_idle = 0u64;
+        let mut ce_stall_mem = 0u64;
+        let mut ce_stall_sync = 0u64;
+        for e in self.engines.iter().flatten() {
+            pf.merge(&e.prefetch_stats_raw());
+            let cs = e.stats();
+            let i = e.id().0;
+            s.set(format!("ce[{i}].busy"), cs.busy);
+            s.set(format!("ce[{i}].idle"), cs.idle);
+            s.set(format!("ce[{i}].stall_mem"), cs.stall_mem);
+            s.set(format!("ce[{i}].stall_sync"), cs.stall_sync);
+            s.set(format!("ce[{i}].flops"), cs.flops);
+            s.set(format!("ce[{i}].vector_elements"), cs.vector_elements);
+            s.set(format!("ce[{i}].tlb_misses"), cs.tlb_misses);
+            s.set(format!("ce[{i}].page_faults"), cs.page_faults);
+            s.set(format!("ce[{i}].vm_cycles"), cs.vm_cycles);
+            ce_busy += cs.busy;
+            ce_idle += cs.idle;
+            ce_stall_mem += cs.stall_mem;
+            ce_stall_sync += cs.stall_sync;
+        }
+        s.set("ce.busy", ce_busy);
+        s.set("ce.idle", ce_idle);
+        s.set("ce.stall_mem", ce_stall_mem);
+        s.set("ce.stall_sync", ce_stall_sync);
+        s.set("prefetch.fires", pf.fires);
+        s.set("prefetch.requests", pf.requests);
+        s.set("prefetch.words_returned", pf.words_returned);
+        s.set("prefetch.stale_words", pf.stale_words);
+        s.set("prefetch.page_suspend_cycles", pf.page_suspend_cycles);
+        s.set("prefetch.inject_stall_cycles", pf.inject_stall_cycles);
+        s.set_histogram("prefetch.latency", self.latency_histogram.clone());
+
+        // The monitoring hardware itself.
+        s.set("tracer.events", self.tracer.events().len() as u64);
+        s.set("tracer.dropped", self.tracer.dropped());
+        s
     }
 
     /// Allocate a self-scheduling counter.
@@ -253,13 +424,36 @@ impl Machine {
         }
 
         let start = self.now;
+        self.timeline.reset(start, total);
+        let stats_start = self.stats();
         while !self.all_done() {
             if self.now.saturating_since(start) > limit {
                 return Err(MachineError::CycleLimitExceeded { limit });
             }
             self.tick();
         }
-        Ok(self.report(start))
+        self.timeline.finish(self.now, &self.utilization_samples());
+        Ok(self.report(start, &stats_start))
+    }
+
+    /// Cumulative per-CE utilization samples, one per configured CE
+    /// (all-zero for CEs that run no program).
+    fn utilization_samples(&self) -> Vec<UtilSample> {
+        self.engines
+            .iter()
+            .map(|e| match e {
+                Some(e) => {
+                    let s = e.stats();
+                    UtilSample {
+                        busy: s.busy,
+                        stall_mem: s.stall_mem,
+                        stall_sync: s.stall_sync,
+                        idle: s.idle,
+                    }
+                }
+                None => UtilSample::default(),
+            })
+            .collect()
     }
 
     /// Advance the machine one cycle.
@@ -303,6 +497,10 @@ impl Machine {
             };
             e.tick(now, &mut ctx);
         }
+        if self.timeline.due(now) {
+            let samples = self.utilization_samples();
+            self.timeline.record(&samples);
+        }
     }
 
     fn all_done(&self) -> bool {
@@ -312,7 +510,7 @@ impl Machine {
             && self.gmem.is_idle()
     }
 
-    fn report(&mut self, start: Cycle) -> RunReport {
+    fn report(&mut self, start: Cycle, stats_start: &MachineStats) -> RunReport {
         let cycles = self.now.saturating_since(start);
         let mut flops = 0;
         let mut ce_stats = Vec::new();
@@ -326,6 +524,9 @@ impl Machine {
             prefetch.merge(&p);
             prefetch_per_ce.push((e.id(), p));
         }
+        // Snapshot after the loop above: prefetch traces are flushed, so
+        // the registry sees final per-run values.
+        let stats = self.stats().delta(stats_start);
         RunReport {
             cycles,
             seconds: Cycle(cycles).to_seconds(self.cfg.cycle_ns),
@@ -340,16 +541,12 @@ impl Machine {
             memory: self.gmem.total_stats(),
             tlb: self.clusters.iter().map(|c| c.tlb.stats()).collect(),
             ccbus: self.clusters.iter().map(|c| c.ccbus.stats()).collect(),
+            stats,
         }
     }
 
     fn validate_program(&self, ce: CeId, program: &Program) -> Result<()> {
-        fn walk(
-            ops: &[Op],
-            counters: usize,
-            barriers: usize,
-            ce: CeId,
-        ) -> Result<()> {
+        fn walk(ops: &[Op], counters: usize, barriers: usize, ce: CeId) -> Result<()> {
             for op in ops {
                 match op {
                     Op::SelfSchedLoop { counter, body, .. } => {
@@ -362,24 +559,18 @@ impl Machine {
                         walk(body, counters, barriers, ce)?;
                     }
                     Op::Repeat { body, .. } => walk(body, counters, barriers, ce)?,
-                    Op::Barrier { barrier }
-                        if barrier.0 >= barriers => {
-                            return Err(MachineError::BadProgram {
-                                ce,
-                                reason: format!("unallocated barrier {}", barrier.0),
-                            });
-                        }
+                    Op::Barrier { barrier } if barrier.0 >= barriers => {
+                        return Err(MachineError::BadProgram {
+                            ce,
+                            reason: format!("unallocated barrier {}", barrier.0),
+                        });
+                    }
                     _ => {}
                 }
             }
             Ok(())
         }
-        walk(
-            program.body(),
-            self.counters.len(),
-            self.barriers.len(),
-            ce,
-        )
+        walk(program.body(), self.counters.len(), self.barriers.len(), ce)
     }
 }
 

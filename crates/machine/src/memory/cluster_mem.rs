@@ -67,7 +67,11 @@ impl ClusterMemory {
     }
 
     fn occupy(&mut self, now: Cycle, words: u32) -> Cycle {
-        let start = if now > self.next_free { now } else { self.next_free };
+        let start = if now > self.next_free {
+            now
+        } else {
+            self.next_free
+        };
         let busy = words.div_ceil(self.words_per_cycle);
         self.next_free = start + u64::from(busy.max(1));
         self.stats.words += u64::from(words);

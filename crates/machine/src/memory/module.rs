@@ -28,6 +28,9 @@ pub struct ModuleStats {
     /// Cumulative queue occupancy, one sample per tick (divide by ticks for
     /// the mean).
     pub queue_occupancy_sum: u64,
+    /// Cycles in which requests waited in the queue while the bank was
+    /// busy — bank-conflict stall pressure.
+    pub conflict_stall_cycles: u64,
 }
 
 /// A single interleaved global-memory module.
@@ -111,6 +114,9 @@ impl Module {
             return;
         }
         self.stats.queue_occupancy_sum += self.queue.len() as u64;
+        if self.current.is_some() && !self.queue.is_empty() {
+            self.stats.conflict_stall_cycles += 1;
+        }
 
         // Retire a finished service into a pending reply.
         if let Some((req, done_at)) = self.current {

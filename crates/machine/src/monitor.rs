@@ -71,6 +71,11 @@ impl EventTracer {
         self.dropped
     }
 
+    /// The maximum number of events this tracer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Clear the trace for a new experiment.
     pub fn clear(&mut self) {
         self.events.clear();
@@ -87,7 +92,7 @@ impl Default for EventTracer {
 /// A histogramming counter array with saturating 32-bit bins; samples
 /// beyond the last bin land in it (a catch-all overflow bin, as when the
 /// hardware is programmed with a final open bucket).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogrammer {
     bins: Vec<u32>,
 }
@@ -141,6 +146,56 @@ impl Histogrammer {
         sum as f64 / total as f64
     }
 
+    /// The value below which fraction `p` (in `0.0..=1.0`) of the samples
+    /// fall: the smallest bin index whose cumulative count reaches
+    /// `ceil(p * total)`. Returns 0 when the histogram is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cedar_machine::monitor::Histogrammer;
+    /// let mut h = Histogrammer::with_bins(16);
+    /// for v in [1, 1, 2, 3, 10] {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.percentile(0.5), 2);
+    /// assert_eq!(h.percentile(1.0), 10);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn percentile(&self, p: f64) -> usize {
+        assert!((0.0..=1.0).contains(&p), "percentile wants p in 0..=1");
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += u64::from(b);
+            if seen >= rank {
+                return i;
+            }
+        }
+        self.bins.len() - 1
+    }
+
+    /// Bin-wise difference `self - earlier` (saturating at zero), sized to
+    /// the larger of the two histograms. Used by the stats layer's
+    /// snapshot/delta API to bracket a measurement region.
+    pub fn delta_since(&self, earlier: &Histogrammer) -> Histogrammer {
+        let len = self.bins.len().max(earlier.bins.len());
+        let mut bins = vec![0u32; len];
+        for (i, b) in bins.iter_mut().enumerate() {
+            let new = self.bins.get(i).copied().unwrap_or(0);
+            let old = earlier.bins.get(i).copied().unwrap_or(0);
+            *b = new.saturating_sub(old);
+        }
+        Histogrammer { bins }
+    }
+
     /// Clear all bins.
     pub fn clear(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
@@ -185,7 +240,41 @@ mod tests {
 
     #[test]
     fn default_sizes_match_hardware() {
-        assert_eq!(EventTracer::new().capacity, TRACER_CAPACITY);
+        assert_eq!(EventTracer::new().capacity(), TRACER_CAPACITY);
         assert_eq!(Histogrammer::new().bins().len(), HISTOGRAM_BINS);
+    }
+
+    #[test]
+    fn custom_capacity_is_reported() {
+        assert_eq!(EventTracer::with_capacity(17).capacity(), 17);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_distribution() {
+        let mut h = Histogrammer::with_bins(128);
+        // 100 samples: values 0..100, one each.
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 49);
+        assert_eq!(h.percentile(0.95), 94);
+        assert_eq!(h.percentile(0.99), 98);
+        assert_eq!(h.percentile(1.0), 99);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogrammer::with_bins(8).percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_with_mass_in_one_bin() {
+        let mut h = Histogrammer::with_bins(8);
+        for _ in 0..10 {
+            h.record(3);
+        }
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(0.99), 3);
     }
 }

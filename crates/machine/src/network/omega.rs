@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 
 use crate::config::NetworkConfig;
+use crate::monitor::Histogrammer;
 use crate::network::packet::Packet;
 
 /// Index of a packet in the in-flight slab.
@@ -97,7 +98,6 @@ impl Ring {
         usize::from(self.len)
     }
 
-
     #[inline]
     fn front(&self) -> Option<&Flit> {
         if self.len == 0 {
@@ -166,6 +166,13 @@ pub struct Omega {
     free: Vec<PacketId>,
     in_flight: usize,
     stats: NetStats,
+    /// Arbitration losses per switch stage.
+    stage_conflicts: Vec<u64>,
+    /// Flow-control blocks per switch stage (injection blocks count
+    /// against stage 0, whose queues they contend for).
+    stage_blocked: Vec<u64>,
+    /// Distribution of stage-queue depths observed after each word push.
+    queue_depth: Histogrammer,
 }
 
 impl Omega {
@@ -210,6 +217,9 @@ impl Omega {
             free: Vec::new(),
             in_flight: 0,
             stats: NetStats::default(),
+            stage_conflicts: vec![0; stages],
+            stage_blocked: vec![0; stages],
+            queue_depth: Histogrammer::with_bins(RING_CAP + 1),
         }
     }
 
@@ -253,6 +263,22 @@ impl Omega {
     /// Statistics since construction.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Arbitration losses per switch stage (index = stage).
+    pub fn stage_conflicts(&self) -> &[u64] {
+        &self.stage_conflicts
+    }
+
+    /// Flow-control blocks per switch stage (index = stage; injection
+    /// blocks are charged to stage 0).
+    pub fn stage_blocked(&self) -> &[u64] {
+        &self.stage_blocked
+    }
+
+    /// Distribution of stage-queue depths, sampled after every word push.
+    pub fn queue_depth_histogram(&self) -> &Histogrammer {
+        &self.queue_depth
     }
 
     /// Advance the network one cycle, delivering completed packets to
@@ -333,8 +359,7 @@ impl Omega {
                     usize::from(f.route)
                 } else {
                     usize::from(
-                        self.locked_to[qbase + i]
-                            .expect("body word's packet holds an output lock"),
+                        self.locked_to[qbase + i].expect("body word's packet holds an output lock"),
                     )
                 };
                 requested[out] |= 1 << i;
@@ -370,6 +395,7 @@ impl Omega {
                                 chosen = Some(base + i);
                             } else {
                                 self.stats.arbitration_losses += 1;
+                                self.stage_conflicts[stage] += 1;
                             }
                         }
                     }
@@ -399,12 +425,14 @@ impl Omega {
         if last {
             if flit.is_head && !self.assemblers[out_line].accepted && !sink.try_begin(out_line) {
                 self.stats.blocked_moves += 1;
+                self.stage_blocked[stage] += 1;
                 return;
             }
         } else {
             let next_line = self.shuffle(out_line);
             if self.queues[(stage + 1) * self.size + next_line].len() >= self.queue_cap {
                 self.stats.blocked_moves += 1;
+                self.stage_blocked[stage] += 1;
                 return;
             }
         }
@@ -446,7 +474,10 @@ impl Omega {
                 flit.route = self.route_digit(dst, stage + 1) as u8;
             }
             let next_line = self.shuffle(out_line);
-            self.queues[(stage + 1) * self.size + next_line].push_back(flit);
+            let q = &mut self.queues[(stage + 1) * self.size + next_line];
+            q.push_back(flit);
+            let depth = q.len();
+            self.queue_depth.record(depth);
         }
     }
 
@@ -461,6 +492,7 @@ impl Omega {
             let line = self.shuffle(port);
             if self.queues[line].len() >= self.queue_cap {
                 self.stats.blocked_moves += 1;
+                self.stage_blocked[0] += 1;
                 continue;
             }
             let sent = self.injectors[port].words_sent;
@@ -481,6 +513,8 @@ impl Omega {
                 route,
             };
             self.queues[line].push_back(flit);
+            let depth = self.queues[line].len();
+            self.queue_depth.record(depth);
             self.stats.words_moved += 1;
             let inj = &mut self.injectors[port];
             inj.words_sent += 1;
@@ -694,7 +728,10 @@ mod tests {
         }
         assert_eq!(sink.delivered.len(), 16);
         // Identity permutation is conflict-free in an omega network.
-        assert!(ticks <= 6, "identity permutation should not serialize: {ticks}");
+        assert!(
+            ticks <= 6,
+            "identity permutation should not serialize: {ticks}"
+        );
     }
 
     #[test]

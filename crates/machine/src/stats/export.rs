@@ -1,0 +1,182 @@
+//! Exporters for the instrumentation registry: a flat-text counter tree
+//! and a Chrome-trace (`chrome://tracing` / Perfetto) JSON timeline.
+//!
+//! Both are hand-rolled over `std` only — the crate has zero dependencies
+//! and the build environment is offline, so no `serde`.
+
+use crate::stats::{MachineStats, UtilizationTimeline};
+
+/// Render the full counter tree as aligned `name value` lines, followed
+/// by one summary line per histogram (total/mean/p50/p95/p99).
+pub fn flat_text(stats: &MachineStats) -> String {
+    let width = stats
+        .counters()
+        .map(|(k, _)| k.len())
+        .chain(stats.histograms().map(|(k, _)| k.len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in stats.counters() {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    for (name, h) in stats.histograms() {
+        out.push_str(&format!(
+            "{name:<width$}  total={} mean={:.1} p50={} p95={} p99={}\n",
+            h.total(),
+            h.mean(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+        ));
+    }
+    out
+}
+
+/// Escape a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the run as Chrome-trace JSON (the `chrome://tracing` /
+/// [Perfetto](https://ui.perfetto.dev) event format): one track ("thread")
+/// per CE carrying a complete ("X") event per timeline bucket named after
+/// the bucket's dominant state, plus counter totals attached as the args
+/// of a final instant event. Timestamps are microseconds of simulated
+/// time at `cycle_ns` nanoseconds per cycle.
+pub fn chrome_trace(timeline: &UtilizationTimeline, stats: &MachineStats, cycle_ns: f64) -> String {
+    let us_per_cycle = cycle_ns / 1000.0;
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"cedar"}}"#.to_string(),
+    );
+    for ce in 0..timeline.ces() {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"CE {}"}}}}"#,
+            ce, ce
+        ));
+    }
+    let start = timeline.start().0;
+    let run_cycles = timeline.end().saturating_since(timeline.start());
+    for (b, bucket) in timeline.buckets().iter().enumerate() {
+        let t0 = b as u64 * timeline.bucket_cycles();
+        // The last bucket may be partial: clip to the end of the run.
+        let t1 = (t0 + timeline.bucket_cycles()).min(run_cycles.max(t0 + 1));
+        for (ce, sample) in bucket.iter().enumerate() {
+            let Some(state) = sample.dominant() else {
+                continue; // CE ran nothing in this bucket
+            };
+            events.push(format!(
+                concat!(
+                    r#"{{"name":"{}","cat":"ce","ph":"X","pid":1,"tid":{},"#,
+                    r#""ts":{:.3},"dur":{:.3},"#,
+                    r#""args":{{"busy":{},"stall_mem":{},"stall_sync":{},"idle":{}}}}}"#
+                ),
+                state,
+                ce,
+                (start + t0) as f64 * us_per_cycle,
+                (t1 - t0) as f64 * us_per_cycle,
+                sample.busy,
+                sample.stall_mem,
+                sample.stall_sync,
+                sample.idle,
+            ));
+        }
+    }
+    // Counter totals ride along as one instant event's args.
+    let mut args: Vec<String> = stats
+        .counters()
+        .map(|(k, v)| format!(r#""{}":{}"#, json_escape(k), v))
+        .collect();
+    if args.is_empty() {
+        args.push(r#""machine.cycles":0"#.to_string());
+    }
+    events.push(format!(
+        r#"{{"name":"counters","ph":"i","s":"g","pid":1,"tid":0,"ts":{:.3},"args":{{{}}}}}"#,
+        (start + run_cycles) as f64 * us_per_cycle,
+        args.join(",")
+    ));
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Histogrammer;
+    use crate::stats::UtilSample;
+    use crate::time::Cycle;
+
+    fn sample_stats() -> MachineStats {
+        let mut s = MachineStats::new();
+        s.set("machine.cycles", 2048);
+        s.set("cache.hits", 100);
+        let mut h = Histogrammer::with_bins(16);
+        h.record(3);
+        h.record(5);
+        s.set_histogram("prefetch.latency", h);
+        s
+    }
+
+    fn sample_timeline() -> UtilizationTimeline {
+        let mut tl = UtilizationTimeline::new(2);
+        tl.reset(Cycle(0), 2);
+        let cum = [
+            UtilSample {
+                busy: 900,
+                stall_mem: 124,
+                ..Default::default()
+            },
+            UtilSample::default(),
+        ];
+        tl.record(&cum);
+        tl.finish(Cycle(2048), &cum);
+        tl
+    }
+
+    #[test]
+    fn flat_text_lists_counters_and_histograms() {
+        let text = flat_text(&sample_stats());
+        assert!(text.contains("machine.cycles"));
+        assert!(text.contains("cache.hits"));
+        assert!(text.contains("prefetch.latency"));
+        assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn chrome_trace_is_minimally_valid_json() {
+        let json = chrome_trace(&sample_timeline(), &sample_stats(), 170.0);
+        // Structural sanity a JSON parser would need.
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // One track per CE plus process metadata.
+        assert!(json.contains(r#""name":"CE 0""#));
+        assert!(json.contains(r#""name":"CE 1""#));
+        // CE 0's bucket is dominated by busy; CE 1 ran nothing.
+        assert!(json.contains(r#""name":"busy""#));
+        // Counters ride along.
+        assert!(json.contains(r#""cache.hits":100"#));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -7,7 +7,9 @@ use proptest::prelude::*;
 
 use cedar_machine::cache::{CacheAccess, ClusterCache};
 use cedar_machine::ccbus::CcBus;
-use cedar_machine::config::{CacheConfig, CcBusConfig, ClusterMemoryConfig, NetworkConfig, PrefetchConfig};
+use cedar_machine::config::{
+    CacheConfig, CcBusConfig, ClusterMemoryConfig, NetworkConfig, PrefetchConfig,
+};
 use cedar_machine::ids::CeId;
 use cedar_machine::memory::cluster_mem::ClusterMemory;
 use cedar_machine::network::packet::{Packet, Payload};

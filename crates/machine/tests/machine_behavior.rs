@@ -10,9 +10,7 @@
 
 use cedar_machine::ids::CeId;
 use cedar_machine::machine::{CounterScope, Machine};
-use cedar_machine::program::{
-    AddressExpr, MemOperand, Op, Program, ProgramBuilder, VectorOp,
-};
+use cedar_machine::program::{AddressExpr, MemOperand, Op, Program, ProgramBuilder, VectorOp};
 use cedar_machine::sched::BarrierScope;
 use cedar_machine::{ClusterId, MachineConfig, MachineError};
 
@@ -223,7 +221,10 @@ fn self_scheduled_global_loop_partitions_iterations_across_clusters() {
     let r = m.run(progs, LIMIT).unwrap();
     assert_eq!(r.flops, 3_200);
     let participating = r.ce_stats.iter().filter(|(_, s)| s.flops > 0).count();
-    assert!(participating >= 16, "only {participating} CEs got iterations");
+    assert!(
+        participating >= 16,
+        "only {participating} CEs got iterations"
+    );
 }
 
 #[test]
@@ -240,10 +241,7 @@ fn chunked_self_scheduling_reduces_dispatches() {
             progs.push((CeId(ce), b.build()));
         }
         let r = m.run(progs, LIMIT).unwrap();
-        assert_eq!(
-            r.ce_stats.iter().map(|(_, s)| s.flops).sum::<u64>(),
-            0
-        );
+        assert_eq!(r.ce_stats.iter().map(|(_, s)| s.flops).sum::<u64>(), 0);
         r.cycles
     };
     let fine = run(1);
@@ -421,7 +419,7 @@ fn scalar_global_reads_cost_full_latency() {
     let r = m.run(vec![(CeId(0), b.build())], LIMIT).unwrap();
     let per = r.cycles as f64 / f64::from(n);
     assert!(
-        per >= 11.0 && per <= 20.0,
+        (11.0..=20.0).contains(&per),
         "scalar global read should cost ~13 cycles, got {per:.1}"
     );
 }
@@ -508,7 +506,12 @@ fn vm_faults_distinguish_first_touch_from_pte_hits() {
     // The soft-faulting CE pays far less than the hard-faulting one.
     let s0 = r.ce_stats.iter().find(|(c, _)| c.0 == 0).unwrap().1;
     let s8 = r.ce_stats.iter().find(|(c, _)| c.0 == 8).unwrap().1;
-    assert!(s0.vm_cycles > 10 * s8.vm_cycles, "{} vs {}", s0.vm_cycles, s8.vm_cycles);
+    assert!(
+        s0.vm_cycles > 10 * s8.vm_cycles,
+        "{} vs {}",
+        s0.vm_cycles,
+        s8.vm_cycles
+    );
 }
 
 #[test]
@@ -521,7 +524,10 @@ fn vm_disabled_takes_no_faults() {
         });
     });
     let r = m.run(vec![(CeId(0), b.build())], 1_000_000).unwrap();
-    assert_eq!(m.page_table().hard_faults() + m.page_table().soft_faults(), 0);
+    assert_eq!(
+        m.page_table().hard_faults() + m.page_table().soft_faults(),
+        0
+    );
     assert_eq!(r.ce_stats[0].1.tlb_misses, 0);
 }
 

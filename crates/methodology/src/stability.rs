@@ -59,9 +59,7 @@ pub const STABLE_INSTABILITY_BOUND: f64 = 12.0;
 /// workstation-level stability, or `None` if even `max_e` exclusions do
 /// not suffice.
 pub fn exclusions_for_stability(perf: &[f64], max_e: usize) -> Option<usize> {
-    (0..=max_e).find(|&e| {
-        instability(perf, e).is_some_and(|i| i <= STABLE_INSTABILITY_BOUND)
-    })
+    (0..=max_e).find(|&e| instability(perf, e).is_some_and(|i| i <= STABLE_INSTABILITY_BOUND))
 }
 
 #[cfg(test)]

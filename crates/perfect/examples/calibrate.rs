@@ -6,8 +6,10 @@ use cedar_perfect::codes::{targets, CodeName};
 use cedar_perfect::run::{CodeStudy, Variant};
 
 fn main() {
-    println!("{:8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
-        "code", "serial_s", "kap (tgt)", "auto (tgt)", "auto MFLOPS", "nosync", "nopref", "hand_s");
+    println!(
+        "{:8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "code", "serial_s", "kap (tgt)", "auto (tgt)", "auto MFLOPS", "nosync", "nopref", "hand_s"
+    );
     for code in CodeName::ALL {
         let t = targets(code);
         let study = CodeStudy::new(code, 4).unwrap();
@@ -16,12 +18,25 @@ fn main() {
         let nosync = study.run(Variant::AutoNoSync).unwrap().unwrap();
         let nopref = study.run(Variant::AutoNoPrefetch).unwrap().unwrap();
         let hand = study.run(Variant::Hand).unwrap();
-        println!("{:8} {:>8.0} {:>5.1}({:>4.1}) {:>6.1}({:>4.1}) {:>12.2} {:>10.2} {:>10.2} {:>8}",
-            code.to_string(), t.serial_seconds,
-            kap.speedup, t.kap_speedup,
-            auto.speedup, t.auto_speedup,
+        println!(
+            "{:8} {:>8.0} {:>5.1}({:>4.1}) {:>6.1}({:>4.1}) {:>12.2} {:>10.2} {:>10.2} {:>8}",
+            code.to_string(),
+            t.serial_seconds,
+            kap.speedup,
+            t.kap_speedup,
+            auto.speedup,
+            t.auto_speedup,
             auto.mflops,
-            nosync.seconds / auto.seconds, nopref.seconds / nosync.seconds,
-            hand.map(|h| format!("{:.0}({})", h.seconds, t.hand_seconds.map(|v| format!("{v:.0}")).unwrap_or_default())).unwrap_or_default());
+            nosync.seconds / auto.seconds,
+            nopref.seconds / nosync.seconds,
+            hand.map(|h| format!(
+                "{:.0}({})",
+                h.seconds,
+                t.hand_seconds
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_default()
+            ))
+            .unwrap_or_default()
+        );
     }
 }

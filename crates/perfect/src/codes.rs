@@ -197,8 +197,13 @@ pub fn spec(code: CodeName) -> CodeSpec {
             )
             .privatized(),
             Component::compute("setup", 0.06, ParClass::Kap, body(2, 32, 1.0, 1, 0, 10)),
-            Component::compute("serial-glue", 0.16, ParClass::Never, body(1, 8, 1.0, 0, 1, 30))
-                .not_vectorizable(),
+            Component::compute(
+                "serial-glue",
+                0.16,
+                ParClass::Never,
+                body(1, 8, 1.0, 0, 1, 30),
+            )
+            .not_vectorizable(),
         ],
         // ARC2D: implicit 2-D fluid code; highly vectorizable, largely
         // parallel as written — the 1988 KAP already does well.
@@ -271,9 +276,14 @@ pub fn spec(code: CodeName) -> CodeSpec {
         // largely KAP-parallel, but its major routines need sequences of
         // multicluster barriers at the Perfect problem size.
         Flo52 => vec![
-            Component::compute("euler-sweeps", 0.50, ParClass::Kap, body(3, 48, 0.9, 1, 0, 12))
-                .with_calls(8)
-                .with_barriers(3),
+            Component::compute(
+                "euler-sweeps",
+                0.50,
+                ParClass::Kap,
+                body(3, 48, 0.9, 1, 0, 12),
+            )
+            .with_calls(8)
+            .with_barriers(3),
             Component::compute(
                 "multigrid",
                 0.30,
@@ -301,13 +311,22 @@ pub fn spec(code: CodeName) -> CodeSpec {
             Component::compute(
                 "forces",
                 0.72,
-                auto(&[ArrayPrivatization, ParallelReduction, SaveReturnParallelization]),
+                auto(&[
+                    ArrayPrivatization,
+                    ParallelReduction,
+                    SaveReturnParallelization,
+                ]),
                 body(2, 32, 0.6, 1, 0, 20),
             )
             .privatized()
             .not_vectorizable(),
-            Component::compute("neighbours", 0.18, ParClass::Never, body(1, 8, 1.0, 0, 2, 40))
-                .not_vectorizable(),
+            Component::compute(
+                "neighbours",
+                0.18,
+                ParClass::Never,
+                body(1, 8, 1.0, 0, 2, 40),
+            )
+            .not_vectorizable(),
             Component::compute("glue", 0.10, ParClass::Never, body(1, 8, 1.0, 0, 0, 20)),
         ],
         // MG3D: seismic migration; huge, regular, parallel after
@@ -380,7 +399,12 @@ pub fn spec(code: CodeName) -> CodeSpec {
             )
             .privatized()
             .not_vectorizable(),
-            Component::compute("physics", 0.26, auto(&[ParallelReduction]), body(2, 24, 0.7, 1, 0, 18)),
+            Component::compute(
+                "physics",
+                0.26,
+                auto(&[ParallelReduction]),
+                body(2, 24, 0.7, 1, 0, 18),
+            ),
             Component::compute("glue", 0.16, ParClass::Never, body(1, 12, 1.0, 0, 0, 24))
                 .not_vectorizable(),
         ],
@@ -408,8 +432,13 @@ pub fn spec(code: CodeName) -> CodeSpec {
                 auto(&[RuntimeDepTest, InterproceduralAnalysis]),
                 body(1, 8, 0.8, 0, 3, 30),
             ),
-            Component::compute("association", 0.30, ParClass::Never, body(1, 8, 1.0, 0, 2, 30))
-                .not_vectorizable(),
+            Component::compute(
+                "association",
+                0.30,
+                ParClass::Never,
+                body(1, 8, 1.0, 0, 2, 30),
+            )
+            .not_vectorizable(),
             Component::compute("glue", 0.12, ParClass::Kap, body(1, 8, 0.9, 0, 1, 20)),
         ],
         // TRFD: two-electron integral transformation; matrix-multiply
@@ -526,8 +555,13 @@ pub fn hand_spec(code: CodeName) -> Option<CodeSpec> {
             }
             // Residual serialization of the generator's seed chain.
             s.components.push(
-                Component::compute("rng-seed-chain", 0.022, ParClass::Never, body(1, 8, 1.0, 0, 0, 16))
-                    .not_vectorizable(),
+                Component::compute(
+                    "rng-seed-chain",
+                    0.022,
+                    ParClass::Never,
+                    body(1, 8, 1.0, 0, 0, 16),
+                )
+                .not_vectorizable(),
             );
         }
         // SPICE: new approaches in all major phases.

@@ -116,8 +116,7 @@ impl CodeSpec {
                     // the same total flops.
                     trips = cap;
                     let per_iter = (per_call / cap).max(1);
-                    let per_vec =
-                        u64::from(body.vector_len) * u64::from(body.flops_per_elem);
+                    let per_vec = u64::from(body.vector_len) * u64::from(body.flops_per_elem);
                     body.vector_ops = (per_iter / per_vec).max(1) as u32;
                 }
             }

@@ -146,9 +146,7 @@ impl CodeStudy {
             Variant::Kap => (Level::KapCedar, XylemCosts::cedar()),
             Variant::Automatable => (Level::Automatable, XylemCosts::cedar()),
             Variant::AutoNoSync => (Level::Automatable, XylemCosts::cedar_without_sync()),
-            Variant::AutoNoPrefetch => {
-                (Level::Automatable, XylemCosts::cedar_without_prefetch())
-            }
+            Variant::AutoNoPrefetch => (Level::Automatable, XylemCosts::cedar_without_prefetch()),
             // Table 4 footnote: "We use prefetch but not Cedar
             // synchronization."
             Variant::Hand => (Level::Automatable, XylemCosts::cedar_without_sync()),

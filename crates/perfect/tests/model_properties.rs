@@ -7,8 +7,12 @@ use cedar_perfect::codes::CodeName;
 use cedar_perfect::model::{CodeSpec, Component, ParClass};
 
 fn arb_body() -> impl Strategy<Value = BodyMix> {
-    (1u32..5, prop::sample::select(vec![8u32, 16, 32, 64]), 0u32..60).prop_map(
-        |(ops, len, sc)| BodyMix {
+    (
+        1u32..5,
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+        0u32..60,
+    )
+        .prop_map(|(ops, len, sc)| BodyMix {
             vector_ops: ops,
             vector_len: len,
             flops_per_elem: 2,
@@ -16,8 +20,7 @@ fn arb_body() -> impl Strategy<Value = BodyMix> {
             global_writes: 1,
             scalar_global_reads: 0,
             scalar_cycles: sc,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,453 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering exactly the API surface this workspace uses.
+//!
+//! The real crate cannot be fetched in the offline build environment, so
+//! this workspace member shadows it via a `[workspace.dependencies]` path
+//! entry. Test cases are generated from a deterministic xorshift stream
+//! seeded by the test name, so failures are reproducible run-to-run.
+//! Shrinking is not implemented: a failing case panics with the values
+//! formatted into the message instead.
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, func: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, func }
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.func)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    pub trait Arbitrary {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Number-of-elements specification accepted by [`vec`]: a fixed
+    /// count, a half-open range, or an inclusive range.
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = self.size.max_incl - self.size.min + 1;
+            let len = self.size.min + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Uniformly pick one of the supplied options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            self.options[(rng.next_u64() as usize) % self.options.len()].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic xorshift64* stream. Seeded from the test name so
+    /// each property test sees a stable but distinct case sequence.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        pub fn from_name(name: &str) -> Rng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Rng {
+                state: h | 1, // xorshift must not start at zero
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test panics with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the generated case; it is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // The real crate defaults to 256; keep the offline suite quick.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::Rng::from_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(20).max(20);
+            while accepted < cfg.cases && attempts < max_attempts {
+                attempts += 1;
+                let outcome: $crate::test_runner::TestCaseResult = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    #[allow(unused_mut)]
+                    let mut case = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    case()
+                };
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed on case {}: {}",
+                            stringify!($name), accepted, msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                accepted >= cfg.cases.min(1),
+                "property '{}' rejected every generated case",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::Rng::from_name("x");
+        let mut b = crate::test_runner::Rng::from_name("x");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::Rng::from_name("bounds");
+        for _ in 0..200 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let i = (-50i32..50).generate(&mut rng);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(xs in prop::collection::vec(0usize..10, 1..8), flip in any::<bool>()) {
+            prop_assume!(!xs.is_empty());
+            let doubled: Vec<usize> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!(doubled.iter().all(|&d| d % 2 == 0), "doubling broke parity (flip={})", flip);
+        }
+    }
+}

@@ -6,9 +6,7 @@
 //! global reads feeding cluster-cache writes (and the reverse for
 //! write-back), in vector-register-sized chunks.
 
-use cedar_machine::program::{
-    AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp,
-};
+use cedar_machine::program::{AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp};
 
 use crate::gang::LoopVar;
 

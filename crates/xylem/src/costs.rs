@@ -110,7 +110,11 @@ mod tests {
     fn cedar_costs_match_paper_microseconds() {
         let c = XylemCosts::cedar();
         // 90us / 170ns ≈ 530 cycles; 30us ≈ 177 cycles.
-        assert!((525..=535).contains(&c.xdoall_startup), "{}", c.xdoall_startup);
+        assert!(
+            (525..=535).contains(&c.xdoall_startup),
+            "{}",
+            c.xdoall_startup
+        );
         assert!((170..=180).contains(&c.xdoall_fetch), "{}", c.xdoall_fetch);
         assert!(c.cdoall_startup < 20);
         assert!(c.use_cedar_sync && c.use_prefetch);

@@ -38,11 +38,7 @@ impl LoopVar {
     /// iteration.
     pub fn term(&self, addr: AddressExpr, coeff: i64) -> AddressExpr {
         let base = (addr.base as i64 + coeff * self.offset) as u64;
-        AddressExpr {
-            base,
-            ..addr
-        }
-        .with_coeff(self.depth, coeff * self.scale)
+        AddressExpr { base, ..addr }.with_coeff(self.depth, coeff * self.scale)
     }
 
     /// Convenience: `base + coeff · logical` from a plain base address.

@@ -228,11 +228,7 @@ impl Xylem {
         let mut counters = Vec::new();
         let mut barriers = Vec::new();
         for &cl in &clusters {
-            let members = gang
-                .ces()
-                .iter()
-                .filter(|ce| ce.cluster(cpc) == cl)
-                .count() as u32;
+            let members = gang.ces().iter().filter(|ce| ce.cluster(cpc) == cl).count() as u32;
             counters.push((cl, m.alloc_counter(CounterScope::Cluster(cl))));
             barriers.push((cl, m.alloc_barrier(BarrierScope::Cluster(cl), members)));
         }
@@ -269,7 +265,10 @@ impl Xylem {
 #[derive(Debug, Clone)]
 pub struct NestedResources {
     counters: Vec<(cedar_machine::ids::ClusterId, cedar_machine::ids::CounterId)>,
-    barriers: Vec<(cedar_machine::ids::ClusterId, cedar_machine::program::BarrierId)>,
+    barriers: Vec<(
+        cedar_machine::ids::ClusterId,
+        cedar_machine::program::BarrierId,
+    )>,
 }
 
 impl NestedResources {

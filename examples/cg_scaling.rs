@@ -31,6 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             classify(speedup, 32).to_string()
         );
     }
-    println!("\nSmall systems are barrier- and scheduling-bound; large ones stream at memory speed.");
+    println!(
+        "\nSmall systems are barrier- and scheduling-bound; large ones stream at memory speed."
+    );
     Ok(())
 }

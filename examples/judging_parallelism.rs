@@ -15,7 +15,10 @@ use cedar_examples::banner;
 
 fn main() {
     banner("Judging parallelism: the five Practical Parallelism Tests");
-    println!("high performance : speedup >= P/2        (32 CEs: {})", high_level(32));
+    println!(
+        "high performance : speedup >= P/2        (32 CEs: {})",
+        high_level(32)
+    );
     println!(
         "acceptable       : speedup >= P/(2 log P) (32 CEs: {:.1})",
         acceptable_level(32)
@@ -47,7 +50,10 @@ fn main() {
     for (name, rates) in [
         (
             "Cray 1 ",
-            CodeName::ALL.iter().map(|&c| cray1_mflops(c)).collect::<Vec<_>>(),
+            CodeName::ALL
+                .iter()
+                .map(|&c| cray1_mflops(c))
+                .collect::<Vec<_>>(),
         ),
         (
             "YMP/8  ",
@@ -80,7 +86,12 @@ fn main() {
     }
 
     banner("rates");
-    let hm = harmonic_mean(&CodeName::ALL.iter().map(|&c| ymp(c).mflops).collect::<Vec<_>>());
+    let hm = harmonic_mean(
+        &CodeName::ALL
+            .iter()
+            .map(|&c| ymp(c).mflops)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "  YMP/8 baseline harmonic-mean MFLOPS = {hm:.1} (paper: 23.7, 7.4x Cedar's automatable)"
     );

@@ -1,5 +1,6 @@
 //! The performance-monitoring hardware in action: software-posted events
-//! in the tracer and the reverse-network latency histogrammer.
+//! in the tracer, the reverse-network latency histogrammer, and the
+//! machine-wide stats registry (counter tree + per-CE utilization).
 //!
 //! ```text
 //! cargo run --release -p cedar-examples --bin monitor_demo
@@ -7,6 +8,7 @@
 
 use cedar::machine::ids::CeId;
 use cedar::machine::program::{AddressExpr, MemOperand, Op, ProgramBuilder, VectorOp};
+use cedar::report::StatsTable;
 use cedar_examples::banner;
 
 const PHASE_START: u32 = 1;
@@ -44,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:>8}  {}  CE{}",
             at.0,
-            if tag >> 8 == PHASE_START { "start" } else { "end  " },
+            if tag >> 8 == PHASE_START {
+                "start"
+            } else {
+                "end  "
+            },
             tag & 0xff
         );
     }
@@ -53,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = m.latency_histogram();
     for (cycles, &count) in h.bins().iter().enumerate() {
         if count > 0 && cycles < 64 {
-            println!("  {cycles:>3}: {count:>6} {}", "#".repeat((count as usize / 64).min(60)));
+            println!(
+                "  {cycles:>3}: {count:>6} {}",
+                "#".repeat((count as usize / 64).min(60))
+            );
         }
     }
     println!(
@@ -64,5 +73,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.prefetch.mean_interarrival()
     );
     println!("(the paper's external tracers hold 1M events; histogrammers 64K counters)");
+
+    // The same probes feed the machine-wide stats registry: every run
+    // returns a per-run delta of named counters from every subsystem.
+    println!("\nper-run counter tree (prefetch, network and tracer groups):");
+    print!(
+        "{}",
+        StatsTable::render_filtered(&r.stats, |g| {
+            g == "prefetch" || g == "net" || g == "tracer"
+        })
+    );
+
+    // Per-CE utilization from the run's timeline: how each engine spent
+    // its cycles (busy / memory stall / sync stall / idle).
+    println!("utilization (first 8 CEs):");
+    let timeline = m.timeline();
+    for (ce, t) in timeline.per_ce_totals().iter().enumerate().take(8) {
+        let total = t.total().max(1);
+        let pct = |v: u64| 100.0 * v as f64 / total as f64;
+        println!(
+            "  CE{ce}: busy {:>5.1}%  stall-mem {:>5.1}%  stall-sync {:>5.1}%  idle {:>5.1}%",
+            pct(t.busy),
+            pct(t.stall_mem),
+            pct(t.stall_sync),
+            pct(t.idle)
+        );
+    }
+    println!(
+        "(timeline: {} buckets of {} cycles; export with cedar_machine::stats::export::chrome_trace)",
+        timeline.buckets().len(),
+        timeline.bucket_cycles()
+    );
     Ok(())
 }

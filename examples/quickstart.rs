@@ -72,6 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "XDOALL startup is ~90 us and each fetch ~30 us, so a tiny loop like this is overhead-bound —"
     );
-    println!("exactly why Cedar Fortran also has CDOALL (concurrency bus) and SDOALL/CDOALL nests.");
+    println!(
+        "exactly why Cedar Fortran also has CDOALL (concurrency bus) and SDOALL/CDOALL nests."
+    );
     Ok(())
 }

@@ -86,7 +86,10 @@ fn fig3_ymp_points_have_one_unacceptable() {
             }
         }
     }
-    assert_eq!(bad, 1, "paper: the YMP has one unacceptable point, Cedar none");
+    assert_eq!(
+        bad, 1,
+        "paper: the YMP has one unacceptable point, Cedar none"
+    );
 }
 
 #[test]

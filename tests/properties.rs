@@ -1,10 +1,12 @@
-//! Property-based tests on the stack's core invariants (proptest).
+//! Property-based tests on the stack's core invariants (proptest), plus
+//! conservation laws checked against the machine-wide stats registry.
 
 use proptest::prelude::*;
 
 use cedar_kernels::banded::BandedMatrix;
 use cedar_kernels::cg::{cg_solve, dot};
 use cedar_kernels::dense::{rank_update, Matrix};
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_machine::config::NetworkConfig;
 use cedar_machine::ids::CeId;
 use cedar_machine::machine::Machine;
@@ -147,16 +149,16 @@ proptest! {
         half in 0usize..4,
         seed in 0u64..1000,
     ) {
-        prop_assume!(2 * half + 1 <= 2 * n - 1);
+        prop_assume!(2 * half + 1 < 2 * n);
         let bw = 2 * half + 1;
         let f = |i: usize, j: usize| ((i * 31 + j * 17 + seed as usize) % 13) as f64 - 6.0;
         let a = BandedMatrix::from_fn(n, bw, f);
         let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
         let mut y = vec![0.0; n];
         a.matvec(&x, &mut y);
-        for i in 0..n {
+        for (i, yi) in y.iter().enumerate() {
             let want: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
-            prop_assert!((y[i] - want).abs() < 1e-9);
+            prop_assert!((yi - want).abs() < 1e-9);
         }
     }
 
@@ -199,5 +201,98 @@ proptest! {
             &x.iter().zip(&xtrue).map(|(a, b)| a - b).collect::<Vec<_>>(),
         );
         prop_assert!(err.sqrt() < 1e-5, "error {err}");
+    }
+}
+
+proptest! {
+    // Full-machine simulations are costly in debug builds; a handful of
+    // sampled configurations is enough to exercise every law.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Conservation laws of the instrumentation layer hold for the
+    /// rank-64 kernel on the full 32-CE machine, whatever the memory
+    /// version and problem size: counters from every subsystem must
+    /// account for each other exactly.
+    #[test]
+    fn stats_conservation_laws_hold_for_rank64(
+        version in prop::sample::select(vec![
+            Rank64Version::GmNoPrefetch,
+            Rank64Version::GmPrefetch { block_words: 32 },
+            Rank64Version::GmCache,
+        ]),
+        n in prop::sample::select(vec![32u32, 64]),
+    ) {
+        let clusters = 4;
+        let mut m = Machine::new(
+            cedar_machine::MachineConfig::cedar_with_clusters(clusters),
+        ).unwrap();
+        let kern = Rank64 { n, k: 64, version };
+        let progs = kern.build(&mut m, clusters);
+        let r = m.run(progs, 1_000_000_000).unwrap();
+        let s = &r.stats;
+
+        // Cache: hits + misses == accesses, aggregate == sum of clusters.
+        prop_assert_eq!(
+            s.counter("cache.hits") + s.counter("cache.misses"),
+            s.counter("cache.accesses")
+        );
+        for field in ["accesses", "hits", "misses", "evictions", "writebacks"] {
+            let per_cluster: u64 = (0..clusters)
+                .map(|c| s.counter(&format!("cache[{c}].{field}")))
+                .sum();
+            prop_assert_eq!(per_cluster, s.counter(&format!("cache.{field}")), "cache.{}", field);
+        }
+
+        // Networks: every packet injected was delivered (the run only
+        // ends once all traffic has drained).
+        for net in ["net.fwd", "net.rev"] {
+            prop_assert_eq!(
+                s.counter(&format!("{net}.packets_injected")),
+                s.counter(&format!("{net}.packets_delivered")),
+                "{} did not drain", net
+            );
+        }
+
+        // Global memory: totals are the sum over the 32 banks.
+        for field in ["accesses", "sync_ops", "conflict_stalls"] {
+            let per_bank: u64 = (0..32)
+                .map(|b| s.counter(&format!("gmem.bank[{b}].{field}")))
+                .sum();
+            prop_assert_eq!(per_bank, s.counter(&format!("gmem.{field}")), "gmem.{}", field);
+        }
+
+        // Per-CE cycle accounting: every engine cycle lands in exactly
+        // one of busy / stall_mem / stall_sync / idle.
+        let cycles = s.counter("machine.cycles");
+        prop_assert_eq!(cycles, r.cycles);
+        for i in 0..m.config().total_ces() {
+            let accounted = s.counter(&format!("ce[{i}].busy"))
+                + s.counter(&format!("ce[{i}].stall_mem"))
+                + s.counter(&format!("ce[{i}].stall_sync"))
+                + s.counter(&format!("ce[{i}].idle"));
+            prop_assert_eq!(accounted, cycles, "CE {} cycle accounting", i);
+        }
+        prop_assert_eq!(
+            s.counter("ce.busy") + s.counter("ce.stall_mem")
+                + s.counter("ce.stall_sync") + s.counter("ce.idle"),
+            cycles * m.config().total_ces() as u64
+        );
+
+        // The utilization timeline redistributes the same cycles.
+        for (i, t) in m.timeline().per_ce_totals().iter().enumerate() {
+            let counted = s.counter(&format!("ce[{i}].busy"))
+                + s.counter(&format!("ce[{i}].stall_mem"))
+                + s.counter(&format!("ce[{i}].stall_sync"))
+                + s.counter(&format!("ce[{i}].idle"));
+            prop_assert_eq!(t.total(), counted, "timeline total for CE {}", i);
+        }
+
+        // Prefetch: all prefetched words either arrived or went stale,
+        // and the latency histogram saw each arrived word once.
+        let words = s.counter("prefetch.words_returned");
+        prop_assert!(words + s.counter("prefetch.stale_words") <= s.counter("prefetch.requests"));
+        if let Some(h) = s.histogram("prefetch.latency") {
+            prop_assert_eq!(h.total(), words);
+        }
     }
 }

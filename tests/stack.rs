@@ -62,7 +62,9 @@ fn restructuring_levels_order_execution_times() {
     let mut times = Vec::new();
     for level in [Level::Serial, Level::KapCedar, Level::Automatable] {
         let compiled = rst.restructure(&src, level);
-        let rep = Backend::default().execute(&compiled, 4, 200_000_000).unwrap();
+        let rep = Backend::default()
+            .execute(&compiled, 4, 200_000_000)
+            .unwrap();
         assert_eq!(rep.flops, src.flops(), "{level:?} flop accounting");
         times.push((level, rep.seconds));
     }
@@ -165,10 +167,7 @@ fn rank64_versions_keep_flop_counts_and_order_at_small_scale() {
         assert_eq!(r.flops, kern.flops());
         rates.push(r.mflops);
     }
-    assert!(
-        rates[1] > rates[0],
-        "prefetch beats direct: {rates:?}"
-    );
+    assert!(rates[1] > rates[0], "prefetch beats direct: {rates:?}");
     assert!(rates[2] > rates[0], "cache beats direct: {rates:?}");
 }
 
