@@ -1,0 +1,89 @@
+//! Wall-clock scaling of the parallel simulation engine.
+//!
+//! Reruns the Table 1 and Table 2 drivers at 1, 2 and 4 simulation
+//! threads (via `CEDAR_NUM_THREADS`, the same knob CI uses), times each
+//! sweep, and checks the runs are bit-identical — the engine's
+//! determinism guarantee means threading is purely a wall-clock
+//! optimization. Speedup over the serial engine requires actual host
+//! cores: on a single-CPU host the threaded runs time-slice one core and
+//! can only break even at best, so the bin reports
+//! `available_parallelism` alongside the measurements.
+
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn set_threads(t: usize) {
+    std::env::set_var("CEDAR_NUM_THREADS", t.to_string());
+}
+
+fn speedup_row(label: &str, times: &[f64]) {
+    print!("{label:<28}");
+    for (i, &s) in times.iter().enumerate() {
+        print!("  {} thr: {s:7.2}s ({:4.2}x)", THREADS[i], times[0] / s);
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism available: {host}");
+    if host < *THREADS.last().unwrap() {
+        println!(
+            "note: fewer host cores than simulation threads; expect determinism \
+             but not speedup (threads time-slice {host} core(s))"
+        );
+    }
+    println!();
+
+    // Table 1: rank-64 update, three memory versions x four cluster
+    // counts.
+    let n = if cedar_bench::quick() { 64 } else { 128 };
+    eprintln!("Table 1 driver (rank-64, n = {n}) at {THREADS:?} threads...");
+    let mut t1_times = Vec::new();
+    let mut t1_runs = Vec::new();
+    for &t in &THREADS {
+        set_threads(t);
+        let start = Instant::now();
+        t1_runs.push(cedar::experiments::table1::run(n)?);
+        t1_times.push(start.elapsed().as_secs_f64());
+    }
+    assert!(
+        t1_runs.iter().all(|r| *r == t1_runs[0]),
+        "Table 1 results must be bit-identical across thread counts"
+    );
+    speedup_row("table1 (identical results)", &t1_times);
+
+    // Table 2: VL/TM/RK/CG at 8/16/32 CEs.
+    let sizes = if cedar_bench::quick() {
+        cedar::experiments::table2::Table2Sizes {
+            vl_words_per_ce: 2048,
+            tm_n: 8192,
+            rk_n: 64,
+            cg_n: 8192,
+        }
+    } else {
+        cedar::experiments::table2::Table2Sizes::default()
+    };
+    eprintln!("Table 2 driver ({sizes:?}) at {THREADS:?} threads...");
+    let mut t2_times = Vec::new();
+    let mut t2_runs = Vec::new();
+    for &t in &THREADS {
+        set_threads(t);
+        let start = Instant::now();
+        t2_runs.push(cedar::experiments::table2::run_sized(sizes)?);
+        t2_times.push(start.elapsed().as_secs_f64());
+    }
+    assert!(
+        t2_runs.iter().all(|r| *r == t2_runs[0]),
+        "Table 2 results must be bit-identical across thread counts"
+    );
+    speedup_row("table2 (identical results)", &t2_times);
+
+    let best = (t1_times[0] / t1_times[2]).max(t2_times[0] / t2_times[2]);
+    println!();
+    println!("best 4-thread speedup: {best:.2}x (target on a >=4-core host: >=1.5x)");
+    Ok(())
+}

@@ -30,6 +30,10 @@ pub struct Ppt4Study {
     /// (32 CEs, N = 64K): `(bandwidth, MFLOPS)` — §4.3 notes the two
     /// machines' per-processor rates are roughly equivalent.
     pub cedar_banded: Vec<(u32, f64)>,
+    /// Problem sizes this study swept.
+    pub sizes: Vec<u64>,
+    /// Processor counts this study swept.
+    pub procs: Vec<u32>,
 }
 
 /// Problem sizes of the study (the paper's 1K…172K sweep).
@@ -42,25 +46,41 @@ pub fn processor_counts() -> Vec<u32> {
     vec![2, 4, 8, 16, 32]
 }
 
-/// Run the study. `iterations` CG iterations per point (2 suffices for a
-/// stable rate).
+/// Run the study at paper scale. `iterations` CG iterations per point
+/// (2 suffices for a stable rate).
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn run(iterations: u32) -> cedar_machine::Result<Ppt4Study> {
+    run_swept(iterations, &sizes(), &processor_counts(), 65_536)
+}
+
+/// Run the study over custom sweeps: `ns` problem sizes, `procs`
+/// processor counts, and `banded_n` for the CM-5 comparison matvec. The
+/// golden-snapshot tests use a shrunken sweep.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_swept(
+    iterations: u32,
+    ns: &[u64],
+    procs: &[u32],
+    banded_n: u64,
+) -> cedar_machine::Result<Ppt4Study> {
     let mut points = Vec::new();
     let mut peak = Vec::new();
-    for &p in &processor_counts() {
+    for &p in procs {
         // Baseline: one CE at the same N (for speedup).
         let mut base_rate = Vec::new();
-        for &n in &sizes() {
+        for &n in ns {
             let cg = StagedCg { n, iterations };
             let one = cg.mflops_on_cedar(1)?;
             base_rate.push(one);
         }
         let mut best = 0.0f64;
-        for (i, &n) in sizes().iter().enumerate() {
+        for (i, &n) in ns.iter().enumerate() {
             let cg = StagedCg { n, iterations };
             let mflops = cg.mflops_on_cedar(p as usize)?;
             let speedup = mflops / base_rate[i].max(1e-9);
@@ -100,7 +120,7 @@ pub fn run(iterations: u32) -> cedar_machine::Result<Ppt4Study> {
     // Cedar's own banded matvec at the CM-5 comparison sizes.
     let mut cedar_banded = Vec::new();
     for bw in [3u32, 11] {
-        let k = BandedMatvec::new(65_536, bw);
+        let k = BandedMatvec::new(banded_n, bw);
         cedar_banded.push((bw, k.mflops_on_cedar(4)?));
     }
 
@@ -109,6 +129,8 @@ pub fn run(iterations: u32) -> cedar_machine::Result<Ppt4Study> {
         cm5,
         cedar_peak_mflops: peak,
         cedar_banded,
+        sizes: ns.to_vec(),
+        procs: procs.to_vec(),
     })
 }
 
@@ -117,11 +139,11 @@ impl Ppt4Study {
     pub fn render(&self) -> String {
         let mut t = Table::new("PPT4: Cedar CG scalability (MFLOPS [band] by processors x N)");
         let mut header: Vec<String> = vec!["P \\ N".into()];
-        header.extend(sizes().iter().map(|n| format!("{}K", n / 1024)));
+        header.extend(self.sizes.iter().map(|n| format!("{}K", n / 1024)));
         t.header(&header.iter().map(String::as_str).collect::<Vec<_>>());
-        for &p in &processor_counts() {
+        for &p in &self.procs {
             let mut cols = vec![p.to_string()];
-            for &n in &sizes() {
+            for &n in &self.sizes {
                 if let Some((pt, band)) = self
                     .cedar
                     .points

@@ -62,7 +62,8 @@ pub fn run(n: u32) -> cedar_machine::Result<Table1> {
         let mut measured = [0.0; 4];
         let mut stats = Vec::with_capacity(4);
         for clusters in 1..=4usize {
-            let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+            let mut m =
+                Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
             let kern = Rank64 { n, k: 64, version };
             let progs = kern.build(&mut m, clusters);
             let r = m.run(progs, 8_000_000_000)?;

@@ -53,12 +53,47 @@ pub struct Table2 {
     pub kernels: Vec<Table2Kernel>,
 }
 
-/// Run the Table 2 experiment at 8, 16 and 32 CEs.
+/// Problem sizes of the four kernels. [`Default`] is the paper-scale
+/// experiment; the golden-snapshot tests shrink every kernel to keep a
+/// debug-build run affordable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Sizes {
+    /// Words each CE loads in VL.
+    pub vl_words_per_ce: u32,
+    /// TM system size.
+    pub tm_n: u32,
+    /// RK matrix dimension.
+    pub rk_n: u32,
+    /// CG system size.
+    pub cg_n: u64,
+}
+
+impl Default for Table2Sizes {
+    fn default() -> Self {
+        Table2Sizes {
+            vl_words_per_ce: 8192,
+            tm_n: 32 * 1024,
+            rk_n: 128,
+            cg_n: 32 * 1024,
+        }
+    }
+}
+
+/// Run the Table 2 experiment at 8, 16 and 32 CEs, at paper scale.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn run() -> cedar_machine::Result<Table2> {
+    run_sized(Table2Sizes::default())
+}
+
+/// Run the Table 2 experiment with custom kernel sizes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_sized(sizes: Table2Sizes) -> cedar_machine::Result<Table2> {
     let ce_counts = [8usize, 16, 32];
     let mut kernels = Vec::new();
 
@@ -67,9 +102,9 @@ pub fn run() -> cedar_machine::Result<Table2> {
     let mut vl_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
         let progs = VectorLoad {
-            words_per_ce: 8192,
+            words_per_ce: sizes.vl_words_per_ce,
             block: 32,
         }
         .build(&mut m, clusters);
@@ -92,9 +127,9 @@ pub fn run() -> cedar_machine::Result<Table2> {
     let mut tm_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
         let progs = TridiagMatvec {
-            n: 32 * 1024,
+            n: sizes.tm_n,
             sweeps: 2,
         }
         .build(&mut m, clusters);
@@ -117,9 +152,9 @@ pub fn run() -> cedar_machine::Result<Table2> {
     let mut rk_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
         let kern = Rank64 {
-            n: 128,
+            n: sizes.rk_n,
             k: 64,
             version: Rank64Version::GmPrefetch { block_words: 256 },
         };
@@ -143,9 +178,9 @@ pub fn run() -> cedar_machine::Result<Table2> {
     let mut cg_stats = Vec::new();
     for &ces in &ce_counts {
         let clusters = ces.div_ceil(8);
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters))?;
+        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
         let cg = StagedCg {
-            n: 32 * 1024,
+            n: sizes.cg_n,
             iterations: 2,
         };
         let progs = cg.build(&mut m, ces);

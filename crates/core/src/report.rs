@@ -143,13 +143,17 @@ impl StatsTable {
             let mut t = Table::new("histograms");
             t.header(&["histogram", "total", "mean", "p50", "p95", "p99"]);
             for (name, h) in histograms {
+                let pct = |p| {
+                    h.percentile(p)
+                        .map_or_else(|| "-".to_string(), |v| v.to_string())
+                };
                 t.row(vec![
                     name.to_string(),
                     h.total().to_string(),
                     f1(h.mean()),
-                    h.percentile(0.50).to_string(),
-                    h.percentile(0.95).to_string(),
-                    h.percentile(0.99).to_string(),
+                    pct(0.50),
+                    pct(0.95),
+                    pct(0.99),
                 ]);
             }
             out.push_str(&t.render());

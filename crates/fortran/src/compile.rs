@@ -219,7 +219,9 @@ impl Backend {
         clusters: usize,
         limit: u64,
     ) -> cedar_machine::Result<ExecReport> {
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters.clamp(1, 4)))?;
+        let mut m = Machine::new(
+            MachineConfig::cedar_with_clusters(clusters.clamp(1, 4)).with_env_threads(),
+        )?;
         let programs = self.lower(prog, &mut m, clusters.clamp(1, 4));
         let r = m.run(programs, limit)?;
         Ok(ExecReport::from(&r))

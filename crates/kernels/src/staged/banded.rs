@@ -95,9 +95,10 @@ impl BandedMatvec {
     ///
     /// Propagates simulator errors.
     pub fn mflops_on_cedar(&self, clusters: usize) -> cedar_machine::Result<f64> {
-        let mut m = Machine::new(cedar_machine::MachineConfig::cedar_with_clusters(
-            clusters.clamp(1, 4),
-        ))?;
+        let mut m = Machine::new(
+            cedar_machine::MachineConfig::cedar_with_clusters(clusters.clamp(1, 4))
+                .with_env_threads(),
+        )?;
         let progs = self.build(&mut m, clusters.clamp(1, 4));
         let r = m.run(progs, 4_000_000_000)?;
         Ok(r.mflops)

@@ -171,9 +171,9 @@ impl StagedCg {
     /// Propagates machine errors (notably the cycle limit on deadlock).
     pub fn mflops_on_cedar(&self, ces: usize) -> cedar_machine::Result<f64> {
         let clusters = ces.div_ceil(8).max(1);
-        let mut m = Machine::new(cedar_machine::MachineConfig::cedar_with_clusters(
-            clusters.min(4),
-        ))?;
+        let mut m = Machine::new(
+            cedar_machine::MachineConfig::cedar_with_clusters(clusters.min(4)).with_env_threads(),
+        )?;
         let progs = self.build(&mut m, ces);
         let r = m.run(progs, 2_000_000_000)?;
         // Use the intended flop count (identical to emitted — checked in

@@ -188,6 +188,24 @@ impl ClusterCache {
         self.stats
     }
 
+    /// Fold the tag-array state (tag, dirty bit and LRU stamp of every
+    /// way, in set/way order) into `h` (see `Machine::memory_digest`).
+    pub(crate) fn digest(&self, h: &mut impl std::hash::Hasher) {
+        for set in &self.tags {
+            for way in set {
+                match way {
+                    Some(line) => {
+                        h.write_u8(1);
+                        h.write_u64(line.tag);
+                        h.write_u8(u8::from(line.dirty));
+                        h.write_u64(line.lru);
+                    }
+                    None => h.write_u8(0),
+                }
+            }
+        }
+    }
+
     /// Statistics of the backing cluster memory.
     pub fn mem_stats(&self) -> crate::memory::cluster_mem::ClusterMemStats {
         self.mem.stats()

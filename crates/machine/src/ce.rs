@@ -17,7 +17,7 @@ use crate::ids::{CeId, ClusterId};
 use crate::memory::address::{module_of, page_of};
 use crate::memory::sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};
 use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind, Stream};
-use crate::network::Omega;
+use crate::network::InjectPort;
 use crate::prefetch::{Pfu, PrefetchStats};
 use crate::program::{Block, MemOperand, Op, Program, VectorOp};
 use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
@@ -26,8 +26,10 @@ use crate::vm::Tlb;
 
 /// Everything a CE touches outside itself during one tick.
 pub struct CeContext<'a> {
-    /// The forward network (request injection at this CE's port).
-    pub forward: &'a mut Omega,
+    /// The forward network (request injection at this CE's port): the
+    /// [`Omega`](crate::network::Omega) itself on the single-threaded
+    /// engine, a per-port staging buffer under the parallel engine.
+    pub forward: &'a mut dyn InjectPort,
     /// The CE's cluster's shared cache.
     pub cache: &'a mut ClusterCache,
     /// The CE's cluster's concurrency control bus.

@@ -284,6 +284,17 @@ pub struct MachineConfig {
     pub ces_per_cluster: usize,
     /// CE instruction cycle time in nanoseconds (Cedar: 170 ns).
     pub cycle_ns: f64,
+    /// Simulation host threads for the cluster phase of each cycle.
+    ///
+    /// `1` (the default) is the single-threaded engine. Larger values shard
+    /// the per-cycle cluster stepping (CEs, cluster cache and memory,
+    /// prefetch units, concurrency bus) across `std::thread::scope` workers
+    /// with a barrier exchange for cross-cluster traffic; results are
+    /// bit-for-bit identical to the single-threaded engine (see
+    /// `Machine::run`). Capped at the cluster count; ignored (serial
+    /// fallback) when [`VmConfig::enabled`] is set, because page-fault
+    /// interleaving is inherently order-dependent.
+    pub num_threads: usize,
     pub ce: CeConfig,
     pub cache: CacheConfig,
     pub cluster_memory: ClusterMemoryConfig,
@@ -301,6 +312,7 @@ impl MachineConfig {
             clusters: 4,
             ces_per_cluster: 8,
             cycle_ns: CEDAR_CYCLE_NS,
+            num_threads: 1,
             ce: CeConfig::cedar(),
             cache: CacheConfig::cedar(),
             cluster_memory: ClusterMemoryConfig::cedar(),
@@ -321,6 +333,24 @@ impl MachineConfig {
         cfg
     }
 
+    /// The same configuration with `num_threads` simulation threads.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// The same configuration with `num_threads` taken from the
+    /// `CEDAR_NUM_THREADS` environment variable when set (and parseable);
+    /// unchanged otherwise. The experiment drivers route every machine they
+    /// build through this, so a CI leg or a user can switch the whole
+    /// experiment suite to the parallel engine without touching code.
+    pub fn with_env_threads(mut self) -> Self {
+        if let Some(n) = threads_from_env() {
+            self.num_threads = n;
+        }
+        self
+    }
+
     /// Total CEs in the machine.
     pub fn total_ces(&self) -> usize {
         self.clusters * self.ces_per_cluster
@@ -339,6 +369,9 @@ impl MachineConfig {
         }
         if self.ces_per_cluster == 0 {
             return Err("clusters must have at least one CE".into());
+        }
+        if self.num_threads == 0 {
+            return Err("the machine needs at least one simulation thread".into());
         }
         if self.cycle_ns <= 0.0 || self.cycle_ns.is_nan() {
             return Err("cycle time must be positive".into());
@@ -397,6 +430,17 @@ impl Default for MachineConfig {
     fn default() -> Self {
         Self::cedar()
     }
+}
+
+/// The simulation thread count requested through the `CEDAR_NUM_THREADS`
+/// environment variable, if set to a positive integer.
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var("CEDAR_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 #[cfg(test)]
@@ -459,5 +503,36 @@ mod tests {
         let bytes_per_sec = cfg.global_memory.modules as f64 * 8.0
             / (cfg.global_memory.service_cycles as f64 * cfg.cycle_ns * 1e-9);
         assert!(bytes_per_sec > 700e6 && bytes_per_sec < 800e6);
+    }
+
+    #[test]
+    fn thread_count_defaults_to_serial_and_validates() {
+        let cfg = MachineConfig::cedar();
+        assert_eq!(cfg.num_threads, 1);
+        assert_eq!(cfg.with_threads(4).num_threads, 4);
+        let mut cfg = MachineConfig::cedar();
+        cfg.num_threads = 0;
+        assert!(cfg.validate().is_err(), "zero threads cannot step anything");
+    }
+
+    // One test owns the CEDAR_NUM_THREADS variable end to end: unit
+    // tests share a process, so splitting these cases would race on the
+    // environment.
+    #[test]
+    fn env_thread_knob_parses_and_feeds_with_env_threads() {
+        std::env::remove_var("CEDAR_NUM_THREADS");
+        assert_eq!(threads_from_env(), None);
+        assert_eq!(MachineConfig::cedar().with_env_threads().num_threads, 1);
+
+        std::env::set_var("CEDAR_NUM_THREADS", " 4 ");
+        assert_eq!(threads_from_env(), Some(4));
+        assert_eq!(MachineConfig::cedar().with_env_threads().num_threads, 4);
+
+        // Garbage and zero are ignored, not errors.
+        for bad in ["zero", "", "0", "-2"] {
+            std::env::set_var("CEDAR_NUM_THREADS", bad);
+            assert_eq!(threads_from_env(), None, "{bad:?} should not parse");
+        }
+        std::env::remove_var("CEDAR_NUM_THREADS");
     }
 }

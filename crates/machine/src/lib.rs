@@ -46,6 +46,7 @@ pub mod machine;
 pub mod memory;
 pub mod monitor;
 pub mod network;
+mod parallel;
 pub mod prefetch;
 pub mod program;
 pub mod sched;

@@ -91,21 +91,21 @@ pub struct RunReport {
 /// The simulated Cedar machine.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    now: Cycle,
-    forward: Omega,
-    reverse: Omega,
-    gmem: GlobalMemory,
-    clusters: Vec<Cluster>,
-    counters: Vec<CounterDef>,
-    barriers: Vec<BarrierDef>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: Cycle,
+    pub(crate) forward: Omega,
+    pub(crate) reverse: Omega,
+    pub(crate) gmem: GlobalMemory,
+    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) counters: Vec<CounterDef>,
+    pub(crate) barriers: Vec<BarrierDef>,
     next_sync_slot: u64,
     next_bus_barrier_slot: usize,
-    engines: Vec<Option<CeEngine>>,
-    page_table: PageTable,
-    tracer: EventTracer,
-    latency_histogram: Histogrammer,
-    timeline: UtilizationTimeline,
+    pub(crate) engines: Vec<Option<CeEngine>>,
+    pub(crate) page_table: PageTable,
+    pub(crate) tracer: EventTracer,
+    pub(crate) latency_histogram: Histogrammer,
+    pub(crate) timeline: UtilizationTimeline,
 }
 
 impl Machine {
@@ -426,14 +426,52 @@ impl Machine {
         let start = self.now;
         self.timeline.reset(start, total);
         let stats_start = self.stats();
+        if self.effective_threads() > 1 {
+            self.run_loop_parallel(start, limit)?;
+        } else {
+            self.run_loop_serial(start, limit)?;
+        }
+        self.timeline.finish(self.now, &self.utilization_samples());
+        Ok(self.report(start, &stats_start))
+    }
+
+    fn run_loop_serial(&mut self, start: Cycle, limit: u64) -> Result<()> {
         while !self.all_done() {
             if self.now.saturating_since(start) > limit {
                 return Err(MachineError::CycleLimitExceeded { limit });
             }
             self.tick();
         }
-        self.timeline.finish(self.now, &self.utilization_samples());
-        Ok(self.report(start, &stats_start))
+        Ok(())
+    }
+
+    /// Worker threads the parallel engine will actually use: the
+    /// configured count, capped at one worker per cluster, forced to one
+    /// when VM modelling is on (page-fault interleaving across clusters is
+    /// inherently order-dependent, so only the serial engine can model
+    /// it deterministically).
+    pub(crate) fn effective_threads(&self) -> usize {
+        if self.cfg.vm.enabled {
+            1
+        } else {
+            self.cfg.num_threads.min(self.cfg.clusters)
+        }
+    }
+
+    /// A deterministic digest of the machine's persistent memory state:
+    /// every global-memory synchronization word and every cluster-cache
+    /// tag array. Two runs of the same programs end with equal digests iff
+    /// they performed the same memory-visible work — the determinism test
+    /// suite compares this across thread counts.
+    pub fn memory_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let mut h = DefaultHasher::new();
+        self.gmem.digest(&mut h);
+        for cl in &self.clusters {
+            cl.cache.digest(&mut h);
+        }
+        h.finish()
     }
 
     /// Cumulative per-CE utilization samples, one per configured CE

@@ -88,6 +88,14 @@ impl GlobalMemory {
             m.clear_sync();
         }
     }
+
+    /// Fold every module's persistent memory state into `h`, in bank
+    /// order (see `Machine::memory_digest`).
+    pub(crate) fn digest(&self, h: &mut impl std::hash::Hasher) {
+        for m in &self.modules {
+            m.digest(h);
+        }
+    }
 }
 
 impl NetSink for GlobalMemory {

@@ -107,6 +107,19 @@ impl Module {
         self.sync_vars.clear();
     }
 
+    /// Fold this module's persistent memory state (the synchronization
+    /// words, in address order) into `h`.
+    pub(crate) fn digest(&self, h: &mut impl std::hash::Hasher) {
+        let mut words: Vec<(u64, i32)> = self.sync_vars.iter().map(|(&a, &v)| (a, v)).collect();
+        words.sort_unstable();
+        h.write_usize(self.port);
+        h.write_usize(words.len());
+        for (addr, value) in words {
+            h.write_u64(addr);
+            h.write_i32(value);
+        }
+    }
+
     /// Advance one cycle: retire finished service into a reply, inject the
     /// pending reply into the reverse network, start the next request.
     pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {

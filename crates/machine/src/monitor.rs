@@ -76,6 +76,19 @@ impl EventTracer {
         self.capacity
     }
 
+    /// Append another tracer's events (and its dropped count) to this
+    /// one, respecting this tracer's capacity. The parallel engine merges
+    /// per-shard cycle buffers in cluster order through this; because a
+    /// shard buffer only overflows once the merged trace would have
+    /// overflowed too, the merged result matches a single serial tracer
+    /// exactly.
+    pub fn absorb(&mut self, other: &EventTracer) {
+        for &(at, tag) in other.events() {
+            self.post(at, tag);
+        }
+        self.dropped += other.dropped();
+    }
+
     /// Clear the trace for a new experiment.
     pub fn clear(&mut self) {
         self.events.clear();
@@ -148,38 +161,42 @@ impl Histogrammer {
 
     /// The value below which fraction `p` (in `0.0..=1.0`) of the samples
     /// fall: the smallest bin index whose cumulative count reaches
-    /// `ceil(p * total)`. Returns 0 when the histogram is empty.
+    /// `ceil(p * total)`. Returns `None` when the histogram is empty —
+    /// an empty distribution has no percentiles, and conflating "no
+    /// samples" with "all samples at 0" misread idle probes as
+    /// zero-latency ones.
     ///
     /// # Examples
     ///
     /// ```
     /// use cedar_machine::monitor::Histogrammer;
     /// let mut h = Histogrammer::with_bins(16);
+    /// assert_eq!(h.percentile(0.5), None);
     /// for v in [1, 1, 2, 3, 10] {
     ///     h.record(v);
     /// }
-    /// assert_eq!(h.percentile(0.5), 2);
-    /// assert_eq!(h.percentile(1.0), 10);
+    /// assert_eq!(h.percentile(0.5), Some(2));
+    /// assert_eq!(h.percentile(1.0), Some(10));
     /// ```
     ///
     /// # Panics
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
-    pub fn percentile(&self, p: f64) -> usize {
+    pub fn percentile(&self, p: f64) -> Option<usize> {
         assert!((0.0..=1.0).contains(&p), "percentile wants p in 0..=1");
         let total = self.total();
         if total == 0 {
-            return 0;
+            return None;
         }
         let rank = ((p * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &b) in self.bins.iter().enumerate() {
             seen += u64::from(b);
             if seen >= rank {
-                return i;
+                return Some(i);
             }
         }
-        self.bins.len() - 1
+        Some(self.bins.len() - 1)
     }
 
     /// Bin-wise difference `self - earlier` (saturating at zero), sized to
@@ -256,16 +273,32 @@ mod tests {
         for v in 0..100 {
             h.record(v);
         }
-        assert_eq!(h.percentile(0.5), 49);
-        assert_eq!(h.percentile(0.95), 94);
-        assert_eq!(h.percentile(0.99), 98);
-        assert_eq!(h.percentile(1.0), 99);
-        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), Some(49));
+        assert_eq!(h.percentile(0.95), Some(94));
+        assert_eq!(h.percentile(0.99), Some(98));
+        assert_eq!(h.percentile(1.0), Some(99));
+        assert_eq!(h.percentile(0.0), Some(0));
     }
 
     #[test]
-    fn percentile_of_empty_histogram_is_zero() {
-        assert_eq!(Histogrammer::with_bins(8).percentile(0.99), 0);
+    fn percentile_of_empty_histogram_is_none() {
+        // Regression: this used to report bin 0, indistinguishable from
+        // a real all-zero-latency distribution.
+        let h = Histogrammer::with_bins(8);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.99), None);
+        assert_eq!(h.percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_returns_some_once_a_sample_lands() {
+        let mut h = Histogrammer::with_bins(8);
+        assert_eq!(h.percentile(0.5), None);
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0));
+        h.clear();
+        assert_eq!(h.percentile(0.5), None, "clear() empties the histogram");
     }
 
     #[test]
@@ -274,7 +307,7 @@ mod tests {
         for _ in 0..10 {
             h.record(3);
         }
-        assert_eq!(h.percentile(0.5), 3);
-        assert_eq!(h.percentile(0.99), 3);
+        assert_eq!(h.percentile(0.5), Some(3));
+        assert_eq!(h.percentile(0.99), Some(3));
     }
 }

@@ -38,6 +38,23 @@ struct Flit {
     route: u8,
 }
 
+/// Where producers push packets. Implemented directly by [`Omega`] (the
+/// single-threaded engine injects straight into the network) and by the
+/// parallel engine's per-port staging buffers, which record injections
+/// during the sharded cluster phase and replay them against the real
+/// network at the barrier, in deterministic port order.
+pub trait InjectPort {
+    /// Offer a packet for injection at `port`; `false` means the port is
+    /// backpressured this cycle and the caller must retry later.
+    fn try_inject(&mut self, port: usize, packet: Packet) -> bool;
+}
+
+impl InjectPort for Omega {
+    fn try_inject(&mut self, port: usize, packet: Packet) -> bool {
+        Omega::try_inject(self, port, packet)
+    }
+}
+
 /// Where delivered packets go. Implemented by the global-memory side (for
 /// the forward network) and the CE side (for the reverse network).
 pub trait NetSink {
@@ -258,6 +275,14 @@ impl Omega {
     /// True when no packet is anywhere in the network.
     pub fn is_idle(&self) -> bool {
         self.in_flight == 0
+    }
+
+    /// Packets `port`'s injector can still accept this cycle. Injection
+    /// acceptance depends only on this per-port occupancy, which is what
+    /// lets the parallel engine precompute it for its staging buffers.
+    pub fn injector_free(&self, port: usize) -> usize {
+        self.injector_cap
+            .saturating_sub(self.injectors[port].pending.len())
     }
 
     /// Statistics since construction.

@@ -1,0 +1,399 @@
+//! The deterministic parallel execution engine.
+//!
+//! The simulated Cedar is four largely independent Alliant clusters that
+//! interact only through the omega networks, the global memory and the
+//! concurrency control buses — the same decomposition the hardware
+//! exploits. This engine exploits it in software: each cycle, the
+//! cluster-local work (CE engines, prefetch units, cluster cache and
+//! memory, CC bus) is sharded across `std::thread::scope` workers, while
+//! the genuinely shared components (both omega networks and the
+//! global-memory banks) tick on the coordinating thread between two
+//! barriers.
+//!
+//! # Determinism
+//!
+//! The engine is bit-for-bit equivalent to the single-threaded engine in
+//! [`Machine::run`](crate::machine::Machine::run), not merely "equivalent
+//! up to reordering". That follows from three facts:
+//!
+//! 1. **Cluster state is disjoint.** A CE only touches its own cluster's
+//!    cache, TLB and CC bus, so shards never share mutable state.
+//! 2. **Cross-cluster traffic is per-port.** A CE (and its prefetch unit)
+//!    injects only at its own forward-network port, and acceptance
+//!    depends only on that port's injector occupancy
+//!    ([`Omega::injector_free`]), which is frozen for the cycle once the
+//!    serial network tick has run. Workers therefore record injections in
+//!    per-port staging buffers ([`PortStage`]) against a precomputed free
+//!    count, and the coordinator replays them into the real network at
+//!    the end-of-cycle barrier in (cluster id, CE id) order — exactly the
+//!    order the serial engine's CE loop performs them.
+//! 3. **Within a cycle, injections are invisible.** The serial tick moves
+//!    network words *before* ticking CEs, so a packet injected during the
+//!    CE phase is not observed by anything until the next cycle; applying
+//!    it at the barrier instead of mid-phase changes nothing.
+//!
+//! Tracer events posted by CEs are likewise buffered per shard and merged
+//! in the same order. The one model the barrier scheme cannot reproduce
+//! is demand paging, where same-cycle faults from different clusters race
+//! for the machine-wide page table; with [`VmConfig::enabled`]
+//! (`crate::config::VmConfig::enabled`) set the machine silently falls
+//! back to the serial engine.
+//!
+//! [`Omega::injector_free`]: crate::network::Omega::injector_free
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::ce::{CeContext, CeEngine};
+use crate::error::{MachineError, Result};
+use crate::machine::{Cluster, Machine};
+use crate::monitor::{EventTracer, Histogrammer};
+use crate::network::packet::{Packet, Payload, Stream};
+use crate::network::{InjectPort, NetSink};
+use crate::sched::{BarrierDef, CounterDef};
+use crate::stats::UtilSample;
+use crate::time::Cycle;
+use crate::vm::PageTable;
+
+/// A reusable sense-reversing barrier. `std::sync::Barrier` parks and
+/// wakes through a mutex/condvar pair, which costs microseconds per wait;
+/// at two waits per simulated cycle that would swamp the cluster work.
+/// This one spins briefly and then yields, so it stays cheap both on
+/// dedicated cores and on oversubscribed hosts.
+struct SpinBarrier {
+    members: usize,
+    /// Spin iterations before falling back to `yield_now`. Zero when the
+    /// host has fewer cores than barrier members: spinning there only
+    /// burns the timeslice the straggler needs.
+    max_spins: u32,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(members: usize) -> SpinBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        SpinBarrier {
+            members,
+            max_spins: if cores >= members { 128 } else { 0 },
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.members {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < self.max_spins {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A per-port staging buffer standing in for the forward network during
+/// the sharded cluster phase: accepts up to the port's real free injector
+/// slots (computed by the coordinator after the serial network tick) and
+/// records the packets for deterministic replay at the barrier.
+struct PortStage {
+    /// The global network port this stage fronts (the owning CE's port).
+    port: usize,
+    /// Injector slots still free this cycle.
+    free: usize,
+    /// Accepted packets, in injection order.
+    staged: Vec<Packet>,
+}
+
+impl InjectPort for PortStage {
+    fn try_inject(&mut self, port: usize, packet: Packet) -> bool {
+        debug_assert_eq!(port, self.port, "CE injected at a foreign port");
+        if self.free == 0 {
+            return false;
+        }
+        self.free -= 1;
+        self.staged.push(packet);
+        true
+    }
+}
+
+/// One worker's slice of the machine: a contiguous run of clusters and
+/// their engines, plus the staging state that decouples the shard from
+/// everything shared.
+struct Shard {
+    first_cluster: usize,
+    clusters: Vec<Cluster>,
+    /// Engines of the shard's CEs, indexed by CE id minus the shard base.
+    engines: Vec<Option<CeEngine>>,
+    /// One staging buffer per engine slot (port = shard base + index).
+    stages: Vec<PortStage>,
+    /// Per-cycle event buffer, merged into the machine tracer in cluster
+    /// order at the barrier.
+    events: EventTracer,
+    /// Scratch page table handed to `CeContext`. Never touched: the
+    /// parallel engine only runs with VM modelling off.
+    page_table: PageTable,
+    /// All local engines finished, as of the last tick.
+    done: bool,
+}
+
+impl Shard {
+    /// The cluster phase of one cycle, mirroring the serial engine's
+    /// order: every CC bus first, then the engines in CE-id order.
+    fn tick(&mut self, now: Cycle, counters: &[CounterDef], barriers: &[BarrierDef]) {
+        let Shard {
+            first_cluster,
+            clusters,
+            engines,
+            stages,
+            events,
+            page_table,
+            done,
+            ..
+        } = self;
+        for cl in clusters.iter_mut() {
+            cl.ccbus.tick(now);
+        }
+        let mut all_done = true;
+        for (i, e) in engines.iter_mut().enumerate() {
+            let Some(e) = e else { continue };
+            let cluster = &mut clusters[e.cluster().0 - *first_cluster];
+            let mut ctx = CeContext {
+                forward: &mut stages[i],
+                cache: &mut cluster.cache,
+                ccbus: &mut cluster.ccbus,
+                tlb: &mut cluster.tlb,
+                page_table,
+                counters,
+                barriers,
+                tracer: events,
+            };
+            e.tick(now, &mut ctx);
+            all_done &= e.is_done();
+        }
+        *done = all_done;
+    }
+}
+
+/// Routes reverse-network deliveries into the engines now living inside
+/// shards — the parallel twin of the serial engine's `CeSink`, running on
+/// the coordinator between barriers (the per-delivery lock is never
+/// contended there).
+struct ShardCeSink<'a> {
+    shards: &'a [Mutex<Shard>],
+    /// Shard index owning each cluster.
+    cluster_of: &'a [usize],
+    ces_per_cluster: usize,
+    histogram: &'a mut Histogrammer,
+    now: Cycle,
+}
+
+impl NetSink for ShardCeSink<'_> {
+    fn try_begin(&mut self, _port: usize) -> bool {
+        true
+    }
+
+    fn deliver(&mut self, port: usize, packet: Packet) {
+        if let Payload::Reply(r) = packet.payload {
+            if matches!(r.stream, Stream::Prefetch { .. }) {
+                self.histogram
+                    .record(self.now.saturating_since(r.req_issued) as usize);
+            }
+            let Some(&shard) = self.cluster_of.get(port / self.ces_per_cluster) else {
+                return;
+            };
+            let mut sh = self.shards[shard].lock().expect("shard lock");
+            let idx = port - sh.first_cluster * self.ces_per_cluster;
+            if let Some(Some(e)) = sh.engines.get_mut(idx) {
+                e.receive(self.now, r);
+            }
+        } else {
+            debug_assert!(false, "request packet delivered to CE side");
+        }
+    }
+}
+
+impl Machine {
+    /// The parallel run loop: shard the clusters across
+    /// `effective_threads` scoped workers and step cycles with a
+    /// two-barrier exchange per cycle. See the module docs for the
+    /// determinism argument.
+    pub(crate) fn run_loop_parallel(&mut self, start: Cycle, limit: u64) -> Result<()> {
+        let threads = self.effective_threads();
+        debug_assert!(threads > 1, "parallel loop needs two or more workers");
+        let cpc = self.cfg.ces_per_cluster;
+        let n_clusters = self.cfg.clusters;
+
+        // Partition the clusters (and their engines) contiguously, as
+        // evenly as possible.
+        let mut cluster_iter = std::mem::take(&mut self.clusters).into_iter();
+        let mut engine_iter = std::mem::take(&mut self.engines).into_iter();
+        let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(threads);
+        let mut cluster_of = Vec::with_capacity(n_clusters);
+        let mut first_cluster = 0;
+        for w in 0..threads {
+            let count = n_clusters / threads + usize::from(w < n_clusters % threads);
+            let clusters: Vec<Cluster> = cluster_iter.by_ref().take(count).collect();
+            let engines: Vec<Option<CeEngine>> = engine_iter.by_ref().take(count * cpc).collect();
+            let stages = (0..count * cpc)
+                .map(|i| PortStage {
+                    port: first_cluster * cpc + i,
+                    free: 0,
+                    staged: Vec::new(),
+                })
+                .collect();
+            let done = engines.iter().flatten().all(CeEngine::is_done);
+            cluster_of.extend(std::iter::repeat_n(w, count));
+            shards.push(Mutex::new(Shard {
+                first_cluster,
+                clusters,
+                engines,
+                stages,
+                events: EventTracer::with_capacity(self.tracer.capacity()),
+                page_table: PageTable::new(),
+                done,
+            }));
+            first_cluster += count;
+        }
+
+        let result = {
+            let Machine {
+                now,
+                forward,
+                reverse,
+                gmem,
+                counters,
+                barriers,
+                tracer,
+                latency_histogram,
+                timeline,
+                ..
+            } = &mut *self;
+            let counters: &[CounterDef] = counters;
+            let barriers: &[BarrierDef] = barriers;
+            let go = SpinBarrier::new(threads);
+            let handoff = SpinBarrier::new(threads);
+            let stop = AtomicBool::new(false);
+            let cycle = AtomicU64::new(now.0);
+            let shards = &shards;
+
+            std::thread::scope(|s| {
+                for shard in &shards[1..] {
+                    let (go, handoff, stop, cycle) = (&go, &handoff, &stop, &cycle);
+                    s.spawn(move || loop {
+                        go.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let t = Cycle(cycle.load(Ordering::Acquire));
+                        shard
+                            .lock()
+                            .expect("shard lock")
+                            .tick(t, counters, barriers);
+                        handoff.wait();
+                    });
+                }
+
+                let result = loop {
+                    let ces_done = shards.iter().all(|s| s.lock().expect("shard lock").done);
+                    if ces_done && forward.is_idle() && reverse.is_idle() && gmem.is_idle() {
+                        break Ok(());
+                    }
+                    if now.saturating_since(start) > limit {
+                        break Err(MachineError::CycleLimitExceeded { limit });
+                    }
+                    // Serial phase, in the serial engine's order: memory,
+                    // reverse network (delivering into shard engines),
+                    // forward network.
+                    *now += 1;
+                    let t = *now;
+                    gmem.tick(t, reverse);
+                    {
+                        let mut sink = ShardCeSink {
+                            shards,
+                            cluster_of: &cluster_of,
+                            ces_per_cluster: cpc,
+                            histogram: latency_histogram,
+                            now: t,
+                        };
+                        reverse.tick(&mut sink);
+                    }
+                    forward.tick(&mut *gmem);
+                    // Freeze this cycle's injector capacity into the
+                    // staging buffers.
+                    for sm in shards.iter() {
+                        let mut sh = sm.lock().expect("shard lock");
+                        for st in &mut sh.stages {
+                            st.free = forward.injector_free(st.port);
+                            debug_assert!(st.staged.is_empty(), "stage not drained");
+                        }
+                    }
+                    cycle.store(t.0, Ordering::Release);
+
+                    // Cluster phase: all workers (this thread is shard 0's).
+                    go.wait();
+                    shards[0]
+                        .lock()
+                        .expect("shard lock")
+                        .tick(t, counters, barriers);
+                    handoff.wait();
+
+                    // Exchange phase: replay staged traffic in (cluster,
+                    // CE) order — the serial engine's exact order.
+                    for sm in shards.iter() {
+                        let mut sh = sm.lock().expect("shard lock");
+                        let Shard { stages, events, .. } = &mut *sh;
+                        for st in stages.iter_mut() {
+                            for pkt in st.staged.drain(..) {
+                                let accepted = forward.try_inject(st.port, pkt);
+                                debug_assert!(accepted, "staged injection exceeded capacity");
+                            }
+                        }
+                        tracer.absorb(events);
+                        events.clear();
+                    }
+                    if timeline.due(t) {
+                        let mut samples = Vec::with_capacity(n_clusters * cpc);
+                        for sm in shards.iter() {
+                            let sh = sm.lock().expect("shard lock");
+                            samples.extend(sh.engines.iter().map(|e| match e {
+                                Some(e) => {
+                                    let s = e.stats();
+                                    UtilSample {
+                                        busy: s.busy,
+                                        stall_mem: s.stall_mem,
+                                        stall_sync: s.stall_sync,
+                                        idle: s.idle,
+                                    }
+                                }
+                                None => UtilSample::default(),
+                            }));
+                        }
+                        timeline.record(&samples);
+                    }
+                };
+                stop.store(true, Ordering::Release);
+                go.wait();
+                result
+            })
+        };
+
+        // Reassemble the machine whether the run finished or hit the
+        // cycle limit: `report`/`stats` need the engines back in place.
+        for sm in shards {
+            let sh = sm.into_inner().expect("shard lock");
+            self.clusters.extend(sh.clusters);
+            self.engines.extend(sh.engines);
+        }
+        result
+    }
+}

@@ -15,7 +15,7 @@ use crate::config::PrefetchConfig;
 use crate::ids::CeId;
 use crate::memory::address::{crosses_page, module_of};
 use crate::network::packet::{MemRequest, Packet, RequestKind, Stream};
-use crate::network::Omega;
+use crate::network::InjectPort;
 use crate::time::Cycle;
 
 /// Aggregated prefetch measurements for one CE — the quantities the
@@ -219,7 +219,7 @@ impl Pfu {
 
     /// Advance one cycle: issue up to `issue_per_cycle` requests into the
     /// CE's forward-network port.
-    pub fn tick(&mut self, now: Cycle, port: usize, forward: &mut Omega) {
+    pub fn tick(&mut self, now: Cycle, port: usize, forward: &mut dyn InjectPort) {
         for _ in 0..self.cfg.issue_per_cycle {
             match self.state {
                 IssueState::Idle => return,
@@ -313,7 +313,7 @@ mod tests {
     use super::*;
     use crate::config::NetworkConfig;
     use crate::network::packet::Payload;
-    use crate::network::NetSink;
+    use crate::network::{NetSink, Omega};
 
     #[derive(Default)]
     struct Collect {

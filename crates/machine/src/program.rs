@@ -8,7 +8,7 @@
 //! affine expressions in the enclosing loop indices so that one compact
 //! program can sweep large data structures.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ids::CounterId;
 use crate::memory::sync::SyncInstr;
@@ -109,7 +109,7 @@ pub struct VectorOp {
 
 /// A straight-line block of operations, cheaply shareable between loop
 /// frames and across CEs.
-pub type Block = Rc<[Op]>;
+pub type Block = Arc<[Op]>;
 
 /// One operation in a CE program.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,7 +175,7 @@ impl Program {
     /// An empty program (the CE finishes immediately).
     pub fn empty() -> Program {
         Program {
-            body: Rc::from(Vec::new()),
+            body: Arc::from(Vec::new()),
         }
     }
 
@@ -267,7 +267,7 @@ impl ProgramBuilder {
         let body = self.stack.pop().expect("pushed above");
         self.push(Op::Repeat {
             count,
-            body: Rc::from(body),
+            body: Arc::from(body),
         })
     }
 
@@ -302,7 +302,7 @@ impl ProgramBuilder {
             limit,
             chunk,
             dispatch_cost,
-            body: Rc::from(body),
+            body: Arc::from(body),
         })
     }
 
@@ -315,7 +315,7 @@ impl ProgramBuilder {
     pub fn build(mut self) -> Program {
         assert_eq!(self.stack.len(), 1, "unclosed block in program builder");
         Program {
-            body: Rc::from(self.stack.pop().expect("root block")),
+            body: Arc::from(self.stack.pop().expect("root block")),
         }
     }
 }

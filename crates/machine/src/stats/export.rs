@@ -20,13 +20,17 @@ pub fn flat_text(stats: &MachineStats) -> String {
         out.push_str(&format!("{name:<width$}  {value}\n"));
     }
     for (name, h) in stats.histograms() {
+        let pct = |p| {
+            h.percentile(p)
+                .map_or_else(|| "-".into(), |v: usize| v.to_string())
+        };
         out.push_str(&format!(
             "{name:<width$}  total={} mean={:.1} p50={} p95={} p99={}\n",
             h.total(),
             h.mean(),
-            h.percentile(0.50),
-            h.percentile(0.95),
-            h.percentile(0.99),
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
         ));
     }
     out

@@ -1,0 +1,146 @@
+//! Determinism / equivalence tests for the parallel execution engine.
+//!
+//! The multi-threaded engine (`MachineConfig::num_threads > 1`) promises
+//! bit-for-bit equivalence with the single-threaded simulator: identical
+//! cycle counts, identical final memory state, and an identical
+//! stats-counter tree, whatever the thread count. These tests pin that
+//! guarantee on the workloads the paper's tables are built from: the
+//! rank-64 update (Table 1 rows: every memory version at every cluster
+//! count) and a Perfect-benchmark code compiled through the Fortran
+//! pipeline.
+
+use cedar_fortran::compile::Backend;
+use cedar_fortran::restructure::{Level, Restructurer};
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_machine::machine::Machine;
+use cedar_machine::stats::export::flat_text;
+use cedar_machine::{MachineConfig, MachineStats};
+use cedar_perfect::codes::{spec, CodeName};
+use cedar_xylem::costs::XylemCosts;
+
+/// Everything a run can leak about its execution: cycle count, a digest
+/// of the persistent memory state (global sync words + cache tag arrays),
+/// and the full stats-counter tree.
+struct Fingerprint {
+    cycles: u64,
+    memory: u64,
+    stats: MachineStats,
+}
+
+/// Compare `got` (run on `threads` threads) against the single-threaded
+/// `base`, with a readable counter diff on mismatch.
+fn assert_equivalent(label: &str, threads: usize, base: &Fingerprint, got: &Fingerprint) {
+    assert_eq!(
+        base.cycles, got.cycles,
+        "{label}: {threads}-thread run took {} cycles, serial took {}",
+        got.cycles, base.cycles
+    );
+    assert_eq!(
+        base.memory, got.memory,
+        "{label}: {threads}-thread run left different memory state"
+    );
+    if base.stats != got.stats {
+        let serial = flat_text(&base.stats);
+        let parallel = flat_text(&got.stats);
+        let diff: Vec<String> = serial
+            .lines()
+            .zip(parallel.lines())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  serial:   {a}\n  {threads}-thread: {b}"))
+            .collect();
+        panic!(
+            "{label}: {threads}-thread stats tree differs from serial:\n{}",
+            diff.join("\n")
+        );
+    }
+}
+
+fn run_rank64(clusters: usize, threads: usize, version: Rank64Version, n: u32) -> Fingerprint {
+    let cfg = MachineConfig::cedar_with_clusters(clusters).with_threads(threads);
+    let mut m = Machine::new(cfg).unwrap();
+    let kern = Rank64 { n, k: 64, version };
+    let progs = kern.build(&mut m, clusters);
+    let r = m.run(progs, 1_000_000_000).unwrap();
+    Fingerprint {
+        cycles: r.cycles,
+        memory: m.memory_digest(),
+        stats: r.stats,
+    }
+}
+
+/// The headline guarantee: the rank-64 kernel on the full machine is
+/// bit-identical at 1, 2 and 4 threads.
+#[test]
+fn rank64_is_deterministic_across_thread_counts() {
+    let version = Rank64Version::GmPrefetch { block_words: 32 };
+    let base = run_rank64(4, 1, version, 64);
+    assert!(base.cycles > 0);
+    for threads in [2, 4] {
+        let got = run_rank64(4, threads, version, 64);
+        assert_equivalent("rank64 gm+prefetch", threads, &base, &got);
+    }
+}
+
+/// Every Table 1 row (memory version × cluster count, at test scale)
+/// produces the same fingerprint under the parallel engine, including
+/// thread counts that split the clusters unevenly (3 threads over 4
+/// clusters → shards of 2/1/1).
+#[test]
+fn table1_rows_are_deterministic() {
+    for version in [
+        Rank64Version::GmNoPrefetch,
+        Rank64Version::GmPrefetch { block_words: 32 },
+        Rank64Version::GmCache,
+    ] {
+        let label = format!("table1 {version:?} x4 clusters");
+        let base = run_rank64(4, 1, version, 64);
+        for threads in [2, 3, 4] {
+            let got = run_rank64(4, threads, version, 64);
+            assert_equivalent(&label, threads, &base, &got);
+        }
+    }
+    // A partial machine with an uneven shard split: 3 clusters over 2
+    // threads (shards of 2/1).
+    let version = Rank64Version::GmCache;
+    let base = run_rank64(3, 1, version, 64);
+    let got = run_rank64(3, 2, version, 64);
+    assert_equivalent("table1 GmCache x3 clusters", 2, &base, &got);
+}
+
+/// Thread counts beyond the cluster count are capped, not an error: an
+/// 8-thread request on a 4-cluster machine behaves like 4 threads.
+#[test]
+fn excess_threads_are_capped_at_the_cluster_count() {
+    let version = Rank64Version::GmPrefetch { block_words: 32 };
+    let base = run_rank64(4, 1, version, 32);
+    let got = run_rank64(4, 8, version, 32);
+    assert_equivalent("rank64 with excess threads", 8, &base, &got);
+}
+
+fn run_perfect(code: CodeName, threads: usize) -> Fingerprint {
+    let clusters = 4;
+    let src = spec(code).to_source();
+    let compiled = Restructurer::default().restructure(&src, Level::Automatable);
+    let backend = Backend::new(XylemCosts::cedar());
+    let cfg = MachineConfig::cedar_with_clusters(clusters).with_threads(threads);
+    let mut m = Machine::new(cfg).unwrap();
+    let progs = backend.lower(&compiled, &mut m, clusters);
+    let r = m.run(progs, 4_000_000_000).unwrap();
+    Fingerprint {
+        cycles: r.cycles,
+        memory: m.memory_digest(),
+        stats: r.stats,
+    }
+}
+
+/// A Perfect-benchmark code through the full Fortran pipeline (TRFD at
+/// the automatable level) is bit-identical at 1, 2 and 4 threads.
+#[test]
+fn perfect_trfd_is_deterministic_across_thread_counts() {
+    let base = run_perfect(CodeName::Trfd, 1);
+    assert!(base.cycles > 0);
+    for threads in [2, 4] {
+        let got = run_perfect(CodeName::Trfd, threads);
+        assert_equivalent("perfect TRFD automatable", threads, &base, &got);
+    }
+}

@@ -211,8 +211,9 @@ proptest! {
 
     /// Conservation laws of the instrumentation layer hold for the
     /// rank-64 kernel on the full 32-CE machine, whatever the memory
-    /// version and problem size: counters from every subsystem must
-    /// account for each other exactly.
+    /// version, problem size, and — since the parallel engine promises
+    /// bit-identical execution — simulation thread count: counters from
+    /// every subsystem must account for each other exactly.
     #[test]
     fn stats_conservation_laws_hold_for_rank64(
         version in prop::sample::select(vec![
@@ -221,10 +222,11 @@ proptest! {
             Rank64Version::GmCache,
         ]),
         n in prop::sample::select(vec![32u32, 64]),
+        threads in prop::sample::select(vec![1usize, 2, 4]),
     ) {
         let clusters = 4;
         let mut m = Machine::new(
-            cedar_machine::MachineConfig::cedar_with_clusters(clusters),
+            cedar_machine::MachineConfig::cedar_with_clusters(clusters).with_threads(threads),
         ).unwrap();
         let kern = Rank64 { n, k: 64, version };
         let progs = kern.build(&mut m, clusters);
