@@ -1,0 +1,236 @@
+//! Simulator throughput: what the event-horizon fast-forward buys.
+//!
+//! Times the Table 1, Table 2 and PPT4 experiment drivers — plus a
+//! barrier-storm synthetic built to be almost entirely quiescent — twice
+//! each: once with fast-forward disabled (`CEDAR_NO_FASTFWD=1`, the
+//! cycle-by-cycle baseline) and once enabled. Checks that both passes
+//! produce identical results (the fast-forward contract is bit-for-bit
+//! equivalence, so there must be no simulated-cycle drift) and writes
+//! `BENCH_simspeed.json` with simulated cycles, wall seconds, simulated
+//! cycles per wall second and the speedup factor per experiment.
+//!
+//! `--smoke` shrinks every workload for CI; the full run sizes match the
+//! golden-snapshot/quick experiment scales.
+
+use std::time::Instant;
+
+use cedar::experiments::table2::Table2Sizes;
+use cedar::experiments::{ppt4, table1, table2};
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::program::{MemOperand, Op, Program, ProgramBuilder, VectorOp};
+use cedar_machine::sched::BarrierScope;
+use cedar_machine::{ClusterId, MachineConfig, MachineStats};
+
+/// One experiment's before/after measurement.
+struct Measurement {
+    name: &'static str,
+    simulated_cycles: u64,
+    wall_off: f64,
+    wall_on: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.wall_off / self.wall_on.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        let c = self.simulated_cycles as f64;
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"simulated_cycles\": {},\n",
+                "      \"wall_seconds_off\": {:.6},\n",
+                "      \"wall_seconds_on\": {:.6},\n",
+                "      \"cycles_per_sec_off\": {:.1},\n",
+                "      \"cycles_per_sec_on\": {:.1},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            self.name,
+            self.simulated_cycles,
+            self.wall_off,
+            self.wall_on,
+            c / self.wall_off.max(1e-9),
+            c / self.wall_on.max(1e-9),
+            self.speedup(),
+        )
+    }
+}
+
+fn set_fastfwd(on: bool) {
+    // "0" is the explicit enabled value; "1" disables (the same contract
+    // the CI matrix exercises).
+    std::env::set_var("CEDAR_NO_FASTFWD", if on { "0" } else { "1" });
+}
+
+/// Run `work` with fast-forward off then on; `work` returns a comparable
+/// result plus the simulated cycle count.
+fn measure<T: PartialEq>(name: &'static str, mut work: impl FnMut() -> (T, u64)) -> Measurement {
+    eprintln!("  {name}: fast-forward off...");
+    set_fastfwd(false);
+    let start = Instant::now();
+    let (result_off, cycles_off) = work();
+    let wall_off = start.elapsed().as_secs_f64();
+    eprintln!("  {name}: fast-forward on...");
+    set_fastfwd(true);
+    let start = Instant::now();
+    let (result_on, cycles_on) = work();
+    let wall_on = start.elapsed().as_secs_f64();
+    assert_eq!(
+        cycles_off, cycles_on,
+        "{name}: simulated cycles drifted between fast-forward modes"
+    );
+    assert!(
+        result_off == result_on,
+        "{name}: results differ between fast-forward modes"
+    );
+    Measurement {
+        name,
+        simulated_cycles: cycles_off,
+        wall_off,
+        wall_on,
+    }
+}
+
+fn stats_cycles<'a>(stats: impl IntoIterator<Item = &'a MachineStats>) -> u64 {
+    stats.into_iter().map(|s| s.counter("machine.cycles")).sum()
+}
+
+/// The barrier-storm synthetic: every round, one CE per cluster computes
+/// for `work` cycles while its seven siblings wait at a cluster barrier —
+/// the waiters' clusters are quiescent for almost the whole round, which
+/// is exactly the shape fast-forward targets (and the shape every
+/// barrier-bound Cedar workload degenerates to at small problem sizes).
+fn barrier_storm(rounds: u32, work: u32) -> (Vec<(CeId, Program)>, Machine) {
+    let mut m = Machine::new(MachineConfig::cedar()).expect("cedar config");
+    let clusters = m.config().clusters;
+    let cpc = m.config().ces_per_cluster;
+    let bars: Vec<_> = (0..clusters)
+        .map(|c| m.alloc_barrier(BarrierScope::Cluster(ClusterId(c)), cpc as u32))
+        .collect();
+    let mut progs = Vec::new();
+    for ce in 0..clusters * cpc {
+        let cluster = ce / cpc;
+        let mut b = ProgramBuilder::new();
+        b.repeat(rounds, |b| {
+            if ce % cpc == 0 {
+                b.scalar(work);
+            } else {
+                b.vector(VectorOp {
+                    length: 16,
+                    flops_per_element: 2,
+                    operand: MemOperand::None,
+                });
+            }
+            b.push(Op::Barrier {
+                barrier: bars[cluster],
+            });
+        });
+        progs.push((CeId(ce), b.build()));
+    }
+    (progs, m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "simulator throughput study (smoke = {smoke}, host parallelism = {host}, serial engine)"
+    );
+
+    let mut measurements = Vec::new();
+
+    // Barrier storm: the headline fast-forward workload.
+    let (rounds, work) = if smoke { (20, 10_000) } else { (50, 20_000) };
+    measurements.push(measure("barrier_storm", || {
+        let (progs, mut m) = barrier_storm(rounds, work);
+        let r = m.run(progs, 1_000_000_000).expect("barrier storm run");
+        ((r.cycles, r.flops, m.memory_digest()), r.cycles)
+    }));
+
+    // Table 1: rank-64 update, three memory versions x four cluster
+    // counts.
+    let n = if smoke { 64 } else { 128 };
+    measurements.push(measure("table1_rank64", || {
+        let t1 = table1::run(n).expect("table1 run");
+        let cycles = stats_cycles(t1.rows.iter().flat_map(|r| &r.stats));
+        (t1, cycles)
+    }));
+
+    // Table 2: VL/TM/RK/CG at 8/16/32 CEs.
+    let sizes = if smoke {
+        Table2Sizes {
+            vl_words_per_ce: 1024,
+            tm_n: 4096,
+            rk_n: 32,
+            cg_n: 4096,
+        }
+    } else {
+        Table2Sizes {
+            vl_words_per_ce: 2048,
+            tm_n: 8192,
+            rk_n: 64,
+            cg_n: 8192,
+        }
+    };
+    measurements.push(measure("table2_kernels", || {
+        let t2 = table2::run_sized(sizes).expect("table2 run");
+        let cycles = stats_cycles(t2.kernels.iter().flat_map(|k| &k.stats));
+        (t2, cycles)
+    }));
+
+    // PPT4: the CG scalability sweep (shrunk — the full paper sweep takes
+    // minutes per pass even fast-forwarded).
+    let (ns, procs, banded_n): (Vec<u64>, Vec<u32>, u64) = if smoke {
+        (vec![1_024], vec![8], 4_096)
+    } else {
+        (vec![1_024, 4_096], vec![8, 32], 8_192)
+    };
+    measurements.push(measure("ppt4_cg_sweep", || {
+        let study = ppt4::run_swept(1, &ns, &procs, banded_n).expect("ppt4 run");
+        let cycles = study.total_cycles;
+        (study, cycles)
+    }));
+
+    println!(
+        "{:<16} {:>16} {:>10} {:>10} {:>14} {:>14} {:>8}",
+        "experiment", "sim cycles", "off (s)", "on (s)", "cyc/s off", "cyc/s on", "speedup"
+    );
+    for m in &measurements {
+        let c = m.simulated_cycles as f64;
+        println!(
+            "{:<16} {:>16} {:>10.3} {:>10.3} {:>14.0} {:>14.0} {:>7.2}x",
+            m.name,
+            m.simulated_cycles,
+            m.wall_off,
+            m.wall_on,
+            c / m.wall_off.max(1e-9),
+            c / m.wall_on.max(1e-9),
+            m.speedup(),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"host_parallelism\": {host},\n  \"smoke\": {smoke},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        measurements
+            .iter()
+            .map(Measurement::json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    std::fs::write("BENCH_simspeed.json", json)?;
+    eprintln!("wrote BENCH_simspeed.json");
+
+    if !smoke {
+        let storm = &measurements[0];
+        assert!(
+            storm.speedup() >= 3.0,
+            "barrier storm should fast-forward at >= 3x wall clock, got {:.2}x",
+            storm.speedup()
+        );
+    }
+    Ok(())
+}

@@ -34,6 +34,9 @@ pub struct Ppt4Study {
     pub sizes: Vec<u64>,
     /// Processor counts this study swept.
     pub procs: Vec<u32>,
+    /// Total simulated cycles across every run of the sweep (the
+    /// simulator-throughput benchmark divides wall time by this).
+    pub total_cycles: u64,
 }
 
 /// Problem sizes of the study (the paper's 1K…172K sweep).
@@ -71,18 +74,22 @@ pub fn run_swept(
 ) -> cedar_machine::Result<Ppt4Study> {
     let mut points = Vec::new();
     let mut peak = Vec::new();
+    let mut total_cycles = 0u64;
     for &p in procs {
         // Baseline: one CE at the same N (for speedup).
         let mut base_rate = Vec::new();
         for &n in ns {
             let cg = StagedCg { n, iterations };
-            let one = cg.mflops_on_cedar(1)?;
-            base_rate.push(one);
+            let one = cg.report_on_cedar(1)?;
+            total_cycles += one.cycles;
+            base_rate.push(one.mflops);
         }
         let mut best = 0.0f64;
         for (i, &n) in ns.iter().enumerate() {
             let cg = StagedCg { n, iterations };
-            let mflops = cg.mflops_on_cedar(p as usize)?;
+            let r = cg.report_on_cedar(p as usize)?;
+            total_cycles += r.cycles;
+            let mflops = r.mflops;
             let speedup = mflops / base_rate[i].max(1e-9);
             points.push(ScalePoint {
                 processors: p,
@@ -121,7 +128,9 @@ pub fn run_swept(
     let mut cedar_banded = Vec::new();
     for bw in [3u32, 11] {
         let k = BandedMatvec::new(banded_n, bw);
-        cedar_banded.push((bw, k.mflops_on_cedar(4)?));
+        let r = k.report_on_cedar(4)?;
+        total_cycles += r.cycles;
+        cedar_banded.push((bw, r.mflops));
     }
 
     Ok(Ppt4Study {
@@ -131,6 +140,7 @@ pub fn run_swept(
         cedar_banded,
         sizes: ns.to_vec(),
         procs: procs.to_vec(),
+        total_cycles,
     })
 }
 

@@ -8,7 +8,7 @@
 //! over the CEs, one prefetched stream per diagonal plus the `x` chunk.
 
 use cedar_machine::ids::CeId;
-use cedar_machine::machine::Machine;
+use cedar_machine::machine::{Machine, RunReport};
 use cedar_machine::program::{AddressExpr, Program};
 use cedar_xylem::gang::Gang;
 
@@ -95,13 +95,22 @@ impl BandedMatvec {
     ///
     /// Propagates simulator errors.
     pub fn mflops_on_cedar(&self, clusters: usize) -> cedar_machine::Result<f64> {
+        Ok(self.report_on_cedar(clusters)?.mflops)
+    }
+
+    /// As [`mflops_on_cedar`](BandedMatvec::mflops_on_cedar), but return
+    /// the full run report (for simulated-cycle accounting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn report_on_cedar(&self, clusters: usize) -> cedar_machine::Result<RunReport> {
         let mut m = Machine::new(
             cedar_machine::MachineConfig::cedar_with_clusters(clusters.clamp(1, 4))
                 .with_env_threads(),
         )?;
         let progs = self.build(&mut m, clusters.clamp(1, 4));
-        let r = m.run(progs, 4_000_000_000)?;
-        Ok(r.mflops)
+        m.run(progs, 4_000_000_000)
     }
 }
 

@@ -9,7 +9,7 @@
 //! *intermediate* and large problems *high* performance on Cedar.
 
 use cedar_machine::ids::CeId;
-use cedar_machine::machine::Machine;
+use cedar_machine::machine::{Machine, RunReport};
 use cedar_machine::memory::sync::SyncInstr;
 use cedar_machine::program::{AddressExpr, Op, Program};
 use cedar_machine::sched::BarrierScope;
@@ -170,15 +170,25 @@ impl StagedCg {
     ///
     /// Propagates machine errors (notably the cycle limit on deadlock).
     pub fn mflops_on_cedar(&self, ces: usize) -> cedar_machine::Result<f64> {
+        // Use the intended flop count (identical to emitted — checked in
+        // tests) so rates stay comparable across P.
+        Ok(self.report_on_cedar(ces)?.mflops)
+    }
+
+    /// Run on a fresh Cedar restricted to `ces` CEs and return the full
+    /// run report (the throughput benchmarks need simulated cycle counts,
+    /// not just the rate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors (notably the cycle limit on deadlock).
+    pub fn report_on_cedar(&self, ces: usize) -> cedar_machine::Result<RunReport> {
         let clusters = ces.div_ceil(8).max(1);
         let mut m = Machine::new(
             cedar_machine::MachineConfig::cedar_with_clusters(clusters.min(4)).with_env_threads(),
         )?;
         let progs = self.build(&mut m, ces);
-        let r = m.run(progs, 2_000_000_000)?;
-        // Use the intended flop count (identical to emitted — checked in
-        // tests) so rates stay comparable across P.
-        Ok(r.mflops)
+        m.run(progs, 2_000_000_000)
     }
 }
 

@@ -178,10 +178,48 @@ impl CcBus {
         self.releases[ce].take()
     }
 
+    /// True when a granted counter value is waiting for `ce` (a
+    /// non-consuming [`CcBus::take_grant`]).
+    pub(crate) fn peek_grant(&self, ce: usize) -> bool {
+        self.grants[ce].is_some()
+    }
+
+    /// True when a barrier release is waiting for `ce` (a non-consuming
+    /// [`CcBus::take_release`]).
+    pub(crate) fn peek_release(&self, ce: usize) -> bool {
+        self.releases[ce].is_some()
+    }
+
+    /// True when [`CcBus::sdoall_take`] would return something other than
+    /// [`SdoallTake::Wait`] for this CE — i.e. the CE would make progress
+    /// on its next attempt.
+    pub(crate) fn sdoall_can_take(&self, ce: usize, id: usize, epoch: u64) -> bool {
+        match self.sdoall.get(&(id, epoch)) {
+            // No state yet: the first take creates it and is elected to
+            // fetch.
+            None => true,
+            Some(st) => {
+                st.cursor.get(ce).copied().unwrap_or(0) < st.values.len() || !st.fetch_in_flight
+            }
+        }
+    }
+
+    /// The earliest future cycle at which the bus can change externally
+    /// visible state: the next dispatch grant, or `None` with nothing
+    /// queued. Already-posted grants/releases are the *engines'* events —
+    /// the bus itself has nothing left to do for them.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.next_free.max(now + 1))
+        }
+    }
+
     /// Advance one cycle: grant at most one dispatch per
     /// `dispatch_cycles`.
     pub fn tick(&mut self, now: Cycle) {
-        if now < self.next_free {
+        if self.pending.is_empty() || now < self.next_free {
             return;
         }
         if let Some(req) = self.pending.pop_front() {

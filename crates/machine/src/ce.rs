@@ -303,6 +303,167 @@ impl CeEngine {
         }
     }
 
+    /// The earliest future cycle at which this engine can change
+    /// externally visible state, or `None` when it is waiting on something
+    /// another subsystem must deliver (a network reply, a bus grant). The
+    /// answer may be conservative — an earlier cycle than strictly needed
+    /// only suppresses fast-forwarding, never changes behaviour — but must
+    /// never be later than the first cycle at which [`CeEngine::tick`]
+    /// would do anything beyond its fixed stall-attribution increments.
+    pub(crate) fn next_event(
+        &self,
+        now: Cycle,
+        ccbus: &CcBus,
+        counters: &[CounterDef],
+    ) -> Option<Cycle> {
+        let soon = now + 1;
+        if self.pending_pkt.is_some() {
+            return Some(soon); // retries injection every cycle
+        }
+        if matches!(self.state, CeState::Done) {
+            return None; // only idle cycles remain
+        }
+        let pfu_ev = self.pfu.next_event(now);
+        if pfu_ev == Some(soon) {
+            return pfu_ev;
+        }
+        if now < self.vm_stall_until {
+            return min_event(pfu_ev, Some(self.vm_stall_until));
+        }
+        let state_ev = match &self.state {
+            CeState::Done => None,
+            CeState::Fetch => Some(soon),
+            CeState::Stall { until } => Some((*until).max(soon)),
+            CeState::VectorDirect {
+                length,
+                issued,
+                start_at,
+                ..
+            } => {
+                let drain = self.direct_ready.front().map(|&at| at.max(soon));
+                let issue = (*issued < *length
+                    && self.outstanding_reads < self.cfg.max_outstanding_global)
+                    .then(|| (*start_at).max(soon));
+                min_event(drain, issue)
+            }
+            CeState::VectorPref {
+                length,
+                consumed,
+                start_at,
+            } => {
+                if now < *start_at {
+                    Some((*start_at).max(soon))
+                } else if *consumed >= *length || self.pfu.can_consume() {
+                    Some(soon)
+                } else {
+                    None // waiting for prefetched words to return
+                }
+            }
+            CeState::VectorGWrite {
+                length,
+                issued,
+                start_at,
+                ..
+            } => {
+                if *issued >= *length {
+                    Some(soon)
+                } else {
+                    Some((*start_at).max(soon))
+                }
+            }
+            CeState::VectorCache {
+                write,
+                length,
+                issued,
+                last_ready,
+                ..
+            } => {
+                if *issued < *length {
+                    Some(soon) // contends for cache banks every cycle
+                } else if !*write && now < *last_ready {
+                    Some((*last_ready).max(soon))
+                } else {
+                    Some(soon)
+                }
+            }
+            CeState::AwaitScalarRead => self.scalar_ready.map(|at| at.max(soon)),
+            CeState::AwaitSync => self.sync_result.is_some().then_some(soon),
+            CeState::AwaitCounter => self.await_counter_event(soon, ccbus, counters),
+            CeState::AwaitClusterBarrier => ccbus.peek_release(self.ce_in_cluster).then_some(soon),
+            CeState::GlobalBarrier { phase, .. } => match phase {
+                GbPhase::PollWait { at } => Some((*at).max(soon)),
+                GbPhase::AwaitArrive | GbPhase::AwaitPoll => {
+                    self.sync_result.is_some().then_some(soon)
+                }
+            },
+            CeState::AwaitFence => (self.outstanding_writes == 0).then_some(soon),
+        };
+        min_event(pfu_ev, state_ev)
+    }
+
+    /// `next_event` for the [`CeState::AwaitCounter`] wait, which resolves
+    /// differently per counter kind.
+    fn await_counter_event(
+        &self,
+        soon: Cycle,
+        ccbus: &CcBus,
+        counters: &[CounterDef],
+    ) -> Option<Cycle> {
+        let FrameKind::SelfSched { counter, epoch, .. } = self.frames.last().expect("frame").kind
+        else {
+            unreachable!("AwaitCounter without a SelfSched frame");
+        };
+        match counters[counter] {
+            CounterDef::Cluster { .. } => ccbus.peek_grant(self.ce_in_cluster).then_some(soon),
+            CounterDef::Global { .. } => self.sync_result.is_some().then_some(soon),
+            CounterDef::GlobalShared { .. } => {
+                if self.sdoall_awaiting_reply {
+                    self.sync_result.is_some().then_some(soon)
+                } else if self.sdoall_must_fetch
+                    || ccbus.sdoall_can_take(self.ce_in_cluster, counter, epoch)
+                {
+                    // Will issue the elected fetch, or take a posted value.
+                    Some(soon)
+                } else {
+                    None // another CE's fetch is in flight
+                }
+            }
+        }
+    }
+
+    /// Credit `cycles` skipped quiescent cycles with exactly the counter
+    /// increments the per-cycle [`CeEngine::tick`] would have made. Only
+    /// valid over a span `next_event` declared event-free: every skipped
+    /// tick is a no-op except for one stall/idle/busy attribution, decided
+    /// by the (unchanging) state the same way the tick's fallthrough does.
+    pub(crate) fn skip(&mut self, now: Cycle, cycles: u64) {
+        debug_assert!(self.pending_pkt.is_none(), "skipped CE holds a packet");
+        if matches!(self.state, CeState::Done) {
+            self.stats.idle += cycles;
+            return;
+        }
+        self.pfu.skip(cycles);
+        if now < self.vm_stall_until {
+            self.stats.stall_mem += cycles;
+            return;
+        }
+        match self.state {
+            CeState::VectorDirect { .. }
+            | CeState::VectorPref { .. }
+            | CeState::VectorCache { .. }
+            | CeState::VectorGWrite { .. }
+            | CeState::AwaitScalarRead
+            | CeState::Fetch => self.stats.stall_mem += cycles,
+            CeState::AwaitCounter
+            | CeState::AwaitClusterBarrier
+            | CeState::GlobalBarrier { .. }
+            | CeState::AwaitSync
+            | CeState::AwaitFence => self.stats.stall_sync += cycles,
+            // Timed execution stalls model compute latency: busy.
+            _ => self.stats.busy += cycles,
+        }
+    }
+
     /// Advance one cycle.
     pub fn tick(&mut self, now: Cycle, ctx: &mut CeContext<'_>) {
         // Flush a request that failed injection last cycle (even when the
@@ -1256,6 +1417,15 @@ impl CeEngine {
             self.vm_stall_until = now + cost;
             true
         }
+    }
+}
+
+/// The earlier of two optional wakeup cycles (`None` = no event).
+pub(crate) fn min_event(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 

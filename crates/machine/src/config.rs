@@ -295,6 +295,14 @@ pub struct MachineConfig {
     /// fallback) when [`VmConfig::enabled`] is set, because page-fault
     /// interleaving is inherently order-dependent.
     pub num_threads: usize,
+    /// Whether the engines may fast-forward over quiescent stretches —
+    /// cycles in which no subsystem can change externally visible state —
+    /// instead of ticking through them one by one. Purely a wall-clock
+    /// optimization: cycle counts, statistics, histograms and memory
+    /// digests are bit-for-bit identical either way (tested). `true` by
+    /// default; the `CEDAR_NO_FASTFWD` environment variable overrides it
+    /// at run time (see `Machine::run`).
+    pub fast_forward: bool,
     pub ce: CeConfig,
     pub cache: CacheConfig,
     pub cluster_memory: ClusterMemoryConfig,
@@ -313,6 +321,7 @@ impl MachineConfig {
             ces_per_cluster: 8,
             cycle_ns: CEDAR_CYCLE_NS,
             num_threads: 1,
+            fast_forward: true,
             ce: CeConfig::cedar(),
             cache: CacheConfig::cedar(),
             cluster_memory: ClusterMemoryConfig::cedar(),
@@ -348,6 +357,13 @@ impl MachineConfig {
         if let Some(n) = threads_from_env() {
             self.num_threads = n;
         }
+        self
+    }
+
+    /// The same configuration with fast-forwarding switched on or off
+    /// (equivalence tests run both ways and compare).
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
+        self.fast_forward = fast_forward;
         self
     }
 
@@ -441,6 +457,15 @@ pub fn threads_from_env() -> Option<usize> {
         .parse::<usize>()
         .ok()
         .filter(|&n| n > 0)
+}
+
+/// True when the `CEDAR_NO_FASTFWD` environment variable asks for the
+/// cycle-by-cycle loop (`1`/`true`/`yes`, case-insensitive). Anything else
+/// — unset, `0`, garbage — leaves [`MachineConfig::fast_forward`] in
+/// charge, so a CI matrix can pass `0` for the default behaviour.
+pub fn fastfwd_disabled_from_env() -> bool {
+    std::env::var("CEDAR_NO_FASTFWD")
+        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
 }
 
 #[cfg(test)]

@@ -7,9 +7,11 @@
 //! components in a fixed, deterministic order until every program
 //! completes.
 
+use std::sync::Arc;
+
 use crate::cache::{CacheStats, ClusterCache};
 use crate::ccbus::{CcBus, CcBusStats};
-use crate::ce::{CeContext, CeEngine, CeStats};
+use crate::ce::{min_event, CeContext, CeEngine, CeStats};
 use crate::config::MachineConfig;
 use crate::error::{MachineError, Result};
 use crate::ids::{CeId, ClusterId, CounterId};
@@ -104,8 +106,139 @@ pub struct Machine {
     pub(crate) engines: Vec<Option<CeEngine>>,
     pub(crate) page_table: PageTable,
     pub(crate) tracer: EventTracer,
-    pub(crate) latency_histogram: Histogrammer,
+    /// Behind `Arc` so [`Machine::stats`] can snapshot it by reference;
+    /// the delivery path mutates it copy-on-write.
+    pub(crate) latency_histogram: Arc<Histogrammer>,
     pub(crate) timeline: UtilizationTimeline,
+    /// Preformatted per-index counter names, so [`Machine::stats`] clones
+    /// strings instead of running `format!` for every key.
+    stat_keys: StatKeys,
+    /// Reusable per-CE sample buffer for the timeline (the hot loop
+    /// records a sample every bucket boundary; no per-record allocation).
+    pub(crate) util_scratch: Vec<UtilSample>,
+    /// Cycles the fast-forward path jumped over instead of ticking.
+    pub(crate) fastfwd_skipped: u64,
+}
+
+/// Preformatted counter-key strings for every indexed stat family.
+/// Deliberately *not* part of any snapshot — pure formatting cache.
+#[derive(Debug)]
+struct StatKeys {
+    /// Per cluster: accesses, hits, misses, evictions, writebacks,
+    /// bank_stalls, mshr_stalls.
+    cache: Vec<[String; 7]>,
+    /// Per cluster: fills, writebacks, words.
+    cmem: Vec<[String; 3]>,
+    /// Forward and reverse network key sets.
+    net: [NetKeys; 2],
+    /// Per bank: accesses, sync_ops, conflict_stalls.
+    gmem_bank: Vec<[String; 3]>,
+    /// Per cluster: dispatches, counter_requests, barrier_arrivals,
+    /// barrier_releases, barrier_wait_cycles, sdoall_posts.
+    ccbus: Vec<[String; 6]>,
+    /// Per CE: busy, idle, stall_mem, stall_sync, flops, vector_elements,
+    /// tlb_misses, page_faults, vm_cycles.
+    ce: Vec<[String; 9]>,
+}
+
+#[derive(Debug)]
+struct NetKeys {
+    packets_injected: String,
+    packets_delivered: String,
+    words_moved: String,
+    blocked_moves: String,
+    conflicts: String,
+    stage_conflicts: Vec<String>,
+    stage_blocked: Vec<String>,
+    queue_depth: String,
+}
+
+impl NetKeys {
+    fn new(prefix: &str, stages: usize) -> NetKeys {
+        NetKeys {
+            packets_injected: format!("{prefix}.packets_injected"),
+            packets_delivered: format!("{prefix}.packets_delivered"),
+            words_moved: format!("{prefix}.words_moved"),
+            blocked_moves: format!("{prefix}.blocked_moves"),
+            conflicts: format!("{prefix}.conflicts"),
+            stage_conflicts: (0..stages)
+                .map(|s| format!("{prefix}.stage[{s}].conflicts"))
+                .collect(),
+            stage_blocked: (0..stages)
+                .map(|s| format!("{prefix}.stage[{s}].blocked"))
+                .collect(),
+            queue_depth: format!("{prefix}.queue_depth"),
+        }
+    }
+}
+
+impl StatKeys {
+    fn new(cfg: &MachineConfig, stages: usize) -> StatKeys {
+        StatKeys {
+            cache: (0..cfg.clusters)
+                .map(|c| {
+                    [
+                        format!("cache[{c}].accesses"),
+                        format!("cache[{c}].hits"),
+                        format!("cache[{c}].misses"),
+                        format!("cache[{c}].evictions"),
+                        format!("cache[{c}].writebacks"),
+                        format!("cache[{c}].bank_stalls"),
+                        format!("cache[{c}].mshr_stalls"),
+                    ]
+                })
+                .collect(),
+            cmem: (0..cfg.clusters)
+                .map(|c| {
+                    [
+                        format!("cmem[{c}].fills"),
+                        format!("cmem[{c}].writebacks"),
+                        format!("cmem[{c}].words"),
+                    ]
+                })
+                .collect(),
+            net: [
+                NetKeys::new("net.fwd", stages),
+                NetKeys::new("net.rev", stages),
+            ],
+            gmem_bank: (0..cfg.global_memory.modules)
+                .map(|b| {
+                    [
+                        format!("gmem.bank[{b}].accesses"),
+                        format!("gmem.bank[{b}].sync_ops"),
+                        format!("gmem.bank[{b}].conflict_stalls"),
+                    ]
+                })
+                .collect(),
+            ccbus: (0..cfg.clusters)
+                .map(|c| {
+                    [
+                        format!("ccbus[{c}].dispatches"),
+                        format!("ccbus[{c}].counter_requests"),
+                        format!("ccbus[{c}].barrier_arrivals"),
+                        format!("ccbus[{c}].barrier_releases"),
+                        format!("ccbus[{c}].barrier_wait_cycles"),
+                        format!("ccbus[{c}].sdoall_posts"),
+                    ]
+                })
+                .collect(),
+            ce: (0..cfg.total_ces())
+                .map(|i| {
+                    [
+                        format!("ce[{i}].busy"),
+                        format!("ce[{i}].idle"),
+                        format!("ce[{i}].stall_mem"),
+                        format!("ce[{i}].stall_sync"),
+                        format!("ce[{i}].flops"),
+                        format!("ce[{i}].vector_elements"),
+                        format!("ce[{i}].tlb_misses"),
+                        format!("ce[{i}].page_faults"),
+                        format!("ce[{i}].vm_cycles"),
+                    ]
+                })
+                .collect(),
+        }
+    }
 }
 
 impl Machine {
@@ -129,8 +262,10 @@ impl Machine {
                 tlb: Tlb::new(cfg.vm.tlb_entries),
             })
             .collect();
+        let forward = Omega::new(ports, &cfg.network);
+        let stat_keys = StatKeys::new(&cfg, forward.stage_conflicts().len());
         Ok(Machine {
-            forward: Omega::new(ports, &cfg.network),
+            forward,
             reverse: Omega::new(ports, &cfg.network),
             gmem: GlobalMemory::new(&cfg.global_memory),
             clusters,
@@ -141,8 +276,11 @@ impl Machine {
             engines: Vec::new(),
             page_table: PageTable::new(),
             tracer: EventTracer::new(),
-            latency_histogram: Histogrammer::with_bins(512),
+            latency_histogram: Arc::new(Histogrammer::with_bins(512)),
             timeline: UtilizationTimeline::new(cfg.total_ces()),
+            stat_keys,
+            util_scratch: Vec::with_capacity(cfg.total_ces()),
+            fastfwd_skipped: 0,
             now: Cycle::ZERO,
             cfg,
         })
@@ -190,6 +328,17 @@ impl Machine {
         &self.timeline
     }
 
+    /// Cycles the event-horizon fast-forward jumped over (instead of
+    /// ticking one by one) during the most recent [`run`](Machine::run).
+    ///
+    /// Deliberately *not* part of [`Machine::stats`]: the registry
+    /// snapshot must stay bit-for-bit identical whether fast-forward is
+    /// on or off, so the one counter that distinguishes the two lives
+    /// here instead.
+    pub fn fastforward_skipped_cycles(&self) -> u64 {
+        self.fastfwd_skipped
+    }
+
     /// Snapshot the full instrumentation registry: named counters and
     /// histograms from every subsystem (see [`crate::stats`] for the
     /// namespace). Cache, network, memory and bus counters are cumulative
@@ -205,17 +354,19 @@ impl Machine {
         for (c, cl) in self.clusters.iter().enumerate() {
             let cs = cl.cache.stats();
             let accesses = cs.hits + cs.misses;
-            s.set(format!("cache[{c}].accesses"), accesses);
-            s.set(format!("cache[{c}].hits"), cs.hits);
-            s.set(format!("cache[{c}].misses"), cs.misses);
-            s.set(format!("cache[{c}].evictions"), cs.evictions);
-            s.set(format!("cache[{c}].writebacks"), cs.writebacks);
-            s.set(format!("cache[{c}].bank_stalls"), cs.bank_stalls);
-            s.set(format!("cache[{c}].mshr_stalls"), cs.mshr_stalls);
+            let [k_acc, k_hit, k_miss, k_evict, k_wb, k_bank, k_mshr] = &self.stat_keys.cache[c];
+            s.set(k_acc.clone(), accesses);
+            s.set(k_hit.clone(), cs.hits);
+            s.set(k_miss.clone(), cs.misses);
+            s.set(k_evict.clone(), cs.evictions);
+            s.set(k_wb.clone(), cs.writebacks);
+            s.set(k_bank.clone(), cs.bank_stalls);
+            s.set(k_mshr.clone(), cs.mshr_stalls);
             let ms = cl.cache.mem_stats();
-            s.set(format!("cmem[{c}].fills"), ms.fills);
-            s.set(format!("cmem[{c}].writebacks"), ms.writebacks);
-            s.set(format!("cmem[{c}].words"), ms.words);
+            let [k_fills, k_mwb, k_words] = &self.stat_keys.cmem[c];
+            s.set(k_fills.clone(), ms.fills);
+            s.set(k_mwb.clone(), ms.writebacks);
+            s.set(k_words.clone(), ms.words);
             agg.hits += cs.hits;
             agg.misses += cs.misses;
             agg.evictions += cs.evictions;
@@ -232,21 +383,26 @@ impl Machine {
         s.set("cache.mshr_stalls", agg.mshr_stalls);
 
         // Both omega networks.
-        for (prefix, net) in [("net.fwd", &self.forward), ("net.rev", &self.reverse)] {
+        for (keys, net) in self
+            .stat_keys
+            .net
+            .iter()
+            .zip([&self.forward, &self.reverse])
+        {
             let ns = net.stats();
-            s.set(format!("{prefix}.packets_injected"), ns.packets_injected);
-            s.set(format!("{prefix}.packets_delivered"), ns.packets_delivered);
-            s.set(format!("{prefix}.words_moved"), ns.words_moved);
-            s.set(format!("{prefix}.blocked_moves"), ns.blocked_moves);
-            s.set(format!("{prefix}.conflicts"), ns.arbitration_losses);
+            s.set(keys.packets_injected.clone(), ns.packets_injected);
+            s.set(keys.packets_delivered.clone(), ns.packets_delivered);
+            s.set(keys.words_moved.clone(), ns.words_moved);
+            s.set(keys.blocked_moves.clone(), ns.blocked_moves);
+            s.set(keys.conflicts.clone(), ns.arbitration_losses);
             for (stage, &n) in net.stage_conflicts().iter().enumerate() {
-                s.set(format!("{prefix}.stage[{stage}].conflicts"), n);
+                s.set(keys.stage_conflicts[stage].clone(), n);
             }
             for (stage, &n) in net.stage_blocked().iter().enumerate() {
-                s.set(format!("{prefix}.stage[{stage}].blocked"), n);
+                s.set(keys.stage_blocked[stage].clone(), n);
             }
             s.set_histogram(
-                format!("{prefix}.queue_depth"),
+                keys.queue_depth.clone(),
                 net.queue_depth_histogram().clone(),
             );
         }
@@ -259,27 +415,23 @@ impl Machine {
         s.set("gmem.conflict_stalls", gs.conflict_stall_cycles);
         s.set("gmem.reply_stalls", gs.reply_stall_cycles);
         for (bank, ms) in self.gmem.per_module_stats().enumerate() {
-            s.set(format!("gmem.bank[{bank}].accesses"), ms.requests);
-            s.set(format!("gmem.bank[{bank}].sync_ops"), ms.sync_requests);
-            s.set(
-                format!("gmem.bank[{bank}].conflict_stalls"),
-                ms.conflict_stall_cycles,
-            );
+            let [k_acc, k_sync, k_conf] = &self.stat_keys.gmem_bank[bank];
+            s.set(k_acc.clone(), ms.requests);
+            s.set(k_sync.clone(), ms.sync_requests);
+            s.set(k_conf.clone(), ms.conflict_stall_cycles);
         }
 
         // Concurrency control buses.
         let mut bus_agg = CcBusStats::default();
         for (c, cl) in self.clusters.iter().enumerate() {
             let bs = cl.ccbus.stats();
-            s.set(format!("ccbus[{c}].dispatches"), bs.dispatches);
-            s.set(format!("ccbus[{c}].counter_requests"), bs.counter_requests);
-            s.set(format!("ccbus[{c}].barrier_arrivals"), bs.barrier_arrivals);
-            s.set(format!("ccbus[{c}].barrier_releases"), bs.barrier_releases);
-            s.set(
-                format!("ccbus[{c}].barrier_wait_cycles"),
-                bs.barrier_wait_cycles,
-            );
-            s.set(format!("ccbus[{c}].sdoall_posts"), bs.sdoall_posts);
+            let [k_disp, k_creq, k_arr, k_rel, k_wait, k_sdo] = &self.stat_keys.ccbus[c];
+            s.set(k_disp.clone(), bs.dispatches);
+            s.set(k_creq.clone(), bs.counter_requests);
+            s.set(k_arr.clone(), bs.barrier_arrivals);
+            s.set(k_rel.clone(), bs.barrier_releases);
+            s.set(k_wait.clone(), bs.barrier_wait_cycles);
+            s.set(k_sdo.clone(), bs.sdoall_posts);
             bus_agg.dispatches += bs.dispatches;
             bus_agg.counter_requests += bs.counter_requests;
             bus_agg.barrier_arrivals += bs.barrier_arrivals;
@@ -315,16 +467,17 @@ impl Machine {
         for e in self.engines.iter().flatten() {
             pf.merge(&e.prefetch_stats_raw());
             let cs = e.stats();
-            let i = e.id().0;
-            s.set(format!("ce[{i}].busy"), cs.busy);
-            s.set(format!("ce[{i}].idle"), cs.idle);
-            s.set(format!("ce[{i}].stall_mem"), cs.stall_mem);
-            s.set(format!("ce[{i}].stall_sync"), cs.stall_sync);
-            s.set(format!("ce[{i}].flops"), cs.flops);
-            s.set(format!("ce[{i}].vector_elements"), cs.vector_elements);
-            s.set(format!("ce[{i}].tlb_misses"), cs.tlb_misses);
-            s.set(format!("ce[{i}].page_faults"), cs.page_faults);
-            s.set(format!("ce[{i}].vm_cycles"), cs.vm_cycles);
+            let [k_busy, k_idle, k_smem, k_ssync, k_flops, k_vec, k_tlb, k_pf, k_vm] =
+                &self.stat_keys.ce[e.id().0];
+            s.set(k_busy.clone(), cs.busy);
+            s.set(k_idle.clone(), cs.idle);
+            s.set(k_smem.clone(), cs.stall_mem);
+            s.set(k_ssync.clone(), cs.stall_sync);
+            s.set(k_flops.clone(), cs.flops);
+            s.set(k_vec.clone(), cs.vector_elements);
+            s.set(k_tlb.clone(), cs.tlb_misses);
+            s.set(k_pf.clone(), cs.page_faults);
+            s.set(k_vm.clone(), cs.vm_cycles);
             ce_busy += cs.busy;
             ce_idle += cs.idle;
             ce_stall_mem += cs.stall_mem;
@@ -340,7 +493,7 @@ impl Machine {
         s.set("prefetch.stale_words", pf.stale_words);
         s.set("prefetch.page_suspend_cycles", pf.page_suspend_cycles);
         s.set("prefetch.inject_stall_cycles", pf.inject_stall_cycles);
-        s.set_histogram("prefetch.latency", self.latency_histogram.clone());
+        s.set_histogram("prefetch.latency", Arc::clone(&self.latency_histogram));
 
         // The monitoring hardware itself.
         s.set("tracer.events", self.tracer.events().len() as u64);
@@ -425,24 +578,119 @@ impl Machine {
 
         let start = self.now;
         self.timeline.reset(start, total);
+        self.fastfwd_skipped = 0;
+        let fastfwd = self.cfg.fast_forward && !crate::config::fastfwd_disabled_from_env();
         let stats_start = self.stats();
         if self.effective_threads() > 1 {
-            self.run_loop_parallel(start, limit)?;
+            self.run_loop_parallel(start, limit, fastfwd)?;
         } else {
-            self.run_loop_serial(start, limit)?;
+            self.run_loop_serial(start, limit, fastfwd)?;
         }
-        self.timeline.finish(self.now, &self.utilization_samples());
+        fill_util_samples(&self.engines, &mut self.util_scratch);
+        self.timeline.finish(self.now, &self.util_scratch);
         Ok(self.report(start, &stats_start))
     }
 
-    fn run_loop_serial(&mut self, start: Cycle, limit: u64) -> Result<()> {
+    fn run_loop_serial(&mut self, start: Cycle, limit: u64, fastfwd: bool) -> Result<()> {
         while !self.all_done() {
             if self.now.saturating_since(start) > limit {
                 return Err(MachineError::CycleLimitExceeded { limit });
             }
             self.tick();
+            if fastfwd {
+                self.try_fast_forward(start, limit);
+            }
         }
         Ok(())
+    }
+
+    /// The earliest future cycle at which any subsystem can change
+    /// externally visible state, given no machine activity in between.
+    /// `None` means no subsystem will ever act again (every CE is done —
+    /// or deadlocked waiting on synchronization that cannot arrive).
+    ///
+    /// Conservative by construction: any subsystem unsure of its next
+    /// event answers `now + 1`, which suppresses skipping but can never
+    /// change results.
+    pub(crate) fn next_machine_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        let soon = now + 1;
+        let mut best = min_event(self.forward.next_event(now), self.reverse.next_event(now));
+        if best == Some(soon) {
+            return best;
+        }
+        best = min_event(best, self.gmem.next_event(now));
+        if best == Some(soon) {
+            return best;
+        }
+        for cl in &self.clusters {
+            best = min_event(best, cl.ccbus.next_event(now));
+            if best == Some(soon) {
+                return best;
+            }
+        }
+        for e in self.engines.iter().flatten() {
+            let ev = e.next_event(now, &self.clusters[e.cluster().0].ccbus, &self.counters);
+            best = min_event(best, ev);
+            if best == Some(soon) {
+                return best;
+            }
+        }
+        best
+    }
+
+    /// Event-horizon fast-forward: if every subsystem is quiescent until
+    /// some future cycle `t`, jump straight to `t - 1`, bulk-crediting the
+    /// skipped cycles into exactly the counters a cycle-by-cycle run would
+    /// have bumped (CE idle/stall attribution, memory-module busy/queue
+    /// occupancy, prefetch page-wait) and recording utilization-timeline
+    /// buckets at their usual boundaries. Every statistic, histogram and
+    /// digest stays bit-for-bit identical to the unskipped run.
+    fn try_fast_forward(&mut self, start: Cycle, limit: u64) {
+        // Past the cycle limit plus slack, so a run with no future events
+        // (a deadlocked barrier) trips CycleLimitExceeded promptly instead
+        // of ticking its way there.
+        let deadlock_cap = Cycle(start.0.saturating_add(limit).saturating_add(2));
+        let target = match self.next_machine_event() {
+            Some(t) if t > self.now + 1 => t.min(deadlock_cap),
+            Some(_) => return,
+            None => {
+                if self.all_done() {
+                    return;
+                }
+                deadlock_cap
+            }
+        };
+        if target <= self.now + 1 {
+            return;
+        }
+        let Machine {
+            engines,
+            gmem,
+            timeline,
+            now,
+            util_scratch,
+            fastfwd_skipped,
+            ..
+        } = self;
+        // Skip in chunks clamped to the next timeline bucket boundary, so
+        // utilization buckets are recorded from the same cumulative state a
+        // ticked run would have seen at each boundary.
+        while *now + 1 < target {
+            let boundary = timeline.next_boundary();
+            let chunk_end = boundary.min(Cycle(target.0 - 1)).max(*now + 1);
+            let k = chunk_end - *now;
+            gmem.skip(k);
+            for e in engines.iter_mut().flatten() {
+                e.skip(*now, k);
+            }
+            *fastfwd_skipped += k;
+            *now = chunk_end;
+            if timeline.due(*now) {
+                fill_util_samples(engines, util_scratch);
+                timeline.record(util_scratch);
+            }
+        }
     }
 
     /// Worker threads the parallel engine will actually use: the
@@ -472,26 +720,6 @@ impl Machine {
             cl.cache.digest(&mut h);
         }
         h.finish()
-    }
-
-    /// Cumulative per-CE utilization samples, one per configured CE
-    /// (all-zero for CEs that run no program).
-    fn utilization_samples(&self) -> Vec<UtilSample> {
-        self.engines
-            .iter()
-            .map(|e| match e {
-                Some(e) => {
-                    let s = e.stats();
-                    UtilSample {
-                        busy: s.busy,
-                        stall_mem: s.stall_mem,
-                        stall_sync: s.stall_sync,
-                        idle: s.idle,
-                    }
-                }
-                None => UtilSample::default(),
-            })
-            .collect()
     }
 
     /// Advance the machine one cycle.
@@ -536,8 +764,8 @@ impl Machine {
             e.tick(now, &mut ctx);
         }
         if self.timeline.due(now) {
-            let samples = self.utilization_samples();
-            self.timeline.record(&samples);
+            fill_util_samples(&self.engines, &mut self.util_scratch);
+            self.timeline.record(&self.util_scratch);
         }
     }
 
@@ -612,12 +840,31 @@ impl Machine {
     }
 }
 
+/// Fill `out` with cumulative per-CE utilization samples, one per
+/// configured CE (all-zero for CEs that run no program). Reuses the
+/// caller's buffer so the per-bucket timeline record allocates nothing.
+pub(crate) fn fill_util_samples(engines: &[Option<CeEngine>], out: &mut Vec<UtilSample>) {
+    out.clear();
+    out.extend(engines.iter().map(|e| match e {
+        Some(e) => {
+            let s = e.stats();
+            UtilSample {
+                busy: s.busy,
+                stall_mem: s.stall_mem,
+                stall_sync: s.stall_sync,
+                idle: s.idle,
+            }
+        }
+        None => UtilSample::default(),
+    }));
+}
+
 /// Routes reverse-network deliveries into CE engines, histogramming
 /// prefetch round trips on the way past (the external monitor probes the
 /// reverse-network signals on the real machine).
 struct CeSink<'a> {
     engines: &'a mut [Option<CeEngine>],
-    histogram: &'a mut Histogrammer,
+    histogram: &'a mut Arc<Histogrammer>,
     now: Cycle,
 }
 
@@ -631,7 +878,7 @@ impl NetSink for CeSink<'_> {
     fn deliver(&mut self, port: usize, packet: Packet) {
         if let Payload::Reply(r) = packet.payload {
             if matches!(r.stream, crate::network::packet::Stream::Prefetch { .. }) {
-                self.histogram
+                Arc::make_mut(self.histogram)
                     .record(self.now.saturating_since(r.req_issued) as usize);
             }
             if let Some(Some(e)) = self.engines.get_mut(port) {

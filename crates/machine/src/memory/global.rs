@@ -51,6 +51,31 @@ impl GlobalMemory {
         self.modules.iter().all(Module::is_idle)
     }
 
+    /// The earliest future cycle at which any module can change externally
+    /// visible state (`None` when the whole array is idle). Bails out as
+    /// soon as a module reports the very next cycle — no later module can
+    /// report anything earlier.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let soon = now + 1;
+        let mut best: Option<Cycle> = None;
+        for m in &self.modules {
+            match m.next_event(now) {
+                Some(t) if t <= soon => return Some(soon),
+                Some(t) => best = Some(best.map_or(t, |b: Cycle| b.min(t))),
+                None => {}
+            }
+        }
+        best
+    }
+
+    /// Credit `cycles` skipped quiescent cycles into every module's
+    /// counters (see [`Module::skip`]).
+    pub(crate) fn skip(&mut self, cycles: u64) {
+        for m in &mut self.modules {
+            m.skip(cycles);
+        }
+    }
+
     /// Statistics of one module.
     pub fn module_stats(&self, m: ModuleId) -> ModuleStats {
         self.modules[m.0].stats()

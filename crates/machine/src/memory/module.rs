@@ -120,6 +120,40 @@ impl Module {
         }
     }
 
+    /// The earliest future cycle at which this module can change
+    /// externally visible state, or `None` when fully idle. A pending
+    /// reply or a non-empty queue needs attention next cycle; a request in
+    /// service matters no sooner than its completion cycle.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let soon = now + 1;
+        if self.pending_reply.is_some() {
+            return Some(soon);
+        }
+        if let Some((_, done_at)) = self.current {
+            return Some(done_at.max(soon));
+        }
+        if !self.queue.is_empty() {
+            return Some(soon);
+        }
+        None
+    }
+
+    /// Credit `cycles` skipped quiescent cycles with exactly the stat
+    /// increments the per-cycle [`Module::tick`] would have made. During a
+    /// skip the module is either fully idle (tick early-returns) or
+    /// mid-service with the completion cycle still in the future, so each
+    /// skipped tick samples queue occupancy, counts a conflict stall when
+    /// requests are waiting, and charges a busy cycle.
+    pub(crate) fn skip(&mut self, cycles: u64) {
+        if self.current.is_some() {
+            self.stats.busy_cycles += cycles;
+            self.stats.queue_occupancy_sum += self.queue.len() as u64 * cycles;
+            if !self.queue.is_empty() {
+                self.stats.conflict_stall_cycles += cycles;
+            }
+        }
+    }
+
     /// Advance one cycle: retire finished service into a reply, inject the
     /// pending reply into the reverse network, start the next request.
     pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {

@@ -183,6 +183,9 @@ pub struct Omega {
     free: Vec<PacketId>,
     in_flight: usize,
     stats: NetStats,
+    /// Words currently queued at each stage; lets the tick skip whole
+    /// stages with nothing to move.
+    stage_words: Vec<u32>,
     /// Arbitration losses per switch stage.
     stage_conflicts: Vec<u64>,
     /// Flow-control blocks per switch stage (injection blocks count
@@ -234,6 +237,7 @@ impl Omega {
             free: Vec::new(),
             in_flight: 0,
             stats: NetStats::default(),
+            stage_words: vec![0; stages],
             stage_conflicts: vec![0; stages],
             stage_blocked: vec![0; stages],
             queue_depth: Histogrammer::with_bins(RING_CAP + 1),
@@ -275,6 +279,17 @@ impl Omega {
     /// True when no packet is anywhere in the network.
     pub fn is_idle(&self) -> bool {
         self.in_flight == 0
+    }
+
+    /// The earliest future cycle at which the network can change
+    /// externally visible state: any in-flight packet means the very next
+    /// cycle; an empty network means never (`None`).
+    pub(crate) fn next_event(&self, now: crate::time::Cycle) -> Option<crate::time::Cycle> {
+        if self.in_flight == 0 {
+            None
+        } else {
+            Some(now + 1)
+        }
     }
 
     /// Packets `port`'s injector can still accept this cycle. Injection
@@ -360,6 +375,9 @@ impl Omega {
     fn move_words_once(&mut self, sink: &mut dyn NetSink) {
         let switches = self.size / self.radix;
         for stage in (0..self.stages).rev() {
+            if self.stage_words[stage] == 0 {
+                continue; // no queued words anywhere in this stage
+            }
             for sw in 0..switches {
                 self.tick_switch(stage, sw, sink);
             }
@@ -466,6 +484,7 @@ impl Omega {
         let flit = self.queues[stage * self.size + src_line]
             .pop_front()
             .expect("front");
+        self.stage_words[stage] -= 1;
         self.stats.words_moved += 1;
         if flit.is_tail {
             self.locks[stage][out_line] = None;
@@ -501,6 +520,7 @@ impl Omega {
             let next_line = self.shuffle(out_line);
             let q = &mut self.queues[(stage + 1) * self.size + next_line];
             q.push_back(flit);
+            self.stage_words[stage + 1] += 1;
             let depth = q.len();
             self.queue_depth.record(depth);
         }
@@ -538,6 +558,7 @@ impl Omega {
                 route,
             };
             self.queues[line].push_back(flit);
+            self.stage_words[0] += 1;
             let depth = self.queues[line].len();
             self.queue_depth.record(depth);
             self.stats.words_moved += 1;

@@ -42,9 +42,9 @@
 //! [`Omega::injector_free`]: crate::network::Omega::injector_free
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use crate::ce::{CeContext, CeEngine};
+use crate::ce::{min_event, CeContext, CeEngine};
 use crate::error::{MachineError, Result};
 use crate::machine::{Cluster, Machine};
 use crate::monitor::{EventTracer, Histogrammer};
@@ -193,7 +193,7 @@ struct ShardCeSink<'a> {
     /// Shard index owning each cluster.
     cluster_of: &'a [usize],
     ces_per_cluster: usize,
-    histogram: &'a mut Histogrammer,
+    histogram: &'a mut Arc<Histogrammer>,
     now: Cycle,
 }
 
@@ -205,7 +205,7 @@ impl NetSink for ShardCeSink<'_> {
     fn deliver(&mut self, port: usize, packet: Packet) {
         if let Payload::Reply(r) = packet.payload {
             if matches!(r.stream, Stream::Prefetch { .. }) {
-                self.histogram
+                Arc::make_mut(self.histogram)
                     .record(self.now.saturating_since(r.req_issued) as usize);
             }
             let Some(&shard) = self.cluster_of.get(port / self.ces_per_cluster) else {
@@ -222,12 +222,81 @@ impl NetSink for ShardCeSink<'_> {
     }
 }
 
+/// Fill `out` with cumulative per-CE utilization samples read out of the
+/// shards, in CE-id order (shards partition the CEs contiguously). The
+/// parallel twin of [`crate::machine::fill_util_samples`].
+fn fill_shard_samples(shards: &[Mutex<Shard>], out: &mut Vec<UtilSample>) {
+    out.clear();
+    for sm in shards {
+        let sh = sm.lock().expect("shard lock");
+        out.extend(sh.engines.iter().map(|e| match e {
+            Some(e) => {
+                let s = e.stats();
+                UtilSample {
+                    busy: s.busy,
+                    stall_mem: s.stall_mem,
+                    stall_sync: s.stall_sync,
+                    idle: s.idle,
+                }
+            }
+            None => UtilSample::default(),
+        }));
+    }
+}
+
+/// The shard half of `Machine::next_machine_event`: fold the CC buses and
+/// engines living inside the shards. Also reports whether every CE is
+/// done, so the caller can tell completion (no skip needed — the loop
+/// head breaks) from deadlock (jump past the cycle limit).
+///
+/// The `done` flag is only meaningful when the returned event is `None`;
+/// the fold bails out early once the next cycle is known to be live.
+fn next_shard_event(
+    shards: &[Mutex<Shard>],
+    now: Cycle,
+    counters: &[CounterDef],
+) -> (Option<Cycle>, bool) {
+    let soon = now + 1;
+    let mut best: Option<Cycle> = None;
+    let mut all_done = true;
+    for sm in shards {
+        let sh = sm.lock().expect("shard lock");
+        all_done &= sh.done;
+        for cl in &sh.clusters {
+            best = min_event(best, cl.ccbus.next_event(now));
+            if best == Some(soon) {
+                return (best, false);
+            }
+        }
+        for e in sh.engines.iter().flatten() {
+            let ccbus = &sh.clusters[e.cluster().0 - sh.first_cluster].ccbus;
+            best = min_event(best, e.next_event(now, ccbus, counters));
+            if best == Some(soon) {
+                return (best, false);
+            }
+        }
+    }
+    (best, all_done)
+}
+
 impl Machine {
     /// The parallel run loop: shard the clusters across
     /// `effective_threads` scoped workers and step cycles with a
     /// two-barrier exchange per cycle. See the module docs for the
     /// determinism argument.
-    pub(crate) fn run_loop_parallel(&mut self, start: Cycle, limit: u64) -> Result<()> {
+    ///
+    /// Fast-forward runs on the coordinator after the exchange phase: at
+    /// that point the machine state is exactly the serial engine's
+    /// post-tick state, so the skip decision (and the bulk credit) is
+    /// identical to the serial one. Jumping `now` between iterations is
+    /// transparent to the parked workers — the cycle atomic is re-stored
+    /// every iteration.
+    pub(crate) fn run_loop_parallel(
+        &mut self,
+        start: Cycle,
+        limit: u64,
+        fastfwd: bool,
+    ) -> Result<()> {
         let threads = self.effective_threads();
         debug_assert!(threads > 1, "parallel loop needs two or more workers");
         let cpc = self.cfg.ces_per_cluster;
@@ -276,6 +345,8 @@ impl Machine {
                 tracer,
                 latency_histogram,
                 timeline,
+                util_scratch,
+                fastfwd_skipped,
                 ..
             } = &mut *self;
             let counters: &[CounterDef] = counters;
@@ -362,23 +433,50 @@ impl Machine {
                         events.clear();
                     }
                     if timeline.due(t) {
-                        let mut samples = Vec::with_capacity(n_clusters * cpc);
-                        for sm in shards.iter() {
-                            let sh = sm.lock().expect("shard lock");
-                            samples.extend(sh.engines.iter().map(|e| match e {
-                                Some(e) => {
-                                    let s = e.stats();
-                                    UtilSample {
-                                        busy: s.busy,
-                                        stall_mem: s.stall_mem,
-                                        stall_sync: s.stall_sync,
-                                        idle: s.idle,
+                        fill_shard_samples(shards, util_scratch);
+                        timeline.record(util_scratch);
+                    }
+
+                    // Fast-forward: the state here equals the serial
+                    // engine's post-tick state, so the same skip decision
+                    // applies. Workers are parked at `go`; they observe
+                    // nothing until the cycle atomic is stored again.
+                    if fastfwd && forward.is_idle() && reverse.is_idle() {
+                        let soon = t + 1;
+                        let mut ev = gmem.next_event(t);
+                        let mut ces_done = false;
+                        if ev != Some(soon) {
+                            let (shard_ev, done) = next_shard_event(shards, t, counters);
+                            ev = min_event(ev, shard_ev);
+                            ces_done = done;
+                        }
+                        let deadlock_cap = Cycle(start.0.saturating_add(limit).saturating_add(2));
+                        let target = match ev {
+                            Some(e) if e > soon => Some(e.min(deadlock_cap)),
+                            Some(_) => None,
+                            None if ces_done => None,
+                            None => Some(deadlock_cap),
+                        };
+                        if let Some(target) = target {
+                            while *now + 1 < target {
+                                let boundary = timeline.next_boundary();
+                                let chunk_end = boundary.min(Cycle(target.0 - 1)).max(*now + 1);
+                                let k = chunk_end - *now;
+                                gmem.skip(k);
+                                for sm in shards.iter() {
+                                    let mut sh = sm.lock().expect("shard lock");
+                                    for e in sh.engines.iter_mut().flatten() {
+                                        e.skip(*now, k);
                                     }
                                 }
-                                None => UtilSample::default(),
-                            }));
+                                *fastfwd_skipped += k;
+                                *now = chunk_end;
+                                if timeline.due(*now) {
+                                    fill_shard_samples(shards, util_scratch);
+                                    timeline.record(util_scratch);
+                                }
+                            }
                         }
-                        timeline.record(&samples);
                     }
                 };
                 stop.store(true, Ordering::Release);

@@ -217,6 +217,32 @@ impl Pfu {
         }
     }
 
+    /// True when [`Pfu::try_consume`] would succeed (non-consuming).
+    pub(crate) fn can_consume(&self) -> bool {
+        let idx = self.consume_idx as usize;
+        idx < self.full.len() && self.full[idx]
+    }
+
+    /// The earliest future cycle at which this PFU can change externally
+    /// visible state: issuing wants every cycle, a page suspend wakes at
+    /// its resume cycle, idle means never.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self.state {
+            IssueState::Idle => None,
+            IssueState::Issuing { .. } => Some(now + 1),
+            IssueState::PageWait { resume_at, .. } => Some(resume_at.max(now + 1)),
+        }
+    }
+
+    /// Credit `cycles` skipped quiescent cycles: a page-suspended PFU
+    /// counts one suspend cycle per tick (as the per-cycle path does);
+    /// idle costs nothing, and an issuing PFU is never skipped over.
+    pub(crate) fn skip(&mut self, cycles: u64) {
+        if matches!(self.state, IssueState::PageWait { .. }) {
+            self.stats.page_suspend_cycles += cycles;
+        }
+    }
+
     /// Advance one cycle: issue up to `issue_per_cycle` requests into the
     /// CE's forward-network port.
     pub fn tick(&mut self, now: Cycle, port: usize, forward: &mut dyn InjectPort) {

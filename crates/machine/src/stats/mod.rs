@@ -39,15 +39,21 @@
 pub mod export;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::monitor::Histogrammer;
 use crate::time::Cycle;
 
 /// A registry of named monotonic counters and histograms.
+///
+/// Histograms are held behind [`Arc`] so a snapshot shares bins with its
+/// source instead of cloning them (the prefetch-latency histogram alone is
+/// 512 bins, snapshotted before and after every run); the machine mutates
+/// its live histogram copy-on-write, so shared snapshots stay frozen.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogrammer>,
+    histograms: BTreeMap<String, Arc<Histogrammer>>,
 }
 
 impl MachineStats {
@@ -92,19 +98,22 @@ impl MachineStats {
         })
     }
 
-    /// Install (or replace) histogram `name`.
-    pub fn set_histogram(&mut self, name: impl Into<String>, h: Histogrammer) {
-        self.histograms.insert(name.into(), h);
+    /// Install (or replace) histogram `name`. Accepts an owned
+    /// [`Histogrammer`] or an `Arc<Histogrammer>` (shared, no bin copy).
+    pub fn set_histogram(&mut self, name: impl Into<String>, h: impl Into<Arc<Histogrammer>>) {
+        self.histograms.insert(name.into(), h.into());
     }
 
     /// Histogram `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&Histogrammer> {
-        self.histograms.get(name)
+        self.histograms.get(name).map(|h| h.as_ref())
     }
 
     /// All histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogrammer)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.histograms
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_ref()))
     }
 
     /// Number of registered counters.
@@ -131,8 +140,8 @@ impl MachineStats {
             .iter()
             .map(|(k, h)| {
                 let d = match earlier.histograms.get(k) {
-                    Some(old) => h.delta_since(old),
-                    None => h.clone(),
+                    Some(old) => Arc::new(h.delta_since(old)),
+                    None => Arc::clone(h),
                 };
                 (k.clone(), d)
             })
@@ -250,6 +259,13 @@ impl UtilizationTimeline {
     /// then collects cumulative samples and calls [`record`](Self::record)).
     pub fn due(&self, now: Cycle) -> bool {
         now >= self.next_boundary
+    }
+
+    /// The next bucket boundary. The fast-forward path chunks its jumps at
+    /// boundaries so skipped stretches land in the same buckets the
+    /// per-cycle loop would fill.
+    pub fn next_boundary(&self) -> Cycle {
+        self.next_boundary
     }
 
     /// Close the current bucket given `cumulative` per-CE samples.

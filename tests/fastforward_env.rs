@@ -1,0 +1,54 @@
+//! The `CEDAR_NO_FASTFWD` escape hatch.
+//!
+//! Kept in its own test binary (own process): the environment variable is
+//! process-global, so the one test below owns it end to end and cannot
+//! race other tests. It pins the override contract: `1`/`true`/`yes`
+//! disable the fast-forward even when the config enables it, anything
+//! else (including `0`, which CI's matrix passes explicitly) leaves it
+//! on — and both modes produce identical results.
+
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::program::ProgramBuilder;
+use cedar_machine::MachineConfig;
+
+fn run_stall_program() -> (u64, u64, u64) {
+    let mut m = Machine::new(MachineConfig::cedar()).unwrap();
+    let mut b = ProgramBuilder::new();
+    b.scalar(50_000);
+    let r = m.run(vec![(CeId(0), b.build())], 1_000_000).unwrap();
+    (r.cycles, m.memory_digest(), m.fastforward_skipped_cycles())
+}
+
+#[test]
+fn cedar_no_fastfwd_env_disables_skipping() {
+    // SAFETY: this binary is single-test, so no other thread reads the
+    // environment concurrently.
+    std::env::set_var("CEDAR_NO_FASTFWD", "1");
+    let (cycles_off, digest_off, skipped_off) = run_stall_program();
+    assert_eq!(skipped_off, 0, "CEDAR_NO_FASTFWD=1 must disable skipping");
+
+    std::env::set_var("CEDAR_NO_FASTFWD", "true");
+    let (_, _, skipped_true) = run_stall_program();
+    assert_eq!(
+        skipped_true, 0,
+        "CEDAR_NO_FASTFWD=true must disable skipping"
+    );
+
+    // "0" is the explicit *enabled* value (the CI matrix passes it).
+    std::env::set_var("CEDAR_NO_FASTFWD", "0");
+    let (cycles_on, digest_on, skipped_on) = run_stall_program();
+    assert!(
+        skipped_on > 40_000,
+        "a 50k-cycle scalar stall should be almost entirely skipped, got {skipped_on}"
+    );
+    assert_eq!(cycles_off, cycles_on);
+    assert_eq!(digest_off, digest_on);
+
+    std::env::remove_var("CEDAR_NO_FASTFWD");
+    let (_, _, skipped_unset) = run_stall_program();
+    assert!(
+        skipped_unset > 0,
+        "unset variable must leave fast-forward on"
+    );
+}
