@@ -63,6 +63,11 @@ pub fn run(iterations: u32) -> cedar_machine::Result<Ppt4Study> {
 /// processor counts, and `banded_n` for the CM-5 comparison matvec. The
 /// golden-snapshot tests use a shrunken sweep.
 ///
+/// Every `(processors, N)` point is an independent pair of simulations —
+/// the 1-CE baseline at N (for speedup) and the P-CE run — so the grid
+/// goes through the [`sweep`](crate::experiments::sweep) runner and is
+/// reassembled in sweep order whatever the host thread count.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
@@ -72,37 +77,41 @@ pub fn run_swept(
     procs: &[u32],
     banded_n: u64,
 ) -> cedar_machine::Result<Ppt4Study> {
+    let grid: Vec<(u32, u64)> = procs
+        .iter()
+        .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
+        .collect();
+    let measured = crate::experiments::sweep::parallel_map(&grid, |&(p, n)| {
+        let cg = StagedCg { n, iterations };
+        let one = cg.report_on_cedar(1)?;
+        let r = cg.report_on_cedar(p as usize)?;
+        let point = ScalePoint {
+            processors: p,
+            n,
+            mflops: r.mflops,
+            speedup: r.mflops / one.mflops.max(1e-9),
+        };
+        Ok::<_, cedar_machine::MachineError>((point, one.cycles + r.cycles))
+    });
+
     let mut points = Vec::new();
-    let mut peak = Vec::new();
     let mut total_cycles = 0u64;
-    for &p in procs {
-        // Baseline: one CE at the same N (for speedup).
-        let mut base_rate = Vec::new();
-        for &n in ns {
-            let cg = StagedCg { n, iterations };
-            let one = cg.report_on_cedar(1)?;
-            total_cycles += one.cycles;
-            base_rate.push(one.mflops);
-        }
-        let mut best = 0.0f64;
-        for (i, &n) in ns.iter().enumerate() {
-            let cg = StagedCg { n, iterations };
-            let r = cg.report_on_cedar(p as usize)?;
-            total_cycles += r.cycles;
-            let mflops = r.mflops;
-            let speedup = mflops / base_rate[i].max(1e-9);
-            points.push(ScalePoint {
-                processors: p,
-                n,
-                mflops,
-                speedup,
-            });
-            if mflops > best {
-                best = mflops;
-            }
-        }
-        peak.push((p, best));
+    for res in measured {
+        let (point, cycles) = res?;
+        points.push(point);
+        total_cycles += cycles;
     }
+    let peak = procs
+        .iter()
+        .map(|&p| {
+            let best = points
+                .iter()
+                .filter(|pt| pt.processors == p)
+                .map(|pt| pt.mflops)
+                .fold(0.0f64, f64::max);
+            (p, best)
+        })
+        .collect();
     let cedar = eval_ppt4("Cedar CG", points);
 
     // CM-5 reference: speedups relative to the implied single-processor

@@ -17,22 +17,30 @@ pub struct PerfectSuite {
 impl PerfectSuite {
     /// Measure the full suite (13 codes × up to 6 variants). This is the
     /// expensive step behind Tables 3–6 and Fig. 3: a few minutes of
-    /// simulation.
+    /// simulation. Every code is an independent study, so the codes run
+    /// through the [`sweep`](crate::experiments::sweep) runner; results
+    /// are keyed by `(code, variant)`, so the assembly order never shows.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors.
     pub fn measure(clusters: usize) -> cedar_machine::Result<PerfectSuite> {
-        let mut runs = HashMap::new();
-        for code in CodeName::ALL {
+        let codes: Vec<CodeName> = CodeName::ALL.to_vec();
+        let per_code = crate::experiments::sweep::parallel_map(&codes, |&code| {
             let study = CodeStudy::new(code, clusters)?;
+            let mut out = Vec::new();
             for v in Variant::ALL {
                 if let Some(run) = study.run(v)? {
-                    runs.insert((code, v), run);
+                    out.push(run);
                 }
             }
+            Ok::<_, cedar_machine::MachineError>(out)
+        });
+        let mut runs = Vec::new();
+        for code_runs in per_code {
+            runs.extend(code_runs?);
         }
-        Ok(PerfectSuite { runs, clusters })
+        Ok(PerfectSuite::from_runs(runs, clusters))
     }
 
     /// Build a suite from precomputed runs (testing and offline

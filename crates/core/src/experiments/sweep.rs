@@ -1,0 +1,97 @@
+//! Experiment-level parallel sweep runner.
+//!
+//! The experiment drivers (Table 2, PPT4, the Perfect suite) are sweeps
+//! of independent simulations: every point builds its own [`Machine`] and
+//! runs it to completion, so points can execute on any number of host
+//! threads without sharing state. The simulator itself is deterministic,
+//! which leaves exactly one requirement for reproducible reports:
+//! results must be assembled in *input order*, never completion order.
+//! [`parallel_map`] guarantees that, so a sweep's rendered output is
+//! byte-identical whatever `CEDAR_SWEEP_THREADS` says.
+//!
+//! This layer is orthogonal to the intra-machine parallel engine
+//! (`CEDAR_NUM_THREADS`): that knob shards one machine's clusters across
+//! threads, this one runs whole independent machines side by side.
+//!
+//! [`Machine`]: cedar_machine::machine::Machine
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Host threads used for experiment sweeps: `CEDAR_SWEEP_THREADS` when
+/// set (minimum 1), otherwise the host's available parallelism.
+pub fn sweep_threads() -> usize {
+    match std::env::var("CEDAR_SWEEP_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// Apply `f` to every item, possibly in parallel, returning the results
+/// in input order.
+///
+/// Work is distributed by an atomic claim counter, so any number of
+/// worker threads yields the same result vector — each item's result
+/// depends only on the item, and collection sorts by input index. `f`
+/// must therefore be a pure function of its item (every sweep task here
+/// builds its own simulator instance, which makes that automatic).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = sweep_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        got.push((i, f(item)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for w in workers {
+            tagged.extend(w.join().expect("sweep worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        // Uneven work so completion order scrambles under parallelism.
+        let out = parallel_map(&items, |&i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -88,116 +88,114 @@ pub fn run() -> cedar_machine::Result<Table2> {
     run_sized(Table2Sizes::default())
 }
 
-/// Run the Table 2 experiment with custom kernel sizes.
+/// The four monitored kernels, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Vl,
+    Tm,
+    Rk,
+    Cg,
+}
+
+impl Kernel {
+    const ALL: [Kernel; 4] = [Kernel::Vl, Kernel::Tm, Kernel::Rk, Kernel::Cg];
+
+    fn name(self) -> &'static str {
+        match self {
+            Kernel::Vl => "VL",
+            Kernel::Tm => "TM",
+            Kernel::Rk => "RK",
+            Kernel::Cg => "CG",
+        }
+    }
+}
+
+/// Run one `(kernel, CE count)` point: build a fresh machine, run the
+/// kernel, read the monitor.
+fn run_point(
+    sizes: Table2Sizes,
+    kernel: Kernel,
+    ces: usize,
+) -> cedar_machine::Result<(MonitorPoint, MachineStats)> {
+    // CG self-schedules over exactly `ces` CEs, the others decompose per
+    // cluster.
+    let clusters = match kernel {
+        Kernel::Cg => ces.div_ceil(8),
+        _ => ces / 8,
+    };
+    let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
+    let progs = match kernel {
+        // VL: pure prefetched loads, 32-word compiler blocks.
+        Kernel::Vl => VectorLoad {
+            words_per_ce: sizes.vl_words_per_ce,
+            block: 32,
+        }
+        .build(&mut m, clusters),
+        // TM: tridiagonal matvec.
+        Kernel::Tm => TridiagMatvec {
+            n: sizes.tm_n,
+            sweeps: 2,
+        }
+        .build(&mut m, clusters),
+        // RK: rank-64 update with 256-word blocks, aggressive overlap.
+        Kernel::Rk => Rank64 {
+            n: sizes.rk_n,
+            k: 64,
+            version: Rank64Version::GmPrefetch { block_words: 256 },
+        }
+        .build(&mut m, clusters),
+        // CG: 5-diagonal conjugate gradient.
+        Kernel::Cg => StagedCg {
+            n: sizes.cg_n,
+            iterations: 2,
+        }
+        .build(&mut m, ces),
+    };
+    let r = m.run(progs, 2_000_000_000)?;
+    Ok((
+        MonitorPoint {
+            ces,
+            latency: r.prefetch.mean_latency(),
+            interarrival: r.prefetch.mean_interarrival(),
+        },
+        r.stats,
+    ))
+}
+
+/// Run the Table 2 experiment with custom kernel sizes. The 12 points
+/// (4 kernels × 3 CE counts) are independent simulations and run through
+/// the [`sweep`](crate::experiments::sweep) runner; results are
+/// assembled in table order whatever the host thread count.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn run_sized(sizes: Table2Sizes) -> cedar_machine::Result<Table2> {
     let ce_counts = [8usize, 16, 32];
+    let tasks: Vec<(Kernel, usize)> = Kernel::ALL
+        .iter()
+        .flat_map(|&k| ce_counts.iter().map(move |&ces| (k, ces)))
+        .collect();
+    let results = crate::experiments::sweep::parallel_map(&tasks, |&(kernel, ces)| {
+        run_point(sizes, kernel, ces)
+    });
+
     let mut kernels = Vec::new();
-
-    // VL: pure prefetched loads, 32-word compiler blocks.
-    let mut vl_points = Vec::new();
-    let mut vl_stats = Vec::new();
-    for &ces in &ce_counts {
-        let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-        let progs = VectorLoad {
-            words_per_ce: sizes.vl_words_per_ce,
-            block: 32,
+    let mut results = results.into_iter();
+    for kernel in Kernel::ALL {
+        let mut points = Vec::new();
+        let mut stats = Vec::new();
+        for _ in &ce_counts {
+            let (point, st) = results.next().expect("one result per task")?;
+            points.push(point);
+            stats.push(st);
         }
-        .build(&mut m, clusters);
-        let r = m.run(progs, 2_000_000_000)?;
-        vl_points.push(MonitorPoint {
-            ces,
-            latency: r.prefetch.mean_latency(),
-            interarrival: r.prefetch.mean_interarrival(),
+        kernels.push(Table2Kernel {
+            name: kernel.name(),
+            points,
+            stats,
         });
-        vl_stats.push(r.stats);
     }
-    kernels.push(Table2Kernel {
-        name: "VL",
-        points: vl_points,
-        stats: vl_stats,
-    });
-
-    // TM: tridiagonal matvec.
-    let mut tm_points = Vec::new();
-    let mut tm_stats = Vec::new();
-    for &ces in &ce_counts {
-        let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-        let progs = TridiagMatvec {
-            n: sizes.tm_n,
-            sweeps: 2,
-        }
-        .build(&mut m, clusters);
-        let r = m.run(progs, 2_000_000_000)?;
-        tm_points.push(MonitorPoint {
-            ces,
-            latency: r.prefetch.mean_latency(),
-            interarrival: r.prefetch.mean_interarrival(),
-        });
-        tm_stats.push(r.stats);
-    }
-    kernels.push(Table2Kernel {
-        name: "TM",
-        points: tm_points,
-        stats: tm_stats,
-    });
-
-    // RK: rank-64 update with 256-word blocks, aggressive overlap.
-    let mut rk_points = Vec::new();
-    let mut rk_stats = Vec::new();
-    for &ces in &ce_counts {
-        let clusters = ces / 8;
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-        let kern = Rank64 {
-            n: sizes.rk_n,
-            k: 64,
-            version: Rank64Version::GmPrefetch { block_words: 256 },
-        };
-        let progs = kern.build(&mut m, clusters);
-        let r = m.run(progs, 2_000_000_000)?;
-        rk_points.push(MonitorPoint {
-            ces,
-            latency: r.prefetch.mean_latency(),
-            interarrival: r.prefetch.mean_interarrival(),
-        });
-        rk_stats.push(r.stats);
-    }
-    kernels.push(Table2Kernel {
-        name: "RK",
-        points: rk_points,
-        stats: rk_stats,
-    });
-
-    // CG: 5-diagonal conjugate gradient.
-    let mut cg_points = Vec::new();
-    let mut cg_stats = Vec::new();
-    for &ces in &ce_counts {
-        let clusters = ces.div_ceil(8);
-        let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-        let cg = StagedCg {
-            n: sizes.cg_n,
-            iterations: 2,
-        };
-        let progs = cg.build(&mut m, ces);
-        let r = m.run(progs, 2_000_000_000)?;
-        cg_points.push(MonitorPoint {
-            ces,
-            latency: r.prefetch.mean_latency(),
-            interarrival: r.prefetch.mean_interarrival(),
-        });
-        cg_stats.push(r.stats);
-    }
-    kernels.push(Table2Kernel {
-        name: "CG",
-        points: cg_points,
-        stats: cg_stats,
-    });
-
     Ok(Table2 { kernels })
 }
 

@@ -8,7 +8,7 @@
 //! prefetch unit, the forward network port and the concurrency control
 //! bus.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::cache::{CacheAccess, ClusterCache};
 use crate::ccbus::CcBus;
@@ -81,7 +81,7 @@ enum GbPhase {
     AwaitPoll,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum CeState {
     Fetch,
     Stall {
@@ -136,7 +136,7 @@ enum CeState {
     Done,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum FrameKind {
     Root,
     Repeat {
@@ -169,7 +169,8 @@ pub struct CeEngine {
     id: CeId,
     cluster: ClusterId,
     ce_in_cluster: usize,
-    cfg: CeConfig,
+    /// Shared, immutable CE configuration (one allocation machine-wide).
+    cfg: Arc<CeConfig>,
     vm_enabled: bool,
     page_words: u64,
     tlb_miss_cycles: u32,
@@ -185,8 +186,12 @@ pub struct CeEngine {
     direct_ready: std::collections::VecDeque<Cycle>,
     scalar_ready: Option<Cycle>,
     sync_result: Option<SyncOutcome>,
-    counter_epochs: HashMap<usize, u64>,
-    barrier_uses: HashMap<usize, u64>,
+    /// Next epoch per counter id (flat, lazily grown — counter ids are
+    /// small dense registry indices, so a `Vec` beats hashing on the
+    /// dispatch path).
+    counter_epochs: Vec<u64>,
+    /// Uses per barrier id (flat, lazily grown like `counter_epochs`).
+    barrier_uses: Vec<u64>,
     /// Elected to fetch the next shared-SDOALL value; waiting for the
     /// port to free.
     sdoall_must_fetch: bool,
@@ -209,11 +214,13 @@ impl std::fmt::Debug for CeEngine {
 }
 
 impl CeEngine {
-    /// Build an engine for CE `id` loaded with `program`.
-    pub fn new(id: CeId, cfg: &MachineConfig, program: Program) -> CeEngine {
+    /// Build an engine for CE `id` loaded with `program`. The CE
+    /// configuration is shared machine-wide via `ce_cfg` (one allocation,
+    /// not a per-engine clone).
+    pub fn new(id: CeId, cfg: &MachineConfig, ce_cfg: Arc<CeConfig>, program: Program) -> CeEngine {
         let ces_per_cluster = cfg.ces_per_cluster;
         let root = Frame {
-            block: program.body().clone(),
+            block: program.into_body(),
             pc: 0,
             kind: FrameKind::Root,
         };
@@ -221,7 +228,7 @@ impl CeEngine {
             id,
             cluster: id.cluster(ces_per_cluster),
             ce_in_cluster: id.index_in_cluster(ces_per_cluster),
-            cfg: cfg.ce.clone(),
+            cfg: ce_cfg,
             vm_enabled: cfg.vm.enabled,
             page_words: cfg.vm.page_words,
             tlb_miss_cycles: cfg.vm.tlb_miss_cycles,
@@ -242,8 +249,8 @@ impl CeEngine {
             direct_ready: std::collections::VecDeque::new(),
             scalar_ready: None,
             sync_result: None,
-            counter_epochs: HashMap::new(),
-            barrier_uses: HashMap::new(),
+            counter_epochs: Vec::new(),
+            barrier_uses: Vec::new(),
             sdoall_must_fetch: false,
             sdoall_awaiting_reply: false,
             ces_per_cluster,
@@ -477,8 +484,11 @@ impl CeEngine {
             self.stats.idle += 1;
             return;
         }
-        // The PFU shares the CE's network port.
-        self.pfu.tick(now, self.id.port().0, ctx.forward);
+        // The PFU shares the CE's network port (skip the call — it goes
+        // through a `dyn` parameter, so it never inlines — when idle).
+        if !self.pfu.issue_idle() {
+            self.pfu.tick(now, self.id.port().0, ctx.forward);
+        }
 
         if now < self.vm_stall_until {
             self.stats.stall_mem += 1;
@@ -517,7 +527,7 @@ impl CeEngine {
     }
 
     fn step(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
-        match self.state.clone() {
+        match self.state {
             CeState::Done => Step::Blocked,
             CeState::Fetch => self.fetch(now, ctx),
             CeState::Stall { until } => {
@@ -640,8 +650,11 @@ impl CeEngine {
         if frame.pc >= frame.block.len() {
             return self.end_of_block(now, ctx);
         }
-        let op = frame.block[frame.pc].clone();
-        self.dispatch(now, ctx, op)
+        // Borrow the op through a refcount bump of the block (no per-op
+        // deep clone: `Op` can own address expressions and nested blocks).
+        let pc = frame.pc;
+        let block = Arc::clone(&frame.block);
+        self.dispatch(now, ctx, &block[pc])
     }
 
     fn end_of_block(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
@@ -683,7 +696,7 @@ impl CeEngine {
             chunk,
             epoch,
             ..
-        } = self.frames.last().expect("frame").kind.clone()
+        } = self.frames.last().expect("frame").kind
         else {
             unreachable!("request_chunk on non-selfsched frame");
         };
@@ -717,7 +730,7 @@ impl CeEngine {
 
     fn step_await_counter(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
         // Either a bus grant or a network sync reply resolves the wait.
-        let frame_kind = self.frames.last().expect("frame").kind.clone();
+        let frame_kind = self.frames.last().expect("frame").kind;
         let FrameKind::SelfSched {
             counter,
             limit,
@@ -803,12 +816,12 @@ impl CeEngine {
         Step::Progress
     }
 
-    fn dispatch(&mut self, now: Cycle, ctx: &mut CeContext<'_>, op: Op) -> Step {
+    fn dispatch(&mut self, now: Cycle, ctx: &mut CeContext<'_>, op: &Op) -> Step {
         match op {
             Op::ScalarWork { cycles } => {
                 self.advance_pc();
                 self.state = CeState::Stall {
-                    until: now + u64::from(cycles.max(1)),
+                    until: now + u64::from((*cycles).max(1)),
                 };
                 Step::Progress
             }
@@ -817,9 +830,9 @@ impl CeEngine {
                 cycles_per_flop,
             } => {
                 self.advance_pc();
-                self.stats.flops += u64::from(flops);
+                self.stats.flops += u64::from(*flops);
                 self.state = CeState::Stall {
-                    until: now + u64::from(flops) * u64::from(cycles_per_flop.max(1)),
+                    until: now + u64::from(*flops) * u64::from((*cycles_per_flop).max(1)),
                 };
                 Step::Progress
             }
@@ -874,7 +887,7 @@ impl CeEngine {
             Op::Vector(v) => self.dispatch_vector(now, v),
             Op::PrefetchArm { length, stride } => {
                 self.advance_pc();
-                self.pfu.arm(length, stride);
+                self.pfu.arm(*length, *stride);
                 self.state = CeState::Stall { until: now + 1 };
                 Step::Progress
             }
@@ -896,13 +909,13 @@ impl CeEngine {
             }
             Op::Repeat { count, body } => {
                 self.advance_pc();
-                if count == 0 {
+                if *count == 0 {
                     return Step::Progress;
                 }
                 self.frames.push(Frame {
-                    block: body,
+                    block: Arc::clone(body),
                     pc: 0,
-                    kind: FrameKind::Repeat { remaining: count },
+                    kind: FrameKind::Repeat { remaining: *count },
                 });
                 self.indices.push(0);
                 Step::Progress
@@ -915,20 +928,18 @@ impl CeEngine {
                 body,
             } => {
                 self.advance_pc();
-                if limit == 0 {
+                if *limit == 0 {
                     return Step::Progress;
                 }
-                let e = self.counter_epochs.entry(counter.0).or_insert(0);
-                let epoch = *e;
-                *e += 1;
+                let epoch = self.next_epoch(counter.0);
                 self.frames.push(Frame {
-                    block: body,
+                    block: Arc::clone(body),
                     pc: 0,
                     kind: FrameKind::SelfSched {
                         counter: counter.0,
-                        limit,
-                        chunk,
-                        dispatch_cost,
+                        limit: *limit,
+                        chunk: *chunk,
+                        dispatch_cost: *dispatch_cost,
                         epoch,
                         chunk_end: 0,
                     },
@@ -943,7 +954,7 @@ impl CeEngine {
                 }
                 self.advance_pc();
                 let a = addr.eval(&self.indices);
-                self.send_sync(now, ctx, a, instr);
+                self.send_sync(now, ctx, a, *instr);
                 self.state = CeState::AwaitSync;
                 Step::Progress
             }
@@ -955,18 +966,18 @@ impl CeEngine {
             Op::PostEvent { tag } => {
                 self.advance_pc();
                 // Tag layout: caller tag in the high bits, CE id low.
-                ctx.tracer.post(now, (tag << 8) | self.id.0 as u32);
+                ctx.tracer.post(now, (*tag << 8) | self.id.0 as u32);
                 self.state = CeState::Stall { until: now + 1 };
                 Step::Progress
             }
         }
     }
 
-    fn dispatch_vector(&mut self, now: Cycle, v: VectorOp) -> Step {
+    fn dispatch_vector(&mut self, now: Cycle, v: &VectorOp) -> Step {
         self.advance_pc();
         let start_at = now + u64::from(self.cfg.vector_startup);
         self.stats.flops += u64::from(v.flops_per_element) * u64::from(v.length);
-        match v.operand {
+        match &v.operand {
             MemOperand::None => {
                 self.stats.vector_elements += u64::from(v.length);
                 self.state = CeState::Stall {
@@ -983,7 +994,7 @@ impl CeEngine {
             MemOperand::GlobalRead { addr, stride } => {
                 self.state = CeState::VectorDirect {
                     base: addr.eval(&self.indices),
-                    stride,
+                    stride: *stride,
                     length: v.length,
                     issued: 0,
                     completed: 0,
@@ -1005,7 +1016,7 @@ impl CeEngine {
             MemOperand::GlobalWrite { addr, stride } => {
                 self.state = CeState::VectorGWrite {
                     base: addr.eval(&self.indices),
-                    stride,
+                    stride: *stride,
                     length: v.length,
                     issued: 0,
                     start_at,
@@ -1025,7 +1036,7 @@ impl CeEngine {
             MemOperand::ClusterRead { addr, stride } => {
                 self.state = CeState::VectorCache {
                     base: addr.eval(&self.indices),
-                    stride,
+                    stride: *stride,
                     write: false,
                     length: v.length,
                     issued: 0,
@@ -1036,7 +1047,7 @@ impl CeEngine {
             MemOperand::ClusterWrite { addr, stride } => {
                 self.state = CeState::VectorCache {
                     base: addr.eval(&self.indices),
-                    stride,
+                    stride: *stride,
                     write: true,
                     length: v.length,
                     issued: 0,
@@ -1050,11 +1061,9 @@ impl CeEngine {
 
     fn dispatch_barrier(&mut self, now: Cycle, ctx: &mut CeContext<'_>, barrier: usize) -> Step {
         let def = ctx.barriers[barrier];
-        let e = self.barrier_uses.entry(barrier).or_insert(0);
         match def.scope {
             BarrierScope::Cluster(_) => {
-                let epoch = *e;
-                *e += 1;
+                let epoch = self.next_barrier_use(barrier);
                 self.advance_pc();
                 ctx.ccbus.arrive_barrier(
                     now,
@@ -1070,8 +1079,7 @@ impl CeEngine {
                 if self.pending_pkt.is_some() {
                     return Step::Blocked;
                 }
-                let epoch = *e;
-                *e += 1;
+                let epoch = self.next_barrier_use(barrier);
                 self.advance_pc();
                 let addr = def.base_addr + epoch;
                 self.send_sync(now, ctx, addr, SyncInstr::fetch_add(1));
@@ -1371,6 +1379,26 @@ impl CeEngine {
 
     fn advance_pc(&mut self) {
         self.frames.last_mut().expect("frame").pc += 1;
+    }
+
+    /// Take and advance the next epoch for `counter`.
+    fn next_epoch(&mut self, counter: usize) -> u64 {
+        if self.counter_epochs.len() <= counter {
+            self.counter_epochs.resize(counter + 1, 0);
+        }
+        let e = self.counter_epochs[counter];
+        self.counter_epochs[counter] += 1;
+        e
+    }
+
+    /// Take and advance the use count for `barrier`.
+    fn next_barrier_use(&mut self, barrier: usize) -> u64 {
+        if self.barrier_uses.len() <= barrier {
+            self.barrier_uses.resize(barrier + 1, 0);
+        }
+        let e = self.barrier_uses[barrier];
+        self.barrier_uses[barrier] += 1;
+        e
     }
 
     fn queue_pkt(&mut self, ctx: &mut CeContext<'_>, pkt: Packet) {

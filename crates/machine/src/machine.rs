@@ -94,6 +94,9 @@ pub struct RunReport {
 #[derive(Debug)]
 pub struct Machine {
     pub(crate) cfg: MachineConfig,
+    /// The CE configuration, shared by every engine (one allocation
+    /// instead of a per-CE clone).
+    ce_cfg: Arc<crate::config::CeConfig>,
     pub(crate) now: Cycle,
     pub(crate) forward: Omega,
     pub(crate) reverse: Omega,
@@ -282,6 +285,7 @@ impl Machine {
             util_scratch: Vec::with_capacity(cfg.total_ces()),
             fastfwd_skipped: 0,
             now: Cycle::ZERO,
+            ce_cfg: Arc::new(cfg.ce.clone()),
             cfg,
         })
     }
@@ -573,7 +577,12 @@ impl Machine {
                 return Err(MachineError::NoSuchCe(ce));
             }
             self.validate_program(ce, &program)?;
-            self.engines[ce.0] = Some(CeEngine::new(ce, &self.cfg, program));
+            self.engines[ce.0] = Some(CeEngine::new(
+                ce,
+                &self.cfg,
+                Arc::clone(&self.ce_cfg),
+                program,
+            ));
         }
 
         let start = self.now;

@@ -10,9 +10,11 @@ pub mod cluster_mem;
 pub mod global;
 pub mod module;
 pub mod sync;
+pub mod sync_store;
 
 pub use address::{crosses_page, module_of, page_of, MemSpace};
 pub use cluster_mem::{ClusterMemStats, ClusterMemory};
 pub use global::GlobalMemory;
 pub use module::{Module, ModuleStats};
 pub use sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};
+pub use sync_store::SyncStore;

@@ -6,10 +6,10 @@
 //! Test-And-Operate instructions of [`sync`](crate::memory::sync) against
 //! the module's 32-bit synchronization words.
 
-use std::collections::{HashMap, VecDeque};
-
 use crate::config::GlobalMemoryConfig;
-use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind};
+use crate::ids::CeId;
+use crate::memory::sync_store::SyncStore;
+use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind, Stream};
 use crate::network::Omega;
 use crate::time::Cycle;
 
@@ -33,6 +33,76 @@ pub struct ModuleStats {
     pub conflict_stall_cycles: u64,
 }
 
+/// A fixed-capacity FIFO of queued requests (capacity = the configured
+/// request queue depth). Like the network's `Ring`: one contiguous
+/// allocation at construction, no growth or shuffling on the tick path.
+#[derive(Debug)]
+struct ReqRing {
+    buf: Box<[MemRequest]>,
+    head: usize,
+    len: usize,
+}
+
+impl ReqRing {
+    fn new(cap: usize) -> ReqRing {
+        let filler = MemRequest {
+            ce: CeId(0),
+            kind: RequestKind::Read,
+            addr: 0,
+            stream: Stream::Scalar,
+            issued: Cycle::ZERO,
+        };
+        ReqRing {
+            buf: vec![filler; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    #[inline]
+    fn push_back(&mut self, req: MemRequest) {
+        assert!(
+            !self.is_full(),
+            "module queue overflow: flow control violated"
+        );
+        let mut tail = self.head + self.len;
+        if tail >= self.buf.len() {
+            tail -= self.buf.len();
+        }
+        self.buf[tail] = req;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<MemRequest> {
+        if self.len == 0 {
+            return None;
+        }
+        let req = self.buf[self.head];
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
+        self.len -= 1;
+        Some(req)
+    }
+}
+
 /// A single interleaved global-memory module.
 #[derive(Debug)]
 pub struct Module {
@@ -40,14 +110,13 @@ pub struct Module {
     port: usize,
     service_cycles: u32,
     sync_extra_cycles: u32,
-    queue_cap: usize,
-    queue: VecDeque<MemRequest>,
+    queue: ReqRing,
     /// Request in service and the cycle it finishes.
     current: Option<(MemRequest, Cycle)>,
     /// Completed reply waiting for reverse-network injection.
     pending_reply: Option<Packet>,
     /// 32-bit synchronization words owned by this module.
-    sync_vars: HashMap<u64, i32>,
+    sync_vars: SyncStore,
     stats: ModuleStats,
 }
 
@@ -58,11 +127,10 @@ impl Module {
             port,
             service_cycles: cfg.service_cycles,
             sync_extra_cycles: cfg.sync_extra_cycles,
-            queue_cap: cfg.request_queue,
-            queue: VecDeque::new(),
+            queue: ReqRing::new(cfg.request_queue),
             current: None,
             pending_reply: None,
-            sync_vars: HashMap::new(),
+            sync_vars: SyncStore::new(),
             stats: ModuleStats::default(),
         }
     }
@@ -70,7 +138,7 @@ impl Module {
     /// True when a new request packet can begin arriving (used as the
     /// forward network's sink acceptance test).
     pub fn can_accept(&self) -> bool {
-        self.queue.len() < self.queue_cap
+        !self.queue.is_full()
     }
 
     /// Enqueue a fully received request.
@@ -80,10 +148,6 @@ impl Module {
     /// Panics if called when [`Module::can_accept`] is false — the network
     /// must not deliver into a full queue.
     pub fn enqueue(&mut self, req: MemRequest) {
-        assert!(
-            self.queue.len() < self.queue_cap,
-            "module queue overflow: flow control violated"
-        );
         self.queue.push_back(req);
     }
 
@@ -99,7 +163,7 @@ impl Module {
 
     /// Peek a synchronization word (testing / debugging aid).
     pub fn sync_value(&self, addr: u64) -> i32 {
-        self.sync_vars.get(&addr).copied().unwrap_or(0)
+        self.sync_vars.get(addr).unwrap_or(0)
     }
 
     /// Clear all synchronization words (between independent runs).
@@ -110,7 +174,7 @@ impl Module {
     /// Fold this module's persistent memory state (the synchronization
     /// words, in address order) into `h`.
     pub(crate) fn digest(&self, h: &mut impl std::hash::Hasher) {
-        let mut words: Vec<(u64, i32)> = self.sync_vars.iter().map(|(&a, &v)| (a, v)).collect();
+        let mut words: Vec<(u64, i32)> = self.sync_vars.iter().collect();
         words.sort_unstable();
         h.write_usize(self.port);
         h.write_usize(words.len());
@@ -223,7 +287,7 @@ impl Module {
                 },
             ),
             RequestKind::Sync(instr) => {
-                let v = self.sync_vars.entry(req.addr).or_insert(0);
+                let v = self.sync_vars.get_or_insert(req.addr);
                 let outcome = instr.apply(v);
                 Packet::reply(
                     req.ce.0,

@@ -1,0 +1,155 @@
+//! Flat storage for a module's synchronization words.
+//!
+//! Each memory module owns a small, hot set of 32-bit synchronization
+//! words (barrier cells, self-scheduling counters). The sync processor
+//! touches them on every Test-And-Operate, so the store is an
+//! open-addressed hash map over one contiguous slot array — no per-entry
+//! allocation, no SipHash — tuned for working sets of a few dozen words.
+
+/// An open-addressed `u64 → i32` map with linear probing.
+///
+/// Insert-only between [`SyncStore::clear`] calls (synchronization words
+/// are never deallocated mid-run), which keeps probing tombstone-free.
+#[derive(Debug, Default)]
+pub struct SyncStore {
+    /// `(key, value)` slots; occupancy tracked in `used` (keys are
+    /// arbitrary addresses, so no key sentinel is available).
+    slots: Vec<(u64, i32)>,
+    used: Vec<bool>,
+    len: usize,
+}
+
+/// Fibonacci multiplicative hash; the high bits index the table.
+#[inline]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl SyncStore {
+    /// An empty store (no allocation until the first insert).
+    pub fn new() -> SyncStore {
+        SyncStore::default()
+    }
+
+    /// Number of distinct words stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no word has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every word (between independent runs). Keeps the allocation.
+    pub fn clear(&mut self) {
+        self.used.fill(false);
+        self.len = 0;
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: u64) -> Option<i32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spread(key) >> 32) as usize & mask;
+        loop {
+            if !self.used[i] {
+                return None;
+            }
+            if self.slots[i].0 == key {
+                return Some(self.slots[i].1);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Mutable access to `key`'s value, inserting 0 if absent (the
+    /// hardware's synchronization words reset to zero).
+    pub fn get_or_insert(&mut self, key: u64) -> &mut i32 {
+        if self.slots.len() < 8 || self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (spread(key) >> 32) as usize & mask;
+        loop {
+            if !self.used[i] {
+                self.used[i] = true;
+                self.slots[i] = (key, 0);
+                self.len += 1;
+                return &mut self.slots[i].1;
+            }
+            if self.slots[i].0 == key {
+                return &mut self.slots[i].1;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Iterate the stored `(address, value)` pairs in table order
+    /// (unordered; callers needing determinism sort).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i32)> + '_ {
+        self.slots
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &u)| u)
+            .map(|(&(k, v), _)| (k, v))
+    }
+
+    /// Double the table (or create it) and rehash every live entry.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        debug_assert!(new_cap.is_power_of_two());
+        let old_slots = std::mem::replace(&mut self.slots, vec![(0, 0); new_cap]);
+        let old_used = std::mem::replace(&mut self.used, vec![false; new_cap]);
+        let mask = new_cap - 1;
+        for (slot, used) in old_slots.into_iter().zip(old_used) {
+            if !used {
+                continue;
+            }
+            let mut i = (spread(slot.0) >> 32) as usize & mask;
+            while self.used[i] {
+                i = (i + 1) & mask;
+            }
+            self.used[i] = true;
+            self.slots[i] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default_and_updates() {
+        let mut s = SyncStore::new();
+        assert_eq!(s.get(0), None);
+        *s.get_or_insert(0) += 5;
+        *s.get_or_insert(u64::MAX) = -1;
+        assert_eq!(s.get(0), Some(5));
+        assert_eq!(s.get(u64::MAX), Some(-1));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get(0), None);
+    }
+
+    #[test]
+    fn survives_growth_with_colliding_keys() {
+        let mut s = SyncStore::new();
+        // Strided keys (barrier epochs land like this) across several grows.
+        for k in 0..500u64 {
+            *s.get_or_insert(k * 33) = k as i32;
+        }
+        assert_eq!(s.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(s.get(k * 33), Some(k as i32), "key {k}");
+        }
+        let mut all: Vec<(u64, i32)> = s.iter().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 500);
+        assert_eq!(all[0], (0, 0));
+    }
+}

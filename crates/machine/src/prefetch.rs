@@ -223,6 +223,13 @@ impl Pfu {
         idx < self.full.len() && self.full[idx]
     }
 
+    /// True when the issue engine has nothing to do — [`Pfu::tick`] would
+    /// be a no-op, so the caller can skip the (non-inlined) call entirely.
+    #[inline]
+    pub(crate) fn issue_idle(&self) -> bool {
+        matches!(self.state, IssueState::Idle)
+    }
+
     /// The earliest future cycle at which this PFU can change externally
     /// visible state: issuing wants every cycle, a page suspend wakes at
     /// its resume cycle, idle means never.

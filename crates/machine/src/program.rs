@@ -184,6 +184,12 @@ impl Program {
         &self.body
     }
 
+    /// The top-level block, by value (no refcount traffic when the
+    /// program is being consumed, e.g. loading an engine).
+    pub fn into_body(self) -> Block {
+        self.body
+    }
+
     /// Total static operation count (for sanity checks and reporting).
     pub fn op_count(&self) -> usize {
         fn count(block: &Block) -> usize {

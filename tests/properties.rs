@@ -94,6 +94,53 @@ proptest! {
         prop_assert_eq!(i64::from(v), sum as i32 as i64);
     }
 
+    /// The open-addressed [`SyncStore`] behind every memory module's
+    /// synchronization processor behaves exactly like a hash map of
+    /// zero-default words under arbitrary Test-And-Operate sequences:
+    /// same outcome per instruction, same surviving words, across
+    /// growth, collisions and clears.
+    #[test]
+    fn sync_store_matches_hashmap_model(
+        ops in prop::collection::vec(
+            (
+                // Cluster addresses so probe chains collide, but spread
+                // them with a large stride so growth rehashes matter.
+                0u64..24,
+                prop::sample::select(vec![0usize, 1, 2, 3]),
+                -40i32..40,
+            ),
+            1..200,
+        ),
+        clear_at in prop::collection::vec(0usize..200, 0..3),
+    ) {
+        use std::collections::HashMap;
+        use cedar_machine::memory::SyncStore;
+
+        let mut store = SyncStore::new();
+        let mut model: HashMap<u64, i32> = HashMap::new();
+        for (i, &(slot, which, operand)) in ops.iter().enumerate() {
+            if clear_at.contains(&i) {
+                store.clear();
+                model.clear();
+            }
+            let addr = slot * 0x1000_0001; // colliding high bits, distinct keys
+            let instr = match which {
+                0 => SyncInstr::read(),
+                1 => SyncInstr::write(operand),
+                2 => SyncInstr::fetch_add(operand),
+                _ => SyncInstr::test_and_set(),
+            };
+            let got = instr.apply(store.get_or_insert(addr));
+            let want = instr.apply(model.entry(addr).or_insert(0));
+            prop_assert_eq!(got, want, "op {i}");
+        }
+        let mut got: Vec<(u64, i32)> = store.iter().collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, i32)> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
     /// The machine conserves flops: whatever the program shape, the run
     /// reports exactly the flops the program encodes.
     #[test]
