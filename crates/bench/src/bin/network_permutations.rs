@@ -50,6 +50,8 @@ fn run_perm(queue_words: usize, words: u8, perm: &dyn Fn(usize, usize) -> usize)
                         addr: src as u64,
                         stream: Stream::Scalar,
                         issued: Cycle(0),
+                        seq: 0,
+                        nacked: false,
                     }),
                 },
             )

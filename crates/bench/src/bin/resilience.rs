@@ -1,0 +1,109 @@
+//! Regenerate the resilience study: Table 1 bandwidth kernels and one
+//! Perfect code under deterministic fault injection, with recovery
+//! traffic and slowdown per fault scenario. Writes
+//! `BENCH_resilience.json` with one record per sweep point.
+//!
+//! `--smoke` shrinks the workloads for CI and validates the output
+//! schema: every (workload, scenario) point present, every clean
+//! baseline completed with zero recovery traffic.
+
+use cedar::experiments::resilience::{self, Resilience, Scenario, Workload};
+
+const SEED: u64 = 0xCEDA_0001;
+
+fn json(r: &Resilience) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"resilience\",\n");
+    out.push_str(&format!("  \"n\": {},\n  \"seed\": {},\n", r.n, r.seed));
+    out.push_str("  \"rows\": [\n");
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"{}\",\n",
+                    "      \"scenario\": \"{}\",\n",
+                    "      \"completed\": {},\n",
+                    "      \"outcome\": \"{}\",\n",
+                    "      \"cycles\": {},\n",
+                    "      \"slowdown\": {:.4},\n",
+                    "      \"drops\": {},\n",
+                    "      \"nacks\": {},\n",
+                    "      \"retries\": {},\n",
+                    "      \"timeouts\": {},\n",
+                    "      \"prefetch_retries\": {},\n",
+                    "      \"retry_p99\": {}\n",
+                    "    }}"
+                ),
+                row.workload,
+                row.scenario,
+                row.completed,
+                row.outcome,
+                row.cycles,
+                row.slowdown,
+                row.drops,
+                row.nacks,
+                row.retries,
+                row.timeouts,
+                row.prefetch_retries,
+                row.retry_p99.map_or("null".to_string(), |p| p.to_string()),
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Schema validation for CI: the sweep covered every point, and the
+/// clean baselines behaved like fault-free runs.
+fn validate(r: &Resilience) -> Result<(), String> {
+    let scenarios = Scenario::all();
+    for w in Workload::ALL {
+        let mine: Vec<_> = r.rows.iter().filter(|x| x.workload == w.label()).collect();
+        if mine.len() != scenarios.len() {
+            return Err(format!(
+                "workload {:?}: {} rows, expected {}",
+                w,
+                mine.len(),
+                scenarios.len()
+            ));
+        }
+        let clean = mine
+            .iter()
+            .find(|x| x.scenario == "clean")
+            .ok_or_else(|| format!("workload {w:?}: no clean row"))?;
+        if !clean.completed {
+            return Err(format!("workload {w:?}: clean baseline did not complete"));
+        }
+        if clean.drops + clean.nacks + clean.retries + clean.timeouts != 0 {
+            return Err(format!(
+                "workload {w:?}: clean baseline reports recovery traffic"
+            ));
+        }
+        if mine.iter().any(|x| x.completed && x.cycles == 0) {
+            return Err(format!("workload {w:?}: completed row with zero cycles"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke || cedar_bench::quick() {
+        64
+    } else {
+        128
+    };
+    eprintln!("running resilience study (rank-64 n = {n}, seed = {SEED:#x})...");
+    let r = resilience::run(n, SEED)?;
+    println!("{}", r.render());
+    if smoke {
+        validate(&r).map_err(|e| format!("schema validation failed: {e}"))?;
+        eprintln!("schema validation passed ({} rows)", r.rows.len());
+    }
+    std::fs::write("BENCH_resilience.json", json(&r))?;
+    eprintln!("wrote BENCH_resilience.json");
+    Ok(())
+}

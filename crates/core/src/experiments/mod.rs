@@ -11,10 +11,12 @@
 //! | [`table6`] | Table 6 — restructuring-efficiency band counts |
 //! | [`fig3`]   | Figure 3 — YMP vs Cedar efficiency scatter |
 //! | [`ppt4`]   | §4.3 PPT4 — CG scalability vs the CM-5 |
+//! | [`resilience`] | fault-injection study: the machine degrading gracefully |
 //! | [`sweep`]  | parallel sweep runner shared by the drivers above |
 
 pub mod fig3;
 pub mod ppt4;
+pub mod resilience;
 pub mod suite;
 pub mod sweep;
 pub mod table1;

@@ -219,12 +219,30 @@ impl Backend {
         clusters: usize,
         limit: u64,
     ) -> cedar_machine::Result<ExecReport> {
-        let mut m = Machine::new(
-            MachineConfig::cedar_with_clusters(clusters.clamp(1, 4)).with_env_threads(),
-        )?;
-        let programs = self.lower(prog, &mut m, clusters.clamp(1, 4));
-        let r = m.run(programs, limit)?;
+        let cfg = MachineConfig::cedar_with_clusters(clusters.clamp(1, 4)).with_env_threads();
+        let r = self.execute_on(prog, cfg, clusters, limit)?;
         Ok(ExecReport::from(&r))
+    }
+
+    /// Like [`Backend::execute`] on a machine built from an explicit
+    /// `cfg` (e.g. one carrying a fault-injection plan), returning the
+    /// machine's full [`RunReport`] so callers can read the stats
+    /// registry. The machine shape must match `clusters`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors, including fault-injection outcomes
+    /// (`Deadlock`, `Faulted`).
+    pub fn execute_on(
+        &self,
+        prog: &CompiledProgram,
+        cfg: MachineConfig,
+        clusters: usize,
+        limit: u64,
+    ) -> cedar_machine::Result<RunReport> {
+        let mut m = Machine::new(cfg)?;
+        let programs = self.lower(prog, &mut m, clusters.clamp(1, 4));
+        m.run(programs, limit)
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -13,10 +13,12 @@ use std::sync::Arc;
 use crate::cache::{CacheAccess, ClusterCache};
 use crate::ccbus::CcBus;
 use crate::config::{CeConfig, MachineConfig};
+use crate::fault::{CeFaultCtl, CtlPoll, FaultCtlStats, ReplyAction};
 use crate::ids::{CeId, ClusterId};
 use crate::memory::address::{module_of, page_of};
 use crate::memory::sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};
-use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind, Stream};
+use crate::monitor::Histogrammer;
+use crate::network::packet::{MemReply, MemRequest, Packet, Payload, RequestKind, Stream};
 use crate::network::InjectPort;
 use crate::prefetch::{Pfu, PrefetchStats};
 use crate::program::{Block, MemOperand, Op, Program, VectorOp};
@@ -200,6 +202,12 @@ pub struct CeEngine {
     sdoall_awaiting_reply: bool,
     ces_per_cluster: usize,
     vm_stall_until: Cycle,
+    /// Retry controller for sequenced global-memory operations; allocated
+    /// only when the machine runs under an enabled fault plan.
+    fault_ctl: Option<Box<CeFaultCtl>>,
+    /// Next retry-protocol sequence number (sequence 0 means unsequenced,
+    /// so numbering starts at 1).
+    next_seq: u64,
     stats: CeStats,
 }
 
@@ -242,6 +250,10 @@ impl CeEngine {
                 &cfg.prefetch,
                 cfg.vm.page_words,
                 cfg.global_memory.modules,
+                cfg.faults
+                    .as_ref()
+                    .filter(|p| p.enabled())
+                    .map(|p| u64::from(p.timeout_cycles)),
             ),
             pending_pkt: None,
             outstanding_reads: 0,
@@ -255,6 +267,12 @@ impl CeEngine {
             sdoall_awaiting_reply: false,
             ces_per_cluster,
             vm_stall_until: Cycle::ZERO,
+            fault_ctl: cfg
+                .faults
+                .as_ref()
+                .filter(|p| p.enabled())
+                .map(|p| Box::new(CeFaultCtl::new(p))),
+            next_seq: 1,
             stats: CeStats::default(),
         }
     }
@@ -270,9 +288,12 @@ impl CeEngine {
     }
 
     /// True when the program has run to completion and every generated
-    /// request has left the CE.
+    /// request has left the CE (including retries still awaiting their
+    /// first successful reply).
     pub fn is_done(&self) -> bool {
-        matches!(self.state, CeState::Done) && self.pending_pkt.is_none()
+        matches!(self.state, CeState::Done)
+            && self.pending_pkt.is_none()
+            && self.fault_ctl.as_deref().is_none_or(CeFaultCtl::is_empty)
     }
 
     /// Execution statistics.
@@ -293,8 +314,70 @@ impl CeEngine {
         self.pfu.stats()
     }
 
+    /// Retry-controller counters (zero when faults are disabled).
+    pub fn fault_stats(&self) -> FaultCtlStats {
+        self.fault_ctl
+            .as_deref()
+            .map(CeFaultCtl::stats)
+            .unwrap_or_default()
+    }
+
+    /// Retry-latency histogram, when a retry controller exists.
+    pub(crate) fn fault_retry_latency(&self) -> Option<&Histogrammer> {
+        self.fault_ctl.as_deref().map(CeFaultCtl::retry_latency)
+    }
+
+    /// Tracked operations still awaiting a successful reply.
+    pub(crate) fn fault_pending(&self) -> u64 {
+        self.fault_ctl.as_deref().map_or(0, |c| c.pending() as u64)
+    }
+
+    /// The failure description once the retry controller gave up on an
+    /// operation (the machine aborts with `MachineError::Faulted`).
+    pub(crate) fn fault_exhausted(&self) -> Option<String> {
+        self.fault_ctl
+            .as_deref()
+            .and_then(|c| c.exhausted().map(str::to_string))
+    }
+
+    /// True when the engine is parked in a synchronization wait that only
+    /// another CE's progress can resolve — the states the forward-progress
+    /// watchdog counts as potentially deadlocked. Waits that resolve
+    /// through traffic or the retry controller (scalar reads, sync
+    /// replies, fences) are excluded: those always keep an event pending.
+    pub(crate) fn sync_blocked(&self) -> bool {
+        matches!(
+            self.state,
+            CeState::GlobalBarrier { .. } | CeState::AwaitClusterBarrier | CeState::AwaitCounter
+        )
+    }
+
+    /// Compact Debug rendering of the engine state for hang reports.
+    pub(crate) fn hang_state(&self) -> String {
+        let mut s = format!("{:?}", self.state);
+        if s.len() > 48 {
+            s.truncate(47);
+            s.push('…');
+        }
+        s
+    }
+
     /// Handle a reply arriving from the reverse network.
     pub fn receive(&mut self, now: Cycle, reply: MemReply) {
+        if let Some(ctl) = self.fault_ctl.as_deref_mut() {
+            if reply.seq != 0 {
+                match ctl.on_reply(now, &reply) {
+                    ReplyAction::Deliver => {}
+                    // Duplicate of an already-delivered reply, or a NACK
+                    // the controller will resend after backoff.
+                    ReplyAction::Stale | ReplyAction::Nacked => return,
+                }
+            } else if reply.nack {
+                // Unsequenced (prefetch) NACK: discard — the prefetch
+                // unit's own timeout re-requests the missing element.
+                return;
+            }
+        }
         match reply.stream {
             Stream::Prefetch { elem, fire_seq } => self.pfu.receive(now, elem, fire_seq),
             Stream::Direct { .. } => self
@@ -327,15 +410,17 @@ impl CeEngine {
         if self.pending_pkt.is_some() {
             return Some(soon); // retries injection every cycle
         }
+        let fault_ev = self.fault_ctl.as_deref().and_then(|c| c.next_event(now));
         if matches!(self.state, CeState::Done) {
-            return None; // only idle cycles remain
+            // Only idle cycles remain — except retries still draining.
+            return fault_ev;
         }
         let pfu_ev = self.pfu.next_event(now);
         if pfu_ev == Some(soon) {
             return pfu_ev;
         }
         if now < self.vm_stall_until {
-            return min_event(pfu_ev, Some(self.vm_stall_until));
+            return min_event(fault_ev, min_event(pfu_ev, Some(self.vm_stall_until)));
         }
         let state_ev = match &self.state {
             CeState::Done => None,
@@ -405,7 +490,7 @@ impl CeEngine {
             },
             CeState::AwaitFence => (self.outstanding_writes == 0).then_some(soon),
         };
-        min_event(pfu_ev, state_ev)
+        min_event(fault_ev, min_event(pfu_ev, state_ev))
     }
 
     /// `next_event` for the [`CeState::AwaitCounter`] wait, which resolves
@@ -478,6 +563,21 @@ impl CeEngine {
         if let Some(pkt) = self.pending_pkt.take() {
             if !ctx.forward.try_inject(self.id.port().0, pkt) {
                 self.pending_pkt = Some(pkt);
+            }
+        }
+        // Advance the retry controller (even after Done — the last store
+        // or sync may still be draining through retries). At most one
+        // resend per cycle, and only when the pending latch is free.
+        if self.pending_pkt.is_none() {
+            if let Some(ctl) = self.fault_ctl.as_deref_mut() {
+                match ctl.poll(now) {
+                    CtlPoll::Idle | CtlPoll::Exhausted => {}
+                    CtlPoll::Resend(pkt) => {
+                        if !ctx.forward.try_inject(self.id.port().0, pkt) {
+                            self.pending_pkt = Some(pkt);
+                        }
+                    }
+                }
             }
         }
         if matches!(self.state, CeState::Done) {
@@ -854,9 +954,11 @@ impl CeEngine {
                         addr: a,
                         stream: Stream::Scalar,
                         issued: now,
+                        seq: 0,
+                        nacked: false,
                     },
                 );
-                self.queue_pkt(ctx, pkt);
+                self.queue_pkt(now, ctx, pkt);
                 self.state = CeState::AwaitScalarRead;
                 Step::Progress
             }
@@ -878,9 +980,11 @@ impl CeEngine {
                         addr: a,
                         stream: Stream::WriteAck,
                         issued: now,
+                        seq: 0,
+                        nacked: false,
                     },
                 );
-                self.queue_pkt(ctx, pkt);
+                self.queue_pkt(now, ctx, pkt);
                 self.state = CeState::Stall { until: now + 1 };
                 Step::Progress
             }
@@ -1237,9 +1341,11 @@ impl CeEngine {
                     addr: a,
                     stream: Stream::Direct { elem: issued },
                     issued: now,
+                    seq: 0,
+                    nacked: false,
                 },
             );
-            self.queue_pkt(ctx, pkt);
+            self.queue_pkt(now, ctx, pkt);
             issued += 1;
         }
         self.state = CeState::VectorDirect {
@@ -1296,9 +1402,11 @@ impl CeEngine {
                     addr: a,
                     stream: Stream::WriteAck,
                     issued: now,
+                    seq: 0,
+                    nacked: false,
                 },
             );
-            self.queue_pkt(ctx, pkt);
+            self.queue_pkt(now, ctx, pkt);
             issued += 1;
             self.stats.vector_elements += 1;
             if issued >= length {
@@ -1401,8 +1509,21 @@ impl CeEngine {
         e
     }
 
-    fn queue_pkt(&mut self, ctx: &mut CeContext<'_>, pkt: Packet) {
+    fn queue_pkt(&mut self, now: Cycle, ctx: &mut CeContext<'_>, mut pkt: Packet) {
         debug_assert!(self.pending_pkt.is_none());
+        // Under a fault plan every engine-issued request gets a sequence
+        // number and is tracked to completion; resends arrive here with
+        // their number already assigned and must not be re-tracked.
+        if let Some(ctl) = self.fault_ctl.as_deref_mut() {
+            if let Payload::Request(req) = &mut pkt.payload {
+                if req.seq == 0 && !matches!(req.stream, Stream::Prefetch { .. }) {
+                    req.seq = self.next_seq;
+                    self.next_seq += 1;
+                    let seq = req.seq;
+                    ctl.track(seq, pkt, now);
+                }
+            }
+        }
         if !ctx.forward.try_inject(self.id.port().0, pkt) {
             self.pending_pkt = Some(pkt);
         }
@@ -1417,9 +1538,11 @@ impl CeEngine {
                 addr,
                 stream: Stream::Sync,
                 issued: now,
+                seq: 0,
+                nacked: false,
             },
         );
-        self.queue_pkt(ctx, pkt);
+        self.queue_pkt(now, ctx, pkt);
     }
 
     /// VM address translation; returns true (and charges the stall) on a

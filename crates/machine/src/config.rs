@@ -8,6 +8,8 @@
 //! prefetch units). Alternative configurations support the ablation studies
 //! in `cedar-bench`.
 
+use crate::error::MachineError;
+use crate::fault::FaultPlan;
 use crate::time::CEDAR_CYCLE_NS;
 
 /// Parameters of the shared, interleaved cluster cache (one per cluster).
@@ -311,6 +313,10 @@ pub struct MachineConfig {
     pub prefetch: PrefetchConfig,
     pub ccbus: CcBusConfig,
     pub vm: VmConfig,
+    /// Deterministic fault-injection plan, or `None` (the default) for the
+    /// fault-free machine. A plan whose rates and outage lists are all
+    /// zero/empty behaves bit-for-bit like `None` (tested).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -330,6 +336,7 @@ impl MachineConfig {
             prefetch: PrefetchConfig::cedar(),
             ccbus: CcBusConfig::cedar(),
             vm: VmConfig::cedar(),
+            faults: None,
         }
     }
 
@@ -364,6 +371,12 @@ impl MachineConfig {
     /// (equivalence tests run both ways and compare).
     pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
         self.fast_forward = fast_forward;
+        self
+    }
+
+    /// The same configuration with the given fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -426,6 +439,9 @@ impl MachineConfig {
         if self.vm.page_words == 0 {
             return Err("page size must be nonzero".into());
         }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.network_ports(), self.global_memory.modules)?;
+        }
         Ok(())
     }
 
@@ -450,13 +466,56 @@ impl Default for MachineConfig {
 
 /// The simulation thread count requested through the `CEDAR_NUM_THREADS`
 /// environment variable, if set to a positive integer.
+///
+/// A set-but-invalid value (garbage, zero, negative) is *not* silently
+/// ignored: a warning naming the variable, the rejected value and the
+/// fallback is printed to stderr, and the configured thread count stands.
 pub fn threads_from_env() -> Option<usize> {
-    std::env::var("CEDAR_NUM_THREADS")
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n > 0)
+    parse_env_threads("CEDAR_NUM_THREADS")
+}
+
+/// Shared strict parser for thread-count environment knobs
+/// (`CEDAR_NUM_THREADS` here, `CEDAR_SWEEP_THREADS` in the experiment
+/// sweep driver): unset → `None`; a positive integer → `Some(n)`; anything
+/// else → `None` *with a stderr warning* so a typo in a CI matrix is
+/// visible instead of silently running the fallback configuration.
+pub fn parse_env_threads(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!(
+                "warning: ignoring {var}={raw:?}: expected a positive integer; \
+                 falling back to the configured thread count"
+            );
+            None
+        }
+    }
+}
+
+/// The fault-injection seed requested through the `CEDAR_FAULT_SEED`
+/// environment variable: unset → `Ok(None)`, a u64 (decimal, or hex with a
+/// `0x` prefix) → `Ok(Some(seed))`.
+///
+/// # Errors
+///
+/// Unlike the thread knobs, an invalid seed is a hard
+/// [`MachineError::InvalidConfig`]: a resilience run with a silently
+/// wrong seed would report results for an experiment nobody asked for.
+pub fn fault_seed_from_env() -> Result<Option<u64>, MachineError> {
+    let Ok(raw) = std::env::var("CEDAR_FAULT_SEED") else {
+        return Ok(None);
+    };
+    let s = raw.trim();
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    };
+    parsed.map(Some).map_err(|_| {
+        MachineError::InvalidConfig(format!(
+            "CEDAR_FAULT_SEED={raw:?} is not a u64 (decimal or 0x-prefixed hex)"
+        ))
+    })
 }
 
 /// True when the `CEDAR_NO_FASTFWD` environment variable asks for the
@@ -553,11 +612,41 @@ mod tests {
         assert_eq!(threads_from_env(), Some(4));
         assert_eq!(MachineConfig::cedar().with_env_threads().num_threads, 4);
 
-        // Garbage and zero are ignored, not errors.
+        // Garbage and zero are ignored (with a stderr warning), not errors.
         for bad in ["zero", "", "0", "-2"] {
             std::env::set_var("CEDAR_NUM_THREADS", bad);
             assert_eq!(threads_from_env(), None, "{bad:?} should not parse");
         }
         std::env::remove_var("CEDAR_NUM_THREADS");
+    }
+
+    // Same single-owner rule for CEDAR_FAULT_SEED.
+    #[test]
+    fn env_fault_seed_parses_strictly() {
+        std::env::remove_var("CEDAR_FAULT_SEED");
+        assert_eq!(fault_seed_from_env().unwrap(), None);
+
+        std::env::set_var("CEDAR_FAULT_SEED", " 42 ");
+        assert_eq!(fault_seed_from_env().unwrap(), Some(42));
+        std::env::set_var("CEDAR_FAULT_SEED", "0xCEDA");
+        assert_eq!(fault_seed_from_env().unwrap(), Some(0xCEDA));
+
+        // Garbage is a hard error, not a silent fallback.
+        std::env::set_var("CEDAR_FAULT_SEED", "not-a-seed");
+        let err = fault_seed_from_env().unwrap_err();
+        assert!(matches!(err, MachineError::InvalidConfig(_)));
+        assert!(err.to_string().contains("CEDAR_FAULT_SEED"));
+        std::env::remove_var("CEDAR_FAULT_SEED");
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_machine() {
+        let mut plan = FaultPlan::none(1);
+        plan.drop_per_million = 2_000_000; // > 100%
+        let cfg = MachineConfig::cedar().with_faults(plan);
+        assert!(cfg.validate().is_err());
+
+        let cfg = MachineConfig::cedar().with_faults(FaultPlan::none(1));
+        cfg.validate().unwrap();
     }
 }

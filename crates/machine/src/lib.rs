@@ -41,6 +41,7 @@ pub mod ccbus;
 pub mod ce;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod machine;
 pub mod memory;
@@ -55,7 +56,8 @@ pub mod time;
 pub mod vm;
 
 pub use config::MachineConfig;
-pub use error::{MachineError, Result};
+pub use error::{HangReport, MachineError, Result};
+pub use fault::{FaultPlan, LinkOutage, ModuleOutage};
 pub use ids::{CeId, ClusterId, CounterId, ModuleId, PageId, PortId};
 pub use machine::{CounterScope, Machine, RunReport};
 pub use program::{AddressExpr, BarrierId, MemOperand, Op, Program, ProgramBuilder, VectorOp};

@@ -13,7 +13,8 @@ use crate::cache::{CacheStats, ClusterCache};
 use crate::ccbus::{CcBus, CcBusStats};
 use crate::ce::{min_event, CeContext, CeEngine, CeStats};
 use crate::config::MachineConfig;
-use crate::error::{MachineError, Result};
+use crate::error::{HangReport, MachineError, Result};
+use crate::fault::{FaultCtlStats, FaultSchedule, RETRY_LATENCY_BINS, SALT_FORWARD, SALT_REVERSE};
 use crate::ids::{CeId, ClusterId, CounterId};
 use crate::memory::cluster_mem::ClusterMemory;
 use crate::memory::global::GlobalMemory;
@@ -32,6 +33,53 @@ use crate::vm::{PageTable, Tlb, TlbStats};
 /// words (counters, barriers). Kept far above any data address a workload
 /// uses; the interleaving still spreads it across modules.
 const SYNC_REGION_BASE: u64 = 1 << 40;
+
+/// Cycles between forward-progress watchdog inspections. Large enough
+/// that a legitimate synchronization wait (barrier poll periods are tens
+/// of cycles) can never span one interval, small enough that a deadlocked
+/// run aborts long before a typical cycle budget.
+const STUCK_CHECK_INTERVAL: u64 = 4096;
+
+/// Consecutive inspections with every unfinished CE in a synchronization
+/// wait before the watchdog declares a deadlock.
+pub(crate) const STUCK_SYNC_CHECKS: u32 = 6;
+
+/// Forward-progress watchdog state: when to look next, and how many
+/// consecutive looks found every live CE stuck in a synchronization wait.
+#[derive(Debug)]
+pub(crate) struct Watchdog {
+    next_check: Cycle,
+    pub(crate) sync_stuck: u32,
+}
+
+impl Watchdog {
+    pub(crate) fn new(start: Cycle) -> Watchdog {
+        Watchdog {
+            next_check: start + STUCK_CHECK_INTERVAL,
+            sync_stuck: 0,
+        }
+    }
+
+    /// True when an inspection is due at `now`.
+    pub(crate) fn due(&self, now: Cycle) -> bool {
+        now >= self.next_check
+    }
+
+    pub(crate) fn arm_next(&mut self, now: Cycle) {
+        self.next_check = now + STUCK_CHECK_INTERVAL;
+    }
+}
+
+/// Outcome of one watchdog inspection.
+#[derive(Debug)]
+pub(crate) enum ProgressVerdict {
+    /// The machine can still make progress.
+    Live,
+    /// A retry controller exhausted its budget.
+    Faulted { ce: CeId, reason: String },
+    /// The machine can never finish; the string names the trigger.
+    Deadlock(&'static str),
+}
 
 /// Where a loop-scheduling counter should live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +169,9 @@ pub struct Machine {
     pub(crate) util_scratch: Vec<UtilSample>,
     /// Cycles the fast-forward path jumped over instead of ticking.
     pub(crate) fastfwd_skipped: u64,
+    /// Scheduled link/module outage transitions; `None` on the fault-free
+    /// machine (a disabled [`crate::fault::FaultPlan`] allocates nothing).
+    pub(crate) fault_sched: Option<FaultSchedule>,
 }
 
 /// Preformatted counter-key strings for every indexed stat family.
@@ -154,6 +205,11 @@ struct NetKeys {
     stage_conflicts: Vec<String>,
     stage_blocked: Vec<String>,
     queue_depth: String,
+    /// Fault-injection counters; only emitted when faults are enabled, so
+    /// the fault-free registry stays byte-identical to older snapshots.
+    drops: String,
+    nacks: String,
+    link_blocked: String,
 }
 
 impl NetKeys {
@@ -171,6 +227,9 @@ impl NetKeys {
                 .map(|s| format!("{prefix}.stage[{s}].blocked"))
                 .collect(),
             queue_depth: format!("{prefix}.queue_depth"),
+            drops: format!("{prefix}.drops"),
+            nacks: format!("{prefix}.nacks"),
+            link_blocked: format!("{prefix}.link_blocked"),
         }
     }
 }
@@ -265,11 +324,19 @@ impl Machine {
                 tlb: Tlb::new(cfg.vm.tlb_entries),
             })
             .collect();
-        let forward = Omega::new(ports, &cfg.network);
+        let mut forward = Omega::new(ports, &cfg.network);
+        let mut reverse = Omega::new(ports, &cfg.network);
+        let fault_sched = cfg.faults.as_ref().filter(|p| p.enabled()).map(|plan| {
+            let drop = u64::from(plan.drop_per_million);
+            forward.enable_faults(plan.seed, SALT_FORWARD, drop, plan.nack_per_million.into());
+            // Replies cannot be NACKed, only lost.
+            reverse.enable_faults(plan.seed, SALT_REVERSE, drop, 0);
+            FaultSchedule::new(plan)
+        });
         let stat_keys = StatKeys::new(&cfg, forward.stage_conflicts().len());
         Ok(Machine {
             forward,
-            reverse: Omega::new(ports, &cfg.network),
+            reverse,
             gmem: GlobalMemory::new(&cfg.global_memory),
             clusters,
             counters: Vec::new(),
@@ -284,6 +351,7 @@ impl Machine {
             stat_keys,
             util_scratch: Vec::with_capacity(cfg.total_ces()),
             fastfwd_skipped: 0,
+            fault_sched,
             now: Cycle::ZERO,
             ce_cfg: Arc::new(cfg.ce.clone()),
             cfg,
@@ -350,6 +418,7 @@ impl Machine {
     /// each [`run`](Machine::run). Bracket a region with
     /// [`MachineStats::delta`].
     pub fn stats(&self) -> MachineStats {
+        let faults_on = self.cfg.faults.as_ref().is_some_and(|p| p.enabled());
         let mut s = MachineStats::new();
         s.set("machine.cycles", self.now.0);
 
@@ -409,6 +478,11 @@ impl Machine {
                 keys.queue_depth.clone(),
                 net.queue_depth_histogram().clone(),
             );
+            if faults_on {
+                s.set(keys.drops.clone(), ns.drops);
+                s.set(keys.nacks.clone(), ns.nacks);
+                s.set(keys.link_blocked.clone(), ns.link_blocked);
+            }
         }
 
         // Global-memory banks and their Test-And-Operate sync processors.
@@ -418,6 +492,9 @@ impl Machine {
         s.set("gmem.busy_cycles", gs.busy_cycles);
         s.set("gmem.conflict_stalls", gs.conflict_stall_cycles);
         s.set("gmem.reply_stalls", gs.reply_stall_cycles);
+        if faults_on {
+            s.set("gmem.nacks", gs.nacks);
+        }
         for (bank, ms) in self.gmem.per_module_stats().enumerate() {
             let [k_acc, k_sync, k_conf] = &self.stat_keys.gmem_bank[bank];
             s.set(k_acc.clone(), ms.requests);
@@ -498,6 +575,24 @@ impl Machine {
         s.set("prefetch.page_suspend_cycles", pf.page_suspend_cycles);
         s.set("prefetch.inject_stall_cycles", pf.inject_stall_cycles);
         s.set_histogram("prefetch.latency", Arc::clone(&self.latency_histogram));
+
+        // Fault-recovery counters: absent on the fault-free machine so its
+        // registry snapshot is byte-identical to pre-fault-injection runs.
+        if faults_on {
+            let mut fc = FaultCtlStats::default();
+            let mut retry_latency = Histogrammer::with_bins(RETRY_LATENCY_BINS);
+            for e in self.engines.iter().flatten() {
+                fc.merge(&e.fault_stats());
+                if let Some(h) = e.fault_retry_latency() {
+                    retry_latency.merge(h);
+                }
+            }
+            s.set("fault.retries", fc.retries);
+            s.set("fault.nacks", fc.nacks);
+            s.set("fault.timeouts", fc.timeouts);
+            s.set("prefetch.retries", pf.retries);
+            s.set_histogram("fault.retry_latency", retry_latency);
+        }
 
         // The monitoring hardware itself.
         s.set("tracer.events", self.tracer.events().len() as u64);
@@ -601,7 +696,14 @@ impl Machine {
     }
 
     fn run_loop_serial(&mut self, start: Cycle, limit: u64, fastfwd: bool) -> Result<()> {
+        let mut watchdog = Watchdog::new(start);
         while !self.all_done() {
+            // Watchdog before the budget check: a true deadlock should
+            // surface as `Deadlock` (with its hang report), never as a
+            // generic `CycleLimitExceeded`.
+            if watchdog.due(self.now) {
+                self.check_progress(&mut watchdog)?;
+            }
             if self.now.saturating_since(start) > limit {
                 return Err(MachineError::CycleLimitExceeded { limit });
             }
@@ -611,6 +713,95 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// One forward-progress inspection (serial engine; the parallel
+    /// coordinator runs the same checks through
+    /// [`Machine::progress_verdict`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::Faulted`] when a retry controller exhausted its
+    /// budget, [`MachineError::Deadlock`] when the machine cannot finish.
+    fn check_progress(&mut self, watchdog: &mut Watchdog) -> Result<()> {
+        match self.progress_verdict(watchdog) {
+            ProgressVerdict::Live => Ok(()),
+            ProgressVerdict::Faulted { ce, reason } => Err(MachineError::Faulted { ce, reason }),
+            ProgressVerdict::Deadlock(kind) => Err(MachineError::Deadlock {
+                report: Box::new(self.hang_report(kind)),
+            }),
+        }
+    }
+
+    /// The watchdog's judgement of the machine's ability to finish,
+    /// shared by the serial and parallel engines.
+    pub(crate) fn progress_verdict(&self, watchdog: &mut Watchdog) -> ProgressVerdict {
+        watchdog.arm_next(self.now);
+        // A CE whose retry controller gave up can never become done.
+        for e in self.engines.iter().flatten() {
+            if let Some(reason) = e.fault_exhausted() {
+                return ProgressVerdict::Faulted { ce: e.id(), reason };
+            }
+        }
+        // No subsystem will ever act again, yet work remains: nothing can
+        // change, so nothing will complete.
+        if !self.all_done() && self.next_machine_event().is_none() {
+            return ProgressVerdict::Deadlock("event starvation");
+        }
+        // Every unfinished CE sat in a synchronization wait across several
+        // consecutive checks: a barrier/counter that can never release
+        // (legitimate waits release within one poll period, far shorter
+        // than a single check interval).
+        let mut unfinished = 0usize;
+        let mut sync_waiting = 0usize;
+        for e in self.engines.iter().flatten() {
+            if !e.is_done() {
+                unfinished += 1;
+                if e.sync_blocked() {
+                    sync_waiting += 1;
+                }
+            }
+        }
+        if unfinished > 0 && sync_waiting == unfinished {
+            watchdog.sync_stuck += 1;
+            if watchdog.sync_stuck >= STUCK_SYNC_CHECKS {
+                return ProgressVerdict::Deadlock("synchronization stall");
+            }
+        } else {
+            watchdog.sync_stuck = 0;
+        }
+        ProgressVerdict::Live
+    }
+
+    /// Capture the machine state for a [`MachineError::Deadlock`].
+    pub(crate) fn hang_report(&self, kind: &str) -> HangReport {
+        let mut ces = Vec::new();
+        let mut barrier_waiters = 0usize;
+        let mut pending_retries = 0u64;
+        for e in self.engines.iter().flatten() {
+            pending_retries += e.fault_pending();
+            if !e.is_done() {
+                if e.sync_blocked() {
+                    barrier_waiters += 1;
+                }
+                // Cap the listing: a machine-wide hang names every CE on a
+                // 32-CE Cedar, but a pathological config should not build
+                // an unbounded report.
+                if ces.len() < 64 {
+                    ces.push((e.id().0, e.hang_state()));
+                }
+            }
+        }
+        HangReport {
+            at_cycle: self.now.0,
+            kind: kind.to_string(),
+            ces,
+            barrier_waiters,
+            fwd_in_flight: self.forward.in_flight_packets(),
+            rev_in_flight: self.reverse.in_flight_packets(),
+            module_queues: self.gmem.queue_depths(),
+            pending_retries,
+        }
     }
 
     /// The earliest future cycle at which any subsystem can change
@@ -627,6 +818,12 @@ impl Machine {
         let mut best = min_event(self.forward.next_event(now), self.reverse.next_event(now));
         if best == Some(soon) {
             return best;
+        }
+        if let Some(fs) = &self.fault_sched {
+            best = min_event(best, fs.next_event(now));
+            if best == Some(soon) {
+                return best;
+            }
         }
         best = min_event(best, self.gmem.next_event(now));
         if best == Some(soon) {
@@ -735,6 +932,9 @@ impl Machine {
     fn tick(&mut self) {
         self.now += 1;
         let now = self.now;
+        if let Some(fs) = &mut self.fault_sched {
+            fs.apply_due(now, &mut self.forward, &mut self.reverse, &mut self.gmem);
+        }
         self.gmem.tick(now, &mut self.reverse);
         {
             let mut sink = CeSink {

@@ -39,6 +39,23 @@ impl GlobalMemory {
         module_of(addr, self.modules.len())
     }
 
+    /// Take one module offline (it NACKs every request it services) or
+    /// bring it back — driven by the machine's fault schedule.
+    pub fn set_module_offline(&mut self, module: usize, offline: bool) {
+        self.modules[module].set_offline(offline);
+    }
+
+    /// Queue depth of every module with waiting requests, `(module,
+    /// depth)` — the deadlock hang report's module census.
+    pub fn queue_depths(&self) -> Vec<(usize, usize)> {
+        self.modules
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.queue_len() > 0)
+            .map(|(i, m)| (i, m.queue_len()))
+            .collect()
+    }
+
     /// Advance every module one cycle, injecting replies into `reverse`.
     pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {
         for m in &mut self.modules {
@@ -97,6 +114,7 @@ impl GlobalMemory {
             t.reply_stall_cycles += s.reply_stall_cycles;
             t.queue_occupancy_sum += s.queue_occupancy_sum;
             t.conflict_stall_cycles += s.conflict_stall_cycles;
+            t.nacks += s.nacks;
         }
         t
     }
@@ -186,6 +204,8 @@ mod tests {
                         addr: w,
                         stream: Stream::Direct { elem: w as u32 },
                         issued: Cycle(0),
+                        seq: 0,
+                        nacked: false,
                     },
                 ),
             );

@@ -31,6 +31,10 @@ pub struct ModuleStats {
     /// Cycles in which requests waited in the queue while the bank was
     /// busy — bank-conflict stall pressure.
     pub conflict_stall_cycles: u64,
+    /// Requests refused with a NACK reply (module offline, or the request
+    /// arrived corrupted): serviced at normal cost but with no side
+    /// effect.
+    pub nacks: u64,
 }
 
 /// A fixed-capacity FIFO of queued requests (capacity = the configured
@@ -51,6 +55,8 @@ impl ReqRing {
             addr: 0,
             stream: Stream::Scalar,
             issued: Cycle::ZERO,
+            seq: 0,
+            nacked: false,
         };
         ReqRing {
             buf: vec![filler; cap].into_boxed_slice(),
@@ -117,6 +123,17 @@ pub struct Module {
     pending_reply: Option<Packet>,
     /// 32-bit synchronization words owned by this module.
     sync_vars: SyncStore,
+    /// Scheduled outage: while set, every serviced request is NACKed.
+    offline: bool,
+    /// Retry dedup for indivisible sync instructions: per CE, the last
+    /// applied `(seq, encoded outcome)`. If a resend of an already-applied
+    /// sync arrives (its reply was dropped on the reverse network), the
+    /// recorded outcome is returned instead of applying the operation
+    /// twice. One slot per CE suffices: the wormhole networks keep
+    /// per-(CE, module) traffic FIFO and a CE has at most one outstanding
+    /// sync. Excluded from [`Module::digest`] — it is protocol state, not
+    /// memory contents.
+    sync_dedup: std::collections::HashMap<usize, (u64, i64)>,
     stats: ModuleStats,
 }
 
@@ -131,8 +148,23 @@ impl Module {
             current: None,
             pending_reply: None,
             sync_vars: SyncStore::new(),
+            offline: false,
+            sync_dedup: std::collections::HashMap::new(),
             stats: ModuleStats::default(),
         }
+    }
+
+    /// Take the module offline (every serviced request is NACKed with no
+    /// side effect) or bring it back. Queued and in-service requests are
+    /// kept — an outage refuses work, it does not lose it.
+    pub fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    /// Requests currently waiting in the input queue (excludes the one in
+    /// service) — used by the deadlock hang report.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// True when a new request packet can begin arriving (used as the
@@ -169,6 +201,7 @@ impl Module {
     /// Clear all synchronization words (between independent runs).
     pub fn clear_sync(&mut self) {
         self.sync_vars.clear();
+        self.sync_dedup.clear();
     }
 
     /// Fold this module's persistent memory state (the synchronization
@@ -265,6 +298,29 @@ impl Module {
     }
 
     fn make_reply(&mut self, req: MemRequest) -> Packet {
+        if self.offline || req.nacked {
+            // Refuse with no side effect. The reply keeps the shape (word
+            // count, stream) of the real answer so the reverse network is
+            // loaded identically; `nack` tells the CE's retry controller
+            // to resend.
+            self.stats.nacks += 1;
+            let reply = MemReply {
+                ce: req.ce,
+                stream: match req.kind {
+                    RequestKind::Write => Stream::WriteAck,
+                    _ => req.stream,
+                },
+                addr: req.addr,
+                value: 0,
+                req_issued: req.issued,
+                seq: req.seq,
+                nack: true,
+            };
+            return match req.kind {
+                RequestKind::Write => Packet::write_ack(req.ce.0, reply),
+                _ => Packet::reply(req.ce.0, reply),
+            };
+        }
         match req.kind {
             RequestKind::Read => Packet::reply(
                 req.ce.0,
@@ -274,6 +330,8 @@ impl Module {
                     addr: req.addr,
                     value: 0,
                     req_issued: req.issued,
+                    seq: req.seq,
+                    nack: false,
                 },
             ),
             RequestKind::Write => Packet::write_ack(
@@ -284,19 +342,34 @@ impl Module {
                     addr: req.addr,
                     value: 0,
                     req_issued: req.issued,
+                    seq: req.seq,
+                    nack: false,
                 },
             ),
             RequestKind::Sync(instr) => {
-                let v = self.sync_vars.get_or_insert(req.addr);
-                let outcome = instr.apply(v);
+                let value = match self.sync_dedup.get(&req.ce.0) {
+                    // A resend of the sync we already applied: return the
+                    // recorded outcome, do not apply twice.
+                    Some(&(seq, value)) if req.seq != 0 && seq == req.seq => value,
+                    _ => {
+                        let v = self.sync_vars.get_or_insert(req.addr);
+                        let value = instr.apply(v).encode();
+                        if req.seq != 0 {
+                            self.sync_dedup.insert(req.ce.0, (req.seq, value));
+                        }
+                        value
+                    }
+                };
                 Packet::reply(
                     req.ce.0,
                     MemReply {
                         ce: req.ce,
                         stream: req.stream,
                         addr: req.addr,
-                        value: outcome.encode(),
+                        value,
                         req_issued: req.issued,
+                        seq: req.seq,
+                        nack: false,
                     },
                 )
             }
@@ -324,6 +397,8 @@ mod tests {
             addr,
             stream: Stream::Scalar,
             issued: Cycle(0),
+            seq: 0,
+            nacked: false,
         }
     }
 
@@ -440,5 +515,87 @@ mod tests {
         for _ in 0..=cfg().request_queue {
             m.enqueue(req(RequestKind::Read, 0));
         }
+    }
+
+    #[test]
+    fn offline_module_nacks_at_normal_cost() {
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        m.set_offline(true);
+        let mut r = req(RequestKind::Sync(SyncInstr::fetch_add(1)), 100);
+        r.seq = 7;
+        m.enqueue(r);
+        drain(&mut m, &mut net, &mut sink, 30);
+        assert_eq!(sink.got.len(), 1);
+        match sink.got[0].1.payload {
+            Payload::Reply(rep) => {
+                assert!(rep.nack);
+                assert_eq!(rep.seq, 7);
+            }
+            _ => panic!("expected reply"),
+        }
+        // No side effect on the sync word, but the NACK was counted.
+        assert_eq!(m.sync_value(100), 0);
+        assert_eq!(m.stats().nacks, 1);
+        // Back online, the resend succeeds.
+        m.set_offline(false);
+        m.enqueue(r);
+        drain(&mut m, &mut net, &mut sink, 30);
+        assert_eq!(m.sync_value(100), 1);
+    }
+
+    #[test]
+    fn corrupted_request_is_nacked() {
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        let mut r = req(RequestKind::Write, 8);
+        r.nacked = true;
+        m.enqueue(r);
+        drain(&mut m, &mut net, &mut sink, 20);
+        assert_eq!(sink.got.len(), 1);
+        match sink.got[0].1.payload {
+            Payload::Reply(rep) => {
+                assert!(rep.nack);
+                assert_eq!(rep.stream, Stream::WriteAck);
+            }
+            _ => panic!("expected ack"),
+        }
+        // NACK keeps the real ack's 1-word shape.
+        assert_eq!(sink.got[0].1.words, 1);
+    }
+
+    #[test]
+    fn sync_resend_is_deduplicated() {
+        // The same sequenced sync arriving twice (reply lost in flight)
+        // must apply once and return the identical outcome both times.
+        let mut m = Module::new(0, &cfg());
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        let mut r = req(RequestKind::Sync(SyncInstr::fetch_add(1)), 100);
+        r.seq = 9;
+        m.enqueue(r);
+        m.enqueue(r);
+        drain(&mut m, &mut net, &mut sink, 60);
+        assert_eq!(sink.got.len(), 2);
+        let olds: Vec<i32> = sink
+            .got
+            .iter()
+            .map(|(_, p)| match p.payload {
+                Payload::Reply(rep) => SyncOutcome::decode(rep.value).old,
+                _ => panic!("reply expected"),
+            })
+            .collect();
+        assert_eq!(olds, vec![0, 0], "resend echoes the first outcome");
+        assert_eq!(m.sync_value(100), 1, "applied exactly once");
+        // A *new* sequence number applies normally again.
+        r.seq = 10;
+        m.enqueue(r);
+        drain(&mut m, &mut net, &mut sink, 30);
+        assert_eq!(m.sync_value(100), 2);
+        // clear_sync forgets the dedup slot with the sync words.
+        m.clear_sync();
+        assert_eq!(m.sync_value(100), 0);
     }
 }

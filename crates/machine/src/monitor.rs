@@ -134,6 +134,17 @@ impl Histogrammer {
         self.bins[i] = self.bins[i].saturating_add(1);
     }
 
+    /// Bin-wise accumulate another histogram into this one (saturating,
+    /// like [`Histogrammer::record`]). `other`'s overflow of this
+    /// histogram's bin range is folded into the last bin.
+    pub fn merge(&mut self, other: &Histogrammer) {
+        let last = self.bins.len() - 1;
+        for (i, &n) in other.bins.iter().enumerate() {
+            let j = i.min(last);
+            self.bins[j] = self.bins[j].saturating_add(n);
+        }
+    }
+
     /// The raw bins.
     pub fn bins(&self) -> &[u32] {
         &self.bins

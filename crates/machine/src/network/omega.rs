@@ -91,6 +91,15 @@ pub struct NetStats {
     pub blocked_moves: u64,
     /// Head words that lost output-port arbitration to another packet.
     pub arbitration_losses: u64,
+    /// Injections refused because the port's link was scheduled down.
+    pub link_blocked: u64,
+    /// Packets marked for transient drop at injection; they traverse the
+    /// network normally (consuming bandwidth) and evaporate at the final
+    /// stage without being delivered.
+    pub drops: u64,
+    /// Requests marked corrupted at injection; the destination module
+    /// NACKs them instead of performing the operation.
+    pub nacks: u64,
 }
 
 /// Maximum words a stage queue can hold (input + output queue pair).
@@ -257,6 +266,28 @@ struct Assembler {
     accepted: bool, // head word accepted by the sink
 }
 
+/// Fault-injection state for one network instance. Present only when a
+/// fault plan with network effects is installed; the fault-free hot path
+/// pays a single `Option` check.
+#[derive(Debug)]
+struct NetFaults {
+    seed: u64,
+    /// Distinguishes the forward and reverse instances so they draw
+    /// independent pseudo-random streams from one machine seed.
+    salt: u64,
+    drop_ppm: u64,
+    nack_ppm: u64,
+    /// Monotone per-port count of *accepted* injections — the RNG
+    /// sequence number. Both engines accept injections at a port in the
+    /// same order (the parallel engine replays staged injections in
+    /// deterministic port order), so the stream is engine-invariant.
+    inj_seq: Vec<u64>,
+    /// Ports currently refusing all injections (scheduled link outages).
+    down: Vec<bool>,
+    /// Per slab slot: this packet evaporates at the final stage.
+    doom: Vec<bool>,
+}
+
 /// A unidirectional omega network instance.
 #[derive(Debug)]
 pub struct Omega {
@@ -316,6 +347,8 @@ pub struct Omega {
     stage_blocked: Vec<u64>,
     /// Distribution of stage-queue depths observed after each word push.
     queue_depth: Histogrammer,
+    /// Fault-injection state, `None` on a fault-free network.
+    faults: Option<Box<NetFaults>>,
 }
 
 impl Omega {
@@ -386,6 +419,54 @@ impl Omega {
             stage_conflicts: vec![0; stages],
             stage_blocked: vec![0; stages],
             queue_depth: Histogrammer::with_bins(RING_CAP + 1),
+            faults: None,
+        }
+    }
+
+    /// Install fault injection on this network. `salt` distinguishes the
+    /// forward and reverse instances so each draws an independent stream
+    /// from one machine seed. Transient fault decisions are made once per
+    /// accepted injection: `mix(seed, salt ^ port, nth-injection)` drops
+    /// the packet with probability `drop_ppm` per million, else corrupts
+    /// a request (the module will NACK) with `nack_ppm` per million.
+    pub fn enable_faults(&mut self, seed: u64, salt: u64, drop_ppm: u64, nack_ppm: u64) {
+        self.faults = Some(Box::new(NetFaults {
+            seed,
+            salt,
+            drop_ppm,
+            nack_ppm,
+            inj_seq: vec![0; self.size],
+            down: vec![false; self.size],
+            doom: Vec::new(),
+        }));
+    }
+
+    /// Mark `port` down (all injections refused and charged to
+    /// `link_blocked`) or back up. No-op unless [`Omega::enable_faults`]
+    /// was called. Packets already in flight keep draining — an outage
+    /// severs the injection link, it does not strand wormhole locks.
+    pub fn set_port_down(&mut self, port: usize, down: bool) {
+        assert!(port < self.size, "port {port} out of range");
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.down[port] = down;
+        }
+    }
+
+    /// Packets currently in flight (accepted but not yet delivered or
+    /// evaporated). With the `drops` and `packets_delivered` counters this
+    /// closes the conservation law `injected = delivered + drops +
+    /// in_flight`.
+    pub fn in_flight_packets(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Whether the packet in slab slot `id` was marked for transient drop
+    /// at injection.
+    #[inline]
+    fn doomed(&self, id: PacketId) -> bool {
+        match &self.faults {
+            Some(f) => f.doom.get(id as usize).copied().unwrap_or(false),
+            None => false,
         }
     }
 
@@ -410,11 +491,43 @@ impl Omega {
             packet.dst
         );
         assert!(packet.words >= 1, "packets carry at least the header word");
+        if let Some(f) = self.faults.as_deref() {
+            if f.down[port] {
+                self.stats.link_blocked += 1;
+                return false;
+            }
+        }
         if self.injectors[port].len() >= self.injector_cap {
             return false;
         }
+        let mut packet = packet;
+        let mut doom = false;
+        if let Some(f) = self.faults.as_deref_mut() {
+            if f.drop_ppm + f.nack_ppm > 0 {
+                let n = f.inj_seq[port];
+                f.inj_seq[port] += 1;
+                let r = crate::fault::mix(f.seed, f.salt ^ port as u64, n) % 1_000_000;
+                if r < f.drop_ppm {
+                    doom = true;
+                    self.stats.drops += 1;
+                } else if r < f.drop_ppm + f.nack_ppm {
+                    if let crate::network::packet::Payload::Request(req) = &mut packet.payload {
+                        req.nacked = true;
+                        self.stats.nacks += 1;
+                    }
+                }
+            }
+        }
         let words = packet.words;
         let id = self.alloc(packet);
+        if let Some(f) = self.faults.as_deref_mut() {
+            // Slab slots are reused, so the doom bit is (re)written on
+            // every allocation, not just when set.
+            if f.doom.len() <= id as usize {
+                f.doom.resize(id as usize + 1, false);
+            }
+            f.doom[id as usize] = doom;
+        }
         self.injectors[port].push_back((id, words));
         self.inject_ports.set(port);
         self.pending_injections += 1;
@@ -442,6 +555,11 @@ impl Omega {
     /// acceptance depends only on this per-port occupancy, which is what
     /// lets the parallel engine precompute it for its staging buffers.
     pub fn injector_free(&self, port: usize) -> usize {
+        if let Some(f) = self.faults.as_deref() {
+            if f.down[port] {
+                return 0;
+            }
+        }
         self.injector_cap.saturating_sub(self.injectors[port].len())
     }
 
@@ -644,9 +762,15 @@ impl Omega {
             .expect("selected source has a front word");
 
         // Check downstream space (next stage queue, or sink acceptance).
+        // A doomed packet never consults the sink: it occupies links and
+        // queues like any other packet but evaporates instead of ejecting.
         let last = stage == self.stages - 1;
         if last {
-            if flit.is_head && !self.assemblers[out_line].accepted && !sink.try_begin(out_line) {
+            if flit.is_head
+                && !self.doomed(flit.pkt)
+                && !self.assemblers[out_line].accepted
+                && !sink.try_begin(out_line)
+            {
                 self.stats.blocked_moves += 1;
                 self.stage_blocked[stage] += 1;
                 return;
@@ -682,6 +806,7 @@ impl Omega {
         // changed this line's front.
         self.refresh_front(stage, src_line);
         if last {
+            let doomed = self.doomed(flit.pkt);
             let asm = &mut self.assemblers[out_line];
             if flit.is_head {
                 asm.accepted = true;
@@ -689,8 +814,10 @@ impl Omega {
             if flit.is_tail {
                 asm.accepted = false;
                 let pkt = self.release(flit.pkt);
-                self.stats.packets_delivered += 1;
-                sink.deliver(out_line, pkt);
+                if !doomed {
+                    self.stats.packets_delivered += 1;
+                    sink.deliver(out_line, pkt);
+                }
             }
         } else {
             let mut flit = flit;
@@ -794,6 +921,8 @@ mod tests {
                 addr,
                 stream: Stream::Scalar,
                 issued: Cycle(0),
+                seq: 0,
+                nacked: false,
             }),
         }
     }
@@ -1073,5 +1202,78 @@ mod tests {
         assert_eq!(s.packets_delivered, 1);
         // 3 words × (inject + 2 stages) hops.
         assert_eq!(s.words_moved, 9);
+    }
+
+    #[test]
+    fn doomed_packets_traverse_but_evaporate() {
+        // drop_ppm = 1_000_000: every injection is doomed. The packet
+        // still consumes an injector slot and link bandwidth but never
+        // reaches the sink, and conservation closes through `drops`.
+        let mut net = Omega::new(16, &cfg(4));
+        net.enable_faults(7, 0xF0, 1_000_000, 0);
+        let mut sink = RecSink {
+            refuse: true, // a doomed packet must never consult the sink
+            ..Default::default()
+        };
+        assert!(net.try_inject(2, pkt(11, 3, 0)));
+        run_until_idle(&mut net, &mut sink, 50);
+        let s = net.stats();
+        assert_eq!(s.packets_injected, 1);
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.packets_delivered, 0);
+        assert!(sink.delivered.is_empty());
+        assert_eq!(net.in_flight_packets(), 0);
+        // Bandwidth was spent exactly as for a delivered packet.
+        assert_eq!(s.words_moved, 9);
+    }
+
+    #[test]
+    fn nacked_requests_arrive_flagged() {
+        // nack_ppm = 1_000_000 with no drops: every request arrives but
+        // carries the corruption flag for the module to bounce.
+        let mut net = Omega::new(16, &cfg(4));
+        net.enable_faults(7, 0xF0, 0, 1_000_000);
+        let mut sink = RecSink::default();
+        assert!(net.try_inject(2, pkt(11, 1, 42)));
+        run_until_idle(&mut net, &mut sink, 50);
+        assert_eq!(net.stats().nacks, 1);
+        assert_eq!(sink.delivered.len(), 1);
+        match sink.delivered[0].1.payload {
+            Payload::Request(r) => assert!(r.nacked),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn downed_port_refuses_until_restored() {
+        let mut net = Omega::new(16, &cfg(4));
+        net.enable_faults(7, 0xF0, 0, 0);
+        net.set_port_down(3, true);
+        assert_eq!(net.injector_free(3), 0);
+        assert!(!net.try_inject(3, pkt(8, 1, 0)));
+        assert_eq!(net.stats().link_blocked, 1);
+        // Other ports are unaffected.
+        assert!(net.try_inject(4, pkt(8, 1, 0)));
+        net.set_port_down(3, false);
+        assert!(net.try_inject(3, pkt(8, 1, 0)));
+        assert_eq!(net.injector_free(3), 1);
+    }
+
+    #[test]
+    fn zero_rate_faults_change_nothing() {
+        // An installed-but-all-zero fault config must behave exactly like
+        // a fault-free network.
+        let mut plain = Omega::new(16, &cfg(4));
+        let mut faulty = Omega::new(16, &cfg(4));
+        faulty.enable_faults(99, 0xF0, 0, 0);
+        for net in [&mut plain, &mut faulty] {
+            let mut sink = RecSink::default();
+            for src in 0..16 {
+                assert!(net.try_inject(src, pkt(0, 2, src as u64)));
+            }
+            run_until_idle(net, &mut sink, 500);
+            assert_eq!(sink.delivered.len(), 16);
+        }
+        assert_eq!(plain.stats(), faulty.stats());
     }
 }

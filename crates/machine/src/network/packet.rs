@@ -56,6 +56,12 @@ pub struct MemRequest {
     pub stream: Stream,
     /// Cycle the request entered the network port (for latency monitoring).
     pub issued: Cycle,
+    /// Retry-protocol sequence number, echoed in the reply. Zero means
+    /// unsequenced: faults disabled, or an untracked (prefetch) stream.
+    pub seq: u64,
+    /// Set by fault injection when the request was corrupted in flight:
+    /// the module must NACK it instead of performing the operation.
+    pub nacked: bool,
 }
 
 /// A reply travelling memory → CE on the reverse network.
@@ -72,6 +78,12 @@ pub struct MemReply {
     pub value: i64,
     /// Cycle the original request entered the network.
     pub req_issued: Cycle,
+    /// Sequence number echoed from the request (zero when unsequenced).
+    pub seq: u64,
+    /// True when the module refused the operation (offline, or the
+    /// request arrived corrupted): no side effect was performed and
+    /// `value` is meaningless; the CE's retry controller resends.
+    pub nack: bool,
 }
 
 /// Packet payload: either a request (forward net) or a reply (reverse net).
@@ -152,6 +164,8 @@ mod tests {
             addr: 42,
             stream: Stream::Scalar,
             issued: Cycle(0),
+            seq: 0,
+            nacked: false,
         }
     }
 
@@ -165,6 +179,8 @@ mod tests {
             addr: 42,
             value: 0,
             req_issued: Cycle(0),
+            seq: 0,
+            nack: false,
         };
         assert_eq!(Packet::reply(0, rep).words, 2);
         assert_eq!(Packet::write_ack(0, rep).words, 1);

@@ -46,7 +46,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::ce::{min_event, CeContext, CeEngine};
 use crate::error::{MachineError, Result};
-use crate::machine::{Cluster, Machine};
+use crate::ids::CeId;
+use crate::machine::{Cluster, Machine, Watchdog, STUCK_SYNC_CHECKS};
 use crate::monitor::{EventTracer, Histogrammer};
 use crate::network::packet::{Packet, Payload, Stream};
 use crate::network::{InjectPort, NetSink};
@@ -211,7 +212,9 @@ impl NetSink for ShardCeSink<'_> {
             let Some(&shard) = self.cluster_of.get(port / self.ces_per_cluster) else {
                 return;
             };
-            let mut sh = self.shards[shard].lock().expect("shard lock");
+            let mut sh = self.shards[shard]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let idx = port - sh.first_cluster * self.ces_per_cluster;
             if let Some(Some(e)) = sh.engines.get_mut(idx) {
                 e.receive(self.now, r);
@@ -228,7 +231,7 @@ impl NetSink for ShardCeSink<'_> {
 fn fill_shard_samples(shards: &[Mutex<Shard>], out: &mut Vec<UtilSample>) {
     out.clear();
     for sm in shards {
-        let sh = sm.lock().expect("shard lock");
+        let sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         out.extend(sh.engines.iter().map(|e| match e {
             Some(e) => {
                 let s = e.stats();
@@ -260,7 +263,7 @@ fn next_shard_event(
     let mut best: Option<Cycle> = None;
     let mut all_done = true;
     for sm in shards {
-        let sh = sm.lock().expect("shard lock");
+        let sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         all_done &= sh.done;
         for cl in &sh.clusters {
             best = min_event(best, cl.ccbus.next_event(now));
@@ -277,6 +280,58 @@ fn next_shard_event(
         }
     }
     (best, all_done)
+}
+
+/// Why the parallel run loop stopped early. The loop cannot build a
+/// [`MachineError::Deadlock`] itself — the hang report needs the engines
+/// back inside the machine — so it breaks with this marker and the error
+/// is materialized after reassembly.
+enum Stop {
+    Limit,
+    Deadlock(&'static str),
+    Faulted(CeId, String),
+}
+
+/// The parallel twin of `Machine::progress_verdict`: inspect the engines
+/// inside the shards. `machine_event` is the full event horizon (networks,
+/// memory, fault schedule, shards) at `now`.
+fn shard_progress_verdict(
+    shards: &[Mutex<Shard>],
+    watchdog: &mut Watchdog,
+    now: Cycle,
+    machine_event: Option<Cycle>,
+) -> Option<Stop> {
+    watchdog.arm_next(now);
+    let mut unfinished = 0usize;
+    let mut sync_waiting = 0usize;
+    for sm in shards {
+        let sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for e in sh.engines.iter().flatten() {
+            if let Some(reason) = e.fault_exhausted() {
+                return Some(Stop::Faulted(e.id(), reason));
+            }
+            if !e.is_done() {
+                unfinished += 1;
+                if e.sync_blocked() {
+                    sync_waiting += 1;
+                }
+            }
+        }
+    }
+    // The caller only inspects while work remains (the loop head breaks
+    // on completion), so a drained event horizon means a dead machine.
+    if machine_event.is_none() {
+        return Some(Stop::Deadlock("event starvation"));
+    }
+    if unfinished > 0 && sync_waiting == unfinished {
+        watchdog.sync_stuck += 1;
+        if watchdog.sync_stuck >= STUCK_SYNC_CHECKS {
+            return Some(Stop::Deadlock("synchronization stall"));
+        }
+    } else {
+        watchdog.sync_stuck = 0;
+    }
+    None
 }
 
 impl Machine {
@@ -347,6 +402,7 @@ impl Machine {
                 timeline,
                 util_scratch,
                 fastfwd_skipped,
+                fault_sched,
                 ..
             } = &mut *self;
             let counters: &[CounterDef] = counters;
@@ -368,25 +424,48 @@ impl Machine {
                         let t = Cycle(cycle.load(Ordering::Acquire));
                         shard
                             .lock()
-                            .expect("shard lock")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .tick(t, counters, barriers);
                         handoff.wait();
                     });
                 }
 
+                let mut watchdog = Watchdog::new(start);
                 let result = loop {
-                    let ces_done = shards.iter().all(|s| s.lock().expect("shard lock").done);
+                    let ces_done = shards.iter().all(|s| {
+                        s.lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .done
+                    });
                     if ces_done && forward.is_idle() && reverse.is_idle() && gmem.is_idle() {
                         break Ok(());
                     }
-                    if now.saturating_since(start) > limit {
-                        break Err(MachineError::CycleLimitExceeded { limit });
+                    // Watchdog before the budget check, as in the serial
+                    // loop: a true deadlock surfaces as `Deadlock`.
+                    if watchdog.due(*now) {
+                        let t = *now;
+                        let mut ev = min_event(forward.next_event(t), reverse.next_event(t));
+                        ev = min_event(ev, gmem.next_event(t));
+                        if let Some(fs) = fault_sched.as_ref() {
+                            ev = min_event(ev, fs.next_event(t));
+                        }
+                        let (shard_ev, _) = next_shard_event(shards, t, counters);
+                        ev = min_event(ev, shard_ev);
+                        if let Some(stop) = shard_progress_verdict(shards, &mut watchdog, t, ev) {
+                            break Err(stop);
+                        }
                     }
-                    // Serial phase, in the serial engine's order: memory,
-                    // reverse network (delivering into shard engines),
-                    // forward network.
+                    if now.saturating_since(start) > limit {
+                        break Err(Stop::Limit);
+                    }
+                    // Serial phase, in the serial engine's order: fault
+                    // schedule, memory, reverse network (delivering into
+                    // shard engines), forward network.
                     *now += 1;
                     let t = *now;
+                    if let Some(fs) = fault_sched.as_mut() {
+                        fs.apply_due(t, forward, reverse, gmem);
+                    }
                     gmem.tick(t, reverse);
                     {
                         let mut sink = ShardCeSink {
@@ -402,7 +481,7 @@ impl Machine {
                     // Freeze this cycle's injector capacity into the
                     // staging buffers.
                     for sm in shards.iter() {
-                        let mut sh = sm.lock().expect("shard lock");
+                        let mut sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                         for st in &mut sh.stages {
                             st.free = forward.injector_free(st.port);
                             debug_assert!(st.staged.is_empty(), "stage not drained");
@@ -414,14 +493,14 @@ impl Machine {
                     go.wait();
                     shards[0]
                         .lock()
-                        .expect("shard lock")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .tick(t, counters, barriers);
                     handoff.wait();
 
                     // Exchange phase: replay staged traffic in (cluster,
                     // CE) order — the serial engine's exact order.
                     for sm in shards.iter() {
-                        let mut sh = sm.lock().expect("shard lock");
+                        let mut sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                         let Shard { stages, events, .. } = &mut *sh;
                         for st in stages.iter_mut() {
                             for pkt in st.staged.drain(..) {
@@ -444,6 +523,11 @@ impl Machine {
                     if fastfwd && forward.is_idle() && reverse.is_idle() {
                         let soon = t + 1;
                         let mut ev = gmem.next_event(t);
+                        if ev != Some(soon) {
+                            if let Some(fs) = fault_sched.as_ref() {
+                                ev = min_event(ev, fs.next_event(t));
+                            }
+                        }
                         let mut ces_done = false;
                         if ev != Some(soon) {
                             let (shard_ev, done) = next_shard_event(shards, t, counters);
@@ -464,7 +548,9 @@ impl Machine {
                                 let k = chunk_end - *now;
                                 gmem.skip(k);
                                 for sm in shards.iter() {
-                                    let mut sh = sm.lock().expect("shard lock");
+                                    let mut sh = sm
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                                     for e in sh.engines.iter_mut().flatten() {
                                         e.skip(*now, k);
                                     }
@@ -485,13 +571,23 @@ impl Machine {
             })
         };
 
-        // Reassemble the machine whether the run finished or hit the
-        // cycle limit: `report`/`stats` need the engines back in place.
+        // Reassemble the machine whether the run finished or stopped
+        // early: `report`/`stats` — and a hang report — need the engines
+        // back in place.
         for sm in shards {
-            let sh = sm.into_inner().expect("shard lock");
+            let sh = sm
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             self.clusters.extend(sh.clusters);
             self.engines.extend(sh.engines);
         }
-        result
+        match result {
+            Ok(()) => Ok(()),
+            Err(Stop::Limit) => Err(MachineError::CycleLimitExceeded { limit }),
+            Err(Stop::Deadlock(kind)) => Err(MachineError::Deadlock {
+                report: Box::new(self.hang_report(kind)),
+            }),
+            Err(Stop::Faulted(ce, reason)) => Err(MachineError::Faulted { ce, reason }),
+        }
     }
 }

@@ -45,6 +45,9 @@ pub struct PrefetchStats {
     pub inject_stall_cycles: u64,
     /// Stale words dropped because a new fire invalidated the buffer.
     pub stale_words: u64,
+    /// Requests re-issued after the fault-recovery timeout expired with
+    /// words of the current fire still missing (fault injection only).
+    pub retries: u64,
 }
 
 impl PrefetchStats {
@@ -77,6 +80,7 @@ impl PrefetchStats {
         self.page_suspend_cycles += other.page_suspend_cycles;
         self.inject_stall_cycles += other.inject_stall_cycles;
         self.stale_words += other.stale_words;
+        self.retries += other.retries;
     }
 }
 
@@ -95,6 +99,9 @@ enum IssueState {
     /// Suspended at a page crossing; resumes (with the CE-supplied
     /// address) at the given cycle.
     PageWait { next: u32, resume_at: Cycle },
+    /// Fault recovery: re-requesting words of the current fire whose
+    /// replies were lost, scanning the full/empty bits from `next`.
+    Retry { next: u32 },
 }
 
 /// Per-fire measurement state.
@@ -123,13 +130,32 @@ pub struct Pfu {
     /// Element whose page crossing has already been paid for (so the check
     /// does not re-trigger after the suspend).
     crossing_paid: Option<u32>,
+    /// Reply-loss recovery timeout in cycles; `None` disables the retry
+    /// path entirely (the fault-free machine).
+    fault_timeout: Option<u64>,
+    /// Words the current fire will deliver (the armed length).
+    expected: u32,
+    /// Words of the current fire received so far.
+    received: u32,
+    /// With `fault_timeout`: the deadline at which missing words are
+    /// declared lost and re-requested (pushed out by every arrival).
+    retry_at: Cycle,
     trace: FireTrace,
     stats: PrefetchStats,
 }
 
 impl Pfu {
-    /// Build the PFU for CE `ce`.
-    pub fn new(ce: CeId, cfg: &PrefetchConfig, page_words: u64, modules: usize) -> Pfu {
+    /// Build the PFU for CE `ce`. `fault_timeout` arms the reply-loss
+    /// recovery path: a fire whose words stop arriving for that many
+    /// cycles re-requests the missing elements (same fire sequence, so
+    /// in-flight duplicates stay valid).
+    pub fn new(
+        ce: CeId,
+        cfg: &PrefetchConfig,
+        page_words: u64,
+        modules: usize,
+        fault_timeout: Option<u64>,
+    ) -> Pfu {
         Pfu {
             ce,
             cfg: cfg.clone(),
@@ -142,6 +168,10 @@ impl Pfu {
             full: vec![false; cfg.buffer_words as usize],
             consume_idx: 0,
             crossing_paid: None,
+            fault_timeout,
+            expected: 0,
+            received: 0,
+            retry_at: Cycle::ZERO,
             trace: FireTrace::default(),
             stats: PrefetchStats::default(),
         }
@@ -168,6 +198,9 @@ impl Pfu {
         self.full.iter_mut().for_each(|b| *b = false);
         self.consume_idx = 0;
         self.crossing_paid = None;
+        self.expected = self.armed.expect("checked above").length;
+        self.received = 0;
+        self.retry_at = now + self.fault_timeout.unwrap_or(0);
         self.state = IssueState::Issuing { next: 0 };
         self.trace = FireTrace {
             fire_at: now,
@@ -208,6 +241,11 @@ impl Pfu {
             if !*slot {
                 *slot = true;
                 self.stats.words_returned += 1;
+                self.received += 1;
+                // Progress: push the loss deadline out past this arrival.
+                if let Some(t) = self.fault_timeout {
+                    self.retry_at = now + t;
+                }
                 self.trace.arrivals += 1;
                 if self.trace.first_arrival.is_none() {
                     self.trace.first_arrival = Some(now);
@@ -215,6 +253,12 @@ impl Pfu {
                 self.trace.last_arrival = now;
             }
         }
+    }
+
+    /// True when the fault-recovery path is armed and the current fire is
+    /// still missing words — the PFU must stay awake to re-request them.
+    fn retry_pending(&self) -> bool {
+        self.fault_timeout.is_some() && self.expected > 0 && self.received < self.expected
     }
 
     /// True when [`Pfu::try_consume`] would succeed (non-consuming).
@@ -227,7 +271,7 @@ impl Pfu {
     /// be a no-op, so the caller can skip the (non-inlined) call entirely.
     #[inline]
     pub(crate) fn issue_idle(&self) -> bool {
-        matches!(self.state, IssueState::Idle)
+        matches!(self.state, IssueState::Idle) && !self.retry_pending()
     }
 
     /// The earliest future cycle at which this PFU can change externally
@@ -235,8 +279,9 @@ impl Pfu {
     /// its resume cycle, idle means never.
     pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
         match self.state {
+            IssueState::Idle if self.retry_pending() => Some(self.retry_at.max(now + 1)),
             IssueState::Idle => None,
-            IssueState::Issuing { .. } => Some(now + 1),
+            IssueState::Issuing { .. } | IssueState::Retry { .. } => Some(now + 1),
             IssueState::PageWait { resume_at, .. } => Some(resume_at.max(now + 1)),
         }
     }
@@ -255,7 +300,13 @@ impl Pfu {
     pub fn tick(&mut self, now: Cycle, port: usize, forward: &mut dyn InjectPort) {
         for _ in 0..self.cfg.issue_per_cycle {
             match self.state {
-                IssueState::Idle => return,
+                IssueState::Idle => {
+                    if self.retry_pending() && now >= self.retry_at {
+                        self.state = IssueState::Retry { next: 0 };
+                    } else {
+                        return;
+                    }
+                }
                 IssueState::PageWait { next, resume_at } => {
                     if now >= resume_at {
                         self.state = IssueState::Issuing { next };
@@ -264,7 +315,13 @@ impl Pfu {
                         return;
                     }
                 }
-                IssueState::Issuing { .. } => {}
+                IssueState::Issuing { .. } | IssueState::Retry { .. } => {}
+            }
+            if let IssueState::Retry { next } = self.state {
+                if !self.retry_scan(now, next, port, forward) {
+                    return;
+                }
+                continue;
             }
             let IssueState::Issuing { next } = self.state else {
                 return;
@@ -301,6 +358,8 @@ impl Pfu {
                         fire_seq: self.fire_seq,
                     },
                     issued: now,
+                    seq: 0,
+                    nacked: false,
                 },
             );
             if forward.try_inject(port, pkt) {
@@ -323,6 +382,56 @@ impl Pfu {
     /// automatically on the next fire).
     pub fn flush_trace(&mut self) {
         self.finish_trace();
+    }
+
+    /// One step of the fault-recovery scan: re-request the first word at
+    /// index `>= next` whose full bit is still clear, under the *same*
+    /// fire sequence (in-flight duplicates of earlier requests then land
+    /// harmlessly in the already-full slot). Returns `false` when the
+    /// caller's issue loop should stop for this cycle.
+    fn retry_scan(
+        &mut self,
+        now: Cycle,
+        next: u32,
+        port: usize,
+        forward: &mut dyn InjectPort,
+    ) -> bool {
+        let armed = self.armed.expect("retry implies armed");
+        let mut i = next;
+        while i < self.expected {
+            if !self.full[i as usize] {
+                let addr = self.elem_addr(i, armed.stride);
+                let pkt = Packet::read_request(
+                    module_of(addr, self.modules).0,
+                    MemRequest {
+                        ce: self.ce,
+                        kind: RequestKind::Read,
+                        addr,
+                        stream: Stream::Prefetch {
+                            elem: i,
+                            fire_seq: self.fire_seq,
+                        },
+                        issued: now,
+                        seq: 0,
+                        nacked: false,
+                    },
+                );
+                if forward.try_inject(port, pkt) {
+                    self.stats.requests += 1;
+                    self.stats.retries += 1;
+                    self.state = IssueState::Retry { next: i + 1 };
+                    return true;
+                }
+                self.stats.inject_stall_cycles += 1;
+                return false;
+            }
+            i += 1;
+        }
+        // Every missing word has been re-requested; give the duplicates a
+        // full timeout window to come home before scanning again.
+        self.state = IssueState::Idle;
+        self.retry_at = now + self.fault_timeout.unwrap_or(0);
+        false
     }
 
     fn elem_addr(&self, elem: u32, stride: i64) -> u64 {
@@ -362,7 +471,7 @@ mod tests {
     }
 
     fn pfu() -> Pfu {
-        Pfu::new(CeId(0), &PrefetchConfig::cedar(), 512, 32)
+        Pfu::new(CeId(0), &PrefetchConfig::cedar(), 512, 32, None)
     }
 
     #[test]
@@ -474,6 +583,53 @@ mod tests {
         assert!(!p.try_consume());
         p.rewind();
         assert!(p.try_consume() && p.try_consume());
+    }
+
+    #[test]
+    fn lost_reply_is_rerequested_after_timeout() {
+        let mut p = Pfu::new(CeId(0), &PrefetchConfig::cedar(), 512, 32, Some(16));
+        let mut net = Omega::new(32, &NetworkConfig::cedar());
+        let mut sink = Collect::default();
+        p.arm(2, 1);
+        p.fire(Cycle(0), 0);
+        let mut c = 0u64;
+        while !p.done_issuing() || !net.is_idle() {
+            p.tick(Cycle(c), 0, &mut net);
+            net.tick(&mut sink);
+            c += 1;
+            assert!(c < 100);
+        }
+        assert_eq!(p.stats().requests, 2);
+        // Word 0 arrives; word 1's reply was lost in the network.
+        p.receive(Cycle(c), 0, 1);
+        assert!(!p.issue_idle(), "missing word keeps the PFU awake");
+        // Past the timeout the PFU re-requests element 1 — and only it.
+        // (24 cycles covers one timeout window plus network transit but
+        // not a second scan, so exactly one retry is observed.)
+        for _ in 0..24 {
+            p.tick(Cycle(c), 0, &mut net);
+            net.tick(&mut sink);
+            c += 1;
+        }
+        assert_eq!(p.stats().retries, 1);
+        assert_eq!(p.stats().requests, 3);
+        let (_, last) = *sink.got.last().unwrap();
+        match last.payload {
+            Payload::Request(r) => {
+                assert_eq!(
+                    r.stream,
+                    Stream::Prefetch {
+                        elem: 1,
+                        fire_seq: 1
+                    }
+                );
+            }
+            Payload::Reply(_) => unreachable!(),
+        }
+        // The duplicate lands; the fire completes and the PFU goes quiet.
+        p.receive(Cycle(c), 1, 1);
+        assert!(p.issue_idle());
+        assert!(p.next_event(Cycle(c)).is_none());
     }
 
     #[test]

@@ -24,8 +24,23 @@
 //! | `ce.` / `ce[i].` | `busy`, `idle`, `stall_mem`, `stall_sync`, `flops`, `vector_elements`, `tlb_misses`, `page_faults`, `vm_cycles` |
 //! | `tracer.` | `events`, `dropped` |
 //!
+//! With fault injection enabled (a [`FaultPlan`] that can fire — these
+//! keys are *absent* from fault-free registries, keeping them
+//! byte-identical to older snapshots):
+//!
+//! | prefix | counters |
+//! |---|---|
+//! | `net.fwd.` / `net.rev.` | `drops`, `nacks`, `link_blocked` |
+//! | `gmem.` | `nacks` |
+//! | `fault.` | `retries`, `nacks`, `timeouts` |
+//! | `prefetch.` | `retries` |
+//!
 //! Histograms: `prefetch.latency` (first-word round-trip cycles),
-//! `net.fwd.queue_depth` and `net.rev.queue_depth` (stage-queue words).
+//! `net.fwd.queue_depth` and `net.rev.queue_depth` (stage-queue words),
+//! and — faults only — `fault.retry_latency` (issue-to-resolution cycles
+//! of operations that needed at least one retry).
+//!
+//! [`FaultPlan`]: crate::fault::FaultPlan
 //!
 //! ## Snapshot/delta
 //!

@@ -84,7 +84,7 @@ proptest! {
         stride in prop::sample::select(vec![1i64, 2, 4, 7]),
         shuffle_seed in 0u64..1000,
     ) {
-        let mut pfu = Pfu::new(CeId(0), &PrefetchConfig::cedar(), 512, 32);
+        let mut pfu = Pfu::new(CeId(0), &PrefetchConfig::cedar(), 512, 32, None);
         let mut net = Omega::new(32, &NetworkConfig::cedar());
         let mut sink = Feed::default();
         pfu.arm(length, stride);

@@ -371,13 +371,43 @@ fn bad_programs_are_rejected() {
 }
 
 #[test]
-fn deadlocked_barrier_hits_cycle_limit() {
+fn deadlocked_barrier_is_diagnosed_with_a_hang_report() {
     let mut m = Machine::cedar().unwrap();
     let barrier = m.alloc_barrier(BarrierScope::Global, 2);
-    // Only one of the two expected participants arrives.
+    // Only one of the two expected participants arrives. The
+    // forward-progress watchdog must catch this as a structured deadlock
+    // (naming the stuck CE) long before the generous cycle budget runs
+    // out — the run used to burn the whole budget and report only
+    // CycleLimitExceeded.
     let mut b = ProgramBuilder::new();
     b.push(Op::Barrier { barrier });
-    let r = m.run(vec![(CeId(0), b.build())], 20_000);
+    match m.run(vec![(CeId(0), b.build())], 2_000_000) {
+        Err(MachineError::Deadlock { report }) => {
+            assert_eq!(report.kind, "synchronization stall");
+            assert!(
+                report.at_cycle < 100_000,
+                "caught late: {}",
+                report.at_cycle
+            );
+            assert_eq!(report.ces.len(), 1);
+            assert_eq!(report.ces[0].0, 0);
+            assert_eq!(report.barrier_waiters, 1);
+            let text = report.to_string();
+            assert!(text.contains("ce[0]"), "report names the waiter: {text}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_budget_still_reports_cycle_limit() {
+    // A budget shorter than the watchdog's first inspection still
+    // surfaces as CycleLimitExceeded, unchanged behaviour.
+    let mut m = Machine::cedar().unwrap();
+    let barrier = m.alloc_barrier(BarrierScope::Global, 2);
+    let mut b = ProgramBuilder::new();
+    b.push(Op::Barrier { barrier });
+    let r = m.run(vec![(CeId(0), b.build())], 1_000);
     assert!(matches!(r, Err(MachineError::CycleLimitExceeded { .. })));
 }
 

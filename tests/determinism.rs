@@ -8,13 +8,36 @@
 //! rank-64 update (Table 1 rows: every memory version at every cluster
 //! count) and a Perfect-benchmark code compiled through the Fortran
 //! pipeline.
+//!
+//! The guarantee extends to fault injection: when `CEDAR_FAULT_SEED` is
+//! set (CI's faults leg), every workload here reruns with a transient
+//! fault plan at that seed, and the equivalence assertions then cover
+//! the drop/NACK/retry machinery too — injected faults are part of the
+//! fingerprint, so they must land on the same packets at every thread
+//! count.
 
 use cedar_fortran::compile::Backend;
 use cedar_fortran::restructure::{Level, Restructurer};
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_machine::config::fault_seed_from_env;
 use cedar_machine::machine::Machine;
 use cedar_machine::stats::export::flat_text;
-use cedar_machine::{MachineConfig, MachineStats};
+use cedar_machine::{FaultPlan, MachineConfig, MachineStats};
+
+/// CI's faults leg: `CEDAR_FAULT_SEED` turns every determinism workload
+/// into a faulty one (2000 ppm drops, 1000 ppm NACKs at that seed). A
+/// garbage value is a hard error — the strict parser, pinned separately
+/// in `env_knobs.rs`, forbids silently running a different plan.
+fn with_env_faults(cfg: MachineConfig) -> MachineConfig {
+    match fault_seed_from_env().expect("CEDAR_FAULT_SEED must be a u64") {
+        Some(seed) => cfg.with_faults(FaultPlan {
+            drop_per_million: 2_000,
+            nack_per_million: 1_000,
+            ..FaultPlan::none(seed)
+        }),
+        None => cfg,
+    }
+}
 use cedar_perfect::codes::{spec, CodeName};
 use cedar_xylem::costs::XylemCosts;
 
@@ -56,7 +79,7 @@ fn assert_equivalent(label: &str, threads: usize, base: &Fingerprint, got: &Fing
 }
 
 fn run_rank64(clusters: usize, threads: usize, version: Rank64Version, n: u32) -> Fingerprint {
-    let cfg = MachineConfig::cedar_with_clusters(clusters).with_threads(threads);
+    let cfg = with_env_faults(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
     let mut m = Machine::new(cfg).unwrap();
     let kern = Rank64 { n, k: 64, version };
     let progs = kern.build(&mut m, clusters);
@@ -122,7 +145,7 @@ fn run_perfect(code: CodeName, threads: usize) -> Fingerprint {
     let src = spec(code).to_source();
     let compiled = Restructurer::default().restructure(&src, Level::Automatable);
     let backend = Backend::new(XylemCosts::cedar());
-    let cfg = MachineConfig::cedar_with_clusters(clusters).with_threads(threads);
+    let cfg = with_env_faults(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
     let mut m = Machine::new(cfg).unwrap();
     let progs = backend.lower(&compiled, &mut m, clusters);
     let r = m.run(progs, 4_000_000_000).unwrap();

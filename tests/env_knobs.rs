@@ -1,0 +1,62 @@
+//! Environment-knob parsing contracts.
+//!
+//! Kept in its own test binary (one test, own process) because
+//! environment variables are process-global: the test owns
+//! `CEDAR_SWEEP_THREADS` and `CEDAR_FAULT_SEED` end to end and cannot
+//! race other tests. It pins the error-handling split:
+//!
+//! * thread counts (`CEDAR_SWEEP_THREADS`, and `CEDAR_NUM_THREADS`
+//!   through the same parser) are *tuning* knobs — a garbage value logs
+//!   a warning and falls back to the configured default, because a bad
+//!   thread count should never abort a simulation whose results don't
+//!   depend on it;
+//! * `CEDAR_FAULT_SEED` *changes results* — a garbage value is a hard
+//!   `InvalidConfig` error, because silently running a different fault
+//!   plan than the one asked for is exactly what the deterministic
+//!   fault layer exists to prevent.
+
+use cedar::experiments::sweep::sweep_threads;
+use cedar_machine::config::fault_seed_from_env;
+use cedar_machine::MachineError;
+
+#[test]
+fn env_knobs_fall_back_or_fail_loudly() {
+    // SAFETY: this binary runs exactly one test, so no other thread
+    // touches the environment concurrently.
+
+    // --- CEDAR_SWEEP_THREADS: lenient, warn-and-fall-back ---
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    std::env::set_var("CEDAR_SWEEP_THREADS", "3");
+    assert_eq!(sweep_threads(), 3);
+    for garbage in ["zero", "0", "-2", "1.5", ""] {
+        std::env::set_var("CEDAR_SWEEP_THREADS", garbage);
+        assert_eq!(
+            sweep_threads(),
+            host,
+            "CEDAR_SWEEP_THREADS={garbage:?} must fall back to host parallelism"
+        );
+    }
+    std::env::remove_var("CEDAR_SWEEP_THREADS");
+    assert_eq!(sweep_threads(), host);
+
+    // --- CEDAR_FAULT_SEED: strict, error on garbage ---
+    std::env::remove_var("CEDAR_FAULT_SEED");
+    assert_eq!(fault_seed_from_env().unwrap(), None);
+    std::env::set_var("CEDAR_FAULT_SEED", "42");
+    assert_eq!(fault_seed_from_env().unwrap(), Some(42));
+    std::env::set_var("CEDAR_FAULT_SEED", "0xCEDA");
+    assert_eq!(fault_seed_from_env().unwrap(), Some(0xCEDA));
+    for garbage in ["not-a-seed", "-1", "0x", "1e9"] {
+        std::env::set_var("CEDAR_FAULT_SEED", garbage);
+        let err = fault_seed_from_env().unwrap_err();
+        assert!(
+            matches!(err, MachineError::InvalidConfig { .. }),
+            "CEDAR_FAULT_SEED={garbage:?} must be InvalidConfig, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("CEDAR_FAULT_SEED"),
+            "the error should name the variable: {err}"
+        );
+    }
+    std::env::remove_var("CEDAR_FAULT_SEED");
+}

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use cedar::experiments::table2::Table2Sizes;
-use cedar::experiments::{ppt4, table1, table2};
+use cedar::experiments::{ppt4, resilience, table1, table2};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -92,4 +92,14 @@ fn tables12_match_golden_snapshot() {
 fn ppt4_matches_golden_snapshot() {
     let study = ppt4::run_swept(1, &[1024, 4096], &[8, 32], 8192).unwrap();
     check_golden("ppt4.txt", &study.render());
+}
+
+/// The resilience study at test scale. Fault injection is seeded and
+/// counter-based, so the exact drops, retries and cycle counts of every
+/// faulty run are as reproducible as the healthy tables; drift here
+/// means the fault path (not just the happy path) changed behaviour.
+#[test]
+fn resilience_matches_golden_snapshot() {
+    let r = resilience::run(64, 0xCEDA_0001).unwrap();
+    check_golden("resilience.txt", &r.render());
 }

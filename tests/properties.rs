@@ -64,6 +64,8 @@ proptest! {
                         addr: tag as u64,
                         stream: Stream::Scalar,
                         issued: Cycle(0),
+                        seq: 0,
+                        nacked: false,
                     }),
                 },
             ));
