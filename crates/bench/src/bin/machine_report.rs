@@ -10,11 +10,20 @@
 //!
 //! The trace path defaults to `machine_trace.json` in the current
 //! directory. `CEDAR_BENCH_QUICK=1` shrinks the problem size.
+//!
+//! With `CEDAR_TRACE_SAMPLE_PPM` (and optionally `CEDAR_TRACE_SEED`) set,
+//! journey tracing is enabled: the report adds the per-hop latency
+//! breakdown table and barrier-episode attribution, and the Chrome trace
+//! gains one async span per sampled journey nested under its CE's track.
+//! Set `CEDAR_PROFILE_JSONL=PATH` to also write host-side self-profiling
+//! of the simulator's tick phases (wall-clock per subsystem) to `PATH` as
+//! JSON lines — a lenient knob: it observes the simulator and cannot
+//! change simulated results.
 
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_machine::machine::Machine;
 use cedar_machine::stats::export;
-use cedar_machine::MachineConfig;
+use cedar_machine::{config, MachineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_path = std::env::args()
@@ -24,9 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let clusters = 4;
     eprintln!("running rank-64 update (n = {n}, GM/cache) on 32-CE Cedar...");
-    let cfg = MachineConfig::cedar_with_clusters(clusters);
+    let mut cfg = MachineConfig::cedar_with_clusters(clusters);
+    if let Some(plan) = config::trace_plan_from_env()? {
+        eprintln!(
+            "journey tracing on (seed = {:#x}, rate = {} ppm)",
+            plan.seed, plan.sample_ppm
+        );
+        cfg = cfg.with_trace(plan);
+    }
     let cycle_ns = cfg.cycle_ns;
     let mut m = Machine::new(cfg)?;
+    let profile_path = std::env::var("CEDAR_PROFILE_JSONL")
+        .ok()
+        .filter(|p| !p.is_empty());
+    if profile_path.is_some() {
+        m.enable_host_profiling();
+    }
     let kern = Rank64 {
         n,
         k: 64,
@@ -43,11 +65,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== per-run counter tree (stats delta) ==");
     print!("{}", export::flat_text(&r.stats));
 
-    let trace = export::chrome_trace(m.timeline(), &r.stats, cycle_ns);
+    let journeys = m.trace_journeys();
+    if !journeys.is_empty() {
+        println!();
+        println!(
+            "== latency attribution ({} journeys, {} events, {} dropped) ==",
+            journeys.len(),
+            m.trace_events().len(),
+            m.trace_dropped()
+        );
+        print!("{}", m.latency_breakdown().text_table());
+        let episodes = m.barrier_episodes();
+        if !episodes.is_empty() {
+            println!();
+            println!("== barrier episodes (critical-path attribution) ==");
+            for e in &episodes {
+                println!(
+                    "barrier {} epoch {}: {} arrivals, skew {} cycles, last CE {} at cycle {}",
+                    e.barrier,
+                    e.epoch,
+                    e.arrivals.len(),
+                    e.skew(),
+                    e.last_ce,
+                    e.last_at.0
+                );
+            }
+        }
+    }
+
+    let trace = export::chrome_trace_with_journeys(m.timeline(), &r.stats, cycle_ns, &journeys);
     std::fs::write(&trace_path, &trace)?;
     eprintln!(
-        "wrote Chrome trace to {trace_path} ({} bytes); open in chrome://tracing or ui.perfetto.dev",
-        trace.len()
+        "wrote Chrome trace to {trace_path} ({} bytes, {} journey spans); \
+         open in chrome://tracing or ui.perfetto.dev",
+        trace.len(),
+        journeys.len()
     );
+
+    if let Some(path) = profile_path {
+        let jsonl = m.host_profile_jsonl();
+        std::fs::write(&path, &jsonl)?;
+        eprintln!(
+            "wrote host-phase profile to {path} ({} lines)",
+            jsonl.lines().count()
+        );
+    }
     Ok(())
 }

@@ -52,6 +52,7 @@ fn run_perm(queue_words: usize, words: u8, perm: &dyn Fn(usize, usize) -> usize)
                         issued: Cycle(0),
                         seq: 0,
                         nacked: false,
+                        trace: 0,
                     }),
                 },
             )

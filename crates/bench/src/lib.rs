@@ -32,6 +32,8 @@
 //! workloads (kernel slices, network transit, cache access, sync ops) —
 //! these measure the *simulator*, the binaries measure the *machine*.
 
+pub mod json;
+
 /// Environment flag: set `CEDAR_BENCH_QUICK=1` to shrink problem sizes
 /// (useful in CI).
 pub fn quick() -> bool {

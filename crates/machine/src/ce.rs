@@ -24,6 +24,7 @@ use crate::prefetch::{Pfu, PrefetchStats};
 use crate::program::{Block, MemOperand, Op, Program, VectorOp};
 use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
 use crate::time::Cycle;
+use crate::trace::{class, hop, CeTraceCtl, TraceEvent};
 use crate::vm::Tlb;
 
 /// Everything a CE touches outside itself during one tick.
@@ -208,6 +209,9 @@ pub struct CeEngine {
     /// Next retry-protocol sequence number (sequence 0 means unsequenced,
     /// so numbering starts at 1).
     next_seq: u64,
+    /// Causal-tracing controller; allocated only when the machine runs
+    /// with journey tracing enabled.
+    trace_ctl: Option<Box<CeTraceCtl>>,
     stats: CeStats,
 }
 
@@ -232,6 +236,20 @@ impl CeEngine {
             pc: 0,
             kind: FrameKind::Root,
         };
+        let trace_plan = cfg.trace.as_ref().filter(|p| p.enabled());
+        let mut pfu = Pfu::new(
+            id,
+            &cfg.prefetch,
+            cfg.vm.page_words,
+            cfg.global_memory.modules,
+            cfg.faults
+                .as_ref()
+                .filter(|p| p.enabled())
+                .map(|p| u64::from(p.timeout_cycles)),
+        );
+        if let Some(p) = trace_plan {
+            pfu.enable_trace(p.seed, p.sample_ppm);
+        }
         CeEngine {
             id,
             cluster: id.cluster(ces_per_cluster),
@@ -245,16 +263,7 @@ impl CeEngine {
             frames: vec![root],
             indices: Vec::new(),
             state: CeState::Fetch,
-            pfu: Pfu::new(
-                id,
-                &cfg.prefetch,
-                cfg.vm.page_words,
-                cfg.global_memory.modules,
-                cfg.faults
-                    .as_ref()
-                    .filter(|p| p.enabled())
-                    .map(|p| u64::from(p.timeout_cycles)),
-            ),
+            pfu,
             pending_pkt: None,
             outstanding_reads: 0,
             outstanding_writes: 0,
@@ -273,6 +282,8 @@ impl CeEngine {
                 .filter(|p| p.enabled())
                 .map(|p| Box::new(CeFaultCtl::new(p))),
             next_seq: 1,
+            trace_ctl: trace_plan
+                .map(|p| Box::new(CeTraceCtl::new(p.seed, p.sample_ppm, id.0 as u16))),
             stats: CeStats::default(),
         }
     }
@@ -376,6 +387,15 @@ impl CeEngine {
                 // Unsequenced (prefetch) NACK: discard — the prefetch
                 // unit's own timeout re-requests the missing element.
                 return;
+            }
+        }
+        // Every reply surviving the retry filter above is a real delivery:
+        // close the journey at the CE. Resends share the original id and
+        // assembly keeps the earliest stamp per hop, so duplicates are
+        // harmless.
+        if reply.trace != 0 {
+            if let Some(tc) = self.trace_ctl.as_deref_mut() {
+                tc.stamp(reply.trace, hop::RETIRE, 0, now);
             }
         }
         match reply.stream {
@@ -720,6 +740,7 @@ impl CeEngine {
             CeState::AwaitCounter => self.step_await_counter(now, ctx),
             CeState::AwaitClusterBarrier => {
                 if let Some(at) = ctx.ccbus.take_release(self.ce_in_cluster) {
+                    self.trace_barrier_release(now);
                     self.state = CeState::Stall { until: at };
                     Step::Progress
                 } else {
@@ -956,6 +977,7 @@ impl CeEngine {
                         issued: now,
                         seq: 0,
                         nacked: false,
+                        trace: 0,
                     },
                 );
                 self.queue_pkt(now, ctx, pkt);
@@ -982,6 +1004,7 @@ impl CeEngine {
                         issued: now,
                         seq: 0,
                         nacked: false,
+                        trace: 0,
                     },
                 );
                 self.queue_pkt(now, ctx, pkt);
@@ -1169,6 +1192,7 @@ impl CeEngine {
             BarrierScope::Cluster(_) => {
                 let epoch = self.next_barrier_use(barrier);
                 self.advance_pc();
+                self.trace_barrier_arrive(now, barrier, epoch);
                 ctx.ccbus.arrive_barrier(
                     now,
                     self.ce_in_cluster,
@@ -1185,6 +1209,7 @@ impl CeEngine {
                 }
                 let epoch = self.next_barrier_use(barrier);
                 self.advance_pc();
+                self.trace_barrier_arrive(now, barrier, epoch);
                 let addr = def.base_addr + epoch;
                 self.send_sync(now, ctx, addr, SyncInstr::fetch_add(1));
                 self.state = CeState::GlobalBarrier {
@@ -1221,6 +1246,7 @@ impl CeEngine {
                 };
                 if out.old + 1 >= def.expected as i32 {
                     // Last arriver: barrier complete.
+                    self.trace_barrier_release(now);
                     self.state = CeState::Stall { until: now + 1 };
                 } else {
                     // Estimate remaining arrivals to start with a matched
@@ -1257,6 +1283,7 @@ impl CeEngine {
                     return Step::Blocked;
                 };
                 if out.passed {
+                    self.trace_barrier_release(now);
                     self.state = CeState::Stall { until: now + 1 };
                 } else {
                     self.state = CeState::GlobalBarrier {
@@ -1343,6 +1370,7 @@ impl CeEngine {
                     issued: now,
                     seq: 0,
                     nacked: false,
+                    trace: 0,
                 },
             );
             self.queue_pkt(now, ctx, pkt);
@@ -1404,6 +1432,7 @@ impl CeEngine {
                     issued: now,
                     seq: 0,
                     nacked: false,
+                    trace: 0,
                 },
             );
             self.queue_pkt(now, ctx, pkt);
@@ -1456,8 +1485,20 @@ impl CeEngine {
                 };
                 return Step::Blocked;
             }
-            match ctx.cache.access(now, self.ce_in_cluster, a, write) {
+            let acc = ctx.cache.access(now, self.ce_in_cluster, a, write);
+            match acc {
                 CacheAccess::Ready { at } | CacheAccess::Pending { at } => {
+                    // Accepted cache accesses are sampling candidates like
+                    // network requests; the completion stamp carries the
+                    // (deterministic) future ready cycle.
+                    if let Some(tc) = self.trace_ctl.as_deref_mut() {
+                        let id = tc.sample_mem();
+                        if id != 0 {
+                            let fill = matches!(acc, CacheAccess::Pending { .. });
+                            tc.stamp(id, hop::ISSUE, class::CACHE, now);
+                            tc.stamp(id, hop::CACHE_DONE, u8::from(fill), at);
+                        }
+                    }
                     if !write && at > last_ready {
                         last_ready = at;
                     }
@@ -1499,6 +1540,45 @@ impl CeEngine {
         e
     }
 
+    /// Sample a barrier episode at arrival. A sampled episode's id is
+    /// shared by every participating CE (it is derived from the barrier
+    /// index and epoch alone) and is carried by the arrival/poll sync ops
+    /// issued while the episode is open.
+    fn trace_barrier_arrive(&mut self, now: Cycle, barrier: usize, epoch: u64) {
+        if let Some(tc) = self.trace_ctl.as_deref_mut() {
+            if let Some(id) = tc.sample_barrier(barrier, epoch) {
+                tc.stamp(id, hop::BAR_ARRIVE, 0, now);
+                tc.episode = Some(id);
+            }
+        }
+    }
+
+    /// Close the open barrier episode, if any, at the cycle this CE
+    /// observed the release.
+    fn trace_barrier_release(&mut self, now: Cycle) {
+        if let Some(tc) = self.trace_ctl.as_deref_mut() {
+            if let Some(id) = tc.episode.take() {
+                tc.stamp(id, hop::BAR_RELEASE, 0, now);
+            }
+        }
+    }
+
+    /// Drain this engine's trace stamps (controller, then prefetch unit):
+    /// `(events, overflow drops)`.
+    pub(crate) fn drain_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        let (mut ev, mut dropped) = match self.trace_ctl.as_deref_mut() {
+            Some(tc) => (
+                std::mem::take(&mut tc.buf.events),
+                std::mem::replace(&mut tc.buf.dropped, 0),
+            ),
+            None => (Vec::new(), 0),
+        };
+        let (mut pev, pd) = self.pfu.drain_trace();
+        ev.append(&mut pev);
+        dropped += pd;
+        (ev, dropped)
+    }
+
     /// Take and advance the use count for `barrier`.
     fn next_barrier_use(&mut self, barrier: usize) -> u64 {
         if self.barrier_uses.len() <= barrier {
@@ -1511,6 +1591,34 @@ impl CeEngine {
 
     fn queue_pkt(&mut self, now: Cycle, ctx: &mut CeContext<'_>, mut pkt: Packet) {
         debug_assert!(self.pending_pkt.is_none());
+        // Journey sampling — before fault tracking, so a tracked packet
+        // (and therefore every resend of it) carries its journey id.
+        // Inside a sampled barrier episode every sync op (the arrival and
+        // the polls) joins the episode's journey instead of rolling its
+        // own sample.
+        if let Some(tc) = self.trace_ctl.as_deref_mut() {
+            if let Payload::Request(req) = &mut pkt.payload {
+                if req.trace == 0 && !matches!(req.stream, Stream::Prefetch { .. }) {
+                    let (id, cls) = match (tc.episode, &req.stream) {
+                        (Some(ep), Stream::Sync) => (ep, class::BARRIER),
+                        _ => {
+                            let cls = match req.stream {
+                                Stream::Scalar => class::SCALAR,
+                                Stream::WriteAck => class::WRITE,
+                                Stream::Sync => class::SYNC,
+                                Stream::Direct { .. } => class::DIRECT,
+                                Stream::Prefetch { .. } => unreachable!("filtered above"),
+                            };
+                            (tc.sample_mem(), cls)
+                        }
+                    };
+                    if id != 0 {
+                        req.trace = id;
+                        tc.stamp(id, hop::ISSUE, cls, now);
+                    }
+                }
+            }
+        }
         // Under a fault plan every engine-issued request gets a sequence
         // number and is tracked to completion; resends arrive here with
         // their number already assigned and must not be re-tracked.
@@ -1540,6 +1648,7 @@ impl CeEngine {
                 issued: now,
                 seq: 0,
                 nacked: false,
+                trace: 0,
             },
         );
         self.queue_pkt(now, ctx, pkt);

@@ -317,6 +317,11 @@ pub struct MachineConfig {
     /// fault-free machine. A plan whose rates and outage lists are all
     /// zero/empty behaves bit-for-bit like `None` (tested).
     pub faults: Option<FaultPlan>,
+    /// Deterministic causal-tracing plan, or `None` (the default) for the
+    /// untraced machine. A plan with `sample_ppm == 0` behaves bit-for-bit
+    /// like `None` (tested): no journey is sampled, no `trace.*` stats key
+    /// is emitted.
+    pub trace: Option<crate::trace::TracePlan>,
 }
 
 impl MachineConfig {
@@ -337,6 +342,7 @@ impl MachineConfig {
             ccbus: CcBusConfig::cedar(),
             vm: VmConfig::cedar(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -377,6 +383,12 @@ impl MachineConfig {
     /// The same configuration with the given fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// The same configuration with the given causal-tracing plan.
+    pub fn with_trace(mut self, plan: crate::trace::TracePlan) -> Self {
+        self.trace = Some(plan);
         self
     }
 
@@ -441,6 +453,9 @@ impl MachineConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate(self.network_ports(), self.global_memory.modules)?;
+        }
+        if let Some(plan) = &self.trace {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -516,6 +531,58 @@ pub fn fault_seed_from_env() -> Result<Option<u64>, MachineError> {
             "CEDAR_FAULT_SEED={raw:?} is not a u64 (decimal or 0x-prefixed hex)"
         ))
     })
+}
+
+/// The causal-tracing plan requested through the environment:
+/// `CEDAR_TRACE_SAMPLE_PPM` (journeys sampled per million candidates) and
+/// `CEDAR_TRACE_SEED` (u64, decimal or `0x`-prefixed hex; defaults to 0
+/// when only the rate is set). Unset or zero rate → `Ok(None)`: the seed
+/// alone never turns tracing on.
+///
+/// # Errors
+///
+/// Like [`fault_seed_from_env`] and unlike the thread knobs, garbage in
+/// either variable is a hard [`MachineError::InvalidConfig`] naming the
+/// variable: tracing *changes observable output* (the `trace.*` stats
+/// keys and every trace report), so silently running a different sampling
+/// plan than the one asked for is exactly what the deterministic tracing
+/// layer exists to prevent.
+pub fn trace_plan_from_env() -> Result<Option<crate::trace::TracePlan>, MachineError> {
+    // Both variables are validated whenever set, even when the other one
+    // would make the result `None` — a typo must never pass silently.
+    let seed = match std::env::var("CEDAR_TRACE_SEED") {
+        Err(_) => 0,
+        Ok(raw) => {
+            let s = raw.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse::<u64>(),
+            };
+            parsed.map_err(|_| {
+                MachineError::InvalidConfig(format!(
+                    "CEDAR_TRACE_SEED={raw:?} is not a u64 (decimal or 0x-prefixed hex)"
+                ))
+            })?
+        }
+    };
+    let ppm = match std::env::var("CEDAR_TRACE_SAMPLE_PPM") {
+        Err(_) => return Ok(None),
+        Ok(raw) => {
+            let parsed = raw.trim().parse::<u32>().ok().filter(|&p| p <= 1_000_000);
+            parsed.ok_or_else(|| {
+                MachineError::InvalidConfig(format!(
+                    "CEDAR_TRACE_SAMPLE_PPM={raw:?} is not a rate in 0..=1000000"
+                ))
+            })?
+        }
+    };
+    if ppm == 0 {
+        return Ok(None);
+    }
+    Ok(Some(crate::trace::TracePlan {
+        seed,
+        sample_ppm: ppm,
+    }))
 }
 
 /// True when the `CEDAR_NO_FASTFWD` environment variable asks for the

@@ -497,6 +497,7 @@ mod tests {
                 issued: Cycle(1),
                 seq,
                 nacked: false,
+                trace: 0,
             },
         )
     }
@@ -510,6 +511,7 @@ mod tests {
             req_issued: Cycle(1),
             seq,
             nack,
+            trace: 0,
         }
     }
 

@@ -53,6 +53,7 @@ pub mod program;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod vm;
 
 pub use config::MachineConfig;
@@ -64,3 +65,4 @@ pub use program::{AddressExpr, BarrierId, MemOperand, Op, Program, ProgramBuilde
 pub use sched::BarrierScope;
 pub use stats::{MachineStats, UtilSample, UtilizationTimeline};
 pub use time::Cycle;
+pub use trace::{BarrierEpisode, HostProfiler, Journey, LatencyBreakdown, TraceEvent, TracePlan};

@@ -27,6 +27,10 @@ use crate::program::{BarrierId, Op, Program};
 use crate::sched::{BarrierDef, BarrierScope, CounterDef, EPOCH_SPACING};
 use crate::stats::{MachineStats, UtilSample, UtilizationTimeline};
 use crate::time::{mflops, Cycle};
+use crate::trace::{
+    self, profiled, region, BarrierEpisode, HostProfiler, Journey, LatencyBreakdown, TraceEvent,
+    TraceStore,
+};
 use crate::vm::{PageTable, Tlb, TlbStats};
 
 /// Base of the address region the machine hands out for synchronization
@@ -172,6 +176,12 @@ pub struct Machine {
     /// Scheduled link/module outage transitions; `None` on the fault-free
     /// machine (a disabled [`crate::fault::FaultPlan`] allocates nothing).
     pub(crate) fault_sched: Option<FaultSchedule>,
+    /// Journey spans drained from every subsystem at the end of each run
+    /// (empty when tracing is disabled — no subsystem ever stamps).
+    pub(crate) trace_store: TraceStore,
+    /// Host-side wall-clock self-profiler for the simulator's own tick
+    /// phases; `None` (zero overhead beyond one branch) unless enabled.
+    pub(crate) profiler: Option<Box<HostProfiler>>,
 }
 
 /// Preformatted counter-key strings for every indexed stat family.
@@ -333,6 +343,10 @@ impl Machine {
             reverse.enable_faults(plan.seed, SALT_REVERSE, drop, 0);
             FaultSchedule::new(plan)
         });
+        if cfg.trace.as_ref().is_some_and(|p| p.enabled()) {
+            forward.enable_trace(true);
+            reverse.enable_trace(false);
+        }
         let stat_keys = StatKeys::new(&cfg, forward.stage_conflicts().len());
         Ok(Machine {
             forward,
@@ -352,6 +366,8 @@ impl Machine {
             util_scratch: Vec::with_capacity(cfg.total_ces()),
             fastfwd_skipped: 0,
             fault_sched,
+            trace_store: TraceStore::default(),
+            profiler: None,
             now: Cycle::ZERO,
             ce_cfg: Arc::new(cfg.ce.clone()),
             cfg,
@@ -409,6 +425,58 @@ impl Machine {
     /// here instead.
     pub fn fastforward_skipped_cycles(&self) -> u64 {
         self.fastfwd_skipped
+    }
+
+    /// Raw journey trace events drained at the end of the most recent
+    /// [`run`](Machine::run). Empty unless the machine was built with a
+    /// [`crate::trace::TracePlan`].
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.trace_store.events
+    }
+
+    /// Trace stamps lost to per-subsystem buffer caps during the most
+    /// recent run.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_store.dropped
+    }
+
+    /// Assemble the most recent run's trace events into journeys (one per
+    /// sampled access, one per CE-participation in a barrier episode).
+    pub fn trace_journeys(&self) -> Vec<Journey> {
+        trace::assemble(&self.trace_store.events)
+    }
+
+    /// Per-hop, per-class latency decomposition over the most recent
+    /// run's journeys.
+    pub fn latency_breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown::from_journeys(&self.trace_journeys())
+    }
+
+    /// Sampled barrier episodes of the most recent run, with critical-path
+    /// (last-arriver) attribution.
+    pub fn barrier_episodes(&self) -> Vec<BarrierEpisode> {
+        trace::episodes(&self.trace_journeys())
+    }
+
+    /// Turn on host-side self-profiling: wall-clock per simulator tick
+    /// phase, read back with [`Machine::host_profile`] /
+    /// [`Machine::host_profile_jsonl`]. Measures the host, never the
+    /// simulated machine — results are unaffected.
+    pub fn enable_host_profiling(&mut self) {
+        self.profiler = Some(Box::new(HostProfiler::new()));
+    }
+
+    /// Host-profile rows `(phase, calls, total_ns)`, when profiling is on.
+    pub fn host_profile(&self) -> Option<&HostProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// The host profile as a JSONL metrics stream (empty when off).
+    pub fn host_profile_jsonl(&self) -> String {
+        self.profiler
+            .as_deref()
+            .map(HostProfiler::jsonl)
+            .unwrap_or_default()
     }
 
     /// Snapshot the full instrumentation registry: named counters and
@@ -597,6 +665,16 @@ impl Machine {
         // The monitoring hardware itself.
         s.set("tracer.events", self.tracer.events().len() as u64);
         s.set("tracer.dropped", self.tracer.dropped());
+
+        // Journey tracing: absent when disabled, so the registry snapshot
+        // stays byte-identical to untraced runs.
+        if self.cfg.trace.as_ref().is_some_and(|p| p.enabled()) {
+            let journeys = trace::assemble(&self.trace_store.events);
+            s.set("trace.events", self.trace_store.events.len() as u64);
+            s.set("trace.dropped", self.trace_store.dropped);
+            s.set("trace.journeys", journeys.len() as u64);
+            s.set("trace.episodes", trace::episodes(&journeys).len() as u64);
+        }
         s
     }
 
@@ -683,6 +761,9 @@ impl Machine {
         let start = self.now;
         self.timeline.reset(start, total);
         self.fastfwd_skipped = 0;
+        // Journey spans reset with the engines: the store (and the
+        // `trace.*` registry keys) covers exactly the upcoming run.
+        self.trace_store.clear();
         let fastfwd = self.cfg.fast_forward && !crate::config::fastfwd_disabled_from_env();
         let stats_start = self.stats();
         if self.effective_threads() > 1 {
@@ -709,7 +790,11 @@ impl Machine {
             }
             self.tick();
             if fastfwd {
-                self.try_fast_forward(start, limit);
+                let mut prof = self.profiler.take();
+                profiled(&mut prof, region::FASTFWD, || {
+                    self.try_fast_forward(start, limit);
+                });
+                self.profiler = prof;
             }
         }
         Ok(())
@@ -932,50 +1017,68 @@ impl Machine {
     fn tick(&mut self) {
         self.now += 1;
         let now = self.now;
+        // The omegas have no absolute clock of their own; give their
+        // tracing layer (if any) the cycle before any network activity.
+        self.forward.set_trace_now(now);
+        self.reverse.set_trace_now(now);
+        // The profiler moves out for the tick so the `profiled` closures
+        // can borrow machine fields freely; measures host time only.
+        let mut prof = self.profiler.take();
         if let Some(fs) = &mut self.fault_sched {
-            fs.apply_due(now, &mut self.forward, &mut self.reverse, &mut self.gmem);
+            profiled(&mut prof, region::FAULTS, || {
+                fs.apply_due(now, &mut self.forward, &mut self.reverse, &mut self.gmem);
+            });
         }
-        self.gmem.tick(now, &mut self.reverse);
-        {
+        profiled(&mut prof, region::GMEM, || {
+            self.gmem.tick(now, &mut self.reverse);
+        });
+        profiled(&mut prof, region::REVERSE, || {
             let mut sink = CeSink {
                 engines: &mut self.engines,
                 histogram: &mut self.latency_histogram,
                 now,
             };
             self.reverse.tick(&mut sink);
-        }
-        self.forward.tick(&mut self.gmem);
-        for cl in &mut self.clusters {
-            cl.ccbus.tick(now);
-        }
-        let Machine {
-            engines,
-            clusters,
-            forward,
-            counters,
-            barriers,
-            page_table,
-            tracer,
-            ..
-        } = self;
-        for e in engines.iter_mut().flatten() {
-            let cluster = &mut clusters[e.cluster().0];
-            let mut ctx = CeContext {
+        });
+        profiled(&mut prof, region::FORWARD, || {
+            self.forward.tick(&mut self.gmem);
+        });
+        profiled(&mut prof, region::CLUSTER, || {
+            for cl in &mut self.clusters {
+                cl.ccbus.tick(now);
+            }
+            let Machine {
+                engines,
+                clusters,
                 forward,
-                cache: &mut cluster.cache,
-                ccbus: &mut cluster.ccbus,
-                tlb: &mut cluster.tlb,
-                page_table,
                 counters,
                 barriers,
+                page_table,
                 tracer,
-            };
-            e.tick(now, &mut ctx);
-        }
+                ..
+            } = self;
+            for e in engines.iter_mut().flatten() {
+                let cluster = &mut clusters[e.cluster().0];
+                let mut ctx = CeContext {
+                    forward,
+                    cache: &mut cluster.cache,
+                    ccbus: &mut cluster.ccbus,
+                    tlb: &mut cluster.tlb,
+                    page_table,
+                    counters,
+                    barriers,
+                    tracer,
+                };
+                e.tick(now, &mut ctx);
+            }
+        });
         if self.timeline.due(now) {
-            fill_util_samples(&self.engines, &mut self.util_scratch);
-            self.timeline.record(&self.util_scratch);
+            profiled(&mut prof, region::TIMELINE, || {
+                fill_util_samples(&self.engines, &mut self.util_scratch);
+                self.timeline.record(&self.util_scratch);
+            });
         }
+        self.profiler = prof;
     }
 
     fn all_done(&self) -> bool {
@@ -999,8 +1102,26 @@ impl Machine {
             prefetch.merge(&p);
             prefetch_per_ce.push((e.id(), p));
         }
-        // Snapshot after the loop above: prefetch traces are flushed, so
-        // the registry sees final per-run values.
+        // Drain journey stamps into the span store in a fixed order —
+        // engines in CE order (controller then PFU), forward network,
+        // reverse network, memory modules in bank order — so the store's
+        // contents are identical across thread counts and fast-forward
+        // settings. (Assembly sorts anyway; the fixed order makes the raw
+        // event stream comparable too.)
+        for e in self.engines.iter_mut().flatten() {
+            let (mut ev, d) = e.drain_trace();
+            self.trace_store.events.append(&mut ev);
+            self.trace_store.dropped += d;
+        }
+        for net in [&mut self.forward, &mut self.reverse] {
+            if let Some((mut ev, d)) = net.drain_trace() {
+                self.trace_store.events.append(&mut ev);
+                self.trace_store.dropped += d;
+            }
+        }
+        self.trace_store.dropped += self.gmem.drain_trace(&mut self.trace_store.events);
+        // Snapshot after the loops above: prefetch traces are flushed and
+        // journey spans drained, so the registry sees final per-run values.
         let stats = self.stats().delta(stats_start);
         RunReport {
             cycles,

@@ -139,6 +139,19 @@ impl GlobalMemory {
             m.digest(h);
         }
     }
+
+    /// Drain every module's trace stamps into `events`, in bank order,
+    /// accumulating overflow drops. Bank order is deterministic, and each
+    /// module's internal stamp order is its own service order.
+    pub(crate) fn drain_trace(&mut self, events: &mut Vec<crate::trace::TraceEvent>) -> u64 {
+        let mut dropped = 0;
+        for m in &mut self.modules {
+            let (mut ev, d) = m.drain_trace();
+            events.append(&mut ev);
+            dropped += d;
+        }
+        dropped
+    }
 }
 
 impl NetSink for GlobalMemory {
@@ -206,6 +219,7 @@ mod tests {
                         issued: Cycle(0),
                         seq: 0,
                         nacked: false,
+                        trace: 0,
                     },
                 ),
             );

@@ -12,6 +12,7 @@ use crate::memory::sync_store::SyncStore;
 use crate::network::packet::{MemReply, MemRequest, Packet, RequestKind, Stream};
 use crate::network::Omega;
 use crate::time::Cycle;
+use crate::trace::{hop, TraceBuf, TraceEvent, MODULE_TRACE_CAP};
 
 /// Statistics for one memory module.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +58,7 @@ impl ReqRing {
             issued: Cycle::ZERO,
             seq: 0,
             nacked: false,
+            trace: 0,
         };
         ReqRing {
             buf: vec![filler; cap].into_boxed_slice(),
@@ -135,6 +137,11 @@ pub struct Module {
     /// memory contents.
     sync_dedup: std::collections::HashMap<usize, (u64, i64)>,
     stats: ModuleStats,
+    /// Causal-tracing stamps (service start/end of traced requests). The
+    /// module needs no tracing configuration: an untraced machine only
+    /// ever delivers requests with `trace == 0`, so the buffer stays
+    /// empty and unallocated.
+    trace: TraceBuf,
 }
 
 impl Module {
@@ -151,7 +158,15 @@ impl Module {
             offline: false,
             sync_dedup: std::collections::HashMap::new(),
             stats: ModuleStats::default(),
+            trace: TraceBuf::with_capacity(MODULE_TRACE_CAP),
         }
+    }
+
+    /// Drain the module's stamped trace events (and overflow count).
+    pub(crate) fn drain_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        let events = std::mem::take(&mut self.trace.events);
+        let dropped = std::mem::replace(&mut self.trace.dropped, 0);
+        (events, dropped)
     }
 
     /// Take the module offline (every serviced request is NACKed with no
@@ -267,6 +282,10 @@ impl Module {
             if now >= done_at {
                 self.current = None;
                 self.stats.requests += 1;
+                if req.trace != 0 {
+                    self.trace
+                        .stamp(req.trace, hop::SVC_END, 0, req.ce.0 as u16, now);
+                }
                 self.pending_reply = Some(self.make_reply(req));
             } else {
                 self.stats.busy_cycles += 1;
@@ -290,6 +309,10 @@ impl Module {
                 if let RequestKind::Sync(_) = req.kind {
                     cost += self.sync_extra_cycles;
                     self.stats.sync_requests += 1;
+                }
+                if req.trace != 0 {
+                    self.trace
+                        .stamp(req.trace, hop::SVC_START, 0, req.ce.0 as u16, now);
                 }
                 self.current = Some((req, now + u64::from(cost)));
                 self.stats.busy_cycles += 1;
@@ -315,6 +338,7 @@ impl Module {
                 req_issued: req.issued,
                 seq: req.seq,
                 nack: true,
+                trace: req.trace,
             };
             return match req.kind {
                 RequestKind::Write => Packet::write_ack(req.ce.0, reply),
@@ -332,6 +356,7 @@ impl Module {
                     req_issued: req.issued,
                     seq: req.seq,
                     nack: false,
+                    trace: req.trace,
                 },
             ),
             RequestKind::Write => Packet::write_ack(
@@ -344,6 +369,7 @@ impl Module {
                     req_issued: req.issued,
                     seq: req.seq,
                     nack: false,
+                    trace: req.trace,
                 },
             ),
             RequestKind::Sync(instr) => {
@@ -370,6 +396,7 @@ impl Module {
                         req_issued: req.issued,
                         seq: req.seq,
                         nack: false,
+                        trace: req.trace,
                     },
                 )
             }
@@ -399,6 +426,7 @@ mod tests {
             issued: Cycle(0),
             seq: 0,
             nacked: false,
+            trace: 0,
         }
     }
 

@@ -20,7 +20,9 @@
 
 use crate::config::NetworkConfig;
 use crate::monitor::Histogrammer;
-use crate::network::packet::Packet;
+use crate::network::packet::{Packet, Payload};
+use crate::time::Cycle;
+use crate::trace::{NetTrace, TraceEvent};
 
 /// Index of a packet in the in-flight slab.
 type PacketId = u32;
@@ -59,6 +61,15 @@ pub trait InjectPort {
 impl InjectPort for Omega {
     fn try_inject(&mut self, port: usize, packet: Packet) -> bool {
         Omega::try_inject(self, port, packet)
+    }
+}
+
+/// Trace id and issuing CE carried in a packet's payload.
+#[inline]
+fn pkt_trace(p: &Packet) -> (u64, u16) {
+    match &p.payload {
+        Payload::Request(r) => (r.trace, r.ce.0 as u16),
+        Payload::Reply(r) => (r.trace, r.ce.0 as u16),
     }
 }
 
@@ -349,6 +360,10 @@ pub struct Omega {
     queue_depth: Histogrammer,
     /// Fault-injection state, `None` on a fault-free network.
     faults: Option<Box<NetFaults>>,
+    /// Causal-tracing state, `None` on an untraced network. The machine
+    /// sets the cycle stamp before any network activity each ticked cycle
+    /// (the network itself has no notion of absolute time).
+    trace: Option<Box<NetTrace>>,
 }
 
 impl Omega {
@@ -420,6 +435,7 @@ impl Omega {
             stage_blocked: vec![0; stages],
             queue_depth: Histogrammer::with_bins(RING_CAP + 1),
             faults: None,
+            trace: None,
         }
     }
 
@@ -439,6 +455,41 @@ impl Omega {
             down: vec![false; self.size],
             doom: Vec::new(),
         }));
+    }
+
+    /// Install causal tracing on this network. `fwd` selects the forward
+    /// or reverse hop kinds for the stamps. Like fault injection, the
+    /// untraced hot path pays a single `Option` check per site.
+    pub(crate) fn enable_trace(&mut self, fwd: bool) {
+        self.trace = Some(Box::new(NetTrace::new(fwd)));
+    }
+
+    /// Set the cycle used for this network's trace stamps. Called by the
+    /// machine after advancing `now`, before any injection or tick can
+    /// touch the network this cycle. No-op when tracing is off.
+    #[inline]
+    pub(crate) fn set_trace_now(&mut self, now: Cycle) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.now = now;
+        }
+    }
+
+    /// Drain the network's stamped trace events (and overflow count),
+    /// leaving the buffer empty. Returns nothing when tracing is off.
+    pub(crate) fn drain_trace(&mut self) -> Option<(Vec<TraceEvent>, u64)> {
+        let t = self.trace.as_deref_mut()?;
+        let events = std::mem::take(&mut t.buf.events);
+        let dropped = std::mem::replace(&mut t.buf.dropped, 0);
+        Some((events, dropped))
+    }
+
+    /// Trace id and issuing CE of a live in-flight packet.
+    #[inline]
+    fn slab_trace(&self, id: PacketId) -> (u64, u16) {
+        match &self.slab[id as usize] {
+            Slot::Live(pkt) => pkt_trace(pkt),
+            Slot::Free { .. } => unreachable!("queued flit has live packet"),
+        }
     }
 
     /// Mark `port` down (all injections refused and charged to
@@ -516,6 +567,12 @@ impl Omega {
                         self.stats.nacks += 1;
                     }
                 }
+            }
+        }
+        if let Some(t) = self.trace.as_deref_mut() {
+            let (tid, ce) = pkt_trace(&packet);
+            if tid != 0 {
+                t.stamp_inject(tid, ce);
             }
         }
         let words = packet.words;
@@ -816,6 +873,12 @@ impl Omega {
                 let pkt = self.release(flit.pkt);
                 if !doomed {
                     self.stats.packets_delivered += 1;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        let (tid, ce) = pkt_trace(&pkt);
+                        if tid != 0 {
+                            t.stamp_deliver(tid, ce);
+                        }
+                    }
                     sink.deliver(out_line, pkt);
                 }
             }
@@ -824,6 +887,15 @@ impl Omega {
             if flit.is_head {
                 let dst = self.packet_dst(flit.pkt);
                 flit.route = self.route_digit(dst, stage + 1) as u8;
+                if self.trace.is_some() {
+                    let (tid, ce) = self.slab_trace(flit.pkt);
+                    if tid != 0 {
+                        self.trace
+                            .as_deref_mut()
+                            .expect("checked above")
+                            .stamp_stage(tid, ce, (stage + 1) as u8);
+                    }
+                }
             }
             let next_line = self.shuffle(out_line);
             let q = &mut self.queues[(stage + 1) * self.size + next_line];
@@ -871,6 +943,15 @@ impl Omega {
                     is_tail: sent + 1 == words,
                     route,
                 };
+                if is_head && self.trace.is_some() {
+                    let (tid, ce) = self.slab_trace(pkt);
+                    if tid != 0 {
+                        self.trace
+                            .as_deref_mut()
+                            .expect("checked above")
+                            .stamp_stage(tid, ce, 0);
+                    }
+                }
                 self.queues[line].push_back(flit);
                 let depth = qlen + 1;
                 self.stage_words[0] += 1;
@@ -923,6 +1004,7 @@ mod tests {
                 issued: Cycle(0),
                 seq: 0,
                 nacked: false,
+                trace: 0,
             }),
         }
     }

@@ -62,6 +62,10 @@ pub struct MemRequest {
     /// Set by fault injection when the request was corrupted in flight:
     /// the module must NACK it instead of performing the operation.
     pub nacked: bool,
+    /// Causal-tracing journey id, echoed into the reply so every hop of a
+    /// sampled access can be stamped end-to-end. Zero means untraced —
+    /// the only value that ever appears when tracing is off.
+    pub trace: u64,
 }
 
 /// A reply travelling memory → CE on the reverse network.
@@ -84,6 +88,9 @@ pub struct MemReply {
     /// request arrived corrupted): no side effect was performed and
     /// `value` is meaningless; the CE's retry controller resends.
     pub nack: bool,
+    /// Causal-tracing journey id echoed from the request (zero when the
+    /// access is untraced).
+    pub trace: u64,
 }
 
 /// Packet payload: either a request (forward net) or a reply (reverse net).
@@ -166,6 +173,7 @@ mod tests {
             issued: Cycle(0),
             seq: 0,
             nacked: false,
+            trace: 0,
         }
     }
 
@@ -181,6 +189,7 @@ mod tests {
             req_issued: Cycle(0),
             seq: 0,
             nack: false,
+            trace: 0,
         };
         assert_eq!(Packet::reply(0, rep).words, 2);
         assert_eq!(Packet::write_ack(0, rep).words, 1);

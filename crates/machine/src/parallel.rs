@@ -54,6 +54,7 @@ use crate::network::{InjectPort, NetSink};
 use crate::sched::{BarrierDef, CounterDef};
 use crate::stats::UtilSample;
 use crate::time::Cycle;
+use crate::trace::{profiled, region};
 use crate::vm::PageTable;
 
 /// A reusable sense-reversing barrier. `std::sync::Barrier` parks and
@@ -403,6 +404,7 @@ impl Machine {
                 util_scratch,
                 fastfwd_skipped,
                 fault_sched,
+                profiler,
                 ..
             } = &mut *self;
             let counters: &[CounterDef] = counters;
@@ -463,11 +465,15 @@ impl Machine {
                     // shard engines), forward network.
                     *now += 1;
                     let t = *now;
+                    forward.set_trace_now(t);
+                    reverse.set_trace_now(t);
                     if let Some(fs) = fault_sched.as_mut() {
-                        fs.apply_due(t, forward, reverse, gmem);
+                        profiled(profiler, region::FAULTS, || {
+                            fs.apply_due(t, forward, reverse, gmem);
+                        });
                     }
-                    gmem.tick(t, reverse);
-                    {
+                    profiled(profiler, region::GMEM, || gmem.tick(t, reverse));
+                    profiled(profiler, region::REVERSE, || {
                         let mut sink = ShardCeSink {
                             shards,
                             cluster_of: &cluster_of,
@@ -476,8 +482,8 @@ impl Machine {
                             now: t,
                         };
                         reverse.tick(&mut sink);
-                    }
-                    forward.tick(&mut *gmem);
+                    });
+                    profiled(profiler, region::FORWARD, || forward.tick(&mut *gmem));
                     // Freeze this cycle's injector capacity into the
                     // staging buffers.
                     for sm in shards.iter() {
@@ -491,29 +497,36 @@ impl Machine {
 
                     // Cluster phase: all workers (this thread is shard 0's).
                     go.wait();
-                    shards[0]
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .tick(t, counters, barriers);
+                    profiled(profiler, region::CLUSTER, || {
+                        shards[0]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .tick(t, counters, barriers);
+                    });
                     handoff.wait();
 
                     // Exchange phase: replay staged traffic in (cluster,
                     // CE) order — the serial engine's exact order.
-                    for sm in shards.iter() {
-                        let mut sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                        let Shard { stages, events, .. } = &mut *sh;
-                        for st in stages.iter_mut() {
-                            for pkt in st.staged.drain(..) {
-                                let accepted = forward.try_inject(st.port, pkt);
-                                debug_assert!(accepted, "staged injection exceeded capacity");
+                    profiled(profiler, region::EXCHANGE, || {
+                        for sm in shards.iter() {
+                            let mut sh =
+                                sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let Shard { stages, events, .. } = &mut *sh;
+                            for st in stages.iter_mut() {
+                                for pkt in st.staged.drain(..) {
+                                    let accepted = forward.try_inject(st.port, pkt);
+                                    debug_assert!(accepted, "staged injection exceeded capacity");
+                                }
                             }
+                            tracer.absorb(events);
+                            events.clear();
                         }
-                        tracer.absorb(events);
-                        events.clear();
-                    }
+                    });
                     if timeline.due(t) {
-                        fill_shard_samples(shards, util_scratch);
-                        timeline.record(util_scratch);
+                        profiled(profiler, region::TIMELINE, || {
+                            fill_shard_samples(shards, util_scratch);
+                            timeline.record(util_scratch);
+                        });
                     }
 
                     // Fast-forward: the state here equals the serial
@@ -542,26 +555,28 @@ impl Machine {
                             None => Some(deadlock_cap),
                         };
                         if let Some(target) = target {
-                            while *now + 1 < target {
-                                let boundary = timeline.next_boundary();
-                                let chunk_end = boundary.min(Cycle(target.0 - 1)).max(*now + 1);
-                                let k = chunk_end - *now;
-                                gmem.skip(k);
-                                for sm in shards.iter() {
-                                    let mut sh = sm
-                                        .lock()
-                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                                    for e in sh.engines.iter_mut().flatten() {
-                                        e.skip(*now, k);
+                            profiled(profiler, region::FASTFWD, || {
+                                while *now + 1 < target {
+                                    let boundary = timeline.next_boundary();
+                                    let chunk_end = boundary.min(Cycle(target.0 - 1)).max(*now + 1);
+                                    let k = chunk_end - *now;
+                                    gmem.skip(k);
+                                    for sm in shards.iter() {
+                                        let mut sh = sm
+                                            .lock()
+                                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                        for e in sh.engines.iter_mut().flatten() {
+                                            e.skip(*now, k);
+                                        }
+                                    }
+                                    *fastfwd_skipped += k;
+                                    *now = chunk_end;
+                                    if timeline.due(*now) {
+                                        fill_shard_samples(shards, util_scratch);
+                                        timeline.record(util_scratch);
                                     }
                                 }
-                                *fastfwd_skipped += k;
-                                *now = chunk_end;
-                                if timeline.due(*now) {
-                                    fill_shard_samples(shards, util_scratch);
-                                    timeline.record(util_scratch);
-                                }
-                            }
+                            });
                         }
                     }
                 };

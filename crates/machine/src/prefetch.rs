@@ -17,6 +17,7 @@ use crate::memory::address::{crosses_page, module_of};
 use crate::network::packet::{MemRequest, Packet, RequestKind, Stream};
 use crate::network::InjectPort;
 use crate::time::Cycle;
+use crate::trace::{hop, sample_prefetch, PfuTrace, TraceEvent};
 
 /// Aggregated prefetch measurements for one CE — the quantities the
 /// paper's hardware performance monitor records for Table 2.
@@ -141,6 +142,8 @@ pub struct Pfu {
     /// declared lost and re-requested (pushed out by every arrival).
     retry_at: Cycle,
     trace: FireTrace,
+    /// Causal-tracing state; present only when journey tracing is enabled.
+    jtrace: Option<Box<PfuTrace>>,
     stats: PrefetchStats,
 }
 
@@ -173,7 +176,39 @@ impl Pfu {
             received: 0,
             retry_at: Cycle::ZERO,
             trace: FireTrace::default(),
+            jtrace: None,
             stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Arm causal journey tracing: fires are sampled deterministically by
+    /// `(seed, ce, fire_seq)`, independent of thread count or fast-forward.
+    pub(crate) fn enable_trace(&mut self, seed: u64, sample_ppm: u32) {
+        self.jtrace = Some(Box::new(PfuTrace::new(seed, sample_ppm)));
+    }
+
+    /// Drain this PFU's trace stamps: `(events, overflow drops)`.
+    pub(crate) fn drain_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        match self.jtrace.as_deref_mut() {
+            Some(t) => (
+                std::mem::take(&mut t.buf.events),
+                std::mem::replace(&mut t.buf.dropped, 0),
+            ),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    /// Journey id carried by element `elem` of the current fire: the
+    /// traced fire's id on its first request, zero everywhere else. The
+    /// first word's journey spans the whole burst (fire → last arrival).
+    #[inline]
+    fn elem_trace(&self, elem: u32) -> u64 {
+        match self.jtrace.as_deref() {
+            Some(t) if elem == 0 => match t.cur {
+                Some((id, fs)) if fs == self.fire_seq => id,
+                _ => 0,
+            },
+            _ => 0,
         }
     }
 
@@ -206,6 +241,15 @@ impl Pfu {
             fire_at: now,
             ..FireTrace::default()
         };
+        let ce = self.ce.0 as u16;
+        let seq = self.fire_seq;
+        if let Some(t) = self.jtrace.as_deref_mut() {
+            t.cur = None;
+            if let Some(id) = sample_prefetch(t.seed, t.ppm, ce, seq) {
+                t.buf.stamp(id, hop::PF_FIRE, 0, ce, now);
+                t.cur = Some((id, seq));
+            }
+        }
     }
 
     /// Rewind consumption to reuse buffered data (the paper notes
@@ -251,6 +295,17 @@ impl Pfu {
                     self.trace.first_arrival = Some(now);
                 }
                 self.trace.last_arrival = now;
+                // The traced fire's journey closes when its last word lands.
+                if self.received == self.expected {
+                    let ce = self.ce.0 as u16;
+                    if let Some(t) = self.jtrace.as_deref_mut() {
+                        if let Some((id, fs)) = t.cur {
+                            if fs == fire_seq {
+                                t.buf.stamp(id, hop::PF_DONE, 0, ce, now);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -360,6 +415,7 @@ impl Pfu {
                     issued: now,
                     seq: 0,
                     nacked: false,
+                    trace: self.elem_trace(next),
                 },
             );
             if forward.try_inject(port, pkt) {
@@ -414,6 +470,7 @@ impl Pfu {
                         issued: now,
                         seq: 0,
                         nacked: false,
+                        trace: self.elem_trace(i),
                     },
                 );
                 if forward.try_inject(port, pkt) {

@@ -5,6 +5,7 @@
 //! and the build environment is offline, so no `serde`.
 
 use crate::stats::{MachineStats, UtilizationTimeline};
+use crate::trace::{class, hop, Journey};
 
 /// Render the full counter tree as aligned `name value` lines, followed
 /// by one summary line per histogram (total/mean/p50/p95/p99).
@@ -57,6 +58,21 @@ fn json_escape(s: &str) -> String {
 /// of a final instant event. Timestamps are microseconds of simulated
 /// time at `cycle_ns` nanoseconds per cycle.
 pub fn chrome_trace(timeline: &UtilizationTimeline, stats: &MachineStats, cycle_ns: f64) -> String {
+    chrome_trace_with_journeys(timeline, stats, cycle_ns, &[])
+}
+
+/// [`chrome_trace`] plus one async span ("b"/"e" pair) per traced journey,
+/// nested under the owning CE's track and annotated with an instant ("i")
+/// event per intermediate hop. Journeys whose id encodes a prefetch or
+/// barrier episode keep their class name; span ids reuse the journey id so
+/// Perfetto correlates the pair. Passing an empty slice reproduces
+/// [`chrome_trace`] byte for byte.
+pub fn chrome_trace_with_journeys(
+    timeline: &UtilizationTimeline,
+    stats: &MachineStats,
+    cycle_ns: f64,
+    journeys: &[Journey],
+) -> String {
     let us_per_cycle = cycle_ns / 1000.0;
     let mut events: Vec<String> = Vec::new();
     events.push(
@@ -94,6 +110,44 @@ pub fn chrome_trace(timeline: &UtilizationTimeline, stats: &MachineStats, cycle_
                 sample.idle,
             ));
         }
+    }
+    // Each journey becomes one async span pair on its CE's track, with an
+    // instant event per hop in between. Async ("b"/"e") events need a
+    // per-pair id; the journey id is unique per (id, ce) grouping, so mix
+    // the CE in to keep barrier episodes (shared id, many CEs) distinct.
+    for j in journeys {
+        let name = class::name(j.class);
+        let span_id = j.id ^ (u64::from(j.ce) << 16);
+        let (b, e) = (j.start().0, j.end().0);
+        events.push(format!(
+            r#"{{"name":"{}","cat":"journey","ph":"b","id":{},"pid":1,"tid":{},"ts":{:.3},"args":{{"journey":{}}}}}"#,
+            name,
+            span_id,
+            j.ce,
+            b as f64 * us_per_cycle,
+            j.id,
+        ));
+        for &(code, at) in &j.hops {
+            let (kind, arg) = ((code >> 8) as u8, (code & 0xff) as u8);
+            if kind == hop::ISSUE {
+                continue; // coincides with the span open
+            }
+            events.push(format!(
+                r#"{{"name":"{}","cat":"journey","ph":"i","s":"t","pid":1,"tid":{},"ts":{:.3},"args":{{"journey":{},"arg":{}}}}}"#,
+                hop::name(kind),
+                j.ce,
+                at.0 as f64 * us_per_cycle,
+                j.id,
+                arg,
+            ));
+        }
+        events.push(format!(
+            r#"{{"name":"{}","cat":"journey","ph":"e","id":{},"pid":1,"tid":{},"ts":{:.3}}}"#,
+            name,
+            span_id,
+            j.ce,
+            e as f64 * us_per_cycle,
+        ));
     }
     // Counter totals ride along as one instant event's args.
     let mut args: Vec<String> = stats
@@ -176,6 +230,66 @@ mod tests {
         assert!(json.contains(r#""name":"busy""#));
         // Counters ride along.
         assert!(json.contains(r#""cache.hits":100"#));
+    }
+
+    fn sample_journeys() -> Vec<Journey> {
+        vec![
+            Journey {
+                id: (3 << 32) | 7,
+                class: class::SCALAR,
+                ce: 0,
+                hops: vec![
+                    ((u16::from(hop::ISSUE)) << 8, Cycle(10)),
+                    (u16::from(hop::FWD_INJECT) << 8, Cycle(11)),
+                    (u16::from(hop::SVC_START) << 8, Cycle(15)),
+                    (u16::from(hop::RETIRE) << 8, Cycle(24)),
+                ],
+            },
+            Journey {
+                id: crate::trace::ID_BARRIER | (2 << 32),
+                class: class::BARRIER,
+                ce: 1,
+                hops: vec![
+                    (u16::from(hop::BAR_ARRIVE) << 8, Cycle(30)),
+                    (u16::from(hop::BAR_RELEASE) << 8, Cycle(48)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_delegates_to_journey_variant() {
+        let (tl, st) = (sample_timeline(), sample_stats());
+        assert_eq!(
+            chrome_trace(&tl, &st, 170.0),
+            chrome_trace_with_journeys(&tl, &st, 170.0, &[])
+        );
+    }
+
+    #[test]
+    fn journey_spans_are_balanced_and_tagged() {
+        let json = chrome_trace_with_journeys(
+            &sample_timeline(),
+            &sample_stats(),
+            170.0,
+            &sample_journeys(),
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Every span open has a matching close.
+        assert_eq!(
+            json.matches(r#""ph":"b""#).count(),
+            json.matches(r#""ph":"e""#).count()
+        );
+        assert_eq!(json.matches(r#""ph":"b""#).count(), 2);
+        // Spans land on the owning CE's track and carry the class name.
+        assert!(json.contains(r#""name":"scalar","cat":"journey","ph":"b""#));
+        assert!(json.contains(r#""name":"barrier","cat":"journey","ph":"b""#));
+        // Intermediate hops show up as instants with the hop-kind name.
+        assert!(json.contains(r#""name":"svc_start","cat":"journey","ph":"i""#));
+        assert!(json.contains(r#""name":"bar_release","cat":"journey","ph":"i""#));
+        // Timestamps are scaled: issue at cycle 10 × 170 ns = 1.7 us.
+        assert!(json.contains(r#""ts":1.700"#));
     }
 
     #[test]

@@ -35,12 +35,20 @@
 //! | `fault.` | `retries`, `nacks`, `timeouts` |
 //! | `prefetch.` | `retries` |
 //!
+//! With journey tracing enabled (a [`TracePlan`] with a nonzero sampling
+//! rate — likewise *absent* from untraced registries):
+//!
+//! | prefix | counters |
+//! |---|---|
+//! | `trace.` | `events`, `dropped`, `journeys`, `episodes` |
+//!
 //! Histograms: `prefetch.latency` (first-word round-trip cycles),
 //! `net.fwd.queue_depth` and `net.rev.queue_depth` (stage-queue words),
 //! and — faults only — `fault.retry_latency` (issue-to-resolution cycles
 //! of operations that needed at least one retry).
 //!
 //! [`FaultPlan`]: crate::fault::FaultPlan
+//! [`TracePlan`]: crate::trace::TracePlan
 //!
 //! ## Snapshot/delta
 //!

@@ -14,12 +14,14 @@
 //! fault plan at that seed, and the equivalence assertions then cover
 //! the drop/NACK/retry machinery too — injected faults are part of the
 //! fingerprint, so they must land on the same packets at every thread
-//! count.
+//! count. The same mechanism covers journey tracing: CI's tracing leg
+//! sets `CEDAR_TRACE_SAMPLE_PPM`, and the `trace.*` stats keys then join
+//! the fingerprint.
 
 use cedar_fortran::compile::Backend;
 use cedar_fortran::restructure::{Level, Restructurer};
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
-use cedar_machine::config::fault_seed_from_env;
+use cedar_machine::config::{fault_seed_from_env, trace_plan_from_env};
 use cedar_machine::machine::Machine;
 use cedar_machine::stats::export::flat_text;
 use cedar_machine::{FaultPlan, MachineConfig, MachineStats};
@@ -35,6 +37,18 @@ fn with_env_faults(cfg: MachineConfig) -> MachineConfig {
             nack_per_million: 1_000,
             ..FaultPlan::none(seed)
         }),
+        None => cfg,
+    }
+}
+
+/// CI's tracing leg: `CEDAR_TRACE_SAMPLE_PPM` (with `CEDAR_TRACE_SEED`)
+/// turns every determinism workload into a traced one. Sampled journeys
+/// land in the `trace.*` stats keys, so the equivalence assertions then
+/// cover the tracing layer's cross-thread merge too.
+fn with_env_knobs(cfg: MachineConfig) -> MachineConfig {
+    let cfg = with_env_faults(cfg);
+    match trace_plan_from_env().expect("CEDAR_TRACE_* must be valid") {
+        Some(plan) => cfg.with_trace(plan),
         None => cfg,
     }
 }
@@ -79,7 +93,7 @@ fn assert_equivalent(label: &str, threads: usize, base: &Fingerprint, got: &Fing
 }
 
 fn run_rank64(clusters: usize, threads: usize, version: Rank64Version, n: u32) -> Fingerprint {
-    let cfg = with_env_faults(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
+    let cfg = with_env_knobs(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
     let mut m = Machine::new(cfg).unwrap();
     let kern = Rank64 { n, k: 64, version };
     let progs = kern.build(&mut m, clusters);
@@ -145,7 +159,7 @@ fn run_perfect(code: CodeName, threads: usize) -> Fingerprint {
     let src = spec(code).to_source();
     let compiled = Restructurer::default().restructure(&src, Level::Automatable);
     let backend = Backend::new(XylemCosts::cedar());
-    let cfg = with_env_faults(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
+    let cfg = with_env_knobs(MachineConfig::cedar_with_clusters(clusters).with_threads(threads));
     let mut m = Machine::new(cfg).unwrap();
     let progs = backend.lower(&compiled, &mut m, clusters);
     let r = m.run(progs, 4_000_000_000).unwrap();

@@ -13,10 +13,14 @@
 //! * `CEDAR_FAULT_SEED` *changes results* — a garbage value is a hard
 //!   `InvalidConfig` error, because silently running a different fault
 //!   plan than the one asked for is exactly what the deterministic
-//!   fault layer exists to prevent.
+//!   fault layer exists to prevent;
+//! * `CEDAR_TRACE_SEED` / `CEDAR_TRACE_SAMPLE_PPM` follow the strict
+//!   convention too — tracing changes observable output (the `trace.*`
+//!   stats keys and every trace report), so both variables are validated
+//!   whenever set, even when the sampling rate would end up zero.
 
 use cedar::experiments::sweep::sweep_threads;
-use cedar_machine::config::fault_seed_from_env;
+use cedar_machine::config::{fault_seed_from_env, trace_plan_from_env};
 use cedar_machine::MachineError;
 
 #[test]
@@ -59,4 +63,53 @@ fn env_knobs_fall_back_or_fail_loudly() {
         );
     }
     std::env::remove_var("CEDAR_FAULT_SEED");
+
+    // --- CEDAR_TRACE_SEED / CEDAR_TRACE_SAMPLE_PPM: strict pair ---
+    std::env::remove_var("CEDAR_TRACE_SEED");
+    std::env::remove_var("CEDAR_TRACE_SAMPLE_PPM");
+    assert_eq!(trace_plan_from_env().unwrap(), None);
+
+    // The seed alone never turns tracing on...
+    std::env::set_var("CEDAR_TRACE_SEED", "0xCEDA");
+    assert_eq!(trace_plan_from_env().unwrap(), None);
+    // ...and neither does an explicit zero rate.
+    std::env::set_var("CEDAR_TRACE_SAMPLE_PPM", "0");
+    assert_eq!(trace_plan_from_env().unwrap(), None);
+
+    std::env::set_var("CEDAR_TRACE_SAMPLE_PPM", "10000");
+    let plan = trace_plan_from_env().unwrap().expect("tracing on");
+    assert_eq!((plan.seed, plan.sample_ppm), (0xCEDA, 10_000));
+    std::env::remove_var("CEDAR_TRACE_SEED");
+    let plan = trace_plan_from_env().unwrap().expect("tracing on");
+    assert_eq!(
+        (plan.seed, plan.sample_ppm),
+        (0, 10_000),
+        "seed defaults to 0"
+    );
+
+    // Garbage in either variable is a hard error naming the variable —
+    // even when the other variable would make the result None.
+    for (var, garbage) in [
+        ("CEDAR_TRACE_SAMPLE_PPM", "lots"),
+        ("CEDAR_TRACE_SAMPLE_PPM", "-1"),
+        ("CEDAR_TRACE_SAMPLE_PPM", "1000001"),
+        ("CEDAR_TRACE_SAMPLE_PPM", "1e4"),
+        ("CEDAR_TRACE_SEED", "not-a-seed"),
+        ("CEDAR_TRACE_SEED", "0x"),
+    ] {
+        std::env::remove_var("CEDAR_TRACE_SEED");
+        std::env::set_var("CEDAR_TRACE_SAMPLE_PPM", "0"); // would be None if valid
+        std::env::set_var(var, garbage);
+        let err = trace_plan_from_env().unwrap_err();
+        assert!(
+            matches!(err, MachineError::InvalidConfig { .. }),
+            "{var}={garbage:?} must be InvalidConfig, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains(var),
+            "the error should name the variable: {err}"
+        );
+    }
+    std::env::remove_var("CEDAR_TRACE_SEED");
+    std::env::remove_var("CEDAR_TRACE_SAMPLE_PPM");
 }

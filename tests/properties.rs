@@ -66,6 +66,7 @@ proptest! {
                         issued: Cycle(0),
                         seq: 0,
                         nacked: false,
+                        trace: 0,
                     }),
                 },
             ));
