@@ -16,6 +16,10 @@
 //! regression the file itself does not explain:
 //!
 //! * hot-path kernels must keep `speedup_vs_baseline >= 0.90`,
+//! * hot-path kernels must carry the flow-path columns
+//!   (`cycles_per_sec_flowpath_off`, `flowpath_speedup`), the speedup
+//!   must equal the rate quotient, and the flow path must not cost more
+//!   than 10% on any kernel (`flowpath_speedup >= 0.90`),
 //! * the fast-forward `barrier_storm` speedup must stay `>= 10`, other
 //!   fast-forward experiments `>= 0.75` (the feature may be neutral but
 //!   must not badly hurt),
@@ -40,6 +44,10 @@ const REL_TOL: f64 = 0.01;
 
 /// Hot-path kernels must not lose more than 10% of their recorded win.
 const HOTPATH_FLOOR: f64 = 0.90;
+
+/// The flow-level network fast path may be neutral on kernels whose hot
+/// loops sit elsewhere, but must never cost a kernel more than 10%.
+const FLOWPATH_FLOOR: f64 = 0.90;
 
 /// Fast-forward must stay a big win on the quiescent-heavy workload...
 const FF_STORM_FLOOR: f64 = 10.0;
@@ -172,15 +180,47 @@ fn check_hotpath(rep: &mut Report) {
                 ),
             );
         }
-        let claimed = doc
+        let entry = doc
             .get("current")
             .and_then(|c| c.get("kernels"))
             .and_then(Value::as_arr)
             .and_then(|ks| {
                 ks.iter()
                     .find(|k| k.get("name").and_then(Value::as_str) == Some(name))
-            })
-            .and_then(|k| num(k, "speedup_vs_baseline"));
+            });
+        // The flow-path columns: present on every current kernel, with
+        // the claimed speedup equal to the rate quotient, and (non-smoke)
+        // the flow path never costing a kernel more than the floor.
+        let rate_off = entry.and_then(|k| num(k, "cycles_per_sec_flowpath_off"));
+        let flow_speedup = entry.and_then(|k| num(k, "flowpath_speedup"));
+        match (rate_off, flow_speedup) {
+            (Some(rate_off), Some(flow_speedup)) if rate_off > 0.0 => {
+                if !close(flow_speedup, rate / rate_off) {
+                    rep.fail(
+                        file,
+                        format!(
+                            "kernel {name}: flowpath_speedup {flow_speedup} != \
+                             rate quotient {:.3}",
+                            rate / rate_off
+                        ),
+                    );
+                }
+                if !smoke && flow_speedup < FLOWPATH_FLOOR {
+                    rep.fail(
+                        file,
+                        format!(
+                            "kernel {name}: flowpath_speedup {flow_speedup:.3} below \
+                             the {FLOWPATH_FLOOR} floor"
+                        ),
+                    );
+                }
+            }
+            _ => rep.fail(
+                file,
+                format!("kernel {name}: missing/invalid flow-path columns"),
+            ),
+        }
+        let claimed = entry.and_then(|k| num(k, "speedup_vs_baseline"));
         let Some(claimed) = claimed else {
             // Smoke/rebased artifacts record the current build as their
             // own baseline and omit the speedup field.
@@ -423,8 +463,10 @@ fn summarize() {
                     .map(|ks| {
                         ks.iter()
                             .filter_map(|k| {
+                                let flow = num(k, "flowpath_speedup")
+                                    .map_or(String::new(), |f| format!(" (flow {f:.2}x)"));
                                 Some(format!(
-                                    "{} {:.2}x",
+                                    "{} {:.2}x{flow}",
                                     k.get("name")?.as_str()?,
                                     num(k, "speedup_vs_baseline")?
                                 ))

@@ -16,6 +16,12 @@
 //! identical — the bin asserts zero drift against the recorded baseline —
 //! while the wall-clock columns show what the overhaul bought.
 //!
+//! Each `current` kernel also times the per-flit oracle sweep (flow-level
+//! network fast path off) on the same workload, asserting bit-identical
+//! cycles and memory digests across the two paths, and records
+//! `cycles_per_sec_flowpath_off` plus the quotient `flowpath_speedup` —
+//! what the flow path alone contributes on top of the other overhauls.
+//!
 //! `--smoke` shrinks the workloads for CI and additionally runs every
 //! kernel on both the serial engine and the 4-thread parallel engine,
 //! asserting identical cycles and memory digests (zero simulated-cycle
@@ -50,6 +56,11 @@ struct Measurement {
     name: &'static str,
     simulated_cycles: u64,
     wall_seconds: f64,
+    /// Wall seconds for the same workload with the flow-level network
+    /// fast path off (the per-flit oracle sweep), extrapolated to the
+    /// same repetition count. `None` for re-emitted baseline entries,
+    /// which predate the flow path.
+    flowpath_off_wall_seconds: Option<f64>,
 }
 
 impl Measurement {
@@ -57,9 +68,28 @@ impl Measurement {
         self.simulated_cycles as f64 / self.wall_seconds.max(1e-9)
     }
 
+    /// What the flow path buys on this kernel: oracle wall over flow-path
+    /// wall (equivalently the rate quotient, since the cycle counts are
+    /// identical by construction).
+    fn flowpath_speedup(&self) -> Option<f64> {
+        self.flowpath_off_wall_seconds
+            .map(|off| off / self.wall_seconds.max(1e-9))
+    }
+
     fn json(&self, speedup: Option<f64>) -> String {
         let speedup_field = match speedup {
             Some(s) => format!(",\n        \"speedup_vs_baseline\": {s:.3}"),
+            None => String::new(),
+        };
+        let flow_fields = match self.flowpath_off_wall_seconds {
+            Some(off) => format!(
+                concat!(
+                    ",\n        \"cycles_per_sec_flowpath_off\": {:.1},\n",
+                    "        \"flowpath_speedup\": {:.3}"
+                ),
+                self.simulated_cycles as f64 / off.max(1e-9),
+                self.flowpath_speedup().unwrap_or(0.0),
+            ),
             None => String::new(),
         };
         format!(
@@ -68,13 +98,14 @@ impl Measurement {
                 "        \"name\": \"{}\",\n",
                 "        \"simulated_cycles\": {},\n",
                 "        \"wall_seconds\": {:.6},\n",
-                "        \"cycles_per_sec\": {:.1}{}\n",
+                "        \"cycles_per_sec\": {:.1}{}{}\n",
                 "      }}"
             ),
             self.name,
             self.simulated_cycles,
             self.wall_seconds,
             self.cycles_per_sec(),
+            flow_fields,
             speedup_field,
         )
     }
@@ -133,26 +164,47 @@ fn workloads(smoke: bool) -> Vec<Workload> {
     ]
 }
 
-/// Run one workload cycle-by-cycle on `threads` simulation threads,
-/// returning the fingerprint the drift assertions compare.
-fn run_workload(w: &Workload, threads: usize) -> (u64, u64, u64) {
+/// Run one workload cycle-by-cycle on `threads` simulation threads with
+/// the flow-level network fast path on or off, returning the fingerprint
+/// the drift assertions compare.
+fn run_workload(w: &Workload, threads: usize, flow: bool) -> (u64, u64, u64) {
     let cfg = MachineConfig::cedar_with_clusters(4)
         .with_threads(threads)
-        .with_fast_forward(false);
+        .with_fast_forward(false)
+        .with_flow_path(flow);
     let mut m = Machine::new(cfg).expect("cedar config");
     let progs = (w.build)(&mut m);
     let r = m.run(progs, 2_000_000_000).expect("kernel run");
     (r.cycles, r.flops, m.memory_digest())
 }
 
-fn measure(w: &Workload) -> Measurement {
+fn measure(w: &Workload, smoke: bool) -> Measurement {
     eprintln!("  {}: serial cycle-by-cycle x{}...", w.name, w.reps);
     let mut cycles = 0;
+    let mut reference = (0, 0, 0);
     let mut best = f64::INFINITY;
     for _ in 0..w.reps {
         let t = Instant::now();
-        cycles += run_workload(w, 1).0;
+        reference = run_workload(w, 1, true);
+        cycles += reference.0;
         best = best.min(t.elapsed().as_secs_f64());
+    }
+    // Time the per-flit oracle (flow path off) on the same workload.
+    // Fewer repetitions suffice: the min-of-reps estimator converges
+    // fast, and the flowpath_speedup column is informational while the
+    // cross-path cycle/digest identity below is the hard assertion.
+    let off_reps = if smoke { 1 } else { (w.reps / 4).max(2) };
+    eprintln!("  {}: per-flit oracle x{off_reps}...", w.name);
+    let mut best_off = f64::INFINITY;
+    for _ in 0..off_reps {
+        let t = Instant::now();
+        let oracle = run_workload(w, 1, false);
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            reference, oracle,
+            "{}: flow path drifted from the per-flit oracle",
+            w.name
+        );
     }
     // Report the best (least-interfered) repetition extrapolated to all
     // reps: on a shared host the minimum is the standard noise-resistant
@@ -161,6 +213,7 @@ fn measure(w: &Workload) -> Measurement {
         name: w.name,
         simulated_cycles: cycles,
         wall_seconds: best * f64::from(w.reps),
+        flowpath_off_wall_seconds: Some(best_off * f64::from(w.reps)),
     }
 }
 
@@ -245,13 +298,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut measurements = Vec::new();
     for w in workloads(smoke) {
-        let m = measure(&w);
+        let m = measure(&w, smoke);
         if smoke {
             // Zero simulated-cycle drift vs the serial reference: the
             // parallel engine must produce the identical run.
             eprintln!("  {}: 4-thread drift check...", w.name);
-            let serial = run_workload(&w, 1);
-            let parallel = run_workload(&w, 4);
+            let serial = run_workload(&w, 1, true);
+            let parallel = run_workload(&w, 4, true);
             assert_eq!(
                 serial, parallel,
                 "{}: parallel engine drifted from the serial reference",
@@ -275,8 +328,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "{:<20} {:>14} {:>10} {:>14} {:>14} {:>8}",
-        "kernel", "sim cycles", "wall (s)", "cyc/s", "base cyc/s", "speedup"
+        "{:<20} {:>14} {:>10} {:>14} {:>14} {:>8} {:>8}",
+        "kernel", "sim cycles", "wall (s)", "cyc/s", "base cyc/s", "speedup", "flow x"
     );
     let mut current_json = Vec::new();
     let mut baseline_json = Vec::new();
@@ -284,13 +337,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let base = baseline.iter().find(|b| b.name == m.name);
         let speedup = base.map(|b| m.cycles_per_sec() / b.cycles_per_sec.max(1e-9));
         println!(
-            "{:<20} {:>14} {:>10.3} {:>14.0} {:>14} {:>8}",
+            "{:<20} {:>14} {:>10.3} {:>14.0} {:>14} {:>8} {:>8}",
             m.name,
             m.simulated_cycles,
             m.wall_seconds,
             m.cycles_per_sec(),
             base.map_or("-".into(), |b| format!("{:.0}", b.cycles_per_sec)),
             speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+            m.flowpath_speedup()
+                .map_or("-".into(), |s| format!("{s:.2}x")),
         );
         current_json.push(m.json(speedup));
         if let Some(b) = base {
@@ -299,6 +354,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     name: m.name,
                     simulated_cycles: b.simulated_cycles,
                     wall_seconds: b.wall_seconds,
+                    flowpath_off_wall_seconds: None,
                 }
                 .json(None),
             );
@@ -317,7 +373,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{{\n  \"smoke\": {smoke},\n  \"host_parallelism\": {host},\n  \
          \"baseline\": {},\n  \"current\": {}\n}}\n",
         section_json(baseline_label, &baseline_json),
-        section_json("hot-path overhaul", &current_json),
+        section_json("hot-path overhaul + network flow path", &current_json),
     );
     std::fs::write("BENCH_hotpath.json", json)?;
     eprintln!("wrote BENCH_hotpath.json");

@@ -11,8 +11,6 @@
 //! but not data values: the simulator is a timing model, and numeric
 //! correctness is exercised by the pure-Rust kernels in `cedar-kernels`.
 
-use std::collections::HashMap;
-
 use crate::config::CacheConfig;
 use crate::memory::cluster_mem::ClusterMemory;
 use crate::time::Cycle;
@@ -60,6 +58,10 @@ struct Line {
     tag: u64,
     dirty: bool,
     lru: u64,
+    /// Cycle the line's fill arrives; hits before this wait for it. A
+    /// line resident since before `fill_at` was reached behaves as
+    /// filled, so no separate pending set is consulted on the hit path.
+    fill_at: Cycle,
 }
 
 /// The shared cluster cache, backed by its cluster memory.
@@ -73,8 +75,6 @@ pub struct ClusterCache {
     max_misses_per_ce: u32,
     tags: Vec<Vec<Option<Line>>>,
     lru_clock: u64,
-    /// In-flight line fills: line address → cycle the line arrives.
-    pending_fills: HashMap<u64, Cycle>,
     /// Outstanding fills per CE (lockup-free miss slots).
     ce_misses: Vec<Vec<(u64, Cycle)>>,
     /// Bank usage accounting for the current cycle.
@@ -98,7 +98,6 @@ impl ClusterCache {
             max_misses_per_ce: cfg.max_outstanding_misses_per_ce,
             tags: vec![vec![None; cfg.associativity]; sets],
             lru_clock: 0,
-            pending_fills: HashMap::new(),
             ce_misses: vec![Vec::new(); ces],
             bank_cycle: Cycle::ZERO,
             bank_used: vec![0; cfg.banks],
@@ -133,15 +132,15 @@ impl ClusterCache {
             .position(|l| l.map(|l| l.tag) == Some(tag))
         {
             // A hit on a line still being filled waits for the fill.
-            if let Some(&arrive) = self.pending_fills.get(&line_addr) {
-                if now < arrive {
-                    self.bank_used[bank] += 1;
-                    self.touch(set, way, write);
-                    return CacheAccess::Pending {
-                        at: arrive + self.hit_latency,
-                    };
-                }
-                self.pending_fills.remove(&line_addr);
+            let arrive = self.tags[set][way]
+                .expect("matched way is resident")
+                .fill_at;
+            if now < arrive {
+                self.bank_used[bank] += 1;
+                self.touch(set, way, write);
+                return CacheAccess::Pending {
+                    at: arrive + self.hit_latency,
+                };
             }
             self.bank_used[bank] += 1;
             self.touch(set, way, write);
@@ -169,14 +168,13 @@ impl ClusterCache {
             }
         }
         self.lru_clock += 1;
+        let arrive = self.mem.fill(now, self.line_words as u32);
         self.tags[set][way] = Some(Line {
             tag,
             dirty: write,
             lru: self.lru_clock,
+            fill_at: arrive,
         });
-
-        let arrive = self.mem.fill(now, self.line_words as u32);
-        self.pending_fills.insert(line_addr, arrive);
         self.ce_misses[ce].push((line_addr, arrive));
         CacheAccess::Pending {
             at: arrive + self.hit_latency,

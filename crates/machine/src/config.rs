@@ -305,6 +305,13 @@ pub struct MachineConfig {
     /// default; the `CEDAR_NO_FASTFWD` environment variable overrides it
     /// at run time (see `Machine::run`).
     pub fast_forward: bool,
+    /// Whether the omega networks run their flow-level fast path (SWAR
+    /// sparse switch sweeps plus O(1) replay of fully-stalled horizons)
+    /// instead of the dense per-flit oracle sweep. Purely a wall-clock
+    /// optimization: both paths are bit-for-bit identical (tested). `true`
+    /// by default; the `CEDAR_NO_FLOWPATH` environment variable overrides
+    /// it at machine construction.
+    pub flow_path: bool,
     pub ce: CeConfig,
     pub cache: CacheConfig,
     pub cluster_memory: ClusterMemoryConfig,
@@ -333,6 +340,7 @@ impl MachineConfig {
             cycle_ns: CEDAR_CYCLE_NS,
             num_threads: 1,
             fast_forward: true,
+            flow_path: true,
             ce: CeConfig::cedar(),
             cache: CacheConfig::cedar(),
             cluster_memory: ClusterMemoryConfig::cedar(),
@@ -377,6 +385,13 @@ impl MachineConfig {
     /// (equivalence tests run both ways and compare).
     pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
         self.fast_forward = fast_forward;
+        self
+    }
+
+    /// The same configuration with the network flow-level fast path
+    /// switched on or off (equivalence tests run both ways and compare).
+    pub fn with_flow_path(mut self, flow_path: bool) -> Self {
+        self.flow_path = flow_path;
         self
     }
 
@@ -591,6 +606,16 @@ pub fn trace_plan_from_env() -> Result<Option<crate::trace::TracePlan>, MachineE
 /// charge, so a CI matrix can pass `0` for the default behaviour.
 pub fn fastfwd_disabled_from_env() -> bool {
     std::env::var("CEDAR_NO_FASTFWD")
+        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
+}
+
+/// True when the `CEDAR_NO_FLOWPATH` environment variable asks for the
+/// dense per-flit oracle sweep (`1`/`true`/`yes`, case-insensitive).
+/// Anything else — unset, `0`, garbage — leaves
+/// [`MachineConfig::flow_path`] in charge, so a CI matrix can pass `0`
+/// for the default behaviour. Mirrors `CEDAR_NO_FASTFWD`.
+pub fn flowpath_disabled_from_env() -> bool {
+    std::env::var("CEDAR_NO_FLOWPATH")
         .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
 }
 

@@ -336,6 +336,12 @@ impl Machine {
             .collect();
         let mut forward = Omega::new(ports, &cfg.network);
         let mut reverse = Omega::new(ports, &cfg.network);
+        // The flow path is a pure wall-clock optimization (bit-for-bit
+        // identical to the oracle sweep); the env hatch mirrors
+        // CEDAR_NO_FASTFWD so an equivalence matrix can force either side.
+        let flow_path = cfg.flow_path && !crate::config::flowpath_disabled_from_env();
+        forward.set_flow_path(flow_path);
+        reverse.set_flow_path(flow_path);
         let fault_sched = cfg.faults.as_ref().filter(|p| p.enabled()).map(|plan| {
             let drop = u64::from(plan.drop_per_million);
             forward.enable_faults(plan.seed, SALT_FORWARD, drop, plan.nack_per_million.into());
@@ -425,6 +431,22 @@ impl Machine {
     /// here instead.
     pub fn fastforward_skipped_cycles(&self) -> u64 {
         self.fastfwd_skipped
+    }
+
+    /// Whether the flow-level network fast path is active in this machine
+    /// ([`MachineConfig::flow_path`] gated by the `CEDAR_NO_FLOWPATH`
+    /// escape hatch). Like the skip counter above, deliberately not part
+    /// of the stats registry: the snapshot must be identical either way.
+    pub fn flow_path_enabled(&self) -> bool {
+        self.forward.flow_path()
+    }
+
+    /// Fully-stalled network ticks the flow path settled by replaying its
+    /// cached stall charge instead of re-walking every queue, summed over
+    /// both directions. Zero when the flow path is off; the equivalence
+    /// tests use it to prove the fast path actually ran.
+    pub fn flow_stall_replays(&self) -> u64 {
+        self.forward.stall_replays() + self.reverse.stall_replays()
     }
 
     /// Raw journey trace events drained at the end of the most recent
@@ -1038,10 +1060,13 @@ impl Machine {
                 histogram: &mut self.latency_histogram,
                 now,
             };
-            self.reverse.tick(&mut sink);
+            // The CE side always accepts (try_begin is constant), so the
+            // reverse network runs under a constant acceptance epoch.
+            self.reverse.tick_epoch(&mut sink, 0);
         });
         profiled(&mut prof, region::FORWARD, || {
-            self.forward.tick(&mut self.gmem);
+            let epoch = self.gmem.accept_epoch();
+            self.forward.tick_epoch(&mut self.gmem, epoch);
         });
         profiled(&mut prof, region::CLUSTER, || {
             for cl in &mut self.clusters {

@@ -17,6 +17,17 @@ use crate::time::Cycle;
 #[derive(Debug)]
 pub struct GlobalMemory {
     modules: Vec<Module>,
+    /// Chunked bitmask of possibly-non-idle modules: a bit is set when a
+    /// request is delivered and cleared when the module's tick leaves it
+    /// idle. A module with a clear bit ticks as a guaranteed no-op, so
+    /// the per-cycle loop visits set bits only (in ascending module
+    /// order, like the dense loop it replaces).
+    active: Vec<u64>,
+    /// Bumped whenever any module consumed a queue entry — the moments a
+    /// [`NetSink::try_begin`] answer can turn from full to accepting.
+    /// The forward network's flow path uses this as its sink-acceptance
+    /// epoch (see `Omega::tick_epoch`).
+    accept_epoch: u64,
     dropped_replies: u64,
 }
 
@@ -25,6 +36,8 @@ impl GlobalMemory {
     pub fn new(cfg: &GlobalMemoryConfig) -> GlobalMemory {
         GlobalMemory {
             modules: (0..cfg.modules).map(|p| Module::new(p, cfg)).collect(),
+            active: vec![0; cfg.modules.div_ceil(64)],
+            accept_epoch: 0,
             dropped_replies: 0,
         }
     }
@@ -56,11 +69,34 @@ impl GlobalMemory {
             .collect()
     }
 
-    /// Advance every module one cycle, injecting replies into `reverse`.
+    /// Advance every non-idle module one cycle, injecting replies into
+    /// `reverse`. Idle modules tick as guaranteed no-ops, so only the
+    /// active mask's set bits are visited (ascending module order).
     pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {
-        for m in &mut self.modules {
-            m.tick(now, reverse);
+        let mut popped = false;
+        for c in 0..self.active.len() {
+            let mut bits = self.active[c];
+            while bits != 0 {
+                let i = c * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let m = &mut self.modules[i];
+                popped |= m.tick(now, reverse);
+                if m.is_idle() {
+                    self.active[c] &= !(1 << (i % 64));
+                }
+            }
         }
+        if popped {
+            self.accept_epoch += 1;
+        }
+    }
+
+    /// Sink-acceptance epoch for the forward network: changes exactly
+    /// when some module's queue made room (the only event that can turn a
+    /// refusing [`NetSink::try_begin`] into an accepting one between
+    /// forward-network ticks — queue growth happens inside those ticks).
+    pub(crate) fn accept_epoch(&self) -> u64 {
+        self.accept_epoch
     }
 
     /// True when every module is idle.
@@ -161,7 +197,10 @@ impl NetSink for GlobalMemory {
 
     fn deliver(&mut self, port: usize, packet: Packet) {
         match packet.payload {
-            Payload::Request(req) => self.modules[port].enqueue(req),
+            Payload::Request(req) => {
+                self.modules[port].enqueue(req);
+                self.active[port / 64] |= 1 << (port % 64);
+            }
             Payload::Reply(_) => {
                 // A reply on the forward network is a routing bug upstream;
                 // count it rather than corrupting module state.

@@ -268,9 +268,12 @@ impl Module {
 
     /// Advance one cycle: retire finished service into a reply, inject the
     /// pending reply into the reverse network, start the next request.
-    pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) {
+    /// Returns whether a queued request was consumed (service started) —
+    /// the event that can turn a full queue back into an accepting one,
+    /// which the global memory folds into its acceptance epoch.
+    pub fn tick(&mut self, now: Cycle, reverse: &mut Omega) -> bool {
         if self.is_idle() {
-            return;
+            return false;
         }
         self.stats.queue_occupancy_sum += self.queue.len() as u64;
         if self.current.is_some() && !self.queue.is_empty() {
@@ -316,8 +319,10 @@ impl Module {
                 }
                 self.current = Some((req, now + u64::from(cost)));
                 self.stats.busy_cycles += 1;
+                return true;
             }
         }
+        false
     }
 
     fn make_reply(&mut self, req: MemRequest) -> Packet {

@@ -113,61 +113,14 @@ pub struct NetStats {
     pub nacks: u64,
 }
 
-/// Maximum words a stage queue can hold (input + output queue pair).
+/// Maximum words a stage queue can hold (input + output queue pair). Also
+/// fixes the queue-depth histogram's bin count, so it must not change with
+/// the configured capacity (exported stat registries pin their shape).
 const RING_CAP: usize = 16;
 
-/// A fixed-capacity FIFO of in-flight words. The whole network's queue
-/// state stays small and contiguous, which matters: the simulator ticks
-/// these queues hundreds of millions of times.
-#[derive(Debug, Clone, Copy)]
-struct Ring {
-    buf: [Flit; RING_CAP],
-    head: u8,
-    len: u8,
-}
-
-impl Default for Ring {
-    fn default() -> Ring {
-        Ring {
-            buf: [Flit::default(); RING_CAP],
-            head: 0,
-            len: 0,
-        }
-    }
-}
-
-impl Ring {
-    #[inline]
-    fn len(&self) -> usize {
-        usize::from(self.len)
-    }
-
-    #[inline]
-    fn front(&self) -> Option<&Flit> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(&self.buf[usize::from(self.head)])
-        }
-    }
-
-    #[inline]
-    fn push_back(&mut self, f: Flit) {
-        debug_assert!(self.len() < RING_CAP, "ring overflow");
-        let tail = (usize::from(self.head) + self.len()) % RING_CAP;
-        self.buf[tail] = f;
-        self.len += 1;
-    }
-
-    /// Drop the front word without re-reading it (the caller already
-    /// holds a copy from [`Ring::front`]).
-    #[inline]
-    fn advance(&mut self) {
-        debug_assert!(self.len > 0);
-        self.head = ((usize::from(self.head) + 1) % RING_CAP) as u8;
-        self.len -= 1;
-    }
-}
+/// Upper bound on switch stages (radix 2 over 64 lines needs 6; the bound
+/// sizes the flow path's stack snapshots of the per-stage counters).
+const MAX_STAGES: usize = 16;
 
 /// A packet slab slot: either a live in-flight packet or a link in the
 /// intrusive free list (LIFO, so ids are reused densely — the same order a
@@ -277,6 +230,23 @@ struct Assembler {
     accepted: bool, // head word accepted by the sink
 }
 
+/// The per-tick charge of a fully-stalled flow-path tick: every queued
+/// stream is blocked (a saturated tree, or a sink refusing its heads), so
+/// the tick's only effect is a fixed set of stat increments. While the
+/// network is untouched from outside and the sink's acceptance epoch is
+/// unchanged, each further tick repeats exactly this charge — so the flow
+/// path replays it in O(1) instead of re-sweeping every switch.
+#[derive(Debug, Clone)]
+struct StallCharge {
+    /// Sink acceptance epoch the charge was recorded under (see
+    /// [`Omega::tick_epoch`]).
+    epoch: u64,
+    blocked: u64,
+    losses: u64,
+    stage_blocked: Vec<u64>,
+    stage_conflicts: Vec<u64>,
+}
+
 /// Fault-injection state for one network instance. Present only when a
 /// fault plan with network effects is installed; the fault-free hot path
 /// pays a single `Option` check.
@@ -308,8 +278,17 @@ pub struct Omega {
     queue_cap: usize,
     words_per_cycle: u32,
     injector_cap: usize,
-    /// `queues[stage * size + line]`: the input queue of `stage` on `line`.
-    queues: Vec<Ring>,
+    /// Stage-queue flit storage, flattened: the ring of `stage * size +
+    /// line` occupies `queue_cap` contiguous slots starting at
+    /// `(stage * size + line) * queue_cap`. Sizing rings by the configured
+    /// capacity (4 words on Cedar) instead of the [`RING_CAP`] ceiling
+    /// keeps the whole queue state inside a few KB of cache; the simulator
+    /// ticks these queues hundreds of millions of times.
+    qbuf: Vec<Flit>,
+    /// Ring head slot per `stage * size + line`.
+    qhead: Vec<u8>,
+    /// Ring occupancy per `stage * size + line`.
+    qlen: Vec<u8>,
     /// `locks[stage * size + out_line]`: input line currently owning this
     /// output, [`NO_LOCK`] when free (flat, like `locked_to` — the
     /// per-stage nesting would cost a pointer chase on every arbitration;
@@ -351,6 +330,17 @@ pub struct Omega {
     /// `sw_of[line]`: the switch owning `line` within a stage
     /// (`line / radix`, precomputed).
     sw_of: Vec<u16>,
+    /// `sub_of[line]`: the subport of `line` within its switch
+    /// (`line % radix`, precomputed — the radix is not a compile-time
+    /// constant, so a plain `%` would cost a hardware divide on every
+    /// word move).
+    sub_of: Vec<u8>,
+    /// Per stage, a bitmask of switches holding words (chunked like
+    /// [`LineMask`]): `switch_busy[stage * mask_chunks + sw/64]`. The
+    /// sweep iterates set bits instead of scanning every switch's count.
+    switch_busy: Vec<u64>,
+    /// Chunks per stage in [`Omega::switch_busy`].
+    mask_chunks: usize,
     /// Arbitration losses per switch stage.
     stage_conflicts: Vec<u64>,
     /// Flow-control blocks per switch stage (injection blocks count
@@ -358,6 +348,18 @@ pub struct Omega {
     stage_blocked: Vec<u64>,
     /// Distribution of stage-queue depths observed after each word push.
     queue_depth: Histogrammer,
+    /// Flow-level fast path on (the default): streams advance through the
+    /// SWAR sparse sweep and fully-stalled horizons replay their cached
+    /// per-tick stall charge in O(1). Off (`CEDAR_NO_FLOWPATH`): the
+    /// dense per-flit oracle sweep runs instead. Both produce bit-for-bit
+    /// identical state, stats and delivery schedules.
+    flow_path: bool,
+    /// Cached stall signature of the previous flow-path tick: `Some` when
+    /// that tick charged blocks/losses but moved nothing, in which case an
+    /// unchanged network replays the same charge without re-sweeping.
+    stall: Option<StallCharge>,
+    /// Ticks replayed in O(1) from a cached stall charge (monotone).
+    stall_replays: u64,
     /// Fault-injection state, `None` on a fault-free network.
     faults: Option<Box<NetFaults>>,
     /// Causal-tracing state, `None` on an untraced network. The machine
@@ -383,6 +385,10 @@ impl Omega {
             size *= cfg.radix;
             stages += 1;
         }
+        assert!(
+            stages <= MAX_STAGES,
+            "networks of {stages} stages unsupported"
+        );
         // Input + output queue per port pair; we model the pair as a single
         // per-stage queue of twice the per-queue capacity.
         let queue_cap = cfg.queue_words * 2;
@@ -406,6 +412,8 @@ impl Omega {
             }
         }
         let sw_of = (0..size).map(|line| (line / cfg.radix) as u16).collect();
+        let sub_of = (0..size).map(|line| (line % cfg.radix) as u8).collect();
+        let mask_chunks = (size / cfg.radix).div_ceil(64);
         Omega {
             radix: cfg.radix,
             stages,
@@ -413,7 +421,9 @@ impl Omega {
             queue_cap,
             words_per_cycle: cfg.words_per_cycle,
             injector_cap,
-            queues: vec![Ring::default(); stages * size],
+            qbuf: vec![Flit::default(); stages * size * queue_cap],
+            qhead: vec![0; stages * size],
+            qlen: vec![0; stages * size],
             locks: vec![NO_LOCK; stages * size],
             locked_to: vec![NO_FRONT; stages * size],
             rr: vec![0; stages * size],
@@ -431,12 +441,38 @@ impl Omega {
             shuffle_tab,
             route_tab,
             sw_of,
+            sub_of,
+            switch_busy: vec![0; stages * mask_chunks],
+            mask_chunks,
             stage_conflicts: vec![0; stages],
             stage_blocked: vec![0; stages],
             queue_depth: Histogrammer::with_bins(RING_CAP + 1),
+            flow_path: true,
+            stall: None,
+            stall_replays: 0,
             faults: None,
             trace: None,
         }
+    }
+
+    /// Enable or disable the flow-level fast path (on by default). Off,
+    /// every tick runs the dense per-flit oracle sweep. The two paths are
+    /// bit-for-bit equivalent; the hatch exists so the equivalence is a
+    /// machine-checked invariant, not a hope.
+    pub fn set_flow_path(&mut self, on: bool) {
+        self.flow_path = on;
+        self.stall = None;
+    }
+
+    /// Whether the flow-level fast path is enabled.
+    pub fn flow_path(&self) -> bool {
+        self.flow_path
+    }
+
+    /// Ticks replayed in O(1) from a cached stall charge since
+    /// construction (zero with the flow path off).
+    pub fn stall_replays(&self) -> u64 {
+        self.stall_replays
     }
 
     /// Install fault injection on this network. `salt` distinguishes the
@@ -446,6 +482,7 @@ impl Omega {
     /// the packet with probability `drop_ppm` per million, else corrupts
     /// a request (the module will NACK) with `nack_ppm` per million.
     pub fn enable_faults(&mut self, seed: u64, salt: u64, drop_ppm: u64, nack_ppm: u64) {
+        self.stall = None;
         self.faults = Some(Box::new(NetFaults {
             seed,
             salt,
@@ -498,6 +535,7 @@ impl Omega {
     /// severs the injection link, it does not strand wormhole locks.
     pub fn set_port_down(&mut self, port: usize, down: bool) {
         assert!(port < self.size, "port {port} out of range");
+        self.stall = None;
         if let Some(f) = self.faults.as_deref_mut() {
             f.down[port] = down;
         }
@@ -589,6 +627,9 @@ impl Omega {
         self.inject_ports.set(port);
         self.pending_injections += 1;
         self.stats.packets_injected += 1;
+        // New work invalidates any cached stall charge: the next tick must
+        // re-sweep (the fresh packet may move, or adds its own charge).
+        self.stall = None;
         true
     }
 
@@ -646,10 +687,91 @@ impl Omega {
     /// downstream-first so freed space propagates upstream next cycle, like
     /// the real per-stage flow control. Generic over the sink so the
     /// memory- and CE-side delivery paths monomorphize and inline.
+    ///
+    /// This entry makes no promise about the sink between calls, so it
+    /// never replays a cached stall charge; use [`Omega::tick_epoch`] when
+    /// the caller can vouch for the sink's acceptance state.
     pub fn tick<S: NetSink + ?Sized>(&mut self, sink: &mut S) {
+        self.stall = None;
+        self.tick_epoch(sink, 0);
+    }
+
+    /// Advance the network one cycle under a sink-acceptance `epoch`: a
+    /// value the caller changes whenever any [`NetSink::try_begin`] answer
+    /// may have changed since the previous tick (and otherwise keeps
+    /// constant). With the flow path on, a tick that moved nothing — every
+    /// stream stalled behind flow control or a refusing sink — caches its
+    /// stat charge, and subsequent ticks at the same epoch with no
+    /// intervening injection or fault event replay it in O(1) instead of
+    /// re-arbitrating every switch. The replayed charge is exactly what
+    /// the oracle sweep would have recomputed, bit for bit.
+    pub fn tick_epoch<S: NetSink + ?Sized>(&mut self, sink: &mut S, epoch: u64) {
         if self.in_flight == 0 {
             return; // nothing anywhere in the network
         }
+        if !self.flow_path {
+            self.sweep(sink);
+            return;
+        }
+        if let Some(c) = &self.stall {
+            if c.epoch == epoch {
+                // The previous tick moved nothing and nothing has changed
+                // since: this tick charges the identical stall deltas and
+                // again moves nothing.
+                self.stats.blocked_moves += c.blocked;
+                self.stats.arbitration_losses += c.losses;
+                for (s, d) in c.stage_blocked.iter().enumerate() {
+                    self.stage_blocked[s] += d;
+                }
+                for (s, d) in c.stage_conflicts.iter().enumerate() {
+                    self.stage_conflicts[s] += d;
+                }
+                self.stall_replays += 1;
+                return;
+            }
+            // Sink state moved on: the cached charge is stale.
+            self.stall = None;
+        }
+        let moved0 = self.stats.words_moved;
+        let blocked0 = self.stats.blocked_moves;
+        let losses0 = self.stats.arbitration_losses;
+        let mut sb0 = [0u64; MAX_STAGES];
+        let mut sc0 = [0u64; MAX_STAGES];
+        sb0[..self.stages].copy_from_slice(&self.stage_blocked);
+        sc0[..self.stages].copy_from_slice(&self.stage_conflicts);
+        self.sweep(sink);
+        if self.stats.words_moved == moved0 {
+            // Nothing moved, so nothing in the network changed: queues,
+            // locks, round-robin pointers and assemblers are untouched
+            // (only stat charges were made). Cache the tick's exact charge
+            // for O(1) replay while the stall horizon lasts.
+            let stage_blocked = self
+                .stage_blocked
+                .iter()
+                .zip(&sb0)
+                .map(|(a, b)| a - b)
+                .collect();
+            let stage_conflicts = self
+                .stage_conflicts
+                .iter()
+                .zip(&sc0)
+                .map(|(a, b)| a - b)
+                .collect();
+            self.stall = Some(StallCharge {
+                epoch,
+                blocked: self.stats.blocked_moves - blocked0,
+                losses: self.stats.arbitration_losses - losses0,
+                stage_blocked,
+                stage_conflicts,
+            });
+        }
+    }
+
+    /// One full cycle of the per-flit sweep: up to `words_per_cycle`
+    /// passes, then injection. Shared by the oracle path and the flow
+    /// path's non-stalled ticks (the flow path differs per switch, not in
+    /// the pass structure).
+    fn sweep<S: NetSink + ?Sized>(&mut self, sink: &mut S) {
         for _ in 0..self.words_per_cycle {
             // A pass that neither moved a word nor charged a block or an
             // arbitration loss left the network untouched, so every further
@@ -720,15 +842,50 @@ impl Omega {
         usize::from(self.route_tab[stage * self.size + dst])
     }
 
+    /// Front flit of queue `idx` (`stage * size + line`); the queue must
+    /// be non-empty.
+    #[inline]
+    fn q_front(&self, idx: usize) -> Flit {
+        debug_assert!(self.qlen[idx] > 0, "front of an empty queue");
+        self.qbuf[idx * self.queue_cap + usize::from(self.qhead[idx])]
+    }
+
+    /// Drop the front word of queue `idx` without re-reading it (the
+    /// caller already holds a copy from [`Omega::q_front`]).
+    #[inline]
+    fn q_advance(&mut self, idx: usize) {
+        debug_assert!(self.qlen[idx] > 0);
+        let h = usize::from(self.qhead[idx]) + 1;
+        self.qhead[idx] = if h == self.queue_cap { 0 } else { h as u8 };
+        self.qlen[idx] -= 1;
+    }
+
+    /// Append `f` to queue `idx`, returning the new depth.
+    #[inline]
+    fn q_push(&mut self, idx: usize, f: Flit) -> usize {
+        let len = usize::from(self.qlen[idx]);
+        debug_assert!(len < self.queue_cap, "ring overflow");
+        let mut slot = usize::from(self.qhead[idx]) + len;
+        if slot >= self.queue_cap {
+            slot -= self.queue_cap;
+        }
+        self.qbuf[idx * self.queue_cap + slot] = f;
+        self.qlen[idx] = (len + 1) as u8;
+        len + 1
+    }
+
     /// Recompute the cached output subport of the front word on
     /// `stage`'s `line` after a queue push/pop changed the front.
     #[inline]
     fn refresh_front(&mut self, stage: usize, line: usize) {
         let idx = stage * self.size + line;
-        self.front_out[idx] = match self.queues[idx].front() {
-            None => NO_FRONT,
-            Some(f) if f.is_head => f.route,
-            Some(_) => {
+        self.front_out[idx] = if self.qlen[idx] == 0 {
+            NO_FRONT
+        } else {
+            let f = self.q_front(idx);
+            if f.is_head {
+                f.route
+            } else {
                 // A body word at the front implies its head already moved
                 // through this stage and left the output lock behind.
                 debug_assert_ne!(self.locked_to[idx], NO_FRONT);
@@ -737,18 +894,49 @@ impl Omega {
         };
     }
 
+    /// Note a word arriving at `sw` of `stage` (count + busy-mask upkeep).
+    #[inline]
+    fn add_switch_word(&mut self, stage: usize, sw: usize) {
+        self.switch_words[stage * (self.size / self.radix) + sw] += 1;
+        self.switch_busy[stage * self.mask_chunks + sw / 64] |= 1 << (sw % 64);
+    }
+
+    /// Note a word leaving `sw` of `stage`, clearing its busy bit on the
+    /// last word out.
+    #[inline]
+    fn sub_switch_word(&mut self, stage: usize, sw: usize) {
+        let idx = stage * (self.size / self.radix) + sw;
+        self.switch_words[idx] -= 1;
+        if self.switch_words[idx] == 0 {
+            self.switch_busy[stage * self.mask_chunks + sw / 64] &= !(1 << (sw % 64));
+        }
+    }
+
     fn move_words_once<S: NetSink + ?Sized>(&mut self, sink: &mut S) {
-        let switches = self.size / self.radix;
+        // The flow path's SWAR sweep reads a switch's cached fronts as one
+        // word; it needs the full radix-8 byte lane. Other radices run the
+        // (identical) dense per-line scan.
+        let swar = self.flow_path && self.radix == 8;
         for stage in (0..self.stages).rev() {
             if self.stage_words[stage] == 0 {
                 continue; // no queued words anywhere in this stage
             }
-            // Visit only switches holding words; an empty switch's sweep is
-            // a guaranteed no-op, and on a sparse cycle (the common case)
-            // nearly every switch is empty.
-            for sw in 0..switches {
-                if self.switch_words[stage * switches + sw] != 0 {
-                    self.tick_switch(stage, sw, sink);
+            // Visit only switches holding words, in ascending order (the
+            // same order as a dense scan): an empty switch's sweep is a
+            // guaranteed no-op, and on a sparse cycle (the common case)
+            // nearly every switch is empty. The chunk snapshot is safe:
+            // ticking a switch can only move words downstream, so it never
+            // changes another same-stage switch's occupancy.
+            for c in 0..self.mask_chunks {
+                let mut bits = self.switch_busy[stage * self.mask_chunks + c];
+                while bits != 0 {
+                    let sw = c * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if swar {
+                        self.tick_switch_flow8(stage, sw, sink);
+                    } else {
+                        self.tick_switch(stage, sw, sink);
+                    }
                 }
             }
         }
@@ -805,7 +993,78 @@ impl Omega {
         }
     }
 
+    /// The flow path's radix-8 switch sweep: read all eight cached input
+    /// fronts as one little-endian word and operate on the live lanes
+    /// only. Route subports are 0..8 and the empty sentinel is `0xFF`, so
+    /// "live" is exactly "high bit clear" — one mask, no per-byte
+    /// comparisons. Visit order (ascending line, then ascending output
+    /// subport) and every arbitration rule match [`Omega::tick_switch`]
+    /// bit for bit; only the scan is restructured.
+    fn tick_switch_flow8<S: NetSink + ?Sized>(&mut self, stage: usize, sw: usize, sink: &mut S) {
+        const HI: u64 = 0x8080_8080_8080_8080;
+        let base = sw * 8;
+        let qbase = stage * self.size + base;
+        let fronts = u64::from_le_bytes(
+            self.front_out[qbase..qbase + 8]
+                .try_into()
+                .expect("eight front bytes per radix-8 switch"),
+        );
+        let mut live = !fronts & HI; // high bit per line with a queued word
+        debug_assert_ne!(live, 0, "switch_words said this switch holds words");
+        if live & (live - 1) == 0 {
+            // One requesting line: it wins any arbitration unopposed (no
+            // losses, no round-robin movement), and a held lock either
+            // belongs to it or excludes it.
+            let i = (live.trailing_zeros() >> 3) as usize;
+            let out = usize::from((fronts >> (i * 8)) as u8);
+            let out_line = base + out;
+            let owner = self.locks[stage * self.size + out_line];
+            if owner == NO_LOCK || owner as usize == base + i {
+                self.move_from(stage, out_line, base + i, sink);
+            }
+            return;
+        }
+        // Several live lines: group them by requested output, then serve
+        // each output exactly as the dense sweep does.
+        let mut requested = [0u16; 8];
+        let mut outs: u32 = 0;
+        while live != 0 {
+            let i = (live.trailing_zeros() >> 3) as usize;
+            live &= live - 1;
+            let out = usize::from((fronts >> (i * 8)) as u8);
+            requested[out] |= 1 << i;
+            outs |= 1 << out;
+        }
+        while outs != 0 {
+            let subport = outs.trailing_zeros() as usize;
+            outs &= outs - 1;
+            let req = requested[subport];
+            let out_line = base + subport;
+            let owner = self.locks[stage * self.size + out_line];
+            let src_line = if owner != NO_LOCK {
+                if req & (1 << (owner as usize - base)) == 0 {
+                    continue;
+                }
+                owner as usize
+            } else {
+                let start = usize::from(self.rr[stage * self.size + out_line]);
+                let rot = ((u32::from(req) >> start) | (u32::from(req) << (8 - start)))
+                    & ((1u32 << 8) - 1);
+                let first = rot.trailing_zeros() as usize;
+                let losers = u64::from(req.count_ones()) - 1;
+                self.stats.arbitration_losses += losers;
+                self.stage_conflicts[stage] += losers;
+                base + (start + first) % 8
+            };
+            self.move_from(stage, out_line, src_line, sink);
+        }
+    }
+
     /// Move the front word of `src_line` through `stage` to `out_line`.
+    /// Inlined into both switch sweeps: the callers already hold the
+    /// stage-relative indices this recomputes, and the call sits on the
+    /// per-word hot edge.
+    #[inline]
     fn move_from<S: NetSink + ?Sized>(
         &mut self,
         stage: usize,
@@ -814,9 +1073,7 @@ impl Omega {
         sink: &mut S,
     ) {
         let src_idx = stage * self.size + src_line;
-        let flit = *self.queues[src_idx]
-            .front()
-            .expect("selected source has a front word");
+        let flit = self.q_front(src_idx);
 
         // Check downstream space (next stage queue, or sink acceptance).
         // A doomed packet never consults the sink: it occupies links and
@@ -834,7 +1091,7 @@ impl Omega {
             }
         } else {
             let next_line = self.shuffle(out_line);
-            if self.queues[(stage + 1) * self.size + next_line].len() >= self.queue_cap {
+            if usize::from(self.qlen[(stage + 1) * self.size + next_line]) >= self.queue_cap {
                 self.stats.blocked_moves += 1;
                 self.stage_blocked[stage] += 1;
                 return;
@@ -842,22 +1099,26 @@ impl Omega {
         }
 
         // Commit the move (`flit` already holds the front word).
-        let switches = self.size / self.radix;
-        self.queues[src_idx].advance();
+        self.q_advance(src_idx);
         self.stage_words[stage] -= 1;
-        self.switch_words[stage * switches + usize::from(self.sw_of[src_line])] -= 1;
+        self.sub_switch_word(stage, usize::from(self.sw_of[src_line]));
         self.stats.words_moved += 1;
         if flit.is_tail {
             self.locks[stage * self.size + out_line] = NO_LOCK;
             self.locked_to[stage * self.size + src_line] = NO_FRONT;
         } else {
             self.locks[stage * self.size + out_line] = src_line as u32;
-            self.locked_to[stage * self.size + src_line] = (out_line % self.radix) as u8;
+            self.locked_to[stage * self.size + src_line] = self.sub_of[out_line];
         }
         if flit.is_head {
-            // Advance round-robin past the winner for fairness.
-            self.rr[stage * self.size + out_line] =
-                ((src_line % self.radix + 1) % self.radix) as u8;
+            // Advance round-robin past the winner for fairness
+            // (`sub + 1`, wrapping at the radix).
+            let sub = self.sub_of[src_line] + 1;
+            self.rr[stage * self.size + out_line] = if usize::from(sub) == self.radix {
+                0
+            } else {
+                sub
+            };
         }
         // The pop (and lock update, which a newly exposed body word reads)
         // changed this line's front.
@@ -898,11 +1159,9 @@ impl Omega {
                 }
             }
             let next_line = self.shuffle(out_line);
-            let q = &mut self.queues[(stage + 1) * self.size + next_line];
-            q.push_back(flit);
-            let depth = q.len();
+            let depth = self.q_push((stage + 1) * self.size + next_line, flit);
             self.stage_words[stage + 1] += 1;
-            self.switch_words[(stage + 1) * switches + usize::from(self.sw_of[next_line])] += 1;
+            self.add_switch_word(stage + 1, usize::from(self.sw_of[next_line]));
             if depth == 1 {
                 // The pushed word became the next stage's front.
                 self.refresh_front(stage + 1, next_line);
@@ -924,8 +1183,7 @@ impl Omega {
                 bits &= bits - 1;
                 let (pkt, words) = self.injectors[port].front().expect("masked port has work");
                 let line = self.shuffle(port);
-                let qlen = self.queues[line].len();
-                if qlen >= self.queue_cap {
+                if usize::from(self.qlen[line]) >= self.queue_cap {
                     self.stats.blocked_moves += 1;
                     self.stage_blocked[0] += 1;
                     continue;
@@ -952,10 +1210,9 @@ impl Omega {
                             .stamp_stage(tid, ce, 0);
                     }
                 }
-                self.queues[line].push_back(flit);
-                let depth = qlen + 1;
+                let depth = self.q_push(line, flit);
                 self.stage_words[0] += 1;
-                self.switch_words[usize::from(self.sw_of[line])] += 1;
+                self.add_switch_word(0, usize::from(self.sw_of[line]));
                 if depth == 1 {
                     // The injected word became this line's front.
                     self.refresh_front(0, line);

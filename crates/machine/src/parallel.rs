@@ -481,9 +481,13 @@ impl Machine {
                             histogram: latency_histogram,
                             now: t,
                         };
-                        reverse.tick(&mut sink);
+                        // Constant epoch: the CE side always accepts.
+                        reverse.tick_epoch(&mut sink, 0);
                     });
-                    profiled(profiler, region::FORWARD, || forward.tick(&mut *gmem));
+                    profiled(profiler, region::FORWARD, || {
+                        let epoch = gmem.accept_epoch();
+                        forward.tick_epoch(&mut *gmem, epoch);
+                    });
                     // Freeze this cycle's injector capacity into the
                     // staging buffers.
                     for sm in shards.iter() {
