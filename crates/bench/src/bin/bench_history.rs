@@ -20,6 +20,13 @@
 //!   (`cycles_per_sec_flowpath_off`, `flowpath_speedup`), the speedup
 //!   must equal the rate quotient, and the flow path must not cost more
 //!   than 10% on any kernel (`flowpath_speedup >= 0.90`),
+//! * hot-path kernels must likewise carry the program-lowering columns
+//!   (`cycles_per_sec_lowered_off`, `lowered_speedup`), the speedup must
+//!   equal the rate quotient, lowering must keep a real win on the
+//!   dispatch-bound dense-compute kernel (`lowered_speedup >= 1.15` on
+//!   `rank64_peak`) and never cost any kernel more than 10%, and the
+//!   dense-compute kernel's cumulative speedup vs the pre-overhaul
+//!   baseline must stay `>= 1.9`,
 //! * the fast-forward `barrier_storm` speedup must stay `>= 10`, other
 //!   fast-forward experiments `>= 0.75` (the feature may be neutral but
 //!   must not badly hurt),
@@ -48,6 +55,28 @@ const HOTPATH_FLOOR: f64 = 0.90;
 /// The flow-level network fast path may be neutral on kernels whose hot
 /// loops sit elsewhere, but must never cost a kernel more than 10%.
 const FLOWPATH_FLOOR: f64 = 0.90;
+
+/// Program lowering targets the CE dispatch loop, so its win is gated
+/// where dispatch is the workload: the register-only dense-compute
+/// kernels below. The memory-bound kernels converge across the lowering
+/// hatch — their wall clock is network and module word movement, which
+/// both paths share bit for bit — so there lowering only has to stay
+/// neutral (the flow-path rule).
+const LOWERED_FLOOR: f64 = 1.15;
+
+/// Kernels whose busy cycle is CE issue and dispatch rather than memory
+/// traffic: the rows [`LOWERED_FLOOR`] and [`CUMULATIVE_FLOOR`] gate.
+const DENSE_COMPUTE_KERNELS: &[&str] = &["rank64_peak"];
+
+/// On every other kernel lowering may be neutral but must never cost
+/// more than 10%.
+const LOWERED_NEUTRAL_FLOOR: f64 = 0.90;
+
+/// The performance arc's headline: on the dense-compute kernel the
+/// overhauls stack to at least this much over the pre-overhaul tick
+/// loop (threads and fast-forward are gated separately in
+/// `BENCH_simspeed.json`).
+const CUMULATIVE_FLOOR: f64 = 1.9;
 
 /// Fast-forward must stay a big win on the quiescent-heavy workload...
 const FF_STORM_FLOOR: f64 = 10.0;
@@ -220,6 +249,44 @@ fn check_hotpath(rep: &mut Report) {
                 format!("kernel {name}: missing/invalid flow-path columns"),
             ),
         }
+        // The program-lowering columns, with the same quotient identity
+        // and (non-smoke) a floor: a real win where dispatch is the
+        // workload, neutrality-at-worst where memory movement is.
+        let dense = DENSE_COMPUTE_KERNELS.contains(&name.as_str());
+        let rate_interp = entry.and_then(|k| num(k, "cycles_per_sec_lowered_off"));
+        let lowered_speedup = entry.and_then(|k| num(k, "lowered_speedup"));
+        match (rate_interp, lowered_speedup) {
+            (Some(rate_interp), Some(lowered_speedup)) if rate_interp > 0.0 => {
+                if !close(lowered_speedup, rate / rate_interp) {
+                    rep.fail(
+                        file,
+                        format!(
+                            "kernel {name}: lowered_speedup {lowered_speedup} != \
+                             rate quotient {:.3}",
+                            rate / rate_interp
+                        ),
+                    );
+                }
+                let floor = if dense {
+                    LOWERED_FLOOR
+                } else {
+                    LOWERED_NEUTRAL_FLOOR
+                };
+                if !smoke && lowered_speedup < floor {
+                    rep.fail(
+                        file,
+                        format!(
+                            "kernel {name}: lowered_speedup {lowered_speedup:.3} below \
+                             the {floor} floor"
+                        ),
+                    );
+                }
+            }
+            _ => rep.fail(
+                file,
+                format!("kernel {name}: missing/invalid program-lowering columns"),
+            ),
+        }
         let claimed = entry.and_then(|k| num(k, "speedup_vs_baseline"));
         let Some(claimed) = claimed else {
             // Smoke/rebased artifacts record the current build as their
@@ -247,6 +314,15 @@ fn check_hotpath(rep: &mut Report) {
                 format!(
                     "kernel {name}: speedup_vs_baseline {claimed:.3} below the \
                      {HOTPATH_FLOOR} regression floor"
+                ),
+            );
+        }
+        if dense && claimed < CUMULATIVE_FLOOR {
+            rep.fail(
+                file,
+                format!(
+                    "kernel {name}: cumulative speedup_vs_baseline {claimed:.3} below \
+                     the {CUMULATIVE_FLOOR} headline floor"
                 ),
             );
         }
@@ -465,8 +541,10 @@ fn summarize() {
                             .filter_map(|k| {
                                 let flow = num(k, "flowpath_speedup")
                                     .map_or(String::new(), |f| format!(" (flow {f:.2}x)"));
+                                let lower = num(k, "lowered_speedup")
+                                    .map_or(String::new(), |l| format!(" (lower {l:.2}x)"));
                                 Some(format!(
-                                    "{} {:.2}x{flow}",
+                                    "{} {:.2}x{flow}{lower}",
                                     k.get("name")?.as_str()?,
                                     num(k, "speedup_vs_baseline")?
                                 ))

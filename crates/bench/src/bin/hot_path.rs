@@ -21,6 +21,10 @@
 //! cycles and memory digests across the two paths, and records
 //! `cycles_per_sec_flowpath_off` plus the quotient `flowpath_speedup` —
 //! what the flow path alone contributes on top of the other overhauls.
+//! A third timed leg disables program lowering (the tree-walking
+//! interpreter instead of flat micro-op streams), asserts the same
+//! bit-identity, and records `cycles_per_sec_lowered_off` plus
+//! `lowered_speedup` — what the lowering pipeline alone contributes.
 //!
 //! `--smoke` shrinks the workloads for CI and additionally runs every
 //! kernel on both the serial engine and the 4-thread parallel engine,
@@ -32,7 +36,7 @@ use std::time::Instant;
 
 use cedar_kernels::staged::banded::BandedMatvec;
 use cedar_kernels::staged::cg::StagedCg;
-use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_kernels::staged::rank64::{effective_peak_program, Rank64, Rank64Version};
 use cedar_machine::ids::CeId;
 use cedar_machine::machine::Machine;
 use cedar_machine::program::Program;
@@ -61,6 +65,11 @@ struct Measurement {
     /// same repetition count. `None` for re-emitted baseline entries,
     /// which predate the flow path.
     flowpath_off_wall_seconds: Option<f64>,
+    /// Wall seconds for the same workload with program lowering off
+    /// (the tree-walking interpreter), extrapolated to the same
+    /// repetition count. `None` for re-emitted baseline entries, which
+    /// predate the lowering pipeline.
+    lowered_off_wall_seconds: Option<f64>,
 }
 
 impl Measurement {
@@ -73,6 +82,13 @@ impl Measurement {
     /// identical by construction).
     fn flowpath_speedup(&self) -> Option<f64> {
         self.flowpath_off_wall_seconds
+            .map(|off| off / self.wall_seconds.max(1e-9))
+    }
+
+    /// What program lowering buys on this kernel: interpreter wall over
+    /// lowered wall.
+    fn lowered_speedup(&self) -> Option<f64> {
+        self.lowered_off_wall_seconds
             .map(|off| off / self.wall_seconds.max(1e-9))
     }
 
@@ -92,13 +108,24 @@ impl Measurement {
             ),
             None => String::new(),
         };
+        let lower_fields = match self.lowered_off_wall_seconds {
+            Some(off) => format!(
+                concat!(
+                    ",\n        \"cycles_per_sec_lowered_off\": {:.1},\n",
+                    "        \"lowered_speedup\": {:.3}"
+                ),
+                self.simulated_cycles as f64 / off.max(1e-9),
+                self.lowered_speedup().unwrap_or(0.0),
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "      {{\n",
                 "        \"name\": \"{}\",\n",
                 "        \"simulated_cycles\": {},\n",
                 "        \"wall_seconds\": {:.6},\n",
-                "        \"cycles_per_sec\": {:.1}{}{}\n",
+                "        \"cycles_per_sec\": {:.1}{}{}{}\n",
                 "      }}"
             ),
             self.name,
@@ -106,6 +133,7 @@ impl Measurement {
             self.wall_seconds,
             self.cycles_per_sec(),
             flow_fields,
+            lower_fields,
             speedup_field,
         )
     }
@@ -152,6 +180,23 @@ fn workloads(smoke: bool) -> Vec<Workload> {
             }),
         },
         Workload {
+            // The paper's effective-peak calibration: every CE runs the
+            // register-only rank-64 inner loops (no memory operands), so
+            // the busy cycle is pure CE issue and dispatch — the
+            // component program lowering targets. The memory-bound
+            // kernels above converge across the lowering hatch (their
+            // wall clock is network and module movement, identical on
+            // both paths); this row is where the lowered floor is gated.
+            name: "rank64_peak",
+            reps: reps(6),
+            build: Box::new(move |m| {
+                let ces = 4 * m.config().ces_per_cluster;
+                (0..ces)
+                    .map(|ce| (CeId(ce), effective_peak_program(rank_n, 64)))
+                    .collect()
+            }),
+        },
+        Workload {
             name: "cg_iteration",
             reps: reps(8),
             build: Box::new(move |m| StagedCg::new(cg_n).build(m, clusters * 8)),
@@ -165,13 +210,14 @@ fn workloads(smoke: bool) -> Vec<Workload> {
 }
 
 /// Run one workload cycle-by-cycle on `threads` simulation threads with
-/// the flow-level network fast path on or off, returning the fingerprint
-/// the drift assertions compare.
-fn run_workload(w: &Workload, threads: usize, flow: bool) -> (u64, u64, u64) {
+/// the flow-level network fast path and program lowering on or off,
+/// returning the fingerprint the drift assertions compare.
+fn run_workload(w: &Workload, threads: usize, flow: bool, lowered: bool) -> (u64, u64, u64) {
     let cfg = MachineConfig::cedar_with_clusters(4)
         .with_threads(threads)
         .with_fast_forward(false)
-        .with_flow_path(flow);
+        .with_flow_path(flow)
+        .with_lowered(lowered);
     let mut m = Machine::new(cfg).expect("cedar config");
     let progs = (w.build)(&mut m);
     let r = m.run(progs, 2_000_000_000).expect("kernel run");
@@ -185,7 +231,7 @@ fn measure(w: &Workload, smoke: bool) -> Measurement {
     let mut best = f64::INFINITY;
     for _ in 0..w.reps {
         let t = Instant::now();
-        reference = run_workload(w, 1, true);
+        reference = run_workload(w, 1, true, true);
         cycles += reference.0;
         best = best.min(t.elapsed().as_secs_f64());
     }
@@ -198,11 +244,25 @@ fn measure(w: &Workload, smoke: bool) -> Measurement {
     let mut best_off = f64::INFINITY;
     for _ in 0..off_reps {
         let t = Instant::now();
-        let oracle = run_workload(w, 1, false);
+        let oracle = run_workload(w, 1, false, true);
         best_off = best_off.min(t.elapsed().as_secs_f64());
         assert_eq!(
             reference, oracle,
             "{}: flow path drifted from the per-flit oracle",
+            w.name
+        );
+    }
+    // Time the tree-walking interpreter (lowering off) on the same
+    // workload, with the same hard cross-path identity assertion.
+    eprintln!("  {}: interpreter x{off_reps}...", w.name);
+    let mut best_interp = f64::INFINITY;
+    for _ in 0..off_reps {
+        let t = Instant::now();
+        let interp = run_workload(w, 1, true, false);
+        best_interp = best_interp.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            reference, interp,
+            "{}: lowered streams drifted from the interpreter",
             w.name
         );
     }
@@ -214,6 +274,7 @@ fn measure(w: &Workload, smoke: bool) -> Measurement {
         simulated_cycles: cycles,
         wall_seconds: best * f64::from(w.reps),
         flowpath_off_wall_seconds: Some(best_off * f64::from(w.reps)),
+        lowered_off_wall_seconds: Some(best_interp * f64::from(w.reps)),
     }
 }
 
@@ -279,6 +340,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let rebase = args.iter().any(|a| a == "--rebase");
+    // `--only <name>` measures a single kernel and skips the JSON
+    // rewrite: an iteration loop for profiling sessions.
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1).cloned());
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     eprintln!(
         "busy-cycle throughput study (smoke = {smoke}, rebase = {rebase}, \
@@ -298,13 +365,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut measurements = Vec::new();
     for w in workloads(smoke) {
+        if only.as_deref().is_some_and(|o| o != w.name) {
+            continue;
+        }
         let m = measure(&w, smoke);
         if smoke {
             // Zero simulated-cycle drift vs the serial reference: the
             // parallel engine must produce the identical run.
             eprintln!("  {}: 4-thread drift check...", w.name);
-            let serial = run_workload(&w, 1, true);
-            let parallel = run_workload(&w, 4, true);
+            let serial = run_workload(&w, 1, true, true);
+            let parallel = run_workload(&w, 4, true, true);
             assert_eq!(
                 serial, parallel,
                 "{}: parallel engine drifted from the serial reference",
@@ -328,8 +398,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "{:<20} {:>14} {:>10} {:>14} {:>14} {:>8} {:>8}",
-        "kernel", "sim cycles", "wall (s)", "cyc/s", "base cyc/s", "speedup", "flow x"
+        "{:<20} {:>14} {:>10} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "kernel", "sim cycles", "wall (s)", "cyc/s", "base cyc/s", "speedup", "flow x", "lower x"
     );
     let mut current_json = Vec::new();
     let mut baseline_json = Vec::new();
@@ -337,7 +407,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let base = baseline.iter().find(|b| b.name == m.name);
         let speedup = base.map(|b| m.cycles_per_sec() / b.cycles_per_sec.max(1e-9));
         println!(
-            "{:<20} {:>14} {:>10.3} {:>14.0} {:>14} {:>8} {:>8}",
+            "{:<20} {:>14} {:>10.3} {:>14.0} {:>14} {:>8} {:>8} {:>8}",
             m.name,
             m.simulated_cycles,
             m.wall_seconds,
@@ -345,6 +415,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base.map_or("-".into(), |b| format!("{:.0}", b.cycles_per_sec)),
             speedup.map_or("-".into(), |s| format!("{s:.2}x")),
             m.flowpath_speedup()
+                .map_or("-".into(), |s| format!("{s:.2}x")),
+            m.lowered_speedup()
                 .map_or("-".into(), |s| format!("{s:.2}x")),
         );
         current_json.push(m.json(speedup));
@@ -355,6 +427,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     simulated_cycles: b.simulated_cycles,
                     wall_seconds: b.wall_seconds,
                     flowpath_off_wall_seconds: None,
+                    lowered_off_wall_seconds: None,
                 }
                 .json(None),
             );
@@ -369,11 +442,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pre-overhaul tick loop"
     };
 
+    if only.is_some() {
+        // A profiling subset is not a coherent artifact; leave the
+        // committed JSON alone.
+        eprintln!("--only run: BENCH_hotpath.json left untouched");
+        return Ok(());
+    }
     let json = format!(
         "{{\n  \"smoke\": {smoke},\n  \"host_parallelism\": {host},\n  \
          \"baseline\": {},\n  \"current\": {}\n}}\n",
         section_json(baseline_label, &baseline_json),
-        section_json("hot-path overhaul + network flow path", &current_json),
+        section_json(
+            "hot-path overhaul + network flow path + program lowering",
+            &current_json
+        ),
     );
     std::fs::write("BENCH_hotpath.json", json)?;
     eprintln!("wrote BENCH_hotpath.json");

@@ -69,11 +69,18 @@ struct Line {
 pub struct ClusterCache {
     line_words: u64,
     sets: usize,
+    assoc: usize,
     banks: usize,
+    /// Shift/mask decomposition of the line/bank/set arithmetic, present
+    /// when `line_words`, `banks` and `sets` are all powers of two (true
+    /// for every Cedar-shaped geometry). The address split runs once per
+    /// simulated word, so three integer divisions matter here.
+    pow2: Option<Pow2Geometry>,
     words_per_bank_cycle: u32,
     hit_latency: u64,
     max_misses_per_ce: u32,
-    tags: Vec<Vec<Option<Line>>>,
+    /// Way array, flattened row-major: `tags[set * assoc + way]`.
+    tags: Vec<Option<Line>>,
     lru_clock: u64,
     /// Outstanding fills per CE (lockup-free miss slots).
     ce_misses: Vec<Vec<(u64, Cycle)>>,
@@ -84,25 +91,70 @@ pub struct ClusterCache {
     stats: CacheStats,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct Pow2Geometry {
+    line_shift: u32,
+    bank_mask: u64,
+    set_mask: u64,
+    set_shift: u32,
+}
+
 impl ClusterCache {
     /// Build a cache for a cluster of `ces` processors, owning its cluster
     /// memory `mem`.
     pub fn new(cfg: &CacheConfig, ces: usize, mem: ClusterMemory) -> ClusterCache {
         let sets = cfg.sets();
+        let line_words = cfg.line_words() as u64;
+        let banks = cfg.banks;
+        let pow2 =
+            (line_words.is_power_of_two() && banks.is_power_of_two() && sets.is_power_of_two())
+                .then(|| Pow2Geometry {
+                    line_shift: line_words.trailing_zeros(),
+                    bank_mask: banks as u64 - 1,
+                    set_mask: sets as u64 - 1,
+                    set_shift: sets.trailing_zeros(),
+                });
         ClusterCache {
-            line_words: cfg.line_words() as u64,
+            line_words,
             sets,
-            banks: cfg.banks,
+            assoc: cfg.associativity,
+            banks,
+            pow2,
             words_per_bank_cycle: (cfg.words_per_cycle / cfg.banks as u32).max(1),
             hit_latency: u64::from(cfg.hit_latency),
             max_misses_per_ce: cfg.max_outstanding_misses_per_ce,
-            tags: vec![vec![None; cfg.associativity]; sets],
+            tags: vec![None; sets * cfg.associativity],
             lru_clock: 0,
             ce_misses: vec![Vec::new(); ces],
             bank_cycle: Cycle::ZERO,
             bank_used: vec![0; cfg.banks],
             mem,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Split a word address into (line address, bank, set, tag).
+    #[inline]
+    fn split(&self, word_addr: u64) -> (u64, usize, usize, u64) {
+        match self.pow2 {
+            Some(g) => {
+                let line_addr = word_addr >> g.line_shift;
+                (
+                    line_addr,
+                    (line_addr & g.bank_mask) as usize,
+                    (line_addr & g.set_mask) as usize,
+                    line_addr >> g.set_shift,
+                )
+            }
+            None => {
+                let line_addr = word_addr / self.line_words;
+                (
+                    line_addr,
+                    (line_addr % self.banks as u64) as usize,
+                    (line_addr % self.sets as u64) as usize,
+                    line_addr / self.sets as u64,
+                )
+            }
         }
     }
 
@@ -116,34 +168,28 @@ impl ClusterCache {
         self.roll_cycle(now);
         self.expire_misses(now, ce);
 
-        let line_addr = word_addr / self.line_words;
-        let bank = (line_addr % self.banks as u64) as usize;
+        let (line_addr, bank, set, tag) = self.split(word_addr);
         if self.bank_used[bank] >= self.words_per_bank_cycle {
             self.stats.bank_stalls += 1;
             return CacheAccess::Stall;
         }
 
-        let set = (line_addr % self.sets as u64) as usize;
-        let tag = line_addr / self.sets as u64;
-
         // Hit?
-        if let Some(way) = self.tags[set]
+        let base = set * self.assoc;
+        let ways = &self.tags[base..base + self.assoc];
+        if let Some((way, line)) = ways
             .iter()
-            .position(|l| l.map(|l| l.tag) == Some(tag))
+            .enumerate()
+            .find_map(|(w, l)| l.filter(|l| l.tag == tag).map(|l| (w, l)))
         {
+            self.bank_used[bank] += 1;
+            self.touch(base + way, write);
             // A hit on a line still being filled waits for the fill.
-            let arrive = self.tags[set][way]
-                .expect("matched way is resident")
-                .fill_at;
-            if now < arrive {
-                self.bank_used[bank] += 1;
-                self.touch(set, way, write);
+            if now < line.fill_at {
                 return CacheAccess::Pending {
-                    at: arrive + self.hit_latency,
+                    at: line.fill_at + self.hit_latency,
                 };
             }
-            self.bank_used[bank] += 1;
-            self.touch(set, way, write);
             self.stats.hits += 1;
             return CacheAccess::Ready {
                 at: now + self.hit_latency,
@@ -160,7 +206,7 @@ impl ClusterCache {
 
         // Victim selection and write-back.
         let way = self.victim(set);
-        if let Some(old) = self.tags[set][way] {
+        if let Some(old) = self.tags[base + way] {
             self.stats.evictions += 1;
             if old.dirty {
                 self.mem.writeback(now, self.line_words as u32);
@@ -169,7 +215,7 @@ impl ClusterCache {
         }
         self.lru_clock += 1;
         let arrive = self.mem.fill(now, self.line_words as u32);
-        self.tags[set][way] = Some(Line {
+        self.tags[base + way] = Some(Line {
             tag,
             dirty: write,
             lru: self.lru_clock,
@@ -189,17 +235,15 @@ impl ClusterCache {
     /// Fold the tag-array state (tag, dirty bit and LRU stamp of every
     /// way, in set/way order) into `h` (see `Machine::memory_digest`).
     pub(crate) fn digest(&self, h: &mut impl std::hash::Hasher) {
-        for set in &self.tags {
-            for way in set {
-                match way {
-                    Some(line) => {
-                        h.write_u8(1);
-                        h.write_u64(line.tag);
-                        h.write_u8(u8::from(line.dirty));
-                        h.write_u64(line.lru);
-                    }
-                    None => h.write_u8(0),
+        for way in &self.tags {
+            match way {
+                Some(line) => {
+                    h.write_u8(1);
+                    h.write_u64(line.tag);
+                    h.write_u8(u8::from(line.dirty));
+                    h.write_u64(line.lru);
                 }
+                None => h.write_u8(0),
             }
         }
     }
@@ -217,24 +261,29 @@ impl ClusterCache {
     }
 
     fn expire_misses(&mut self, now: Cycle, ce: usize) {
-        self.ce_misses[ce].retain(|&(_, at)| at > now);
+        let slots = &mut self.ce_misses[ce];
+        if !slots.is_empty() {
+            slots.retain(|&(_, at)| at > now);
+        }
     }
 
-    fn touch(&mut self, set: usize, way: usize, write: bool) {
+    /// Bump the LRU stamp (and dirty bit) of the resident line at a flat
+    /// way index.
+    fn touch(&mut self, idx: usize, write: bool) {
         self.lru_clock += 1;
-        if let Some(line) = &mut self.tags[set][way] {
+        if let Some(line) = &mut self.tags[idx] {
             line.lru = self.lru_clock;
             line.dirty |= write;
         }
     }
 
     fn victim(&self, set: usize) -> usize {
+        let ways = &self.tags[set * self.assoc..set * self.assoc + self.assoc];
         // Prefer an invalid way, else the least recently used.
-        if let Some(w) = self.tags[set].iter().position(Option::is_none) {
+        if let Some(w) = ways.iter().position(Option::is_none) {
             return w;
         }
-        self.tags[set]
-            .iter()
+        ways.iter()
             .enumerate()
             .min_by_key(|(_, l)| l.map(|l| l.lru).unwrap_or(0))
             .map(|(w, _)| w)

@@ -15,6 +15,7 @@ use crate::ccbus::CcBus;
 use crate::config::{CeConfig, MachineConfig};
 use crate::fault::{CeFaultCtl, CtlPoll, FaultCtlStats, ReplyAction};
 use crate::ids::{CeId, ClusterId};
+use crate::lower::{LProgram, UOp};
 use crate::memory::address::{module_of, page_of};
 use crate::memory::sync::{Rel, SyncInstr, SyncOpKind, SyncOutcome};
 use crate::monitor::Histogrammer;
@@ -162,6 +163,29 @@ struct Frame {
     kind: FrameKind,
 }
 
+/// A flat loop frame for lowered execution: the loop body's first
+/// micro-op (`head`), the matching end-marker index (`end`), and the
+/// same per-kind bookkeeping the interpreter keeps in [`Frame`].
+#[derive(Debug, Clone, Copy)]
+struct LFrame {
+    head: u32,
+    end: u32,
+    kind: FrameKind,
+}
+
+/// Lowered-execution state: the compiled micro-op stream, a single flat
+/// program counter, and the flat loop-frame stack. Present only when the
+/// machine runs with lowering enabled; when absent the engine is the
+/// unmodified tree-walking interpreter (the differential oracle).
+#[derive(Debug)]
+struct FlatCtl {
+    prog: Arc<LProgram>,
+    pc: u32,
+    frames: Vec<LFrame>,
+    /// An [`UOp::ArmFire`] has executed its arm phase and owes the fire.
+    fire_pending: bool,
+}
+
 enum Step {
     Progress,
     Blocked,
@@ -180,6 +204,13 @@ pub struct CeEngine {
     page_fault_cycles: u32,
     modules: usize,
     frames: Vec<Frame>,
+    /// Lowered-execution state (`None`: tree-walking interpreter).
+    flat: Option<FlatCtl>,
+    /// Lowered-mode quiescent horizon: strictly before this cycle a full
+    /// [`CeEngine::tick`] is known to reduce to exactly one attribution
+    /// increment, so the run loop may take the quick-tick path. Replies
+    /// clear it ([`CeEngine::receive`]); every full tick recomputes it.
+    quiet_until: Cycle,
     indices: Vec<u64>,
     state: CeState,
     pfu: Pfu,
@@ -228,8 +259,16 @@ impl std::fmt::Debug for CeEngine {
 impl CeEngine {
     /// Build an engine for CE `id` loaded with `program`. The CE
     /// configuration is shared machine-wide via `ce_cfg` (one allocation,
-    /// not a per-engine clone).
-    pub fn new(id: CeId, cfg: &MachineConfig, ce_cfg: Arc<CeConfig>, program: Program) -> CeEngine {
+    /// not a per-engine clone). When `lowered` carries the program's
+    /// compiled form the engine executes the flat micro-op stream;
+    /// otherwise it runs the tree-walking interpreter.
+    pub fn new(
+        id: CeId,
+        cfg: &MachineConfig,
+        ce_cfg: Arc<CeConfig>,
+        program: Program,
+        lowered: Option<Arc<LProgram>>,
+    ) -> CeEngine {
         let ces_per_cluster = cfg.ces_per_cluster;
         let root = Frame {
             block: program.into_body(),
@@ -261,6 +300,13 @@ impl CeEngine {
             page_fault_cycles: cfg.vm.page_fault_cycles,
             modules: cfg.global_memory.modules,
             frames: vec![root],
+            flat: lowered.map(|prog| FlatCtl {
+                prog,
+                pc: 0,
+                frames: Vec::new(),
+                fire_pending: false,
+            }),
+            quiet_until: Cycle::ZERO,
             indices: Vec::new(),
             state: CeState::Fetch,
             pfu,
@@ -375,6 +421,10 @@ impl CeEngine {
 
     /// Handle a reply arriving from the reverse network.
     pub fn receive(&mut self, now: Cycle, reply: MemReply) {
+        // Replies are the only external push into a CE (bus grants are
+        // pulled): any arrival may invalidate the quiescent horizon, so
+        // drop it and let the next full tick recompute.
+        self.quiet_until = Cycle::ZERO;
         if let Some(ctl) = self.fault_ctl.as_deref_mut() {
             if reply.seq != 0 {
                 match ctl.on_reply(now, &reply) {
@@ -521,8 +571,7 @@ impl CeEngine {
         ccbus: &CcBus,
         counters: &[CounterDef],
     ) -> Option<Cycle> {
-        let FrameKind::SelfSched { counter, epoch, .. } = self.frames.last().expect("frame").kind
-        else {
+        let FrameKind::SelfSched { counter, epoch, .. } = self.cur_kind() else {
             unreachable!("AwaitCounter without a SelfSched frame");
         };
         match counters[counter] {
@@ -602,6 +651,10 @@ impl CeEngine {
         }
         if matches!(self.state, CeState::Done) {
             self.stats.idle += 1;
+            if self.flat.is_some() && self.pending_pkt.is_none() && self.fault_ctl.is_none() {
+                // Nothing left to drain: every remaining tick is idle.
+                self.quiet_until = Cycle(u64::MAX);
+            }
             return;
         }
         // The PFU shares the CE's network port (skip the call — it goes
@@ -616,8 +669,14 @@ impl CeEngine {
         }
 
         let mut progressed = false;
+        let flat = self.flat.is_some();
         for _ in 0..16 {
-            match self.step(now, ctx) {
+            let s = if flat {
+                self.step_lowered(now, ctx)
+            } else {
+                self.step(now, ctx)
+            };
+            match s {
                 Step::Progress => progressed = true,
                 Step::Blocked => break,
             }
@@ -643,6 +702,265 @@ impl CeEngine {
         }
         if self.is_done() && self.stats.done_at == 0 {
             self.stats.done_at = now.0;
+        }
+        if self.flat.is_some() {
+            self.note_quiet(now, ctx.counters);
+        }
+    }
+
+    /// Lowered-mode quick tick: strictly before the quiescent horizon a
+    /// full [`CeEngine::tick`] provably reduces to one attribution
+    /// increment — the engine is parked in a wait that nothing but a
+    /// reply delivery or a known future cycle can end, with no pending
+    /// packet, no retry controller and an idle prefetch issue unit, so
+    /// the packet flush, retry poll, PFU tick and step loop are all
+    /// no-ops. Performs that increment (the same stall/idle/busy class
+    /// the full tick's fallthrough would pick) and returns `true`;
+    /// returns `false` when a full tick is required. Never engaged for
+    /// the interpreter (the horizon stays at zero).
+    #[inline]
+    pub(crate) fn try_quick_tick(&mut self, now: Cycle, ccbus: &CcBus) -> bool {
+        if now >= self.quiet_until {
+            return false;
+        }
+        // CC-bus waits end on *pulled* state, so their horizon is
+        // open-ended; the quick tick peeks (non-consuming) and falls
+        // back to a full tick the cycle a release or grant becomes
+        // visible — the same cycle the polling stepper would consume
+        // it. A grant/release can only be posted for a CE that asked,
+        // so the peeks are trivially false in every other wait.
+        match self.state {
+            CeState::AwaitClusterBarrier if ccbus.peek_release(self.ce_in_cluster) => {
+                return false;
+            }
+            CeState::AwaitCounter if ccbus.peek_grant(self.ce_in_cluster) => {
+                return false;
+            }
+            _ => {}
+        }
+        match self.state {
+            CeState::Done => self.stats.idle += 1,
+            CeState::VectorDirect { .. }
+            | CeState::VectorPref { .. }
+            | CeState::VectorCache { .. }
+            | CeState::VectorGWrite { .. }
+            | CeState::AwaitScalarRead
+            | CeState::Fetch => self.stats.stall_mem += 1,
+            CeState::AwaitCounter
+            | CeState::AwaitClusterBarrier
+            | CeState::GlobalBarrier { .. }
+            | CeState::AwaitSync
+            | CeState::AwaitFence => self.stats.stall_sync += 1,
+            // Timed execution stalls model compute latency: busy.
+            _ => self.stats.busy += 1,
+        }
+        true
+    }
+
+    /// Recompute the quiescent horizon after a full lowered-mode tick.
+    ///
+    /// A horizon is only legal for a wait that exactly two things can
+    /// end: reaching a cycle already known (a fused stall's deadline, a
+    /// scheduled completion), or a reply delivery — which always lands
+    /// through [`CeEngine::receive`], where the horizon is dropped.
+    /// Waits resolved by *pulled* state fall in two classes. CC-bus
+    /// grants and barrier releases are cheap to peek without consuming,
+    /// so [`CeEngine::try_quick_tick`] checks them itself and the
+    /// horizon may be open-ended. Posted self-scheduling values and
+    /// fetch elections have no such peek: those must keep ticking.
+    /// `Cycle::MAX` therefore means "quiet until a reply arrives or a
+    /// peeked bus flag flips".
+    fn note_quiet(&mut self, now: Cycle, counters: &[CounterDef]) {
+        self.quiet_until = Cycle::ZERO;
+        if self.pending_pkt.is_some() || self.fault_ctl.is_some() || !self.pfu.issue_idle() {
+            return;
+        }
+        let soon = now + 1;
+        self.quiet_until = match self.state {
+            CeState::Stall { until } if until > soon => until,
+            CeState::Done => Cycle(u64::MAX),
+            CeState::VectorCache {
+                write,
+                length,
+                issued,
+                last_ready,
+                start_at,
+                ..
+            } => {
+                if issued < length && start_at > soon {
+                    start_at // startup ramp: no access before `start_at`
+                } else if issued >= length && !write && last_ready > soon {
+                    // All elements issued: quiet until the last fill.
+                    last_ready
+                } else {
+                    Cycle::ZERO
+                }
+            }
+            CeState::VectorGWrite { start_at, .. } if start_at > soon => start_at,
+            // Consumed every word the prefetch unit holds; the next one
+            // arrives through `receive` (or the startup ramp ends).
+            CeState::VectorPref { start_at, .. } => {
+                if now < start_at {
+                    start_at
+                } else if !self.pfu.can_consume() {
+                    Cycle(u64::MAX)
+                } else {
+                    Cycle::ZERO
+                }
+            }
+            CeState::VectorDirect {
+                length,
+                issued,
+                start_at,
+                ..
+            } => {
+                // The next completion matures off the ready queue; more
+                // issues need a free miss slot (freed by that same
+                // queue) or the startup ramp. New replies clear the
+                // horizon in `receive`.
+                let drain = self.direct_ready.front().map_or(Cycle(u64::MAX), |&at| at);
+                let issue = if issued < length
+                    && self.outstanding_reads < self.cfg.max_outstanding_global
+                {
+                    start_at
+                } else {
+                    Cycle(u64::MAX)
+                };
+                let ev = drain.min(issue);
+                if ev > soon {
+                    ev
+                } else {
+                    Cycle::ZERO
+                }
+            }
+            CeState::AwaitScalarRead => match self.scalar_ready {
+                Some(at) if at > soon => at,
+                Some(_) => Cycle::ZERO,
+                None => Cycle(u64::MAX),
+            },
+            CeState::AwaitSync if self.sync_result.is_none() => Cycle(u64::MAX),
+            CeState::AwaitFence if self.outstanding_writes > 0 => Cycle(u64::MAX),
+            // Pulled waits: the quick tick itself peeks the CC bus and
+            // falls back to a full tick the cycle a release or grant
+            // appears — the same cycle the polling stepper would see it.
+            CeState::AwaitClusterBarrier => Cycle(u64::MAX),
+            CeState::AwaitCounter => {
+                let FrameKind::SelfSched { counter, .. } = self.cur_kind() else {
+                    unreachable!("AwaitCounter without a SelfSched frame");
+                };
+                match counters[counter] {
+                    // Grant is pulled: peeked by the quick tick.
+                    CounterDef::Cluster { .. } => Cycle(u64::MAX),
+                    // Fetch already in flight: resolved by a reply.
+                    CounterDef::Global { .. } if self.sync_result.is_none() => Cycle(u64::MAX),
+                    CounterDef::GlobalShared { .. }
+                        if self.sdoall_awaiting_reply && self.sync_result.is_none() =>
+                    {
+                        Cycle(u64::MAX)
+                    }
+                    // Posted values / elections are pulled state with no
+                    // peek in the quick tick: keep ticking.
+                    _ => Cycle::ZERO,
+                }
+            }
+            CeState::GlobalBarrier { phase, .. } => match phase {
+                GbPhase::PollWait { at } if at > soon => at,
+                GbPhase::AwaitArrive | GbPhase::AwaitPoll if self.sync_result.is_none() => {
+                    Cycle(u64::MAX)
+                }
+                _ => Cycle::ZERO,
+            },
+            _ => Cycle::ZERO,
+        };
+    }
+
+    /// One step of lowered execution: the hot vector states mutate in
+    /// place (no state-enum copy out and rebuild per element — at one
+    /// element per tick the round-trip is real overhead), everything
+    /// else falls through to the shared [`CeEngine::step`]. Semantics
+    /// are identical to the interpreter's steppers line for line; the
+    /// `vm_check` each stepper would make is skipped because lowering
+    /// is never enabled together with the vm model.
+    fn step_lowered(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        debug_assert!(!self.vm_enabled, "lowered mode implies vm off");
+        match &mut self.state {
+            CeState::Stall { until } => {
+                if now >= *until {
+                    self.state = CeState::Fetch;
+                    Step::Progress
+                } else {
+                    Step::Blocked
+                }
+            }
+            CeState::VectorCache {
+                base,
+                stride,
+                write,
+                length,
+                issued,
+                last_ready,
+                start_at,
+            } => {
+                let (write, length) = (*write, *length);
+                if *issued >= length && (write || now >= *last_ready) {
+                    self.state = CeState::Fetch;
+                    return Step::Progress;
+                }
+                if now >= *start_at && *issued < length {
+                    let a = (*base as i64 + i64::from(*issued) * *stride) as u64;
+                    let acc = ctx.cache.access(now, self.ce_in_cluster, a, write);
+                    match acc {
+                        CacheAccess::Ready { at } | CacheAccess::Pending { at } => {
+                            // Accepted cache accesses are sampling
+                            // candidates like network requests; the
+                            // completion stamp carries the
+                            // (deterministic) future ready cycle.
+                            if let Some(tc) = self.trace_ctl.as_deref_mut() {
+                                let id = tc.sample_mem();
+                                if id != 0 {
+                                    let fill = matches!(acc, CacheAccess::Pending { .. });
+                                    tc.stamp(id, hop::ISSUE, class::CACHE, now);
+                                    tc.stamp(id, hop::CACHE_DONE, u8::from(fill), at);
+                                }
+                            }
+                            if !write && at > *last_ready {
+                                *last_ready = at;
+                            }
+                            *issued += 1;
+                            self.stats.vector_elements += 1;
+                        }
+                        CacheAccess::Stall => {}
+                    }
+                    if *issued >= length && write {
+                        self.state = CeState::Fetch;
+                        return Step::Progress;
+                    }
+                }
+                Step::Blocked
+            }
+            CeState::VectorPref {
+                length,
+                consumed,
+                start_at,
+            } => {
+                if now < *start_at {
+                    return Step::Blocked;
+                }
+                if *consumed >= *length {
+                    self.state = CeState::Fetch;
+                    return Step::Progress;
+                }
+                if self.pfu.try_consume() {
+                    self.stats.vector_elements += 1;
+                    *consumed += 1;
+                    if *consumed >= *length {
+                        self.state = CeState::Fetch;
+                        return Step::Progress;
+                    }
+                }
+                Step::Blocked
+            }
+            _ => self.step(now, ctx),
         }
     }
 
@@ -767,6 +1085,9 @@ impl CeEngine {
     // ---- fetch / dispatch -------------------------------------------------
 
     fn fetch(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        if self.flat.is_some() {
+            return self.fetch_flat(now, ctx);
+        }
         let frame = self.frames.last_mut().expect("engine always has a frame");
         if frame.pc >= frame.block.len() {
             return self.end_of_block(now, ctx);
@@ -776,6 +1097,308 @@ impl CeEngine {
         let pc = frame.pc;
         let block = Arc::clone(&frame.block);
         self.dispatch(now, ctx, &block[pc])
+    }
+
+    /// Fetch and dispatch from the compiled micro-op stream. Mirrors
+    /// [`CeEngine::dispatch`] exactly — the same blocking conditions, the
+    /// same packets and state transitions on the same cycles — with
+    /// control flow resolved through flat indices instead of the frame
+    /// tree, and fused timed runs charged as a single stall.
+    fn fetch_flat(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
+        let flat = self.flat.as_ref().expect("flat fetch without FlatCtl");
+        let Some(&uop) = flat.prog.uops().get(flat.pc as usize) else {
+            // Past the end of the root stream: program complete (loop
+            // frames always branch back before their end markers).
+            self.state = CeState::Done;
+            return Step::Progress;
+        };
+        match uop {
+            UOp::TimedRun {
+                cycles,
+                flops,
+                elements,
+            } => {
+                self.advance_pc();
+                self.stats.flops += flops;
+                self.stats.vector_elements += elements;
+                self.state = CeState::Stall {
+                    until: now + cycles,
+                };
+                Step::Progress
+            }
+            UOp::ScalarGlobalRead { addr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let a = self.flat_addr(addr);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.outstanding_reads += 1;
+                let pkt = Packet::read_request(
+                    module_of(a, self.modules).0,
+                    MemRequest {
+                        ce: self.id,
+                        kind: RequestKind::Read,
+                        addr: a,
+                        stream: Stream::Scalar,
+                        issued: now,
+                        seq: 0,
+                        nacked: false,
+                        trace: 0,
+                    },
+                );
+                self.queue_pkt(now, ctx, pkt);
+                self.state = CeState::AwaitScalarRead;
+                Step::Progress
+            }
+            UOp::ScalarGlobalWrite { addr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                let a = self.flat_addr(addr);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.outstanding_writes += 1;
+                let pkt = Packet::write_request(
+                    module_of(a, self.modules).0,
+                    MemRequest {
+                        ce: self.id,
+                        kind: RequestKind::Write,
+                        addr: a,
+                        stream: Stream::WriteAck,
+                        issued: now,
+                        seq: 0,
+                        nacked: false,
+                        trace: 0,
+                    },
+                );
+                self.queue_pkt(now, ctx, pkt);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            UOp::VecPref { length, flops } => {
+                self.advance_pc();
+                self.stats.flops += flops;
+                self.state = CeState::VectorPref {
+                    length,
+                    consumed: 0,
+                    start_at: now + u64::from(self.cfg.vector_startup),
+                };
+                Step::Progress
+            }
+            UOp::VecDirect {
+                addr,
+                stride,
+                length,
+                flops,
+                gather,
+            } => {
+                self.advance_pc();
+                self.stats.flops += flops;
+                self.state = CeState::VectorDirect {
+                    base: self.flat_addr(addr),
+                    stride,
+                    length,
+                    issued: 0,
+                    completed: 0,
+                    start_at: now + u64::from(self.cfg.vector_startup),
+                    gather,
+                };
+                Step::Progress
+            }
+            UOp::VecGWrite {
+                addr,
+                stride,
+                length,
+                flops,
+                scatter,
+            } => {
+                self.advance_pc();
+                self.stats.flops += flops;
+                self.state = CeState::VectorGWrite {
+                    base: self.flat_addr(addr),
+                    stride,
+                    length,
+                    issued: 0,
+                    start_at: now + u64::from(self.cfg.vector_startup),
+                    scatter,
+                };
+                Step::Progress
+            }
+            UOp::VecCache {
+                addr,
+                stride,
+                length,
+                flops,
+                write,
+            } => {
+                self.advance_pc();
+                self.stats.flops += flops;
+                let start_at = now + u64::from(self.cfg.vector_startup);
+                self.state = CeState::VectorCache {
+                    base: self.flat_addr(addr),
+                    stride,
+                    write,
+                    length,
+                    issued: 0,
+                    last_ready: start_at,
+                    start_at,
+                };
+                Step::Progress
+            }
+            UOp::PrefetchArm { length, stride } => {
+                self.advance_pc();
+                self.pfu.arm(length, stride);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            UOp::PrefetchFire { base } => {
+                let a = self.flat_addr(base);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                self.pfu.fire(now, a);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            UOp::ArmFire {
+                length,
+                stride,
+                base,
+            } => {
+                if !self.flat.as_ref().expect("flat").fire_pending {
+                    // Arm phase: the fused slot re-executes for the fire.
+                    self.pfu.arm(length, stride);
+                    self.flat.as_mut().expect("flat").fire_pending = true;
+                    self.state = CeState::Stall { until: now + 1 };
+                    return Step::Progress;
+                }
+                let a = self.flat_addr(base);
+                if self.vm_check(now, ctx, a) {
+                    return Step::Blocked;
+                }
+                let flat = self.flat.as_mut().expect("flat");
+                flat.fire_pending = false;
+                flat.pc += 1;
+                self.pfu.fire(now, a);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            UOp::PrefetchRewind => {
+                self.advance_pc();
+                self.pfu.rewind();
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+            UOp::EnterRepeat { count, end } => {
+                let flat = self.flat.as_mut().expect("flat");
+                if count == 0 {
+                    flat.pc = end + 1;
+                    return Step::Progress;
+                }
+                let head = flat.pc + 1;
+                flat.frames.push(LFrame {
+                    head,
+                    end,
+                    kind: FrameKind::Repeat { remaining: count },
+                });
+                flat.pc = head;
+                self.indices.push(0);
+                Step::Progress
+            }
+            UOp::LoopEnd => {
+                let flat = self.flat.as_mut().expect("flat");
+                let fr = flat.frames.last_mut().expect("flat loop frame");
+                let FrameKind::Repeat { remaining } = &mut fr.kind else {
+                    unreachable!("LoopEnd on non-repeat frame");
+                };
+                *remaining -= 1;
+                let again = *remaining > 0;
+                let target = if again { fr.head } else { fr.end + 1 };
+                flat.pc = target;
+                if again {
+                    *self.indices.last_mut().expect("loop index") += 1;
+                } else {
+                    flat.frames.pop();
+                    self.indices.pop();
+                }
+                Step::Progress
+            }
+            UOp::EnterSelfSched {
+                counter,
+                limit,
+                chunk,
+                dispatch_cost,
+                end,
+            } => {
+                if limit == 0 {
+                    self.flat.as_mut().expect("flat").pc = end + 1;
+                    return Step::Progress;
+                }
+                let epoch = self.next_epoch(counter as usize);
+                let flat = self.flat.as_mut().expect("flat");
+                let head = flat.pc + 1;
+                flat.frames.push(LFrame {
+                    head,
+                    end,
+                    kind: FrameKind::SelfSched {
+                        counter: counter as usize,
+                        limit,
+                        chunk,
+                        dispatch_cost,
+                        epoch,
+                        chunk_end: 0,
+                    },
+                });
+                flat.pc = head;
+                self.indices.push(0);
+                self.request_chunk(now, ctx)
+            }
+            UOp::SelfSchedEnd => {
+                let flat = self.flat.as_ref().expect("flat");
+                let fr = flat.frames.last().expect("flat loop frame");
+                let FrameKind::SelfSched { chunk_end, .. } = fr.kind else {
+                    unreachable!("SelfSchedEnd on non-selfsched frame");
+                };
+                let head = fr.head;
+                let cur = *self.indices.last().expect("loop index");
+                if cur + 1 < chunk_end {
+                    self.flat.as_mut().expect("flat").pc = head;
+                    *self.indices.last_mut().expect("loop index") += 1;
+                    Step::Progress
+                } else {
+                    self.request_chunk(now, ctx)
+                }
+            }
+            UOp::Barrier { barrier } => self.dispatch_barrier(now, ctx, barrier as usize),
+            UOp::SyncOp { addr, instr } => {
+                if self.pending_pkt.is_some() {
+                    return Step::Blocked;
+                }
+                self.advance_pc();
+                let a = self.flat_addr(addr);
+                self.send_sync(now, ctx, a, instr);
+                self.state = CeState::AwaitSync;
+                Step::Progress
+            }
+            UOp::Fence => {
+                self.advance_pc();
+                self.state = CeState::AwaitFence;
+                Step::Progress
+            }
+            UOp::PostEvent { tag } => {
+                self.advance_pc();
+                // Tag layout: caller tag in the high bits, CE id low.
+                ctx.tracer.post(now, (tag << 8) | self.id.0 as u32);
+                self.state = CeState::Stall { until: now + 1 };
+                Step::Progress
+            }
+        }
     }
 
     fn end_of_block(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
@@ -817,7 +1440,7 @@ impl CeEngine {
             chunk,
             epoch,
             ..
-        } = self.frames.last().expect("frame").kind
+        } = self.cur_kind()
         else {
             unreachable!("request_chunk on non-selfsched frame");
         };
@@ -851,7 +1474,7 @@ impl CeEngine {
 
     fn step_await_counter(&mut self, now: Cycle, ctx: &mut CeContext<'_>) -> Step {
         // Either a bus grant or a network sync reply resolves the wait.
-        let frame_kind = self.frames.last().expect("frame").kind;
+        let frame_kind = self.cur_kind();
         let FrameKind::SelfSched {
             counter,
             limit,
@@ -866,8 +1489,7 @@ impl CeEngine {
             CounterDef::Cluster { .. } => ctx.ccbus.take_grant(self.ce_in_cluster),
             CounterDef::Global { .. } => self.sync_result.take().map(|o| o.old as u64),
             CounterDef::GlobalShared { base_addr } => {
-                let FrameKind::SelfSched { epoch, .. } = self.frames.last().expect("frame").kind
-                else {
+                let FrameKind::SelfSched { epoch, .. } = self.cur_kind() else {
                     unreachable!();
                 };
                 // 1. A fetch we own: post the reply to the cluster bus.
@@ -914,19 +1536,16 @@ impl CeEngine {
             return Step::Blocked;
         };
         if v >= limit {
-            self.frames.pop();
-            self.indices.pop();
+            self.loop_exit();
             self.state = CeState::Fetch;
             return Step::Progress;
         }
         let end = (v + u64::from(chunk)).min(limit);
-        if let FrameKind::SelfSched { chunk_end, .. } =
-            &mut self.frames.last_mut().expect("frame").kind
-        {
+        if let FrameKind::SelfSched { chunk_end, .. } = self.cur_kind_mut() {
             *chunk_end = end;
         }
         *self.indices.last_mut().expect("loop index") = v;
-        self.frames.last_mut().expect("frame").pc = 0;
+        self.loop_restart();
         self.state = if dispatch_cost > 0 {
             CeState::Stall {
                 until: now + u64::from(dispatch_cost),
@@ -1527,7 +2146,59 @@ impl CeEngine {
     // ---- helpers -----------------------------------------------------------
 
     fn advance_pc(&mut self) {
-        self.frames.last_mut().expect("frame").pc += 1;
+        match &mut self.flat {
+            Some(f) => f.pc += 1,
+            None => self.frames.last_mut().expect("frame").pc += 1,
+        }
+    }
+
+    /// The innermost loop frame's kind — from the flat stack when running
+    /// lowered, from the interpreter's frame tree otherwise.
+    fn cur_kind(&self) -> FrameKind {
+        match &self.flat {
+            Some(f) => f.frames.last().expect("flat loop frame").kind,
+            None => self.frames.last().expect("frame").kind,
+        }
+    }
+
+    fn cur_kind_mut(&mut self) -> &mut FrameKind {
+        match &mut self.flat {
+            Some(f) => &mut f.frames.last_mut().expect("flat loop frame").kind,
+            None => &mut self.frames.last_mut().expect("frame").kind,
+        }
+    }
+
+    /// Leave the innermost loop: pop its frame and loop index and (flat)
+    /// jump past the loop's end marker.
+    fn loop_exit(&mut self) {
+        match &mut self.flat {
+            Some(f) => {
+                let fr = f.frames.pop().expect("flat loop frame");
+                f.pc = fr.end + 1;
+            }
+            None => {
+                self.frames.pop();
+            }
+        }
+        self.indices.pop();
+    }
+
+    /// Restart the innermost loop body (next self-scheduled chunk).
+    fn loop_restart(&mut self) {
+        match &mut self.flat {
+            Some(f) => f.pc = f.frames.last().expect("flat loop frame").head,
+            None => self.frames.last_mut().expect("frame").pc = 0,
+        }
+    }
+
+    /// Evaluate an interned address expression under the loop indices.
+    fn flat_addr(&self, idx: u32) -> u64 {
+        self.flat
+            .as_ref()
+            .expect("flat addr without FlatCtl")
+            .prog
+            .addr(idx)
+            .eval(&self.indices)
     }
 
     /// Take and advance the next epoch for `counter`.

@@ -312,6 +312,14 @@ pub struct MachineConfig {
     /// by default; the `CEDAR_NO_FLOWPATH` environment variable overrides
     /// it at machine construction.
     pub flow_path: bool,
+    /// Whether CEs execute programs through the ahead-of-run lowering
+    /// pipeline ([`lower`](crate::lower)): flat micro-op streams with
+    /// fused timed runs and bulk stall charging, instead of the
+    /// tree-walking interpreter. Purely a wall-clock optimization: both
+    /// paths are bit-for-bit identical (tested). `true` by default; the
+    /// `CEDAR_NO_LOWER` environment variable overrides it at machine
+    /// construction, and enabling the VM model forces the interpreter.
+    pub lowered: bool,
     pub ce: CeConfig,
     pub cache: CacheConfig,
     pub cluster_memory: ClusterMemoryConfig,
@@ -341,6 +349,7 @@ impl MachineConfig {
             num_threads: 1,
             fast_forward: true,
             flow_path: true,
+            lowered: true,
             ce: CeConfig::cedar(),
             cache: CacheConfig::cedar(),
             cluster_memory: ClusterMemoryConfig::cedar(),
@@ -392,6 +401,13 @@ impl MachineConfig {
     /// switched on or off (equivalence tests run both ways and compare).
     pub fn with_flow_path(mut self, flow_path: bool) -> Self {
         self.flow_path = flow_path;
+        self
+    }
+
+    /// The same configuration with program lowering switched on or off
+    /// (equivalence tests run both ways and compare).
+    pub fn with_lowered(mut self, lowered: bool) -> Self {
+        self.lowered = lowered;
         self
     }
 
@@ -616,6 +632,16 @@ pub fn fastfwd_disabled_from_env() -> bool {
 /// for the default behaviour. Mirrors `CEDAR_NO_FASTFWD`.
 pub fn flowpath_disabled_from_env() -> bool {
     std::env::var("CEDAR_NO_FLOWPATH")
+        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
+}
+
+/// True when the `CEDAR_NO_LOWER` environment variable asks for the
+/// tree-walking CE interpreter (`1`/`true`/`yes`, case-insensitive).
+/// Anything else — unset, `0`, garbage — leaves
+/// [`MachineConfig::lowered`] in charge, so a CI matrix can pass `0`
+/// for the default behaviour. Mirrors `CEDAR_NO_FLOWPATH`.
+pub fn lowered_disabled_from_env() -> bool {
+    std::env::var("CEDAR_NO_LOWER")
         .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
 }
 

@@ -43,6 +43,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod lower;
 pub mod machine;
 pub mod memory;
 pub mod monitor;

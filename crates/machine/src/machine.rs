@@ -182,6 +182,16 @@ pub struct Machine {
     /// Host-side wall-clock self-profiler for the simulator's own tick
     /// phases; `None` (zero overhead beyond one branch) unless enabled.
     pub(crate) profiler: Option<Box<HostProfiler>>,
+    /// Whether CEs execute lowered micro-op streams this machine
+    /// ([`MachineConfig::lowered`] gated by the `CEDAR_NO_LOWER` hatch
+    /// and forced off under the VM model). Resolved once at
+    /// construction, like the network flow path.
+    lowered: bool,
+    /// Static shape of the programs loaded by the most recent
+    /// [`Machine::run`], summed over CEs (`None` before the first run).
+    /// Computed by the lowering pass in both modes, so the `program.*`
+    /// registry keys are identical with lowering on or off.
+    program_meta: Option<crate::lower::LowerMeta>,
 }
 
 /// Preformatted counter-key strings for every indexed stat family.
@@ -376,6 +386,13 @@ impl Machine {
             profiler: None,
             now: Cycle::ZERO,
             ce_cfg: Arc::new(cfg.ce.clone()),
+            // Lowered execution is a pure wall-clock optimization
+            // (bit-for-bit identical to the interpreter); the env hatch
+            // mirrors CEDAR_NO_FLOWPATH. The VM model forces the
+            // interpreter: page faults interleave with dispatch in ways
+            // the fused timed runs deliberately do not model.
+            lowered: cfg.lowered && !crate::config::lowered_disabled_from_env() && !cfg.vm.enabled,
+            program_meta: None,
             cfg,
         })
     }
@@ -439,6 +456,24 @@ impl Machine {
     /// of the stats registry: the snapshot must be identical either way.
     pub fn flow_path_enabled(&self) -> bool {
         self.forward.flow_path()
+    }
+
+    /// Whether CEs execute compiled micro-op streams in this machine
+    /// ([`MachineConfig::lowered`] gated by the `CEDAR_NO_LOWER` escape
+    /// hatch, and forced off when VM modelling is enabled). Like the
+    /// flow-path flag above, deliberately not part of the stats
+    /// registry: the snapshot must be identical either way.
+    pub fn lowered_enabled(&self) -> bool {
+        self.lowered
+    }
+
+    /// Static shape of the programs loaded by the most recent
+    /// [`run`](Machine::run) (op/micro-op/fusion counts summed over CEs,
+    /// max loop depth), computed by the lowering pass whether or not the
+    /// lowered path executes. `None` before the first run. Also exported
+    /// through the `program.*` stats keys.
+    pub fn program_meta(&self) -> Option<crate::lower::LowerMeta> {
+        self.program_meta
     }
 
     /// Fully-stalled network ticks the flow path settled by replaying its
@@ -666,6 +701,17 @@ impl Machine {
         s.set("prefetch.inject_stall_cycles", pf.inject_stall_cycles);
         s.set_histogram("prefetch.latency", Arc::clone(&self.latency_histogram));
 
+        // Static program shape, computed by the lowering pass whether or
+        // not the lowered path executes (identical registries both ways).
+        // Absent before the first run so pre-load snapshots stay
+        // byte-identical to earlier releases.
+        if let Some(pm) = self.program_meta {
+            s.set("program.ops", pm.source_ops as u64);
+            s.set("program.uops", pm.uops as u64);
+            s.set("program.fused_ops", pm.fused_ops as u64);
+            s.set("program.max_loop_depth", pm.max_loop_depth as u64);
+        }
+
         // Fault-recovery counters: absent on the fault-free machine so its
         // registry snapshot is byte-identical to pre-fault-injection runs.
         if faults_on {
@@ -767,16 +813,41 @@ impl Machine {
             cl.tlb.flush();
         }
         self.engines = (0..total).map(|_| None).collect();
+        // Cleared before the baseline snapshot below and re-set after it,
+        // so each run's `program.*` keys pass through the delta intact
+        // instead of cancelling against the previous run's values.
+        self.program_meta = None;
+        // Compile each distinct program once (CEs loaded with the same
+        // shared block reuse the compilation). Lowering runs in both
+        // modes — the interpreter still wants the static metadata — but
+        // only a lowered machine hands the engines the compiled stream.
+        let mut lower_cache: Vec<(usize, Arc<crate::lower::LProgram>)> = Vec::new();
+        let mut meta = crate::lower::LowerMeta::default();
         for (ce, program) in programs {
             if ce.0 >= total {
                 return Err(MachineError::NoSuchCe(ce));
             }
             self.validate_program(ce, &program)?;
+            let key = Arc::as_ptr(program.body()).cast::<u8>() as usize;
+            let lp = match lower_cache.iter().find(|(k, _)| *k == key) {
+                Some((_, lp)) => Arc::clone(lp),
+                None => {
+                    let lp = crate::lower::lower(&program, self.cfg.ce.vector_startup);
+                    lower_cache.push((key, Arc::clone(&lp)));
+                    lp
+                }
+            };
+            let lm = lp.meta();
+            meta.source_ops += lm.source_ops;
+            meta.uops += lm.uops;
+            meta.fused_ops += lm.fused_ops;
+            meta.max_loop_depth = meta.max_loop_depth.max(lm.max_loop_depth);
             self.engines[ce.0] = Some(CeEngine::new(
                 ce,
                 &self.cfg,
                 Arc::clone(&self.ce_cfg),
                 program,
+                self.lowered.then_some(lp),
             ));
         }
 
@@ -788,6 +859,9 @@ impl Machine {
         self.trace_store.clear();
         let fastfwd = self.cfg.fast_forward && !crate::config::fastfwd_disabled_from_env();
         let stats_start = self.stats();
+        // After the snapshot: the delta keeps counters absent from the
+        // baseline, so the report carries this run's absolute values.
+        self.program_meta = Some(meta);
         if self.effective_threads() > 1 {
             self.run_loop_parallel(start, limit, fastfwd)?;
         } else {
@@ -1083,7 +1157,13 @@ impl Machine {
                 ..
             } = self;
             for e in engines.iter_mut().flatten() {
+                // Lowered mode: a CE parked inside a fused timed stall
+                // (or finished) needs exactly one attribution increment —
+                // skip the context plumbing and the full tick.
                 let cluster = &mut clusters[e.cluster().0];
+                if e.try_quick_tick(now, &cluster.ccbus) {
+                    continue;
+                }
                 let mut ctx = CeContext {
                     forward,
                     cache: &mut cluster.cache,

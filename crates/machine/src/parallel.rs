@@ -168,7 +168,13 @@ impl Shard {
         let mut all_done = true;
         for (i, e) in engines.iter_mut().enumerate() {
             let Some(e) = e else { continue };
+            // Lowered mode: parked in a fused timed stall (or finished) —
+            // one attribution increment, no context plumbing.
             let cluster = &mut clusters[e.cluster().0 - *first_cluster];
+            if e.try_quick_tick(now, &cluster.ccbus) {
+                all_done &= e.is_done();
+                continue;
+            }
             let mut ctx = CeContext {
                 forward: &mut stages[i],
                 cache: &mut cluster.cache,

@@ -160,23 +160,52 @@ pub enum Op {
     PostEvent { tag: u32 },
 }
 
+/// Static program shape, computed once at construction instead of
+/// re-walking the op tree on every query. Loop ops count themselves plus
+/// their bodies; `max_loop_depth` is the deepest `Repeat`/`SelfSchedLoop`
+/// nesting (0 for straight-line programs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramMeta {
+    /// Total static operation count, loop bodies included.
+    pub ops: usize,
+    /// Deepest loop nesting anywhere in the program.
+    pub max_loop_depth: usize,
+}
+
+impl ProgramMeta {
+    fn of_block(block: &Block) -> ProgramMeta {
+        let mut meta = ProgramMeta::default();
+        for op in block.iter() {
+            match op {
+                Op::Repeat { body, .. } | Op::SelfSchedLoop { body, .. } => {
+                    let inner = ProgramMeta::of_block(body);
+                    meta.ops += 1 + inner.ops;
+                    meta.max_loop_depth = meta.max_loop_depth.max(1 + inner.max_loop_depth);
+                }
+                _ => meta.ops += 1,
+            }
+        }
+        meta
+    }
+}
+
 /// A complete program for one CE.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     body: Block,
+    meta: ProgramMeta,
 }
 
 impl Program {
     /// Wrap a block as a program.
     pub fn from_block(body: Block) -> Program {
-        Program { body }
+        let meta = ProgramMeta::of_block(&body);
+        Program { body, meta }
     }
 
     /// An empty program (the CE finishes immediately).
     pub fn empty() -> Program {
-        Program {
-            body: Arc::from(Vec::new()),
-        }
+        Program::from_block(Arc::from(Vec::new()))
     }
 
     /// The top-level block.
@@ -190,18 +219,14 @@ impl Program {
         self.body
     }
 
+    /// Static shape, cached at construction.
+    pub fn meta(&self) -> ProgramMeta {
+        self.meta
+    }
+
     /// Total static operation count (for sanity checks and reporting).
     pub fn op_count(&self) -> usize {
-        fn count(block: &Block) -> usize {
-            block
-                .iter()
-                .map(|op| match op {
-                    Op::Repeat { body, .. } | Op::SelfSchedLoop { body, .. } => 1 + count(body),
-                    _ => 1,
-                })
-                .sum()
-        }
-        count(&self.body)
+        self.meta.ops
     }
 }
 
@@ -320,9 +345,7 @@ impl ProgramBuilder {
     /// through the closure API).
     pub fn build(mut self) -> Program {
         assert_eq!(self.stack.len(), 1, "unclosed block in program builder");
-        Program {
-            body: Arc::from(self.stack.pop().expect("root block")),
-        }
+        Program::from_block(Arc::from(self.stack.pop().expect("root block")))
     }
 }
 
@@ -355,11 +378,30 @@ mod tests {
         });
         let p = b.build();
         assert_eq!(p.op_count(), 4);
+        assert_eq!(p.meta().max_loop_depth, 2);
     }
 
     #[test]
     fn empty_program() {
         assert_eq!(Program::empty().op_count(), 0);
+        assert_eq!(Program::empty().meta(), ProgramMeta::default());
+    }
+
+    #[test]
+    fn meta_counts_match_a_hand_walk() {
+        let mut b = ProgramBuilder::new();
+        b.scalar(1);
+        b.repeat(2, |b| {
+            b.scalar(1);
+            b.repeat(3, |b| {
+                b.scalar(1);
+            });
+        });
+        b.repeat(4, |_| {});
+        let p = b.build();
+        // scalar + repeat(scalar + repeat(scalar)) + empty repeat
+        assert_eq!(p.meta().ops, 6);
+        assert_eq!(p.meta().max_loop_depth, 2);
     }
 
     #[test]

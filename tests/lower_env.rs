@@ -1,0 +1,54 @@
+//! The `CEDAR_NO_LOWER` escape hatch.
+//!
+//! Kept in its own test binary (own process): the environment variable is
+//! process-global, so the one test below owns it end to end and cannot
+//! race other tests. It pins the override contract: `1`/`true`/`yes`
+//! force the tree-walking interpreter even when the config enables
+//! lowering, anything else (including `0`, which CI's matrix passes
+//! explicitly) leaves the flat streams on — and both modes produce
+//! identical results.
+
+use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
+use cedar_machine::machine::Machine;
+use cedar_machine::MachineConfig;
+
+fn run_contended() -> (u64, u64, bool) {
+    let clusters = 4;
+    let cfg = MachineConfig::cedar_with_clusters(clusters).with_fast_forward(false);
+    let mut m = Machine::new(cfg).unwrap();
+    let progs = Rank64 {
+        n: 32,
+        k: 64,
+        version: Rank64Version::GmNoPrefetch,
+    }
+    .build(&mut m, clusters);
+    let r = m.run(progs, 1_000_000_000).unwrap();
+    (r.cycles, m.memory_digest(), m.lowered_enabled())
+}
+
+#[test]
+fn cedar_no_lower_env_forces_the_interpreter() {
+    // SAFETY: this binary is single-test, so no other thread reads the
+    // environment concurrently.
+    std::env::set_var("CEDAR_NO_LOWER", "1");
+    let (cycles_off, digest_off, enabled_off) = run_contended();
+    assert!(!enabled_off, "CEDAR_NO_LOWER=1 must force the interpreter");
+
+    std::env::set_var("CEDAR_NO_LOWER", "true");
+    let (_, _, enabled_true) = run_contended();
+    assert!(
+        !enabled_true,
+        "CEDAR_NO_LOWER=true must force the interpreter"
+    );
+
+    // "0" is the explicit *enabled* value (the CI matrix passes it).
+    std::env::set_var("CEDAR_NO_LOWER", "0");
+    let (cycles_on, digest_on, enabled_on) = run_contended();
+    assert!(enabled_on, "CEDAR_NO_LOWER=0 must leave lowering on");
+    assert_eq!(cycles_off, cycles_on, "the hatch must not change the run");
+    assert_eq!(digest_off, digest_on, "the hatch must not change memory");
+
+    std::env::remove_var("CEDAR_NO_LOWER");
+    let (_, _, enabled_unset) = run_contended();
+    assert!(enabled_unset, "unset variable must leave lowering on");
+}

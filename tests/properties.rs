@@ -13,8 +13,11 @@ use cedar_machine::machine::Machine;
 use cedar_machine::memory::sync::{SyncInstr, SyncOpKind};
 use cedar_machine::network::packet::{MemRequest, Packet, Payload, RequestKind, Stream};
 use cedar_machine::network::{NetSink, Omega};
-use cedar_machine::program::{MemOperand, ProgramBuilder, VectorOp};
+use cedar_machine::program::{AddressExpr, MemOperand, Op, Program, ProgramBuilder, VectorOp};
+use cedar_machine::sched::BarrierScope;
+use cedar_machine::stats::export::flat_text;
 use cedar_machine::time::Cycle;
+use cedar_machine::{CounterId, CounterScope};
 use cedar_methodology::stability::{instability, stability};
 
 #[derive(Default)]
@@ -466,6 +469,234 @@ proptest! {
         prop_assert!(words + s.counter("prefetch.stale_words") <= s.counter("prefetch.requests"));
         if let Some(h) = s.histogram("prefetch.latency") {
             prop_assert_eq!(h.total(), words);
+        }
+    }
+}
+
+/// A tiny deterministic stream for program generation (splitmix64), so
+/// a single proptest seed expands into an arbitrary instruction mix.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emit a random run of operations covering every `Op` variant the
+/// lowering pipeline handles: zero- and nonzero-duration scalar work,
+/// every vector operand (the pure ones are fusion bait), prefetch
+/// arm/fire/consume/rewind sequences, pure and impure `Repeat`s
+/// (including count zero), nested loops past the collapse depth bound,
+/// self-scheduled loops over shared counters, sync ops, fences and
+/// monitor events. Loop-indexed addresses exercise the flat frame
+/// stack's index plumbing.
+fn emit_random_ops(b: &mut ProgramBuilder, rng: &mut SplitMix, depth: u32, counters: &[CounterId]) {
+    let n = 2 + rng.below(5);
+    for _ in 0..n {
+        // Nesting-heavy choices only below the recursion cutoff.
+        match rng.below(if depth < 2 { 12 } else { 9 }) {
+            0 => {
+                b.scalar(rng.below(40) as u32); // 0 is a legal duration
+            }
+            1 => {
+                b.push(Op::ScalarFlops {
+                    flops: rng.below(6) as u32,
+                    cycles_per_flop: 1 + rng.below(3) as u8,
+                });
+            }
+            2 => {
+                b.push(Op::ScalarGlobalRead {
+                    addr: AddressExpr::new(rng.below(4096) * 8).with_coeff(0, rng.below(8) as i64),
+                });
+            }
+            3 => {
+                b.push(Op::ScalarGlobalWrite {
+                    addr: AddressExpr::new(rng.below(4096) * 8).with_coeff(1, rng.below(8) as i64),
+                });
+            }
+            4 => {
+                let addr = AddressExpr::new(rng.below(2048) * 16)
+                    .with_coeff(rng.below(3) as u8, rng.below(16) as i64);
+                let operand = match rng.below(7) {
+                    0 | 1 => MemOperand::None,
+                    2 => MemOperand::GlobalRead {
+                        addr,
+                        stride: 1 + rng.below(3) as i64,
+                    },
+                    3 => MemOperand::GlobalWrite {
+                        addr,
+                        stride: 1 + rng.below(3) as i64,
+                    },
+                    4 => MemOperand::ClusterRead {
+                        addr,
+                        stride: 1 + rng.below(3) as i64,
+                    },
+                    5 => MemOperand::ClusterWrite {
+                        addr,
+                        stride: 1 + rng.below(3) as i64,
+                    },
+                    _ => {
+                        if rng.below(2) == 0 {
+                            MemOperand::GlobalGather { addr }
+                        } else {
+                            MemOperand::GlobalScatter { addr }
+                        }
+                    }
+                };
+                b.vector(VectorOp {
+                    length: 1 + rng.below(32) as u32,
+                    flops_per_element: rng.below(3) as u8,
+                    operand,
+                });
+            }
+            5 => {
+                // Prefetch as an atomic arm / fire / consume unit (the
+                // arm+fire pair is the ArmFire superinstruction's bait),
+                // sometimes rewound and consumed again.
+                let length = 1 + rng.below(16) as u32;
+                b.push(Op::PrefetchArm {
+                    length,
+                    stride: 1 + rng.below(2) as i64,
+                });
+                b.push(Op::PrefetchFire {
+                    base: AddressExpr::new(rng.below(2048) * 8),
+                });
+                b.vector(VectorOp {
+                    length,
+                    flops_per_element: 1,
+                    operand: MemOperand::Prefetched,
+                });
+                if rng.below(3) == 0 {
+                    b.push(Op::PrefetchRewind);
+                    b.vector(VectorOp {
+                        length,
+                        flops_per_element: 2,
+                        operand: MemOperand::Prefetched,
+                    });
+                }
+            }
+            6 => {
+                b.push(Op::SyncOp {
+                    addr: AddressExpr::new(0x10_0000 + rng.below(64) * 8),
+                    instr: match rng.below(4) {
+                        0 => SyncInstr::read(),
+                        1 => SyncInstr::write(rng.below(100) as i32),
+                        2 => SyncInstr::fetch_add(1 + rng.below(5) as i32),
+                        _ => SyncInstr::test_and_set(),
+                    },
+                });
+            }
+            7 => {
+                b.push(Op::Fence);
+            }
+            8 => {
+                b.push(Op::PostEvent {
+                    tag: rng.below(16) as u32,
+                });
+            }
+            9 => {
+                // A *pure* repeat — the loop-collapse superinstruction's
+                // target (count 0 exercises the skip-jump).
+                let count = rng.below(5) as u32;
+                let work = 1 + rng.below(20) as u32;
+                let veclen = 1 + rng.below(16) as u32;
+                b.repeat(count, |b| {
+                    b.scalar(work);
+                    b.vector(VectorOp {
+                        length: veclen,
+                        flops_per_element: 2,
+                        operand: MemOperand::None,
+                    });
+                });
+            }
+            10 => {
+                // An arbitrary (usually impure) repeat, recursing.
+                let count = rng.below(4) as u32;
+                b.repeat(count, |b| emit_random_ops(b, rng, depth + 1, counters));
+            }
+            _ => {
+                let counter = counters[rng.below(counters.len() as u64) as usize];
+                let limit = rng.below(24);
+                let chunk = 1 + rng.below(3) as u32;
+                let cost = rng.below(3) as u32;
+                b.self_sched_with_cost(counter, limit, chunk, cost, |b| {
+                    emit_random_ops(b, rng, depth + 1, counters)
+                });
+            }
+        }
+    }
+}
+
+/// One full-machine run of a seeded random program mix: every CE gets
+/// its own generated program, all CEs meet at one global barrier at the
+/// end, and self-scheduled loops share two global counters across CEs.
+fn run_random_programs(seed: u64, lowered: bool, threads: usize) -> (u64, u64, String, bool) {
+    let clusters = 2;
+    let cfg = cedar_machine::MachineConfig::cedar_with_clusters(clusters)
+        .with_threads(threads)
+        .with_lowered(lowered);
+    let mut m = Machine::new(cfg).unwrap();
+    let total = m.config().total_ces();
+    let counters = [
+        m.alloc_counter(CounterScope::Global),
+        m.alloc_counter(CounterScope::Global),
+    ];
+    let barrier = m.alloc_barrier(BarrierScope::Global, total as u32);
+    let progs: Vec<(CeId, Program)> = (0..total)
+        .map(|ce| {
+            let mut rng = SplitMix(seed ^ (ce as u64).wrapping_mul(0xA5A5_5A5A));
+            let mut b = ProgramBuilder::new();
+            emit_random_ops(&mut b, &mut rng, 0, &counters);
+            b.push(Op::Barrier { barrier });
+            (CeId(ce), b.build())
+        })
+        .collect();
+    let r = m.run(progs, 1_000_000_000).unwrap();
+    (
+        r.cycles,
+        m.memory_digest(),
+        flat_text(&r.stats),
+        m.lowered_enabled(),
+    )
+}
+
+proptest! {
+    // Two machine runs per case; the generated programs are short.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The lowering pipeline is byte-identical to the tree-walking
+    /// interpreter on arbitrary generated programs — every `Op`
+    /// variant, loop shapes past the collapse bound, shared
+    /// self-scheduling counters, a global barrier — across thread
+    /// counts: same cycle count, same memory digest, same flattened
+    /// stats registry.
+    #[test]
+    fn lowering_is_bit_identical_to_the_interpreter(
+        seed in 0u64..100_000,
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let (base_cycles, base_digest, base_stats, _) =
+            run_random_programs(seed, false, 1);
+        let (flat_cycles, flat_digest, flat_stats, _) =
+            run_random_programs(seed, true, threads);
+        prop_assert_eq!(base_cycles, flat_cycles, "cycle count drifted");
+        prop_assert_eq!(base_digest, flat_digest, "memory digest drifted");
+        if base_stats != flat_stats {
+            let diff: Vec<String> = base_stats
+                .lines()
+                .zip(flat_stats.lines())
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| format!("  interpreter: {a}\n  lowered:     {b}"))
+                .collect();
+            prop_assert!(false, "stats drifted:\n{}", diff.join("\n"));
         }
     }
 }
