@@ -30,6 +30,12 @@
 //! * the fast-forward `barrier_storm` speedup must stay `>= 10`, other
 //!   fast-forward experiments `>= 0.75` (the feature may be neutral but
 //!   must not badly hurt),
+//! * the `chunked` section (written by `parallel_scaling`) must be
+//!   present with every rate equal to its quotient; lookahead chunking
+//!   must keep a real win over the per-cycle barrier on the dense
+//!   kernels at 4+ threads (`chunked_speedup >= 1.15`) and must never
+//!   cost any row more than 10% (including the 1-thread rows, where the
+//!   serial engine makes the knob inert and the row pins neutrality),
 //! * every resilience row must have completed with outcome `"ok"` and
 //!   slowdown under 10x.
 //!
@@ -77,6 +83,18 @@ const LOWERED_NEUTRAL_FLOOR: f64 = 0.90;
 /// loop (threads and fast-forward are gated separately in
 /// `BENCH_simspeed.json`).
 const CUMULATIVE_FLOOR: f64 = 1.9;
+
+/// Lookahead chunking targets the barrier rounds the per-cycle parallel
+/// engine spends while the network idles, so its win is gated where the
+/// network idles: the dense-compute kernels, at thread counts that pay
+/// for real barrier rounds. The comparison runs both legs at the same
+/// thread count, so it is meaningful on any host.
+const CHUNKED_FLOOR: f64 = 1.15;
+
+/// Elsewhere — memory-bound rows (in-flight traffic pins chunks at one
+/// cycle) and 1-thread rows (the serial engine ignores the knob) —
+/// chunking may be neutral but must never cost more than 10%.
+const CHUNKED_NEUTRAL_FLOOR: f64 = 0.90;
 
 /// Fast-forward must stay a big win on the quiescent-heavy workload...
 const FF_STORM_FLOOR: f64 = 10.0;
@@ -408,6 +426,138 @@ fn check_simspeed(rep: &mut Report) {
     if smoke {
         rep.gates_skipped.push(file);
     }
+    check_chunked(rep, file, &doc);
+}
+
+/// The `chunked` section of `BENCH_simspeed.json`: per-thread-count
+/// timings of the parallel engine's automatic lookahead chunking against
+/// its per-cycle barrier hatch, written by `parallel_scaling`. It
+/// carries its own `smoke` flag — the section is spliced in by a
+/// different binary than the surrounding document, so their run sizes
+/// are independent.
+fn check_chunked(rep: &mut Report, file: &'static str, doc: &Value) {
+    let Some(section) = doc.get("chunked") else {
+        rep.fail(
+            file,
+            "missing chunked section (run parallel_scaling to regenerate)".into(),
+        );
+        return;
+    };
+    let Some(smoke) = section.get("smoke").and_then(Value::as_bool) else {
+        rep.fail(file, "chunked: missing boolean smoke field".into());
+        return;
+    };
+    let Some(rows) = section.get("rows").and_then(Value::as_arr) else {
+        rep.fail(file, "chunked: missing rows array".into());
+        return;
+    };
+    if rows.is_empty() {
+        rep.fail(file, "chunked: no rows".into());
+    }
+    let mut gated_dense = false;
+    for (i, r) in rows.iter().enumerate() {
+        let workload = r.get("workload").and_then(Value::as_str);
+        let threads = r.get("threads").and_then(Value::as_u64);
+        let workers = r.get("workers").and_then(Value::as_u64);
+        let cycles = r.get("simulated_cycles").and_then(Value::as_u64);
+        let (pc_w, ch_w) = (
+            num(r, "wall_seconds_percycle"),
+            num(r, "wall_seconds_chunked"),
+        );
+        let (pc_r, ch_r) = (
+            num(r, "cycles_per_sec_percycle"),
+            num(r, "cycles_per_sec_chunked"),
+        );
+        let per_worker = num(r, "cycles_per_sec_per_worker");
+        let speedup = num(r, "chunked_speedup");
+        let (
+            Some(workload),
+            Some(threads),
+            Some(workers),
+            Some(cycles),
+            Some(pc_w),
+            Some(ch_w),
+            Some(pc_r),
+            Some(ch_r),
+            Some(per_worker),
+            Some(speedup),
+        ) = (
+            workload, threads, workers, cycles, pc_w, ch_w, pc_r, ch_r, per_worker, speedup,
+        )
+        else {
+            rep.fail(file, format!("chunked.rows[{i}]: missing/mistyped field"));
+            continue;
+        };
+        if pc_w <= 0.0 || ch_w <= 0.0 || cycles == 0 || workers == 0 {
+            rep.fail(
+                file,
+                format!("chunked {workload}@{threads}: non-positive measurement"),
+            );
+            continue;
+        }
+        for (label, rate, wall) in [("percycle", pc_r, pc_w), ("chunked", ch_r, ch_w)] {
+            if !close(rate, cycles as f64 / wall) {
+                rep.fail(
+                    file,
+                    format!(
+                        "chunked {workload}@{threads}: cycles_per_sec_{label} {rate} != \
+                         simulated_cycles/wall_seconds_{label} {:.1}",
+                        cycles as f64 / wall
+                    ),
+                );
+            }
+        }
+        if !close(per_worker, ch_r / workers as f64) {
+            rep.fail(
+                file,
+                format!(
+                    "chunked {workload}@{threads}: cycles_per_sec_per_worker {per_worker} != \
+                     cycles_per_sec_chunked/workers {:.1}",
+                    ch_r / workers as f64
+                ),
+            );
+        }
+        if !close(speedup, pc_w / ch_w) {
+            rep.fail(
+                file,
+                format!(
+                    "chunked {workload}@{threads}: chunked_speedup {speedup} != \
+                     wall-seconds quotient {:.3}",
+                    pc_w / ch_w
+                ),
+            );
+        }
+        if smoke {
+            continue;
+        }
+        let dense = DENSE_COMPUTE_KERNELS.contains(&workload);
+        let floor = if dense && threads >= 4 {
+            gated_dense = true;
+            CHUNKED_FLOOR
+        } else {
+            CHUNKED_NEUTRAL_FLOOR
+        };
+        if speedup < floor {
+            rep.fail(
+                file,
+                format!(
+                    "chunked {workload}@{threads}: chunked_speedup {speedup:.3} below \
+                     the {floor} floor"
+                ),
+            );
+        }
+    }
+    if smoke {
+        rep.gates_skipped.push("BENCH_simspeed.json (chunked)");
+    } else if !gated_dense && !rows.is_empty() {
+        rep.fail(
+            file,
+            format!(
+                "chunked: no dense-kernel row at >= 4 threads — nothing enforces \
+                 the {CHUNKED_FLOOR} chunking floor"
+            ),
+        );
+    }
 }
 
 fn check_resilience(rep: &mut Report) {
@@ -571,6 +721,26 @@ fn summarize() {
                     })
                     .unwrap_or_default();
                 println!("{file:<24} fast-forward: {}", speedups.join(", "));
+                let chunked: Vec<String> = doc
+                    .get("chunked")
+                    .and_then(|c| c.get("rows"))
+                    .and_then(Value::as_arr)
+                    .map(|rs| {
+                        rs.iter()
+                            .filter_map(|r| {
+                                Some(format!(
+                                    "{}@{} {:.2}x",
+                                    r.get("workload")?.as_str()?,
+                                    r.get("threads")?.as_u64()?,
+                                    num(r, "chunked_speedup")?
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !chunked.is_empty() {
+                    println!("{:<24} chunked:      {}", "", chunked.join(", "));
+                }
             }
             _ => {
                 let rows = doc

@@ -1,15 +1,41 @@
 //! Wall-clock scaling of the parallel simulation engine.
 //!
-//! Reruns the Table 1 and Table 2 drivers at 1, 2 and 4 simulation
-//! threads (via `CEDAR_NUM_THREADS`, the same knob CI uses), times each
-//! sweep, and checks the runs are bit-identical — the engine's
-//! determinism guarantee means threading is purely a wall-clock
-//! optimization. Speedup over the serial engine requires actual host
-//! cores: on a single-CPU host the threaded runs time-slice one core and
-//! can only break even at best, so the bin reports
+//! Two studies:
+//!
+//! 1. **Driver scaling** — reruns the Table 1 and Table 2 drivers at 1,
+//!    2 and 4 simulation threads (via `CEDAR_NUM_THREADS`, the same knob
+//!    CI uses), times each sweep, and checks the runs are bit-identical —
+//!    the engine's determinism guarantee means threading is purely a
+//!    wall-clock optimization.
+//!
+//! 2. **Lookahead chunking** — times the parallel engine's per-cycle
+//!    barrier hatch (`chunk_cycles = 1`) against automatic lookahead
+//!    chunking (`chunk_cycles = 0`) at each thread count on a dense
+//!    register-only kernel (`rank64_peak`, where the network idles and
+//!    the chunk bound is the full round trip) and a memory-bound one
+//!    (`rank64_gm_prefetch`, where in-flight traffic pins chunks at one
+//!    cycle and chunking must simply stay neutral). Both legs must be
+//!    bit-identical; the timings — including simulated cycles per second
+//!    per worker, the honest "is another thread worth it" number — are
+//!    appended to `BENCH_simspeed.json` as the `chunked` section, which
+//!    `bench_history --check` gates (dense kernels must keep a real
+//!    chunking win at 4 threads, nothing may regress past neutrality).
+//!
+//! The chunked comparison is meaningful even on a small host: both legs
+//! run the same thread count, so oversubscription penalizes them
+//! equally — in fact barrier rounds are *more* expensive oversubscribed,
+//! which is exactly the cost chunking removes. Speedup over the *serial*
+//! engine still requires real cores, so the bin reports
 //! `available_parallelism` alongside the measurements.
 
 use std::time::Instant;
+
+use cedar_bench::json::{parse, Value};
+use cedar_kernels::staged::rank64::{effective_peak_program, Rank64, Rank64Version};
+use cedar_machine::ids::CeId;
+use cedar_machine::machine::Machine;
+use cedar_machine::program::Program;
+use cedar_machine::MachineConfig;
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -25,7 +51,157 @@ fn speedup_row(label: &str, times: &[f64]) {
     println!();
 }
 
+/// One chunked-vs-per-cycle measurement at one thread count.
+struct ChunkRow {
+    workload: &'static str,
+    threads: usize,
+    /// Worker threads actually used (threads capped at the cluster count;
+    /// 1 = the serial engine, where the chunk knob is inert and the row
+    /// pins neutrality).
+    workers: usize,
+    simulated_cycles: u64,
+    wall_percycle: f64,
+    wall_chunked: f64,
+}
+
+impl ChunkRow {
+    fn speedup(&self) -> f64 {
+        self.wall_percycle / self.wall_chunked.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        let c = self.simulated_cycles as f64;
+        let rate_chunked = c / self.wall_chunked.max(1e-9);
+        format!(
+            concat!(
+                "      {{\n",
+                "        \"workload\": \"{}\",\n",
+                "        \"threads\": {},\n",
+                "        \"workers\": {},\n",
+                "        \"simulated_cycles\": {},\n",
+                "        \"wall_seconds_percycle\": {:.6},\n",
+                "        \"wall_seconds_chunked\": {:.6},\n",
+                "        \"cycles_per_sec_percycle\": {:.1},\n",
+                "        \"cycles_per_sec_chunked\": {:.1},\n",
+                "        \"cycles_per_sec_per_worker\": {:.1},\n",
+                "        \"chunked_speedup\": {:.3}\n",
+                "      }}"
+            ),
+            self.workload,
+            self.threads,
+            self.workers,
+            self.simulated_cycles,
+            self.wall_percycle,
+            self.wall_chunked,
+            c / self.wall_percycle.max(1e-9),
+            rate_chunked,
+            rate_chunked / self.workers as f64,
+            self.speedup(),
+        )
+    }
+}
+
+/// Build one chunk-study workload: `(CE, program)` pairs on a fresh
+/// 4-cluster Cedar.
+fn chunk_programs(workload: &str, n: u32, m: &mut Machine) -> Vec<(CeId, Program)> {
+    match workload {
+        "rank64_peak" => {
+            let ces = 4 * m.config().ces_per_cluster;
+            (0..ces)
+                .map(|ce| (CeId(ce), effective_peak_program(n, 64)))
+                .collect()
+        }
+        "rank64_gm_prefetch" => Rank64 {
+            n,
+            k: 64,
+            version: Rank64Version::GmPrefetch { block_words: 32 },
+        }
+        .build(m, 4),
+        other => unreachable!("unknown chunk workload {other}"),
+    }
+}
+
+/// Run one chunk-study leg: `chunk` is the `MachineConfig::chunk_cycles`
+/// value (1 = per-cycle hatch, 0 = automatic lookahead). Fast-forward is
+/// off — the study times the tick loop itself, the same convention the
+/// hot-path bench uses — and the fingerprint pins bit-equivalence.
+fn run_chunk_leg(workload: &str, n: u32, threads: usize, chunk: usize) -> (u64, u64, u64) {
+    let cfg = MachineConfig::cedar_with_clusters(4)
+        .with_threads(threads)
+        .with_fast_forward(false)
+        .with_chunk_cycles(chunk);
+    let mut m = Machine::new(cfg).expect("cedar config");
+    let progs = chunk_programs(workload, n, &mut m);
+    let r = m.run(progs, 2_000_000_000).expect("chunk-study run");
+    (r.cycles, r.flops, m.memory_digest())
+}
+
+fn measure_chunked(workload: &'static str, n: u32, threads: usize, reps: u32) -> ChunkRow {
+    let workers = threads.min(4);
+    let mut wall_percycle = f64::INFINITY;
+    let mut wall_chunked = f64::INFINITY;
+    let mut reference = (0, 0, 0);
+    for _ in 0..reps {
+        let t = Instant::now();
+        reference = run_chunk_leg(workload, n, threads, 1);
+        wall_percycle = wall_percycle.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let chunked = run_chunk_leg(workload, n, threads, 0);
+        wall_chunked = wall_chunked.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            reference, chunked,
+            "{workload} @ {threads} threads: chunked run drifted from the per-cycle engine"
+        );
+    }
+    ChunkRow {
+        workload,
+        threads,
+        workers,
+        simulated_cycles: reference.0,
+        wall_percycle,
+        wall_chunked,
+    }
+}
+
+/// Splice the `chunked` section into `BENCH_simspeed.json`, preserving
+/// whatever `sim_throughput` wrote. The section is always the last
+/// member, so a rerun truncates the previous one at its marker.
+fn write_chunked_section(rows: &[ChunkRow], smoke: bool, host: usize) -> std::io::Result<()> {
+    const FILE: &str = "BENCH_simspeed.json";
+    const MARKER: &str = ",\n  \"chunked\":";
+    let mut text = std::fs::read_to_string(FILE).unwrap_or_else(|_| {
+        // No throughput artifact yet (standalone run): start a minimal
+        // document so the section still lands somewhere valid.
+        format!("{{\n  \"host_parallelism\": {host},\n  \"smoke\": {smoke},\n  \"experiments\": []\n}}\n")
+    });
+    if let Some(at) = text.find(MARKER) {
+        text.truncate(at);
+        text.push_str("\n}\n");
+    }
+    let body = text.trim_end().strip_suffix('}').expect("JSON object");
+    let json = format!(
+        concat!(
+            "{}{marker} {{\n",
+            "    \"smoke\": {},\n",
+            "    \"host_parallelism\": {},\n",
+            "    \"rows\": [\n{}\n    ]\n",
+            "  }}\n}}\n"
+        ),
+        body.trim_end(),
+        smoke,
+        host,
+        rows.iter()
+            .map(ChunkRow::json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        marker = MARKER,
+    );
+    parse(&json).expect("spliced BENCH_simspeed.json must stay valid JSON");
+    std::fs::write(FILE, json)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke") || cedar_bench::quick();
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -33,14 +209,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if host < *THREADS.last().unwrap() {
         println!(
             "note: fewer host cores than simulation threads; expect determinism \
-             but not speedup (threads time-slice {host} core(s))"
+             but not speedup over the serial engine (threads time-slice {host} core(s))"
         );
     }
     println!();
 
+    // The chunk study must not inherit a CI matrix leg's chunk knob: the
+    // config builder pins each leg explicitly, and clearing the variable
+    // keeps `chunk_cycles = 0` meaning "automatic" rather than "ask the
+    // environment".
+    std::env::remove_var("CEDAR_CHUNK_CYCLES");
+
     // Table 1: rank-64 update, three memory versions x four cluster
     // counts.
-    let n = if cedar_bench::quick() { 64 } else { 128 };
+    let n = if smoke { 64 } else { 128 };
     eprintln!("Table 1 driver (rank-64, n = {n}) at {THREADS:?} threads...");
     let mut t1_times = Vec::new();
     let mut t1_runs = Vec::new();
@@ -57,7 +239,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     speedup_row("table1 (identical results)", &t1_times);
 
     // Table 2: VL/TM/RK/CG at 8/16/32 CEs.
-    let sizes = if cedar_bench::quick() {
+    let sizes = if smoke {
         cedar::experiments::table2::Table2Sizes {
             vl_words_per_ce: 2048,
             tm_n: 8192,
@@ -85,5 +267,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = (t1_times[0] / t1_times[2]).max(t2_times[0] / t2_times[2]);
     println!();
     println!("best 4-thread speedup: {best:.2}x (target on a >=4-core host: >=1.5x)");
+    println!();
+
+    // Lookahead chunking: per-cycle hatch vs automatic chunks, per
+    // thread count, with bit-equivalence asserted on every pair.
+    let (peak_n, reps) = if smoke { (64, 1) } else { (128, 3) };
+    let mut rows = Vec::new();
+    for (workload, n) in [("rank64_peak", peak_n), ("rank64_gm_prefetch", peak_n)] {
+        for &t in &THREADS {
+            eprintln!("chunk study: {workload} @ {t} thread(s), x{reps}...");
+            rows.push(measure_chunked(workload, n, t, reps));
+        }
+    }
+    println!(
+        "{:<20} {:>7} {:>16} {:>12} {:>12} {:>14} {:>8}",
+        "chunk study",
+        "threads",
+        "sim cycles",
+        "1-cyc (s)",
+        "chunked (s)",
+        "cyc/s/worker",
+        "speedup"
+    );
+    for r in &rows {
+        let c = r.simulated_cycles as f64;
+        println!(
+            "{:<20} {:>7} {:>16} {:>12.3} {:>12.3} {:>14.0} {:>7.2}x",
+            r.workload,
+            r.threads,
+            r.simulated_cycles,
+            r.wall_percycle,
+            r.wall_chunked,
+            c / r.wall_chunked.max(1e-9) / r.workers as f64,
+            r.speedup(),
+        );
+    }
+    write_chunked_section(&rows, smoke, host)?;
+    eprintln!("updated BENCH_simspeed.json (chunked section)");
+
+    // Sanity-check the artifact round-trips through the bench-history
+    // parser with the section attached.
+    let doc = parse(&std::fs::read_to_string("BENCH_simspeed.json")?)?;
+    assert!(doc
+        .get("chunked")
+        .and_then(|c| c.get("rows"))
+        .and_then(Value::as_arr)
+        .is_some());
     Ok(())
 }

@@ -358,6 +358,16 @@ impl CeEngine {
         self.stats
     }
 
+    /// Retract `cycles` idle ticks. The partitioned parallel engine uses
+    /// this when a chunk overshoots the machine's completion cycle: every
+    /// overshot tick of a done CE is a pure `idle += 1` (nothing else in
+    /// the engine moves once `is_done` holds), so subtracting the
+    /// overshoot restores the serial loop's statistics exactly.
+    pub(crate) fn uncount_idle(&mut self, cycles: u64) {
+        debug_assert!(self.is_done(), "only a done CE accrues retractable idle");
+        self.stats.idle -= cycles;
+    }
+
     /// Prefetch-unit statistics (flushing the in-progress trace).
     pub fn prefetch_stats(&mut self) -> PrefetchStats {
         self.pfu.flush_trace();

@@ -8,7 +8,6 @@
 //! prefetch units). Alternative configurations support the ablation studies
 //! in `cedar-bench`.
 
-use crate::error::MachineError;
 use crate::fault::FaultPlan;
 use crate::time::CEDAR_CYCLE_NS;
 
@@ -297,6 +296,20 @@ pub struct MachineConfig {
     /// fallback) when [`VmConfig::enabled`] is set, because page-fault
     /// interleaving is inherently order-dependent.
     pub num_threads: usize,
+    /// Chunk length for the partitioned parallel engine, in cycles.
+    ///
+    /// `0` (the default) derives the chunk length automatically each round
+    /// from the machine's conservative lookahead bound — the minimum number
+    /// of cycles before shared state (the omega networks and global memory)
+    /// can deliver anything back into a cluster. `1` recovers the per-cycle
+    /// barrier engine. Larger values cap the automatic bound (they never
+    /// raise it: the bound is what keeps results exact). Purely a
+    /// wall-clock knob: results are bit-for-bit identical at any setting
+    /// (tested). The `CEDAR_CHUNK_CYCLES` environment variable supplies
+    /// this at run time when the configured value is 0, so explicit test
+    /// legs stay meaningful under a CI env matrix. Only consulted by the
+    /// parallel engine (`num_threads > 1`).
+    pub chunk_cycles: usize,
     /// Whether the engines may fast-forward over quiescent stretches —
     /// cycles in which no subsystem can change externally visible state —
     /// instead of ticking through them one by one. Purely a wall-clock
@@ -347,6 +360,7 @@ impl MachineConfig {
             ces_per_cluster: 8,
             cycle_ns: CEDAR_CYCLE_NS,
             num_threads: 1,
+            chunk_cycles: 0,
             fast_forward: true,
             flow_path: true,
             lowered: true,
@@ -387,6 +401,14 @@ impl MachineConfig {
         if let Some(n) = threads_from_env() {
             self.num_threads = n;
         }
+        self
+    }
+
+    /// The same configuration with the given parallel-engine chunk length
+    /// (`0` = automatic lookahead bound; equivalence tests pin explicit
+    /// lengths so they stay meaningful under a CI env matrix).
+    pub fn with_chunk_cycles(mut self, chunk_cycles: usize) -> Self {
+        self.chunk_cycles = chunk_cycles;
         self
     }
 
@@ -510,140 +532,14 @@ impl Default for MachineConfig {
     }
 }
 
-/// The simulation thread count requested through the `CEDAR_NUM_THREADS`
-/// environment variable, if set to a positive integer.
-///
-/// A set-but-invalid value (garbage, zero, negative) is *not* silently
-/// ignored: a warning naming the variable, the rejected value and the
-/// fallback is printed to stderr, and the configured thread count stands.
-pub fn threads_from_env() -> Option<usize> {
-    parse_env_threads("CEDAR_NUM_THREADS")
-}
-
-/// Shared strict parser for thread-count environment knobs
-/// (`CEDAR_NUM_THREADS` here, `CEDAR_SWEEP_THREADS` in the experiment
-/// sweep driver): unset → `None`; a positive integer → `Some(n)`; anything
-/// else → `None` *with a stderr warning* so a typo in a CI matrix is
-/// visible instead of silently running the fallback configuration.
-pub fn parse_env_threads(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!(
-                "warning: ignoring {var}={raw:?}: expected a positive integer; \
-                 falling back to the configured thread count"
-            );
-            None
-        }
-    }
-}
-
-/// The fault-injection seed requested through the `CEDAR_FAULT_SEED`
-/// environment variable: unset → `Ok(None)`, a u64 (decimal, or hex with a
-/// `0x` prefix) → `Ok(Some(seed))`.
-///
-/// # Errors
-///
-/// Unlike the thread knobs, an invalid seed is a hard
-/// [`MachineError::InvalidConfig`]: a resilience run with a silently
-/// wrong seed would report results for an experiment nobody asked for.
-pub fn fault_seed_from_env() -> Result<Option<u64>, MachineError> {
-    let Ok(raw) = std::env::var("CEDAR_FAULT_SEED") else {
-        return Ok(None);
-    };
-    let s = raw.trim();
-    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        Some(hex) => u64::from_str_radix(hex, 16),
-        None => s.parse::<u64>(),
-    };
-    parsed.map(Some).map_err(|_| {
-        MachineError::InvalidConfig(format!(
-            "CEDAR_FAULT_SEED={raw:?} is not a u64 (decimal or 0x-prefixed hex)"
-        ))
-    })
-}
-
-/// The causal-tracing plan requested through the environment:
-/// `CEDAR_TRACE_SAMPLE_PPM` (journeys sampled per million candidates) and
-/// `CEDAR_TRACE_SEED` (u64, decimal or `0x`-prefixed hex; defaults to 0
-/// when only the rate is set). Unset or zero rate → `Ok(None)`: the seed
-/// alone never turns tracing on.
-///
-/// # Errors
-///
-/// Like [`fault_seed_from_env`] and unlike the thread knobs, garbage in
-/// either variable is a hard [`MachineError::InvalidConfig`] naming the
-/// variable: tracing *changes observable output* (the `trace.*` stats
-/// keys and every trace report), so silently running a different sampling
-/// plan than the one asked for is exactly what the deterministic tracing
-/// layer exists to prevent.
-pub fn trace_plan_from_env() -> Result<Option<crate::trace::TracePlan>, MachineError> {
-    // Both variables are validated whenever set, even when the other one
-    // would make the result `None` — a typo must never pass silently.
-    let seed = match std::env::var("CEDAR_TRACE_SEED") {
-        Err(_) => 0,
-        Ok(raw) => {
-            let s = raw.trim();
-            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => s.parse::<u64>(),
-            };
-            parsed.map_err(|_| {
-                MachineError::InvalidConfig(format!(
-                    "CEDAR_TRACE_SEED={raw:?} is not a u64 (decimal or 0x-prefixed hex)"
-                ))
-            })?
-        }
-    };
-    let ppm = match std::env::var("CEDAR_TRACE_SAMPLE_PPM") {
-        Err(_) => return Ok(None),
-        Ok(raw) => {
-            let parsed = raw.trim().parse::<u32>().ok().filter(|&p| p <= 1_000_000);
-            parsed.ok_or_else(|| {
-                MachineError::InvalidConfig(format!(
-                    "CEDAR_TRACE_SAMPLE_PPM={raw:?} is not a rate in 0..=1000000"
-                ))
-            })?
-        }
-    };
-    if ppm == 0 {
-        return Ok(None);
-    }
-    Ok(Some(crate::trace::TracePlan {
-        seed,
-        sample_ppm: ppm,
-    }))
-}
-
-/// True when the `CEDAR_NO_FASTFWD` environment variable asks for the
-/// cycle-by-cycle loop (`1`/`true`/`yes`, case-insensitive). Anything else
-/// — unset, `0`, garbage — leaves [`MachineConfig::fast_forward`] in
-/// charge, so a CI matrix can pass `0` for the default behaviour.
-pub fn fastfwd_disabled_from_env() -> bool {
-    std::env::var("CEDAR_NO_FASTFWD")
-        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
-}
-
-/// True when the `CEDAR_NO_FLOWPATH` environment variable asks for the
-/// dense per-flit oracle sweep (`1`/`true`/`yes`, case-insensitive).
-/// Anything else — unset, `0`, garbage — leaves
-/// [`MachineConfig::flow_path`] in charge, so a CI matrix can pass `0`
-/// for the default behaviour. Mirrors `CEDAR_NO_FASTFWD`.
-pub fn flowpath_disabled_from_env() -> bool {
-    std::env::var("CEDAR_NO_FLOWPATH")
-        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
-}
-
-/// True when the `CEDAR_NO_LOWER` environment variable asks for the
-/// tree-walking CE interpreter (`1`/`true`/`yes`, case-insensitive).
-/// Anything else — unset, `0`, garbage — leaves
-/// [`MachineConfig::lowered`] in charge, so a CI matrix can pass `0`
-/// for the default behaviour. Mirrors `CEDAR_NO_FLOWPATH`.
-pub fn lowered_disabled_from_env() -> bool {
-    std::env::var("CEDAR_NO_LOWER")
-        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
-}
+// The environment-knob parsers moved to `crate::env` (one module, one
+// documented strict/lenient policy); re-exported here so call sites keep
+// their historical `config::` paths.
+pub use crate::env::{
+    chunk_cycles_from_env, fastfwd_disabled_from_env, fault_seed_from_env,
+    flowpath_disabled_from_env, lowered_disabled_from_env, parse_env_threads, threads_from_env,
+    trace_plan_from_env,
+};
 
 #[cfg(test)]
 mod tests {
@@ -717,44 +613,11 @@ mod tests {
         assert!(cfg.validate().is_err(), "zero threads cannot step anything");
     }
 
-    // One test owns the CEDAR_NUM_THREADS variable end to end: unit
-    // tests share a process, so splitting these cases would race on the
-    // environment.
     #[test]
-    fn env_thread_knob_parses_and_feeds_with_env_threads() {
-        std::env::remove_var("CEDAR_NUM_THREADS");
-        assert_eq!(threads_from_env(), None);
-        assert_eq!(MachineConfig::cedar().with_env_threads().num_threads, 1);
-
-        std::env::set_var("CEDAR_NUM_THREADS", " 4 ");
-        assert_eq!(threads_from_env(), Some(4));
-        assert_eq!(MachineConfig::cedar().with_env_threads().num_threads, 4);
-
-        // Garbage and zero are ignored (with a stderr warning), not errors.
-        for bad in ["zero", "", "0", "-2"] {
-            std::env::set_var("CEDAR_NUM_THREADS", bad);
-            assert_eq!(threads_from_env(), None, "{bad:?} should not parse");
-        }
-        std::env::remove_var("CEDAR_NUM_THREADS");
-    }
-
-    // Same single-owner rule for CEDAR_FAULT_SEED.
-    #[test]
-    fn env_fault_seed_parses_strictly() {
-        std::env::remove_var("CEDAR_FAULT_SEED");
-        assert_eq!(fault_seed_from_env().unwrap(), None);
-
-        std::env::set_var("CEDAR_FAULT_SEED", " 42 ");
-        assert_eq!(fault_seed_from_env().unwrap(), Some(42));
-        std::env::set_var("CEDAR_FAULT_SEED", "0xCEDA");
-        assert_eq!(fault_seed_from_env().unwrap(), Some(0xCEDA));
-
-        // Garbage is a hard error, not a silent fallback.
-        std::env::set_var("CEDAR_FAULT_SEED", "not-a-seed");
-        let err = fault_seed_from_env().unwrap_err();
-        assert!(matches!(err, MachineError::InvalidConfig(_)));
-        assert!(err.to_string().contains("CEDAR_FAULT_SEED"));
-        std::env::remove_var("CEDAR_FAULT_SEED");
+    fn chunk_cycles_defaults_to_auto_and_builds() {
+        let cfg = MachineConfig::cedar();
+        assert_eq!(cfg.chunk_cycles, 0, "default is the automatic bound");
+        assert_eq!(cfg.with_chunk_cycles(4).chunk_cycles, 4);
     }
 
     #[test]

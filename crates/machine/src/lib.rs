@@ -40,6 +40,7 @@ pub mod cache;
 pub mod ccbus;
 pub mod ce;
 pub mod config;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod ids;

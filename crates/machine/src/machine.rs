@@ -69,6 +69,13 @@ impl Watchdog {
         now >= self.next_check
     }
 
+    /// The cycle of the next scheduled inspection. The partitioned engine
+    /// clamps its chunks here so inspections land on exactly the cycles
+    /// the per-cycle loop would inspect.
+    pub(crate) fn next_check(&self) -> Cycle {
+        self.next_check
+    }
+
     pub(crate) fn arm_next(&mut self, now: Cycle) {
         self.next_check = now + STUCK_CHECK_INTERVAL;
     }

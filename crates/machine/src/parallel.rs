@@ -3,43 +3,87 @@
 //! The simulated Cedar is four largely independent Alliant clusters that
 //! interact only through the omega networks, the global memory and the
 //! concurrency control buses — the same decomposition the hardware
-//! exploits. This engine exploits it in software: each cycle, the
+//! exploits. This engine exploits it in software *twice over*: the
 //! cluster-local work (CE engines, prefetch units, cluster cache and
-//! memory, CC bus) is sharded across `std::thread::scope` workers, while
-//! the genuinely shared components (both omega networks and the
-//! global-memory banks) tick on the coordinating thread between two
-//! barriers.
+//! memory, CC bus) is sharded across `std::thread::scope` workers, and
+//! the workers advance their clusters **several cycles per barrier
+//! round** whenever the machine's conservative lookahead allows it,
+//! instead of synchronizing every cycle.
+//!
+//! # Lookahead chunking
+//!
+//! A cluster can only be affected by another cluster through the shared
+//! components: a reverse-network delivery is the *only* externally
+//! driven input a CE ever sees mid-run. At the start of a round the
+//! coordinator therefore derives a **horizon** `H` — a lower bound on
+//! the number of upcoming cycles that are certainly delivery-free —
+//! from the shared components' states (see DESIGN.md §9 for the
+//! derivation). The network is double-clocked, so a packet whose tail
+//! word has left its injector can cross *all* switch stages within one
+//! cycle: the bounds are word- and service-limited, never
+//! stage-limited. `H` is the minimum over the applicable bounds:
+//!
+//! * reverse network busy → `H = 0` (a delivery may land next cycle);
+//! * a busy memory module → `H = gmem.next_event − t0` (a module's
+//!   earliest visible action is a reply injection, and a 1-word
+//!   write-ack delivers the cycle after it is injected);
+//! * forward network busy → `H = service + 2` (module delivery next
+//!   cycle, service pickup the cycle after, minimum service time, then
+//!   the 1-word reply bound);
+//! * always applicable → `H = service + 4` (a fresh CE request staged
+//!   at `t0+1` needs an injector-drain cycle and a module-delivery
+//!   cycle before the same service-and-reply path).
+//!
+//! The chunk length `L` is `H` clamped by every event the coordinator
+//! must observe on its exact cycle: the utilization-timeline boundary,
+//! the next fault-schedule transition, the watchdog's next inspection,
+//! the cycle limit, the `CEDAR_CHUNK_CYCLES` cap, and — the subtle one —
+//! per-port injector headroom (below). `L ≤ 1` degenerates to the
+//! per-cycle barrier round, which is also the `CEDAR_CHUNK_CYCLES=1`
+//! escape hatch.
+//!
+//! For a chunk, each worker runs its clusters `L` cycles back to back,
+//! staging every injection with its cycle tag. The coordinator then
+//! *replays* the shared components cycle by cycle — memory tick, reverse
+//! tick (asserted delivery-free), forward tick, then the staged
+//! injections and trace events for that cycle in (cluster, CE) order —
+//! so the real networks and memory observe **exactly the serial
+//! engine's call sequence** and every stat, stall charge, fault draw and
+//! trace stamp lands where the serial loop would put it.
 //!
 //! # Determinism
 //!
 //! The engine is bit-for-bit equivalent to the single-threaded engine in
 //! [`Machine::run`](crate::machine::Machine::run), not merely "equivalent
-//! up to reordering". That follows from three facts:
+//! up to reordering". That follows from four facts:
 //!
 //! 1. **Cluster state is disjoint.** A CE only touches its own cluster's
 //!    cache, TLB and CC bus, so shards never share mutable state.
 //! 2. **Cross-cluster traffic is per-port.** A CE (and its prefetch unit)
 //!    injects only at its own forward-network port, and acceptance
-//!    depends only on that port's injector occupancy
-//!    ([`Omega::injector_free`]), which is frozen for the cycle once the
-//!    serial network tick has run. Workers therefore record injections in
-//!    per-port staging buffers ([`PortStage`]) against a precomputed free
-//!    count, and the coordinator replays them into the real network at
-//!    the end-of-cycle barrier in (cluster id, CE id) order — exactly the
-//!    order the serial engine's CE loop performs them.
+//!    depends only on that port's injector occupancy. Each staging port
+//!    ([`PortStage`]) mirrors the occupancy with a shadow ring seeded
+//!    from the real injector at the round start and drained one word per
+//!    cycle — exactly the real injector's drain rate, which is
+//!    guaranteed because the chunk is clamped to the port's stage-queue
+//!    headroom (`queue_cap − occupancy`, plus one free cycle when the
+//!    ring starts empty), so the real drain can never block mid-chunk.
 //! 3. **Within a cycle, injections are invisible.** The serial tick moves
 //!    network words *before* ticking CEs, so a packet injected during the
 //!    CE phase is not observed by anything until the next cycle; applying
-//!    it at the barrier instead of mid-phase changes nothing.
+//!    it at the replay step instead of mid-phase changes nothing.
+//! 4. **Chunks are delivery-free.** The horizon bound guarantees no
+//!    reverse-network delivery falls inside a chunk (debug-asserted), so
+//!    no cluster input is ever computed from stale shared state.
 //!
-//! Tracer events posted by CEs are likewise buffered per shard and merged
-//! in the same order. The one model the barrier scheme cannot reproduce
-//! is demand paging, where same-cycle faults from different clusters race
-//! for the machine-wide page table; with [`VmConfig::enabled`]
-//! (`crate::config::VmConfig::enabled`) set the machine silently falls
-//! back to the serial engine.
-//!
-//! [`Omega::injector_free`]: crate::network::Omega::injector_free
+//! Tracer events posted by CEs are buffered per shard with their cycle
+//! tags and merged per replayed cycle in shard order — the serial
+//! engine's exact post order, including capacity drops, which only the
+//! machine-level tracer applies. The one model the barrier scheme cannot
+//! reproduce is demand paging, where same-cycle faults from different
+//! clusters race for the machine-wide page table; with
+//! [`VmConfig::enabled`] (`crate::config::VmConfig::enabled`) set the
+//! machine silently falls back to the serial engine.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -49,6 +93,7 @@ use crate::error::{MachineError, Result};
 use crate::ids::CeId;
 use crate::machine::{Cluster, Machine, Watchdog, STUCK_SYNC_CHECKS};
 use crate::monitor::{EventTracer, Histogrammer};
+use crate::network::omega::INJ_CAP;
 use crate::network::packet::{Packet, Payload, Stream};
 use crate::network::{InjectPort, NetSink};
 use crate::sched::{BarrierDef, CounterDef};
@@ -59,7 +104,7 @@ use crate::vm::PageTable;
 
 /// A reusable sense-reversing barrier. `std::sync::Barrier` parks and
 /// wakes through a mutex/condvar pair, which costs microseconds per wait;
-/// at two waits per simulated cycle that would swamp the cluster work.
+/// at two waits per barrier round that would swamp the cluster work.
 /// This one spins briefly and then yields, so it stays cheap both on
 /// dedicated cores and on oversubscribed hosts.
 struct SpinBarrier {
@@ -103,27 +148,90 @@ impl SpinBarrier {
     }
 }
 
+/// Per-worker barrier-wait accounting: wall time spent waiting and the
+/// number of waits, read into the host profiler after the run.
+type SyncWait = (AtomicU64, AtomicU64); // (total_ns, waits)
+
+/// Wait on `b`, charging the wait's wall time to `acc` when profiling.
+#[inline]
+fn timed_wait(b: &SpinBarrier, acc: Option<&SyncWait>) {
+    match acc {
+        Some((ns, waits)) => {
+            let t0 = std::time::Instant::now();
+            b.wait();
+            ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            waits.fetch_add(1, Ordering::Relaxed);
+        }
+        None => b.wait(),
+    }
+}
+
 /// A per-port staging buffer standing in for the forward network during
-/// the sharded cluster phase: accepts up to the port's real free injector
-/// slots (computed by the coordinator after the serial network tick) and
-/// records the packets for deterministic replay at the barrier.
+/// the sharded cluster phase. It mirrors the port's real injector with a
+/// shadow ring of remaining word counts, so acceptance decisions over a
+/// whole chunk match what the serial engine's `Omega::try_inject` would
+/// have returned cycle by cycle, and records accepted packets with their
+/// cycle tags for deterministic replay at the exchange.
 struct PortStage {
     /// The global network port this stage fronts (the owning CE's port).
     port: usize,
-    /// Injector slots still free this cycle.
-    free: usize,
-    /// Accepted packets, in injection order.
-    staged: Vec<Packet>,
+    /// The real injector's packet capacity.
+    cap: usize,
+    /// Link forced down by the fault layer, frozen for the round (chunks
+    /// are clamped to end before the next fault-schedule transition).
+    down: bool,
+    /// Injection attempts refused because the link is down; folded into
+    /// the network's `link_blocked` at the exchange, exactly the stat
+    /// (and the only state) the serial `try_inject` charges for these.
+    blocked: u64,
+    /// Shadow injector ring: remaining words of each queued packet, in
+    /// drain order. Seeded from the real injector at the round start.
+    ring: [u8; INJ_CAP],
+    ring_len: usize,
+    /// The worker-side cycle currently executing; tags staged packets.
+    now: Cycle,
+    /// Accepted packets in injection order, tagged with their cycle.
+    staged: Vec<(Cycle, Packet)>,
+    /// Replay cursor into `staged` (entries are cycle-ascending).
+    replayed: usize,
+}
+
+impl PortStage {
+    /// Start worker-side cycle `now`. On the chunked path (`drain`), the
+    /// shadow ring first streams one word the way `Omega::inject_words`
+    /// will during the replay of this cycle; the chunk clamp guarantees
+    /// the real drain cannot block, so one word per cycle is exact. On
+    /// the per-cycle path the real network already drained before the
+    /// occupancy was frozen, so only the cycle tag advances.
+    #[inline]
+    fn begin_cycle(&mut self, now: Cycle, drain: bool) {
+        self.now = now;
+        if drain && self.ring_len > 0 {
+            self.ring[0] -= 1;
+            if self.ring[0] == 0 {
+                self.ring.copy_within(1..self.ring_len, 0);
+                self.ring_len -= 1;
+            }
+        }
+    }
 }
 
 impl InjectPort for PortStage {
     fn try_inject(&mut self, port: usize, packet: Packet) -> bool {
         debug_assert_eq!(port, self.port, "CE injected at a foreign port");
-        if self.free == 0 {
+        if self.down {
+            // Serial order: the down check precedes the capacity check
+            // and charges `link_blocked` without consuming fault-mix
+            // draws or clearing stall state.
+            self.blocked += 1;
             return false;
         }
-        self.free -= 1;
-        self.staged.push(packet);
+        if self.ring_len >= self.cap {
+            return false;
+        }
+        self.ring[self.ring_len] = packet.words;
+        self.ring_len += 1;
+        self.staged.push((self.now, packet));
         true
     }
 }
@@ -138,20 +246,28 @@ struct Shard {
     engines: Vec<Option<CeEngine>>,
     /// One staging buffer per engine slot (port = shard base + index).
     stages: Vec<PortStage>,
-    /// Per-cycle event buffer, merged into the machine tracer in cluster
-    /// order at the barrier.
+    /// Per-round event buffer, merged into the machine tracer in cycle
+    /// then cluster order at the exchange. Unbounded: only the machine
+    /// tracer applies capacity, so drops land exactly where the serial
+    /// engine drops.
     events: EventTracer,
+    /// Merge cursor into `events` (entries are cycle-ascending).
+    events_cursor: usize,
     /// Scratch page table handed to `CeContext`. Never touched: the
     /// parallel engine only runs with VM modelling off.
     page_table: PageTable,
-    /// All local engines finished, as of the last tick.
-    done: bool,
+    /// First cycle at whose end every local engine was done, while that
+    /// has stayed true since (doneness is monotone mid-run; the replay's
+    /// completion check uses this to stop a chunk on the exact cycle the
+    /// serial loop would).
+    done_since: Option<Cycle>,
 }
 
 impl Shard {
     /// The cluster phase of one cycle, mirroring the serial engine's
     /// order: every CC bus first, then the engines in CE-id order.
-    fn tick(&mut self, now: Cycle, counters: &[CounterDef], barriers: &[BarrierDef]) {
+    /// `drain` streams the shadow injector rings (chunked rounds only).
+    fn tick(&mut self, now: Cycle, drain: bool, counters: &[CounterDef], barriers: &[BarrierDef]) {
         let Shard {
             first_cluster,
             clusters,
@@ -159,9 +275,12 @@ impl Shard {
             stages,
             events,
             page_table,
-            done,
+            done_since,
             ..
         } = self;
+        for st in stages.iter_mut() {
+            st.begin_cycle(now, drain);
+        }
         for cl in clusters.iter_mut() {
             cl.ccbus.tick(now);
         }
@@ -188,7 +307,11 @@ impl Shard {
             e.tick(now, &mut ctx);
             all_done &= e.is_done();
         }
-        *done = all_done;
+        *done_since = if all_done {
+            done_since.or(Some(now))
+        } else {
+            None
+        };
     }
 }
 
@@ -271,7 +394,9 @@ fn next_shard_event(
     let mut all_done = true;
     for sm in shards {
         let sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        all_done &= sh.done;
+        // Direct doneness: `done_since` can lag an engine that finished
+        // during a fast-forward skip.
+        all_done &= sh.engines.iter().flatten().all(CeEngine::is_done);
         for cl in &sh.clusters {
             best = min_event(best, cl.ccbus.next_event(now));
             if best == Some(soon) {
@@ -343,16 +468,17 @@ fn shard_progress_verdict(
 
 impl Machine {
     /// The parallel run loop: shard the clusters across
-    /// `effective_threads` scoped workers and step cycles with a
-    /// two-barrier exchange per cycle. See the module docs for the
-    /// determinism argument.
+    /// `effective_threads` scoped workers and step the machine in
+    /// lookahead-sized chunks with a two-barrier exchange per round. See
+    /// the module docs for the chunking scheme and the determinism
+    /// argument.
     ///
     /// Fast-forward runs on the coordinator after the exchange phase: at
     /// that point the machine state is exactly the serial engine's
     /// post-tick state, so the skip decision (and the bulk credit) is
     /// identical to the serial one. Jumping `now` between iterations is
     /// transparent to the parked workers — the cycle atomic is re-stored
-    /// every iteration.
+    /// every round.
     pub(crate) fn run_loop_parallel(
         &mut self,
         start: Cycle,
@@ -363,6 +489,22 @@ impl Machine {
         debug_assert!(threads > 1, "parallel loop needs two or more workers");
         let cpc = self.cfg.ces_per_cluster;
         let n_clusters = self.cfg.clusters;
+        let ce_ports = n_clusters * cpc;
+        // An explicit configured chunk length wins (tests pin lengths so
+        // they stay meaningful under a CI env matrix); otherwise the
+        // environment steers. 0 means the automatic lookahead bound.
+        let chunk_cap = if self.cfg.chunk_cycles > 0 {
+            self.cfg.chunk_cycles as u64
+        } else {
+            crate::env::chunk_cycles_from_env().unwrap_or(0) as u64
+        };
+        // Minimum module service time: the floor under every
+        // request-to-reply bound in the horizon (sync requests only add
+        // to it). Validation guarantees it is at least 1.
+        let min_service = u64::from(self.cfg.global_memory.service_cycles);
+        let queue_cap = self.forward.stage_queue_cap();
+        let injector_cap = self.forward.injector_capacity();
+        let prof_on = self.profiler.is_some();
 
         // Partition the clusters (and their engines) contiguously, as
         // evenly as possible.
@@ -378,20 +520,31 @@ impl Machine {
             let stages = (0..count * cpc)
                 .map(|i| PortStage {
                     port: first_cluster * cpc + i,
-                    free: 0,
+                    cap: injector_cap,
+                    down: false,
+                    blocked: 0,
+                    ring: [0; INJ_CAP],
+                    ring_len: 0,
+                    now: start,
                     staged: Vec::new(),
+                    replayed: 0,
                 })
                 .collect();
-            let done = engines.iter().flatten().all(CeEngine::is_done);
+            let done_since = engines
+                .iter()
+                .flatten()
+                .all(CeEngine::is_done)
+                .then_some(start);
             cluster_of.extend(std::iter::repeat_n(w, count));
             shards.push(Mutex::new(Shard {
                 first_cluster,
                 clusters,
                 engines,
                 stages,
-                events: EventTracer::with_capacity(self.tracer.capacity()),
+                events: EventTracer::with_capacity(usize::MAX),
+                events_cursor: 0,
                 page_table: PageTable::new(),
-                done,
+                done_since,
             }));
             first_cluster += count;
         }
@@ -418,32 +571,81 @@ impl Machine {
             let go = SpinBarrier::new(threads);
             let handoff = SpinBarrier::new(threads);
             let stop = AtomicBool::new(false);
+            // One round's work order for the workers: run cycles
+            // `base+1 ..= base+len` (`len > 1` implies a chunked round,
+            // which drains the shadow injector rings).
             let cycle = AtomicU64::new(now.0);
+            let chunk_len = AtomicU64::new(1);
+            let sync_waits: Vec<SyncWait> = (0..threads)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect();
             let shards = &shards;
 
             std::thread::scope(|s| {
-                for shard in &shards[1..] {
-                    let (go, handoff, stop, cycle) = (&go, &handoff, &stop, &cycle);
+                for (w, shard) in shards.iter().enumerate().skip(1) {
+                    let (go, handoff, stop) = (&go, &handoff, &stop);
+                    let (cycle, chunk_len) = (&cycle, &chunk_len);
+                    let acc = prof_on.then(|| &sync_waits[w]);
                     s.spawn(move || loop {
-                        go.wait();
+                        timed_wait(go, acc);
                         if stop.load(Ordering::Acquire) {
                             return;
                         }
-                        let t = Cycle(cycle.load(Ordering::Acquire));
-                        shard
+                        let base = cycle.load(Ordering::Acquire);
+                        let len = chunk_len.load(Ordering::Acquire);
+                        let mut sh = shard
                             .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .tick(t, counters, barriers);
-                        handoff.wait();
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        for k in 1..=len {
+                            sh.tick(Cycle(base + k), len > 1, counters, barriers);
+                        }
+                        drop(sh);
+                        timed_wait(handoff, acc);
                     });
                 }
 
+                // A coordinator panic (e.g. a violated debug assertion)
+                // would unwind into the scope's implicit join while the
+                // workers spin at `go`; release them first or the join
+                // never returns. This covers the between-rounds window,
+                // where every coordinator-side assertion lives — a panic
+                // inside a shard tick (on either side of the
+                // `go`/`handoff` pair) still hangs, as it must under any
+                // barrier scheme.
+                struct ReleaseOnPanic<'a> {
+                    stop: &'a AtomicBool,
+                    go: &'a SpinBarrier,
+                    armed: bool,
+                }
+                impl Drop for ReleaseOnPanic<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            self.stop.store(true, Ordering::Release);
+                            self.go.wait();
+                        }
+                    }
+                }
+                let mut guard = ReleaseOnPanic {
+                    stop: &stop,
+                    go: &go,
+                    armed: true,
+                };
+
+                let acc0 = prof_on.then(|| &sync_waits[0]);
+                let mut rounds = 0u64;
                 let mut watchdog = Watchdog::new(start);
                 let result = loop {
+                    // Direct engine doneness, not the tick-maintained
+                    // `done_since` marker: an engine can finish during a
+                    // fast-forward skip, between shard ticks, which the
+                    // marker cannot observe.
                     let ces_done = shards.iter().all(|s| {
                         s.lock()
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .done
+                            .engines
+                            .iter()
+                            .flatten()
+                            .all(CeEngine::is_done)
                     });
                     if ces_done && forward.is_idle() && reverse.is_idle() && gmem.is_idle() {
                         break Ok(());
@@ -466,72 +668,324 @@ impl Machine {
                     if now.saturating_since(start) > limit {
                         break Err(Stop::Limit);
                     }
-                    // Serial phase, in the serial engine's order: fault
-                    // schedule, memory, reverse network (delivering into
-                    // shard engines), forward network.
-                    *now += 1;
-                    let t = *now;
-                    forward.set_trace_now(t);
-                    reverse.set_trace_now(t);
-                    if let Some(fs) = fault_sched.as_mut() {
-                        profiled(profiler, region::FAULTS, || {
-                            fs.apply_due(t, forward, reverse, gmem);
-                        });
-                    }
-                    profiled(profiler, region::GMEM, || gmem.tick(t, reverse));
-                    profiled(profiler, region::REVERSE, || {
-                        let mut sink = ShardCeSink {
-                            shards,
-                            cluster_of: &cluster_of,
-                            ces_per_cluster: cpc,
-                            histogram: latency_histogram,
-                            now: t,
-                        };
-                        // Constant epoch: the CE side always accepts.
-                        reverse.tick_epoch(&mut sink, 0);
-                    });
-                    profiled(profiler, region::FORWARD, || {
-                        let epoch = gmem.accept_epoch();
-                        forward.tick_epoch(&mut *gmem, epoch);
-                    });
-                    // Freeze this cycle's injector capacity into the
-                    // staging buffers.
-                    for sm in shards.iter() {
-                        let mut sh = sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                        for st in &mut sh.stages {
-                            st.free = forward.injector_free(st.port);
-                            debug_assert!(st.staged.is_empty(), "stage not drained");
+
+                    // Chunk scheduling: the delivery-free horizon — the
+                    // minimum over every source that could put a reply
+                    // into the reverse network (module-doc derivation) —
+                    // clamped by every event that must land on its exact
+                    // cycle.
+                    let t0 = *now;
+                    let mut l: u64 = if !reverse.is_idle() {
+                        0
+                    } else {
+                        // A fresh CE request staged at t0+1: injector
+                        // drain at t0+2, module delivery at t0+3, then
+                        // service and the 1-word-reply delivery bound.
+                        let mut h = min_service + 4;
+                        if !forward.is_idle() {
+                            // An in-flight request: module delivery at
+                            // t0+1, service pickup at t0+2.
+                            h = h.min(min_service + 2);
+                        }
+                        if let Some(ev) = gmem.next_event(t0) {
+                            // A busy module: its earliest visible action
+                            // is the reply injection itself, and a 1-word
+                            // reply delivers the cycle after.
+                            h = h.min(ev.saturating_since(t0));
+                        }
+                        h
+                    };
+                    if l > 1 {
+                        if chunk_cap > 0 {
+                            l = l.min(chunk_cap);
+                        }
+                        l = l.min(watchdog.next_check().saturating_since(t0));
+                        l = l.min(timeline.next_boundary().saturating_since(t0));
+                        l = l.min(
+                            start
+                                .0
+                                .saturating_add(limit)
+                                .saturating_add(1)
+                                .saturating_sub(t0.0),
+                        );
+                        if let Some(fs) = fault_sched.as_ref() {
+                            if let Some(ev) = fs.next_event(t0) {
+                                l = l.min(ev.saturating_since(t0).saturating_sub(1));
+                            }
+                        }
+                        // Injector headroom: the shadow drain is one word
+                        // per cycle only while the real drain can't block
+                        // on a full stage-0 queue. The +1 when the ring
+                        // starts empty reflects that the first staged
+                        // packet reaches the real ring a cycle later.
+                        for port in 0..ce_ports {
+                            if l <= 1 {
+                                break;
+                            }
+                            let room = (queue_cap - forward.stage0_queue_len(port)) as u64
+                                + u64::from(forward.injector_len(port) == 0);
+                            l = l.min(room);
                         }
                     }
-                    cycle.store(t.0, Ordering::Release);
 
-                    // Cluster phase: all workers (this thread is shard 0's).
-                    go.wait();
-                    profiled(profiler, region::CLUSTER, || {
-                        shards[0]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .tick(t, counters, barriers);
-                    });
-                    handoff.wait();
-
-                    // Exchange phase: replay staged traffic in (cluster,
-                    // CE) order — the serial engine's exact order.
-                    profiled(profiler, region::EXCHANGE, || {
+                    if l <= 1 {
+                        // ---- Per-cycle round (the CEDAR_CHUNK_CYCLES=1
+                        // hatch). Serial phases first, in the serial
+                        // engine's order: fault schedule, memory, reverse
+                        // network (delivering into shard engines),
+                        // forward network.
+                        *now += 1;
+                        let t = *now;
+                        forward.set_trace_now(t);
+                        reverse.set_trace_now(t);
+                        if let Some(fs) = fault_sched.as_mut() {
+                            profiled(profiler, region::FAULTS, || {
+                                fs.apply_due(t, forward, reverse, gmem);
+                            });
+                        }
+                        profiled(profiler, region::GMEM, || gmem.tick(t, reverse));
+                        profiled(profiler, region::REVERSE, || {
+                            let mut sink = ShardCeSink {
+                                shards,
+                                cluster_of: &cluster_of,
+                                ces_per_cluster: cpc,
+                                histogram: latency_histogram,
+                                now: t,
+                            };
+                            // Constant epoch: the CE side always accepts.
+                            reverse.tick_epoch(&mut sink, 0);
+                        });
+                        profiled(profiler, region::FORWARD, || {
+                            let epoch = gmem.accept_epoch();
+                            forward.tick_epoch(&mut *gmem, epoch);
+                        });
+                        // Freeze this cycle's injector state into the
+                        // staging buffers (post-tick occupancy; the ring
+                        // word counts are not consulted without drain).
                         for sm in shards.iter() {
                             let mut sh =
                                 sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                            let Shard { stages, events, .. } = &mut *sh;
-                            for st in stages.iter_mut() {
-                                for pkt in st.staged.drain(..) {
-                                    let accepted = forward.try_inject(st.port, pkt);
-                                    debug_assert!(accepted, "staged injection exceeded capacity");
+                            for st in &mut sh.stages {
+                                st.down = forward.port_link_down(st.port);
+                                st.ring_len = forward.injector_len(st.port);
+                                debug_assert!(st.staged.is_empty(), "stage not drained");
+                            }
+                        }
+                        cycle.store(t0.0, Ordering::Release);
+                        chunk_len.store(1, Ordering::Release);
+
+                        // Cluster phase: all workers (this thread is
+                        // shard 0's).
+                        timed_wait(&go, acc0);
+                        profiled(profiler, region::CLUSTER, || {
+                            shards[0]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .tick(t, false, counters, barriers);
+                        });
+                        timed_wait(&handoff, acc0);
+
+                        // Exchange phase: replay staged traffic in
+                        // (cluster, CE) order — the serial engine's exact
+                        // order — and merge trace events likewise.
+                        profiled(profiler, region::EXCHANGE, || {
+                            let mut blocked = 0u64;
+                            for sm in shards.iter() {
+                                let mut sh =
+                                    sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                                let Shard {
+                                    stages,
+                                    events,
+                                    events_cursor,
+                                    ..
+                                } = &mut *sh;
+                                for st in stages.iter_mut() {
+                                    for (_, pkt) in st.staged.drain(..) {
+                                        let accepted = forward.try_inject(st.port, pkt);
+                                        debug_assert!(
+                                            accepted,
+                                            "staged injection exceeded capacity"
+                                        );
+                                    }
+                                    blocked += std::mem::take(&mut st.blocked);
+                                }
+                                for &(at, tag) in events.events() {
+                                    tracer.post(at, tag);
+                                }
+                                events.clear();
+                                *events_cursor = 0;
+                            }
+                            if blocked > 0 {
+                                forward.add_link_blocked(blocked);
+                            }
+                        });
+                    } else {
+                        // ---- Chunked round: workers run `l` cycles of
+                        // pure cluster work; the coordinator then replays
+                        // the shared components per cycle.
+                        for sm in shards.iter() {
+                            let mut sh =
+                                sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            for st in &mut sh.stages {
+                                st.down = forward.port_link_down(st.port);
+                                let (ring, len) = forward.injector_backlog(st.port);
+                                st.ring = ring;
+                                st.ring_len = len;
+                                debug_assert!(st.staged.is_empty(), "stage not drained");
+                            }
+                        }
+                        cycle.store(t0.0, Ordering::Release);
+                        chunk_len.store(l, Ordering::Release);
+
+                        timed_wait(&go, acc0);
+                        profiled(profiler, region::CLUSTER, || {
+                            let mut sh = shards[0]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            for k in 1..=l {
+                                sh.tick(Cycle(t0.0 + k), true, counters, barriers);
+                            }
+                        });
+                        timed_wait(&handoff, acc0);
+
+                        // Replay: the shared components observe the exact
+                        // serial call sequence for each chunk cycle, with
+                        // that cycle's staged injections and trace events
+                        // applied in (cluster, CE) order afterwards.
+                        #[cfg(debug_assertions)]
+                        let delivered_before = reverse.stats().packets_delivered;
+                        let chunk_end = Cycle(t0.0 + l);
+                        let mut completed = false;
+                        while *now < chunk_end && !completed {
+                            *now += 1;
+                            let u = *now;
+                            forward.set_trace_now(u);
+                            reverse.set_trace_now(u);
+                            if let Some(fs) = fault_sched.as_mut() {
+                                profiled(profiler, region::FAULTS, || {
+                                    fs.apply_due(u, forward, reverse, gmem);
+                                });
+                            }
+                            profiled(profiler, region::GMEM, || gmem.tick(u, reverse));
+                            profiled(profiler, region::REVERSE, || {
+                                let mut sink = ShardCeSink {
+                                    shards,
+                                    cluster_of: &cluster_of,
+                                    ces_per_cluster: cpc,
+                                    histogram: latency_histogram,
+                                    now: u,
+                                };
+                                reverse.tick_epoch(&mut sink, 0);
+                            });
+                            #[cfg(debug_assertions)]
+                            debug_assert_eq!(
+                                reverse.stats().packets_delivered,
+                                delivered_before,
+                                "lookahead violated: a delivery landed at cycle {} \
+                                 inside the chunk t0={} l={l}",
+                                u.0,
+                                t0.0,
+                            );
+                            profiled(profiler, region::FORWARD, || {
+                                let epoch = gmem.accept_epoch();
+                                forward.tick_epoch(&mut *gmem, epoch);
+                            });
+                            profiled(profiler, region::EXCHANGE, || {
+                                let mut all_done = true;
+                                for sm in shards.iter() {
+                                    let mut sh = sm
+                                        .lock()
+                                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                    all_done &= sh.done_since.is_some_and(|d| d <= u);
+                                    let Shard {
+                                        stages,
+                                        events,
+                                        events_cursor,
+                                        ..
+                                    } = &mut *sh;
+                                    for st in stages.iter_mut() {
+                                        while let Some(&(at, pkt)) = st.staged.get(st.replayed) {
+                                            if at != u {
+                                                break;
+                                            }
+                                            let accepted = forward.try_inject(st.port, pkt);
+                                            debug_assert!(
+                                                accepted,
+                                                "staged injection exceeded capacity"
+                                            );
+                                            st.replayed += 1;
+                                        }
+                                    }
+                                    let evs = events.events();
+                                    while let Some(&(at, tag)) = evs.get(*events_cursor) {
+                                        if at != u {
+                                            break;
+                                        }
+                                        tracer.post(at, tag);
+                                        *events_cursor += 1;
+                                    }
+                                }
+                                // Stop replaying where the serial loop
+                                // would stop ticking: everything done and
+                                // drained at the end of cycle `u`.
+                                if all_done
+                                    && forward.is_idle()
+                                    && reverse.is_idle()
+                                    && gmem.is_idle()
+                                {
+                                    completed = true;
+                                }
+                            });
+                        }
+                        if completed && *now < chunk_end {
+                            // The workers overshot the completion cycle;
+                            // every overshot tick of a done engine is a
+                            // pure `idle += 1`, so retract the overshoot
+                            // and stats match the serial loop exactly.
+                            let over = chunk_end.saturating_since(*now);
+                            for sm in shards.iter() {
+                                let mut sh =
+                                    sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                                for e in sh.engines.iter_mut().flatten() {
+                                    e.uncount_idle(over);
                                 }
                             }
-                            tracer.absorb(events);
-                            events.clear();
                         }
-                    });
+                        let mut blocked = 0u64;
+                        for sm in shards.iter() {
+                            let mut sh =
+                                sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let Shard {
+                                stages,
+                                events,
+                                events_cursor,
+                                ..
+                            } = &mut *sh;
+                            for st in stages.iter_mut() {
+                                debug_assert_eq!(
+                                    st.replayed,
+                                    st.staged.len(),
+                                    "unreplayed staged injection"
+                                );
+                                st.staged.clear();
+                                st.replayed = 0;
+                                blocked += std::mem::take(&mut st.blocked);
+                            }
+                            debug_assert_eq!(
+                                *events_cursor,
+                                events.events().len(),
+                                "unmerged trace event"
+                            );
+                            events.clear();
+                            *events_cursor = 0;
+                        }
+                        if blocked > 0 {
+                            forward.add_link_blocked(blocked);
+                        }
+                    }
+                    rounds += 1;
+
+                    let t = *now;
                     if timeline.due(t) {
                         profiled(profiler, region::TIMELINE, || {
                             fill_shard_samples(shards, util_scratch);
@@ -590,8 +1044,19 @@ impl Machine {
                         }
                     }
                 };
+                guard.armed = false;
                 stop.store(true, Ordering::Release);
-                go.wait();
+                timed_wait(&go, acc0);
+                if let Some(p) = profiler.as_deref_mut() {
+                    for (w, (ns, waits)) in sync_waits.iter().enumerate() {
+                        p.add_named(
+                            &format!("sync_wait_w{w}"),
+                            waits.load(Ordering::Relaxed),
+                            ns.load(Ordering::Relaxed),
+                        );
+                    }
+                    p.add_named("exchanges", rounds, 0);
+                }
                 result
             })
         };

@@ -105,6 +105,79 @@ fn run_rank64(clusters: usize, threads: usize, version: Rank64Version, n: u32) -
     }
 }
 
+/// Like [`run_rank64`] with the lookahead-chunk length and fast-forward
+/// pinned through the config builder (not the environment, so these legs
+/// stay meaningful under CI's `CEDAR_CHUNK_CYCLES` matrix).
+fn run_rank64_chunked(
+    threads: usize,
+    chunk: usize,
+    fastfwd: bool,
+    version: Rank64Version,
+    n: u32,
+) -> Fingerprint {
+    let cfg = with_env_knobs(
+        MachineConfig::cedar_with_clusters(4)
+            .with_threads(threads)
+            .with_chunk_cycles(chunk)
+            .with_fast_forward(fastfwd),
+    );
+    let mut m = Machine::new(cfg).unwrap();
+    let kern = Rank64 { n, k: 64, version };
+    let progs = kern.build(&mut m, 4);
+    let r = m.run(progs, 1_000_000_000).unwrap();
+    Fingerprint {
+        cycles: r.cycles,
+        memory: m.memory_digest(),
+        stats: r.stats,
+    }
+}
+
+/// The lookahead-chunking guarantee: every chunk length — the per-cycle
+/// hatch (1), a mid-range cap (4), the automatic bound (0, which
+/// resolves to `service_cycles + 4` = 6 on a quiet Cedar), and an
+/// oversized cap the lookahead must clamp (64) — produces the serial
+/// fingerprint at every thread count, fast-forward on or off.
+#[test]
+fn chunk_lengths_are_deterministic() {
+    let version = Rank64Version::GmPrefetch { block_words: 32 };
+    for fastfwd in [true, false] {
+        let base = run_rank64_chunked(1, 0, fastfwd, version, 64);
+        assert!(base.cycles > 0);
+        for chunk in [1usize, 4, 0, 64] {
+            for threads in [2usize, 4, 8] {
+                let got = run_rank64_chunked(threads, chunk, fastfwd, version, 64);
+                assert_equivalent(
+                    &format!("rank64 chunk={chunk} fastfwd={fastfwd}"),
+                    threads,
+                    &base,
+                    &got,
+                );
+            }
+        }
+    }
+}
+
+/// The cache version keeps the network busier (misses and write-backs
+/// rather than regular prefetch bursts), so its chunk schedule collapses
+/// to one cycle far more often — a different interleaving of the chunked
+/// and per-cycle paths that must still be invisible.
+#[test]
+fn chunking_is_deterministic_under_cache_traffic() {
+    let version = Rank64Version::GmCache;
+    let base = run_rank64_chunked(1, 0, true, version, 64);
+    for chunk in [0usize, 4] {
+        for threads in [2usize, 4] {
+            let got = run_rank64_chunked(threads, chunk, true, version, 64);
+            assert_equivalent(
+                &format!("rank64 gm-cache chunk={chunk}"),
+                threads,
+                &base,
+                &got,
+            );
+        }
+    }
+}
+
 /// The headline guarantee: the rank-64 kernel on the full machine is
 /// bit-identical at 1, 2 and 4 threads.
 #[test]

@@ -190,6 +190,46 @@ fn scheduled_outages_are_survivable_and_counted() {
     );
 }
 
+/// The link-outage path through the *parallel* engine: a downed port's
+/// refused injections are charged to `net.fwd.link_blocked` at the
+/// staging buffer (the serial `try_inject` checks the outage before
+/// capacity and charges per attempt), so the counter — and everything
+/// downstream of the stalled CE — must match the serial run exactly at
+/// every thread count and chunk length.
+#[test]
+fn link_outages_are_deterministic_across_threads_and_chunking() {
+    let plan = || FaultPlan {
+        link_outages: vec![LinkOutage {
+            port: 0,
+            from: 500,
+            until: 2_500,
+        }],
+        ..FaultPlan::none(7)
+    };
+    let base = run_rank64(
+        MachineConfig::cedar_with_clusters(2).with_faults(plan()),
+        64,
+    )
+    .unwrap();
+    assert!(
+        base.stats.counter("net.fwd.link_blocked") > 0,
+        "the downed port should have refused at least one injection"
+    );
+    for threads in [2usize, 4] {
+        for chunk in [0usize, 1, 4] {
+            let got = run_rank64(
+                MachineConfig::cedar_with_clusters(2)
+                    .with_threads(threads)
+                    .with_chunk_cycles(chunk)
+                    .with_faults(plan()),
+                64,
+            )
+            .unwrap();
+            assert_identical(&format!("{threads} threads, chunk={chunk}"), &base, &got);
+        }
+    }
+}
+
 /// A module that never comes back exhausts the bounded retries and
 /// surfaces as a structured `Faulted` error naming the stuck CE — not a
 /// hang, not a panic. The no-prefetch kernel keeps the traffic on the

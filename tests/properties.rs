@@ -639,10 +639,16 @@ fn emit_random_ops(b: &mut ProgramBuilder, rng: &mut SplitMix, depth: u32, count
 /// its own generated program, all CEs meet at one global barrier at the
 /// end, and self-scheduled loops share two global counters across CEs.
 fn run_random_programs(seed: u64, lowered: bool, threads: usize) -> (u64, u64, String, bool) {
-    let clusters = 2;
-    let cfg = cedar_machine::MachineConfig::cedar_with_clusters(clusters)
+    let cfg = cedar_machine::MachineConfig::cedar_with_clusters(2)
         .with_threads(threads)
         .with_lowered(lowered);
+    run_random_programs_on(seed, cfg)
+}
+
+fn run_random_programs_on(
+    seed: u64,
+    cfg: cedar_machine::MachineConfig,
+) -> (u64, u64, String, bool) {
     let mut m = Machine::new(cfg).unwrap();
     let total = m.config().total_ces();
     let counters = [
@@ -697,6 +703,37 @@ proptest! {
                 .map(|(a, b)| format!("  interpreter: {a}\n  lowered:     {b}"))
                 .collect();
             prop_assert!(false, "stats drifted:\n{}", diff.join("\n"));
+        }
+    }
+
+    /// Lookahead-chunked partitioned execution is bit-identical to the
+    /// serial engine on arbitrary generated traffic — sync ops,
+    /// gathers/scatters, prefetch bursts, shared self-scheduling
+    /// counters, a global barrier — at every chunk length: the
+    /// automatic horizon (0), the per-cycle hatch (1), a mid-range cap
+    /// (4) and an oversized one the lookahead must clamp (64).
+    #[test]
+    fn chunked_execution_is_bit_identical_to_serial(
+        seed in 0u64..100_000,
+        chunk in prop::sample::select(vec![0usize, 1, 4, 64]),
+    ) {
+        let (base_cycles, base_digest, base_stats, _) =
+            run_random_programs(seed, true, 1);
+        let cfg = cedar_machine::MachineConfig::cedar_with_clusters(2)
+            .with_threads(2)
+            .with_lowered(true)
+            .with_chunk_cycles(chunk);
+        let (cycles, digest, stats, _) = run_random_programs_on(seed, cfg);
+        prop_assert_eq!(base_cycles, cycles, "cycle count drifted at chunk={}", chunk);
+        prop_assert_eq!(base_digest, digest, "memory digest drifted at chunk={}", chunk);
+        if base_stats != stats {
+            let diff: Vec<String> = base_stats
+                .lines()
+                .zip(stats.lines())
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| format!("  serial:  {a}\n  chunked: {b}"))
+                .collect();
+            prop_assert!(false, "stats drifted at chunk={}:\n{}", chunk, diff.join("\n"));
         }
     }
 }
