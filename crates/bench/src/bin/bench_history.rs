@@ -1,14 +1,15 @@
 //! Bench-regression observatory: validate the committed `BENCH_*.json`
 //! artifacts and gate on unexplained regressions.
 //!
-//! The repo commits three machine-readable bench artifacts —
+//! The repo commits four machine-readable bench artifacts —
 //! `BENCH_hotpath.json` (busy-cycle throughput vs the pre-overhaul
-//! baseline), `BENCH_simspeed.json` (fast-forward on/off speedups) and
-//! `BENCH_resilience.json` (fault-sweep outcomes). Each is written by a
-//! different binary with its own hand-rolled serializer, so drift is
-//! easy: a field renamed in one place, a speedup that no longer matches
-//! the quotient it claims to be, a committed smoke artifact masquerading
-//! as a full run.
+//! baseline), `BENCH_simspeed.json` (fast-forward on/off speedups),
+//! `BENCH_resilience.json` (fault-sweep outcomes) and
+//! `BENCH_crash_resume.json` (checkpoint/resume kill-and-recover
+//! outcomes). Each is written by a different binary with its own
+//! hand-rolled serializer, so drift is easy: a field renamed in one
+//! place, a speedup that no longer matches the quotient it claims to be,
+//! a committed smoke artifact masquerading as a full run.
 //!
 //! Default mode prints a one-screen summary of all three files.
 //! `--check` additionally exits nonzero when any file is missing,
@@ -37,7 +38,12 @@
 //!   cost any row more than 10% (including the 1-thread rows, where the
 //!   serial engine makes the knob inert and the row pins neutrality),
 //! * every resilience row must have completed with outcome `"ok"` and
-//!   slowdown under 10x.
+//!   slowdown under 10x,
+//! * every crash-resume point must be bit-identical — matching cycle
+//!   count, memory digest and stats tree — and the file must cover both
+//!   kill modes (in-process and SIGKILL) at 1 and 4 threads. These are
+//!   determinism gates, not performance gates, so they are *not* skipped
+//!   for smoke artifacts: bit-identity holds at any workload size.
 //!
 //! Regression gates are skipped (with a note) for smoke artifacts —
 //! `"smoke": true`, or a resilience `n` below the full 128 — since smoke
@@ -665,12 +671,86 @@ fn check_resilience(rep: &mut Report) {
     }
 }
 
+fn check_crash_resume(rep: &mut Report) {
+    let file = "BENCH_crash_resume.json";
+    let Some(doc) = load(rep, file) else { return };
+    if doc.get("smoke").and_then(Value::as_bool).is_none() {
+        rep.fail(file, "missing boolean smoke field".into());
+        return;
+    }
+    let Some(points) = doc.get("points").and_then(Value::as_arr) else {
+        rep.fail(file, "missing points array".into());
+        return;
+    };
+    if points.is_empty() {
+        rep.fail(file, "no points".into());
+    }
+    // The matrix the file must cover: both kill modes at both engine
+    // shapes (serial 1-thread, chunked 4-thread).
+    let mut covered: Vec<(String, u64)> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let mode = p.get("mode").and_then(Value::as_str);
+        let threads = p.get("threads").and_then(Value::as_u64);
+        let baseline = p.get("baseline_cycles").and_then(Value::as_u64);
+        let resumed = p.get("resumed_cycles").and_then(Value::as_u64);
+        let digest = p.get("digest_match").and_then(Value::as_bool);
+        let stats = p.get("stats_match").and_then(Value::as_bool);
+        let (Some(mode), Some(threads), Some(baseline), Some(resumed), Some(digest), Some(stats)) =
+            (mode, threads, baseline, resumed, digest, stats)
+        else {
+            rep.fail(file, format!("points[{i}]: missing/mistyped field"));
+            continue;
+        };
+        covered.push((mode.to_string(), threads));
+        if baseline == 0 {
+            rep.fail(
+                file,
+                format!("point {mode}@{threads}: zero baseline cycles"),
+            );
+        }
+        // Bit-identity is workload-size-independent, so these gates
+        // apply to smoke artifacts too.
+        if resumed != baseline {
+            rep.fail(
+                file,
+                format!(
+                    "point {mode}@{threads}: resumed run took {resumed} cycles, \
+                     uninterrupted took {baseline}"
+                ),
+            );
+        }
+        if !digest {
+            rep.fail(
+                file,
+                format!("point {mode}@{threads}: memory digest mismatch after resume"),
+            );
+        }
+        if !stats {
+            rep.fail(
+                file,
+                format!("point {mode}@{threads}: stats tree mismatch after resume"),
+            );
+        }
+    }
+    for mode in ["in-process", "sigkill"] {
+        for threads in [1u64, 4] {
+            if !covered.iter().any(|(m, t)| m == mode && *t == threads) {
+                rep.fail(
+                    file,
+                    format!("missing coverage: no {mode} point at {threads} thread(s)"),
+                );
+            }
+        }
+    }
+}
+
 /// One-line summary per file for the default (no `--check`) mode.
 fn summarize() {
     for file in [
         "BENCH_hotpath.json",
         "BENCH_simspeed.json",
         "BENCH_resilience.json",
+        "BENCH_crash_resume.json",
     ] {
         let Ok(text) = std::fs::read_to_string(file) else {
             println!("{file:<24} (missing)");
@@ -742,6 +822,19 @@ fn summarize() {
                     println!("{:<24} chunked:      {}", "", chunked.join(", "));
                 }
             }
+            "BENCH_crash_resume.json" => {
+                let pts = doc.get("points").and_then(Value::as_arr);
+                let total = pts.map_or(0, <[Value]>::len);
+                let ok = pts.map_or(0, |ps| {
+                    ps.iter()
+                        .filter(|p| {
+                            p.get("digest_match").and_then(Value::as_bool) == Some(true)
+                                && p.get("stats_match").and_then(Value::as_bool) == Some(true)
+                        })
+                        .count()
+                });
+                println!("{file:<24} {ok}/{total} points bit-identical");
+            }
             _ => {
                 let rows = doc
                     .get("rows")
@@ -771,6 +864,7 @@ fn main() {
     check_hotpath(&mut rep);
     check_simspeed(&mut rep);
     check_resilience(&mut rep);
+    check_crash_resume(&mut rep);
     for file in &rep.gates_skipped {
         eprintln!("note: {file} is a smoke artifact; regression gates skipped");
     }

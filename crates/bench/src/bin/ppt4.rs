@@ -1,10 +1,23 @@
 //! Regenerate the PPT4 scalability study: CG on Cedar (2-32 CEs,
 //! 1K-172K) versus the CM-5 banded matvec reference.
+//!
+//! `--checkpoint <dir>` auto-snapshots every simulation so an
+//! interrupted sweep can be continued with `--resume` (see
+//! `EXPERIMENTS.md`, "Crash recovery").
+
+use cedar::experiments::ppt4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ck = cedar::experiments::ckpt::Checkpoint::from_cli(std::env::args())?;
     let iters = if cedar_bench::quick() { 1 } else { 2 };
     eprintln!("running the PPT4 CG sweep (5 processor counts x 6 sizes)...");
-    let study = cedar::experiments::ppt4::run(iters)?;
+    let study = ppt4::run_swept_with(
+        iters,
+        &ppt4::sizes(),
+        &ppt4::processor_counts(),
+        65_536,
+        ck.as_ref(),
+    )?;
     println!("{}", study.render());
     if let Some(n) = study.high_band_crossover() {
         println!("32-CE high-band crossover at N = {n} (paper: between 10K and 16K)");

@@ -33,6 +33,8 @@ fn json(r: &Resilience) -> String {
                     "      \"retries\": {},\n",
                     "      \"timeouts\": {},\n",
                     "      \"prefetch_retries\": {},\n",
+                    "      \"retry_p50\": {},\n",
+                    "      \"retry_p95\": {},\n",
                     "      \"retry_p99\": {}\n",
                     "    }}"
                 ),
@@ -47,6 +49,8 @@ fn json(r: &Resilience) -> String {
                 row.retries,
                 row.timeouts,
                 row.prefetch_retries,
+                row.retry_p50.map_or("null".to_string(), |p| p.to_string()),
+                row.retry_p95.map_or("null".to_string(), |p| p.to_string()),
                 row.retry_p99.map_or("null".to_string(), |p| p.to_string()),
             )
         })
@@ -91,13 +95,14 @@ fn validate(r: &Resilience) -> Result<(), String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let ck = cedar::experiments::ckpt::Checkpoint::from_cli(std::env::args())?;
     let n = if smoke || cedar_bench::quick() {
         64
     } else {
         128
     };
     eprintln!("running resilience study (rank-64 n = {n}, seed = {SEED:#x})...");
-    let r = resilience::run(n, SEED)?;
+    let r = resilience::run_with(n, SEED, ck.as_ref())?;
     println!("{}", r.render());
     if smoke {
         validate(&r).map_err(|e| format!("schema validation failed: {e}"))?;

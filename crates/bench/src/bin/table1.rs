@@ -1,9 +1,14 @@
 //! Regenerate Table 1: MFLOPS for the rank-64 update on Cedar.
+//!
+//! `--checkpoint <dir>` auto-snapshots every simulation so an
+//! interrupted table can be continued with `--resume` (see
+//! `EXPERIMENTS.md`, "Crash recovery").
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ck = cedar::experiments::ckpt::Checkpoint::from_cli(std::env::args())?;
     let n = if cedar_bench::quick() { 128 } else { 256 };
     eprintln!("running Table 1 (rank-64 update, n = {n}; three versions x four cluster counts)...");
-    let t1 = cedar::experiments::table1::run(n)?;
+    let t1 = cedar::experiments::table1::run_with(n, ck.as_ref())?;
     println!("{}", t1.render());
     let pf = t1.prefetch_factors();
     let cf = t1.cache_factors();

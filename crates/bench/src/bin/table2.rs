@@ -1,9 +1,16 @@
 //! Regenerate Table 2: global memory performance (prefetch first-word
 //! latency and interarrival time for VL, TM, RK, CG at 8/16/32 CEs).
+//!
+//! `--checkpoint <dir>` auto-snapshots every simulation so an
+//! interrupted table can be continued with `--resume` (see
+//! `EXPERIMENTS.md`, "Crash recovery").
+
+use cedar::experiments::table2::{run_sized_with, Table2Sizes};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ck = cedar::experiments::ckpt::Checkpoint::from_cli(std::env::args())?;
     eprintln!("running Table 2 (VL, TM, RK, CG at 8/16/32 CEs)...");
-    let t2 = cedar::experiments::table2::run()?;
+    let t2 = run_sized_with(Table2Sizes::default(), ck.as_ref())?;
     println!("{}", t2.render());
     for name in ["VL", "TM", "RK", "CG"] {
         if let Some(g) = t2.latency_growth(name) {

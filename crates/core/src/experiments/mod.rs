@@ -13,7 +13,9 @@
 //! | [`ppt4`]   | §4.3 PPT4 — CG scalability vs the CM-5 |
 //! | [`resilience`] | fault-injection study: the machine degrading gracefully |
 //! | [`sweep`]  | parallel sweep runner shared by the drivers above |
+//! | [`ckpt`]   | checkpoint/resume plan shared by the drivers (crash recovery) |
 
+pub mod ckpt;
 pub mod fig3;
 pub mod ppt4;
 pub mod resilience;

@@ -12,9 +12,11 @@
 
 use cedar_kernels::staged::banded::BandedMatvec;
 use cedar_kernels::staged::cg::StagedCg;
+use cedar_machine::machine::RunReport;
 use cedar_methodology::ppt::{ppt4 as eval_ppt4, Ppt4Report, ScalePoint};
 use cedar_perfect::reference::{cm5_banded_series, paper};
 
+use crate::experiments::ckpt;
 use crate::report::{f1, Table};
 
 /// The whole study.
@@ -37,6 +39,9 @@ pub struct Ppt4Study {
     /// Total simulated cycles across every run of the sweep (the
     /// simulator-throughput benchmark divides wall time by this).
     pub total_cycles: u64,
+    /// Crash-recovery provenance: one line per sweep point resumed from
+    /// a snapshot. Empty for uninterrupted studies.
+    pub resumed: Vec<String>,
 }
 
 /// Problem sizes of the study (the paper's 1K…172K sweep).
@@ -77,29 +82,73 @@ pub fn run_swept(
     procs: &[u32],
     banded_n: u64,
 ) -> cedar_machine::Result<Ppt4Study> {
+    run_swept_with(iterations, ns, procs, banded_n, None)
+}
+
+/// Run one CG simulation of the sweep, recoverably when a checkpoint
+/// plan is active. The key must be unique across the *whole* grid — the
+/// 1-CE baseline for the same N runs concurrently under several P
+/// points, so baselines are keyed by both P and N.
+fn cg_point(
+    cg: &StagedCg,
+    ces: usize,
+    key: &str,
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<RunReport> {
+    let Some(ck) = ck else {
+        return cg.report_on_cedar(ces);
+    };
+    let path = ck.snap_path(key);
+    let r = cg.report_on_cedar_recoverable(ces, &path, ck.every, ck.resume)?;
+    let _ = std::fs::remove_file(&path);
+    Ok(r)
+}
+
+/// [`run_swept`] under an optional crash-recovery plan: every simulation
+/// of the grid (baseline, P-CE run, banded comparison) auto-checkpoints
+/// to its own snapshot file, and `--resume` continues interrupted points
+/// (recorded in [`Ppt4Study::resumed`]).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_swept_with(
+    iterations: u32,
+    ns: &[u64],
+    procs: &[u32],
+    banded_n: u64,
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<Ppt4Study> {
     let grid: Vec<(u32, u64)> = procs
         .iter()
         .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
         .collect();
     let measured = crate::experiments::sweep::parallel_map(&grid, |&(p, n)| {
         let cg = StagedCg { n, iterations };
-        let one = cg.report_on_cedar(1)?;
-        let r = cg.report_on_cedar(p as usize)?;
+        let base_key = format!("ppt4-base-p{p}-n{n}");
+        let run_key = format!("ppt4-p{p}-n{n}");
+        let one = cg_point(&cg, 1, &base_key, ck)?;
+        let r = cg_point(&cg, p as usize, &run_key, ck)?;
         let point = ScalePoint {
             processors: p,
             n,
             mflops: r.mflops,
             speedup: r.mflops / one.mflops.max(1e-9),
         };
-        Ok::<_, cedar_machine::MachineError>((point, one.cycles + r.cycles))
+        let mut provenance = Vec::new();
+        provenance.extend(ckpt::provenance_of(&base_key, &one));
+        provenance.extend(ckpt::provenance_of(&run_key, &r));
+        Ok::<_, cedar_machine::MachineError>((point, one.cycles + r.cycles, provenance))
     });
 
     let mut points = Vec::new();
     let mut total_cycles = 0u64;
+    let mut resumed = Vec::new();
     for res in measured {
-        let (point, cycles) = res?;
+        let (point, cycles, provenance) = res?;
         points.push(point);
         total_cycles += cycles;
+        resumed.extend(provenance);
     }
     let peak = procs
         .iter()
@@ -137,7 +186,16 @@ pub fn run_swept(
     let mut cedar_banded = Vec::new();
     for bw in [3u32, 11] {
         let k = BandedMatvec::new(banded_n, bw);
-        let r = k.report_on_cedar(4)?;
+        let key = format!("ppt4-banded-bw{bw}");
+        let r = if let Some(ck) = ck {
+            let path = ck.snap_path(&key);
+            let r = k.report_on_cedar_recoverable(4, &path, ck.every, ck.resume)?;
+            let _ = std::fs::remove_file(&path);
+            r
+        } else {
+            k.report_on_cedar(4)?
+        };
+        resumed.extend(ckpt::provenance_of(&key, &r));
         total_cycles += r.cycles;
         cedar_banded.push((bw, r.mflops));
     }
@@ -150,6 +208,7 @@ pub fn run_swept(
         sizes: ns.to_vec(),
         procs: procs.to_vec(),
         total_cycles,
+        resumed,
     })
 }
 
@@ -214,6 +273,10 @@ impl Ppt4Study {
                 mf / 32.0,
                 if *bw == 3 { 30.0 / 32.0 } else { 62.5 / 32.0 },
             ));
+        }
+        for line in &self.resumed {
+            s.push_str(line);
+            s.push('\n');
         }
         s
     }

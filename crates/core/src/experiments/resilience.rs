@@ -20,12 +20,12 @@
 use cedar_fortran::compile::Backend;
 use cedar_fortran::restructure::{Level, Restructurer};
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
-use cedar_machine::machine::{Machine, RunReport};
+use cedar_machine::machine::RunReport;
 use cedar_machine::{FaultPlan, LinkOutage, MachineConfig, MachineError, ModuleOutage};
 use cedar_perfect::{spec, CodeName};
 use cedar_xylem::costs::XylemCosts;
 
-use crate::experiments::sweep;
+use crate::experiments::{ckpt, sweep};
 use crate::report::{f2, Table};
 
 /// Clusters every point runs on (the full machine).
@@ -145,6 +145,10 @@ pub struct ResilienceRow {
     pub timeouts: u64,
     /// Prefetch-element re-requests after a lost reply.
     pub prefetch_retries: u64,
+    /// Median retry latency in cycles (issue → resolution).
+    pub retry_p50: Option<usize>,
+    /// 95th-percentile retry latency in cycles.
+    pub retry_p95: Option<usize>,
     /// 99th-percentile retry latency in cycles (issue → resolution).
     pub retry_p99: Option<usize>,
 }
@@ -155,13 +159,23 @@ pub struct Resilience {
     pub rows: Vec<ResilienceRow>,
     pub n: u32,
     pub seed: u64,
+    /// Crash-recovery provenance: one line per point resumed from a
+    /// snapshot. Empty for uninterrupted studies.
+    pub resumed: Vec<String>,
 }
 
-fn run_point(w: Workload, s: &Scenario, n: u32, seed: u64) -> cedar_machine::Result<ResilienceRow> {
+fn run_point(
+    w: Workload,
+    s: &Scenario,
+    n: u32,
+    seed: u64,
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<(ResilienceRow, Option<String>)> {
     let mut cfg = MachineConfig::cedar_with_clusters(CLUSTERS).with_env_threads();
     if let Some(plan) = s.plan(seed) {
         cfg = cfg.with_faults(plan);
     }
+    let key = format!("res-{}-{}", w.label(), s.label());
     let report = match w {
         Workload::Rank64NoPref | Workload::Rank64Pref => {
             let version = if w == Workload::Rank64Pref {
@@ -169,24 +183,42 @@ fn run_point(w: Workload, s: &Scenario, n: u32, seed: u64) -> cedar_machine::Res
             } else {
                 Rank64Version::GmNoPrefetch
             };
-            let mut m = Machine::new(cfg)?;
-            let kern = Rank64 { n, k: 64, version };
-            let progs = kern.build(&mut m, CLUSTERS);
-            m.run(progs, LIMIT)
+            ckpt::run_point(ck, &key, cfg, LIMIT, |m| {
+                Rank64 { n, k: 64, version }.build(m, CLUSTERS)
+            })
         }
         Workload::Trfd => {
             let src = spec(CodeName::Trfd).to_source();
             let compiled = Restructurer::default().restructure(&src, Level::Automatable);
-            Backend::new(XylemCosts::cedar()).execute_on(&compiled, cfg, CLUSTERS, LIMIT)
+            let backend = Backend::new(XylemCosts::cedar());
+            if let Some(ck) = ck {
+                let path = ck.snap_path(&key);
+                let resuming = ck.resume && path.exists();
+                let cfg = cfg.with_checkpoint(ck.every, &path);
+                let r = if resuming {
+                    backend.resume_on(&compiled, cfg, CLUSTERS, LIMIT, &path)
+                } else {
+                    backend.execute_on(&compiled, cfg, CLUSTERS, LIMIT)
+                };
+                if r.is_ok() {
+                    let _ = std::fs::remove_file(&path);
+                }
+                r
+            } else {
+                backend.execute_on(&compiled, cfg, CLUSTERS, LIMIT)
+            }
         }
     };
     Ok(match report {
-        Ok(r) => row_from_report(w, s, &r),
+        Ok(r) => {
+            let provenance = ckpt::provenance_of(&key, &r);
+            (row_from_report(w, s, &r), provenance)
+        }
         // A structured failure is a *result* of the study, not an error
         // of the sweep: the row records what the machine reported.
-        Err(MachineError::Deadlock { .. }) => failed_row(w, s, "deadlock"),
-        Err(MachineError::Faulted { .. }) => failed_row(w, s, "fault exhaustion"),
-        Err(MachineError::CycleLimitExceeded { .. }) => failed_row(w, s, "cycle limit"),
+        Err(MachineError::Deadlock { .. }) => (failed_row(w, s, "deadlock"), None),
+        Err(MachineError::Faulted { .. }) => (failed_row(w, s, "fault exhaustion"), None),
+        Err(MachineError::CycleLimitExceeded { .. }) => (failed_row(w, s, "cycle limit"), None),
         Err(e) => return Err(e),
     })
 }
@@ -205,6 +237,14 @@ fn row_from_report(w: Workload, s: &Scenario, r: &RunReport) -> ResilienceRow {
         retries: c("fault.retries"),
         timeouts: c("fault.timeouts"),
         prefetch_retries: c("prefetch.retries"),
+        retry_p50: r
+            .stats
+            .histogram("fault.retry_latency")
+            .and_then(|h| h.percentile(0.5)),
+        retry_p95: r
+            .stats
+            .histogram("fault.retry_latency")
+            .and_then(|h| h.percentile(0.95)),
         retry_p99: r
             .stats
             .histogram("fault.retry_latency")
@@ -225,6 +265,8 @@ fn failed_row(w: Workload, s: &Scenario, outcome: &str) -> ResilienceRow {
         retries: 0,
         timeouts: 0,
         prefetch_retries: 0,
+        retry_p50: None,
+        retry_p95: None,
         retry_p99: None,
     }
 }
@@ -239,15 +281,34 @@ fn failed_row(w: Workload, s: &Scenario, outcome: &str) -> ResilienceRow {
 /// Structured run failures (deadlock, fault exhaustion, cycle limit) are
 /// reported as non-completed rows, not errors.
 pub fn run(n: u32, seed: u64) -> cedar_machine::Result<Resilience> {
+    run_with(n, seed, None)
+}
+
+/// [`run`] under an optional crash-recovery plan: each (workload,
+/// scenario) simulation auto-checkpoints to its own snapshot file, and
+/// `--resume` continues interrupted points (recorded in
+/// [`Resilience::resumed`]).
+///
+/// # Errors
+///
+/// As [`run`], plus snapshot read/validation failures.
+pub fn run_with(
+    n: u32,
+    seed: u64,
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<Resilience> {
     let scenarios = Scenario::all();
     let points: Vec<(Workload, Scenario)> = Workload::ALL
         .iter()
         .flat_map(|&w| scenarios.iter().map(move |s| (w, s.clone())))
         .collect();
-    let results = sweep::parallel_map(&points, |(w, s)| run_point(*w, s, n, seed));
+    let results = sweep::parallel_map(&points, |(w, s)| run_point(*w, s, n, seed, ck));
     let mut rows = Vec::with_capacity(results.len());
+    let mut resumed = Vec::new();
     for r in results {
-        rows.push(r?);
+        let (row, provenance) = r?;
+        rows.push(row);
+        resumed.extend(provenance);
     }
     // Slowdown against each workload's clean baseline.
     for w in Workload::ALL {
@@ -263,7 +324,12 @@ pub fn run(n: u32, seed: u64) -> cedar_machine::Result<Resilience> {
             }
         }
     }
-    Ok(Resilience { rows, n, seed })
+    Ok(Resilience {
+        rows,
+        n,
+        seed,
+        resumed,
+    })
 }
 
 impl Resilience {
@@ -284,6 +350,8 @@ impl Resilience {
             "retries",
             "timeouts",
             "pf.retries",
+            "retry p50",
+            "retry p95",
             "retry p99",
         ]);
         for r in &self.rows {
@@ -306,9 +374,16 @@ impl Resilience {
                 r.retries.to_string(),
                 r.timeouts.to_string(),
                 r.prefetch_retries.to_string(),
+                r.retry_p50.map_or("-".to_string(), |p| p.to_string()),
+                r.retry_p95.map_or("-".to_string(), |p| p.to_string()),
                 r.retry_p99.map_or("-".to_string(), |p| p.to_string()),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        for line in &self.resumed {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
     }
 }

@@ -10,10 +10,10 @@
 //! | GM/cache   | 52.0  | 104.0 | 152.0 | 208.0 |
 
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
-use cedar_machine::machine::Machine;
 use cedar_machine::{MachineConfig, MachineStats};
 use cedar_perfect::reference::paper;
 
+use crate::experiments::ckpt;
 use crate::report::{f1, Table};
 
 /// One version's MFLOPS across cluster counts, with the paper's row.
@@ -33,6 +33,10 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
     /// Matrix dimension used by the simulated kernel.
     pub n: u32,
+    /// Crash-recovery provenance: one line per point that was resumed
+    /// from a snapshot rather than run start-to-finish. Empty for
+    /// uninterrupted tables, so their rendering is unchanged.
+    pub resumed: Vec<String>,
 }
 
 /// Run the Table 1 experiment. `n` is the matrix dimension (the paper
@@ -44,6 +48,19 @@ pub struct Table1 {
 ///
 /// Propagates simulator errors.
 pub fn run(n: u32) -> cedar_machine::Result<Table1> {
+    run_with(n, None)
+}
+
+/// [`run`] under an optional crash-recovery plan: each of the 12
+/// (version × cluster count) simulations auto-checkpoints to its own
+/// snapshot file, and `--resume` continues interrupted points. Resumed
+/// points are bit-identical to uninterrupted ones; the `resumed` field
+/// records which points were recovered.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_with(n: u32, ck: Option<&ckpt::Checkpoint>) -> cedar_machine::Result<Table1> {
     let versions: [(&'static str, Rank64Version, [f64; 4]); 3] = [
         (
             "GM/no-pref",
@@ -58,15 +75,17 @@ pub fn run(n: u32) -> cedar_machine::Result<Table1> {
         ("GM/cache", Rank64Version::GmCache, paper::TABLE1_CACHE),
     ];
     let mut rows = Vec::new();
+    let mut resumed = Vec::new();
     for (name, version, paper_row) in versions {
         let mut measured = [0.0; 4];
         let mut stats = Vec::with_capacity(4);
         for clusters in 1..=4usize {
-            let mut m =
-                Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-            let kern = Rank64 { n, k: 64, version };
-            let progs = kern.build(&mut m, clusters);
-            let r = m.run(progs, 8_000_000_000)?;
+            let key = format!("t1-{name}-{clusters}cl");
+            let cfg = MachineConfig::cedar_with_clusters(clusters).with_env_threads();
+            let r = ckpt::run_point(ck, &key, cfg, 8_000_000_000, |m| {
+                Rank64 { n, k: 64, version }.build(m, clusters)
+            })?;
+            resumed.extend(ckpt::provenance_of(&key, &r));
             measured[clusters - 1] = r.mflops;
             stats.push(r.stats);
         }
@@ -77,7 +96,7 @@ pub fn run(n: u32) -> cedar_machine::Result<Table1> {
             stats,
         });
     }
-    Ok(Table1 { rows, n })
+    Ok(Table1 { rows, n, resumed })
 }
 
 impl Table1 {
@@ -98,7 +117,12 @@ impl Table1 {
             cols.extend(row.paper.iter().map(|&v| f1(v)));
             t.row(cols);
         }
-        t.render()
+        let mut out = t.render();
+        for line in &self.resumed {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
     }
 
     /// The prefetch improvement factors over no-prefetch per cluster

@@ -24,9 +24,9 @@ use cedar_kernels::staged::cg::StagedCg;
 use cedar_kernels::staged::rank64::{Rank64, Rank64Version};
 use cedar_kernels::staged::tridiag::TridiagMatvec;
 use cedar_kernels::staged::vload::VectorLoad;
-use cedar_machine::machine::Machine;
 use cedar_machine::{MachineConfig, MachineStats};
 
+use crate::experiments::ckpt;
 use crate::report::{f1, f2, Table};
 
 /// Monitor readings for one kernel at one CE count.
@@ -51,6 +51,9 @@ pub struct Table2Kernel {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table2 {
     pub kernels: Vec<Table2Kernel>,
+    /// Crash-recovery provenance: one line per point resumed from a
+    /// snapshot. Empty for uninterrupted runs.
+    pub resumed: Vec<String>,
 }
 
 /// Problem sizes of the four kernels. [`Default`] is the paper-scale
@@ -116,42 +119,44 @@ fn run_point(
     sizes: Table2Sizes,
     kernel: Kernel,
     ces: usize,
-) -> cedar_machine::Result<(MonitorPoint, MachineStats)> {
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<(MonitorPoint, MachineStats, Option<String>)> {
     // CG self-schedules over exactly `ces` CEs, the others decompose per
     // cluster.
     let clusters = match kernel {
         Kernel::Cg => ces.div_ceil(8),
         _ => ces / 8,
     };
-    let mut m = Machine::new(MachineConfig::cedar_with_clusters(clusters).with_env_threads())?;
-    let progs = match kernel {
+    let key = format!("t2-{}-{ces}ce", kernel.name());
+    let cfg = MachineConfig::cedar_with_clusters(clusters).with_env_threads();
+    let r = ckpt::run_point(ck, &key, cfg, 2_000_000_000, |m| match kernel {
         // VL: pure prefetched loads, 32-word compiler blocks.
         Kernel::Vl => VectorLoad {
             words_per_ce: sizes.vl_words_per_ce,
             block: 32,
         }
-        .build(&mut m, clusters),
+        .build(m, clusters),
         // TM: tridiagonal matvec.
         Kernel::Tm => TridiagMatvec {
             n: sizes.tm_n,
             sweeps: 2,
         }
-        .build(&mut m, clusters),
+        .build(m, clusters),
         // RK: rank-64 update with 256-word blocks, aggressive overlap.
         Kernel::Rk => Rank64 {
             n: sizes.rk_n,
             k: 64,
             version: Rank64Version::GmPrefetch { block_words: 256 },
         }
-        .build(&mut m, clusters),
+        .build(m, clusters),
         // CG: 5-diagonal conjugate gradient.
         Kernel::Cg => StagedCg {
             n: sizes.cg_n,
             iterations: 2,
         }
-        .build(&mut m, ces),
-    };
-    let r = m.run(progs, 2_000_000_000)?;
+        .build(m, ces),
+    })?;
+    let provenance = ckpt::provenance_of(&key, &r);
     Ok((
         MonitorPoint {
             ces,
@@ -159,6 +164,7 @@ fn run_point(
             interarrival: r.prefetch.mean_interarrival(),
         },
         r.stats,
+        provenance,
     ))
 }
 
@@ -171,24 +177,41 @@ fn run_point(
 ///
 /// Propagates simulator errors.
 pub fn run_sized(sizes: Table2Sizes) -> cedar_machine::Result<Table2> {
+    run_sized_with(sizes, None)
+}
+
+/// [`run_sized`] under an optional crash-recovery plan: each of the 12
+/// (kernel × CE count) simulations auto-checkpoints to its own snapshot
+/// file, and `--resume` continues interrupted points (recorded in
+/// [`Table2::resumed`]).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_sized_with(
+    sizes: Table2Sizes,
+    ck: Option<&ckpt::Checkpoint>,
+) -> cedar_machine::Result<Table2> {
     let ce_counts = [8usize, 16, 32];
     let tasks: Vec<(Kernel, usize)> = Kernel::ALL
         .iter()
         .flat_map(|&k| ce_counts.iter().map(move |&ces| (k, ces)))
         .collect();
     let results = crate::experiments::sweep::parallel_map(&tasks, |&(kernel, ces)| {
-        run_point(sizes, kernel, ces)
+        run_point(sizes, kernel, ces, ck)
     });
 
     let mut kernels = Vec::new();
+    let mut resumed = Vec::new();
     let mut results = results.into_iter();
     for kernel in Kernel::ALL {
         let mut points = Vec::new();
         let mut stats = Vec::new();
         for _ in &ce_counts {
-            let (point, st) = results.next().expect("one result per task")?;
+            let (point, st, provenance) = results.next().expect("one result per task")?;
             points.push(point);
             stats.push(st);
+            resumed.extend(provenance);
         }
         kernels.push(Table2Kernel {
             name: kernel.name(),
@@ -196,7 +219,7 @@ pub fn run_sized(sizes: Table2Sizes) -> cedar_machine::Result<Table2> {
             stats,
         });
     }
-    Ok(Table2 { kernels })
+    Ok(Table2 { kernels, resumed })
 }
 
 impl Table2 {
@@ -213,7 +236,12 @@ impl Table2 {
             }
             t.row(cols);
         }
-        t.render()
+        let mut out = t.render();
+        for line in &self.resumed {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
     }
 
     /// Degradation of a kernel's latency from 8 to 32 CEs.

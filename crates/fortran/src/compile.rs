@@ -245,6 +245,29 @@ impl Backend {
         m.run(programs, limit)
     }
 
+    /// [`Backend::execute_on`] continuing an interrupted run from the
+    /// snapshot at `snap` instead of starting over. The program is
+    /// lowered onto the fresh machine exactly as the interrupted run
+    /// lowered it (the snapshot layer verifies the allocations match)
+    /// and the restored state carries the run forward bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::execute_on`], plus snapshot read/validation
+    /// failures.
+    pub fn resume_on(
+        &self,
+        prog: &CompiledProgram,
+        cfg: MachineConfig,
+        clusters: usize,
+        limit: u64,
+        snap: &std::path::Path,
+    ) -> cedar_machine::Result<RunReport> {
+        let mut m = Machine::new(cfg)?;
+        let programs = self.lower(prog, &mut m, clusters.clamp(1, 4));
+        m.resume_from_file(programs, snap, limit)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn emit_loop(
         &self,

@@ -112,6 +112,34 @@ impl BandedMatvec {
         let progs = self.build(&mut m, clusters.clamp(1, 4));
         m.run(progs, 4_000_000_000)
     }
+
+    /// [`Self::report_on_cedar`] with machine-level crash recovery: the
+    /// run auto-checkpoints to `snap` every `every` cycles, and with
+    /// `resume` an existing snapshot continues the interrupted run
+    /// (bit-identically) instead of restarting it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::report_on_cedar`], plus snapshot read/validation
+    /// failures.
+    pub fn report_on_cedar_recoverable(
+        &self,
+        clusters: usize,
+        snap: &std::path::Path,
+        every: u64,
+        resume: bool,
+    ) -> cedar_machine::Result<RunReport> {
+        let cfg = cedar_machine::MachineConfig::cedar_with_clusters(clusters.clamp(1, 4))
+            .with_env_threads()
+            .with_checkpoint(every, snap);
+        let mut m = Machine::new(cfg)?;
+        let progs = self.build(&mut m, clusters.clamp(1, 4));
+        if resume && snap.exists() {
+            m.resume_from_file(progs, snap, 4_000_000_000)
+        } else {
+            m.run(progs, 4_000_000_000)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,35 @@ impl StagedCg {
         let progs = self.build(&mut m, ces);
         m.run(progs, 2_000_000_000)
     }
+
+    /// [`Self::report_on_cedar`] with machine-level crash recovery: the
+    /// run auto-checkpoints to `snap` every `every` cycles, and with
+    /// `resume` an existing snapshot continues the interrupted run
+    /// (bit-identically) instead of restarting it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::report_on_cedar`], plus snapshot read/validation
+    /// failures.
+    pub fn report_on_cedar_recoverable(
+        &self,
+        ces: usize,
+        snap: &std::path::Path,
+        every: u64,
+        resume: bool,
+    ) -> cedar_machine::Result<RunReport> {
+        let clusters = ces.div_ceil(8).max(1);
+        let cfg = cedar_machine::MachineConfig::cedar_with_clusters(clusters.min(4))
+            .with_env_threads()
+            .with_checkpoint(every, snap);
+        let mut m = Machine::new(cfg)?;
+        let progs = self.build(&mut m, ces);
+        if resume && snap.exists() {
+            m.resume_from_file(progs, snap, 2_000_000_000)
+        } else {
+            m.run(progs, 2_000_000_000)
+        }
+    }
 }
 
 /// The flop accounting per emitted iteration chunk must match

@@ -253,6 +253,83 @@ impl ClusterCache {
         self.mem.stats()
     }
 
+    /// Serialize the tag array, miss slots, bank occupancy, backing
+    /// memory and statistics. Geometry (sets, associativity, banks) is
+    /// config-derived and checked structurally on restore.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"CACH");
+        w.seq(self.tags.iter(), |w, way| {
+            w.opt(way.as_ref(), |w, line| {
+                w.u64(line.tag);
+                w.bool(line.dirty);
+                w.u64(line.lru);
+                w.cycle(line.fill_at);
+            });
+        });
+        w.u64(self.lru_clock);
+        w.seq(self.ce_misses.iter(), |w, slots| {
+            w.seq(slots.iter(), |w, (line, at)| {
+                w.u64(*line);
+                w.cycle(*at);
+            });
+        });
+        w.cycle(self.bank_cycle);
+        w.seq(self.bank_used.iter(), |w, used| w.u32(*used));
+        self.mem.save_state(w);
+        let s = &self.stats;
+        for v in [
+            s.hits,
+            s.misses,
+            s.bank_stalls,
+            s.mshr_stalls,
+            s.writebacks,
+            s.evictions,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        r.tag(b"CACH")?;
+        let ways = self.tags.len();
+        r.seq_exact(ways, |r, i| {
+            self.tags[i] = r.opt(|r| {
+                Ok(Line {
+                    tag: r.u64()?,
+                    dirty: r.bool()?,
+                    lru: r.u64()?,
+                    fill_at: r.cycle()?,
+                })
+            })?;
+            Ok(())
+        })?;
+        self.lru_clock = r.u64()?;
+        let ces = self.ce_misses.len();
+        r.seq_exact(ces, |r, i| {
+            self.ce_misses[i] = r.seq(|r| Ok((r.u64()?, r.cycle()?)))?;
+            Ok(())
+        })?;
+        self.bank_cycle = r.cycle()?;
+        let banks = self.bank_used.len();
+        r.seq_exact(banks, |r, i| {
+            self.bank_used[i] = r.u32()?;
+            Ok(())
+        })?;
+        self.mem.load_state(r)?;
+        self.stats = CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            bank_stalls: r.u64()?,
+            mshr_stalls: r.u64()?,
+            writebacks: r.u64()?,
+            evictions: r.u64()?,
+        };
+        Ok(())
+    }
+
     fn roll_cycle(&mut self, now: Cycle) {
         if now != self.bank_cycle {
             self.bank_cycle = now;

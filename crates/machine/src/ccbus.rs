@@ -270,6 +270,140 @@ impl CcBus {
         self.stats.sdoall_posts += 1;
     }
 
+    /// Serialize the bus. Hash-keyed maps (counter values, barrier
+    /// arrival states, SDOALL states) are written in sorted key order so
+    /// the snapshot bytes are deterministic; the pending dispatch queue
+    /// keeps its FIFO order.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::SnapWriter;
+        w.tag(b"CBUS");
+        w.cycle(self.next_free);
+        w.seq(self.pending.iter(), |w, req| {
+            w.usize(req.ce);
+            w.usize(req.slot);
+            w.u64(req.epoch);
+            w.u32(req.chunk);
+            w.u64(req.limit);
+        });
+        fn sorted_keys<V>(m: &HashMap<(usize, u64), V>) -> Vec<(usize, u64)> {
+            let mut keys: Vec<(usize, u64)> = m.keys().copied().collect();
+            keys.sort_unstable();
+            keys
+        }
+        let put_key = |w: &mut SnapWriter, k: &(usize, u64)| {
+            w.usize(k.0);
+            w.u64(k.1);
+        };
+        w.seq(sorted_keys(&self.values).iter(), |w, k| {
+            put_key(w, k);
+            w.u64(self.values[k]);
+        });
+        w.seq(self.grants.iter(), |w, g| {
+            w.opt(g.as_ref(), |w, v| w.u64(*v));
+        });
+        w.seq(sorted_keys(&self.barriers).iter(), |w, k| {
+            put_key(w, k);
+            let b = &self.barriers[k];
+            w.u32(b.arrived);
+            w.seq(b.waiting.iter(), |w, (ce, at)| {
+                w.usize(*ce);
+                w.cycle(*at);
+            });
+        });
+        w.seq(sorted_keys(&self.sdoall).iter(), |w, k| {
+            put_key(w, k);
+            let st = &self.sdoall[k];
+            w.seq(st.values.iter(), |w, v| w.u64(*v));
+            w.seq(st.cursor.iter(), |w, c| w.usize(*c));
+            w.bool(st.fetch_in_flight);
+        });
+        w.seq(self.releases.iter(), |w, rel| {
+            w.opt(rel.as_ref(), |w, at| w.cycle(*at));
+        });
+        w.usize(self.n_counters);
+        let s = &self.stats;
+        for v in [
+            s.dispatches,
+            s.counter_requests,
+            s.barrier_releases,
+            s.barrier_arrivals,
+            s.barrier_wait_cycles,
+            s.sdoall_posts,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        r.tag(b"CBUS")?;
+        self.next_free = r.cycle()?;
+        self.pending = r
+            .seq(|r| {
+                Ok(CounterReq {
+                    ce: r.usize()?,
+                    slot: r.usize()?,
+                    epoch: r.u64()?,
+                    chunk: r.u32()?,
+                    limit: r.u64()?,
+                })
+            })?
+            .into_iter()
+            .collect();
+        let key =
+            |r: &mut crate::snapshot::SnapReader| -> crate::snapshot::SnapResult<(usize, u64)> {
+                Ok((r.usize()?, r.u64()?))
+            };
+        self.values = r.seq(|r| Ok((key(r)?, r.u64()?)))?.into_iter().collect();
+        let ces = self.grants.len();
+        r.seq_exact(ces, |r, i| {
+            self.grants[i] = r.opt(|r| r.u64())?;
+            Ok(())
+        })?;
+        self.barriers = r
+            .seq(|r| {
+                let k = key(r)?;
+                let arrived = r.u32()?;
+                let waiting = r.seq(|r| Ok((r.usize()?, r.cycle()?)))?;
+                Ok((k, BarrierWait { arrived, waiting }))
+            })?
+            .into_iter()
+            .collect();
+        self.sdoall = r
+            .seq(|r| {
+                let k = key(r)?;
+                let values = r.seq(|r| r.u64())?;
+                let cursor = r.seq(|r| r.usize())?;
+                let fetch_in_flight = r.bool()?;
+                Ok((
+                    k,
+                    SdoallState {
+                        values,
+                        cursor,
+                        fetch_in_flight,
+                    },
+                ))
+            })?
+            .into_iter()
+            .collect();
+        r.seq_exact(ces, |r, i| {
+            self.releases[i] = r.opt(|r| r.cycle())?;
+            Ok(())
+        })?;
+        self.n_counters = r.usize()?;
+        self.stats = CcBusStats {
+            dispatches: r.u64()?,
+            counter_requests: r.u64()?,
+            barrier_releases: r.u64()?,
+            barrier_arrivals: r.u64()?,
+            barrier_wait_cycles: r.u64()?,
+            sdoall_posts: r.u64()?,
+        };
+        Ok(())
+    }
+
     /// Reset all counter/barrier state (between independent runs).
     pub fn reset(&mut self) {
         self.pending.clear();

@@ -2361,6 +2361,391 @@ impl CeEngine {
     }
 }
 
+use crate::snapshot::{get_packet, put_packet, SnapReader, SnapResult, SnapWriter};
+
+fn put_frame_kind(w: &mut SnapWriter, k: &FrameKind) {
+    match k {
+        FrameKind::Root => w.u8(0),
+        FrameKind::Repeat { remaining } => {
+            w.u8(1);
+            w.u32(*remaining);
+        }
+        FrameKind::SelfSched {
+            counter,
+            limit,
+            chunk,
+            dispatch_cost,
+            epoch,
+            chunk_end,
+        } => {
+            w.u8(2);
+            w.usize(*counter);
+            w.u64(*limit);
+            w.u32(*chunk);
+            w.u32(*dispatch_cost);
+            w.u64(*epoch);
+            w.u64(*chunk_end);
+        }
+    }
+}
+
+fn get_frame_kind(r: &mut SnapReader) -> SnapResult<FrameKind> {
+    Ok(match r.u8()? {
+        0 => FrameKind::Root,
+        1 => FrameKind::Repeat {
+            remaining: r.u32()?,
+        },
+        2 => FrameKind::SelfSched {
+            counter: r.usize()?,
+            limit: r.u64()?,
+            chunk: r.u32()?,
+            dispatch_cost: r.u32()?,
+            epoch: r.u64()?,
+            chunk_end: r.u64()?,
+        },
+        b => return Err(r.err_invalid("frame kind", b)),
+    })
+}
+
+fn put_ce_state(w: &mut SnapWriter, s: &CeState) {
+    match s {
+        CeState::Fetch => w.u8(0),
+        CeState::Stall { until } => {
+            w.u8(1);
+            w.cycle(*until);
+        }
+        CeState::VectorDirect {
+            base,
+            stride,
+            length,
+            issued,
+            completed,
+            start_at,
+            gather,
+        } => {
+            w.u8(2);
+            w.u64(*base);
+            w.i64(*stride);
+            w.u32(*length);
+            w.u32(*issued);
+            w.u32(*completed);
+            w.cycle(*start_at);
+            w.bool(*gather);
+        }
+        CeState::VectorPref {
+            length,
+            consumed,
+            start_at,
+        } => {
+            w.u8(3);
+            w.u32(*length);
+            w.u32(*consumed);
+            w.cycle(*start_at);
+        }
+        CeState::VectorGWrite {
+            base,
+            stride,
+            length,
+            issued,
+            start_at,
+            scatter,
+        } => {
+            w.u8(4);
+            w.u64(*base);
+            w.i64(*stride);
+            w.u32(*length);
+            w.u32(*issued);
+            w.cycle(*start_at);
+            w.bool(*scatter);
+        }
+        CeState::VectorCache {
+            base,
+            stride,
+            write,
+            length,
+            issued,
+            last_ready,
+            start_at,
+        } => {
+            w.u8(5);
+            w.u64(*base);
+            w.i64(*stride);
+            w.bool(*write);
+            w.u32(*length);
+            w.u32(*issued);
+            w.cycle(*last_ready);
+            w.cycle(*start_at);
+        }
+        CeState::AwaitScalarRead => w.u8(6),
+        CeState::AwaitSync => w.u8(7),
+        CeState::AwaitCounter => w.u8(8),
+        CeState::AwaitClusterBarrier => w.u8(9),
+        CeState::GlobalBarrier {
+            barrier,
+            epoch,
+            phase,
+            misses,
+        } => {
+            w.u8(10);
+            w.usize(*barrier);
+            w.u64(*epoch);
+            match phase {
+                GbPhase::AwaitArrive => w.u8(0),
+                GbPhase::PollWait { at } => {
+                    w.u8(1);
+                    w.cycle(*at);
+                }
+                GbPhase::AwaitPoll => w.u8(2),
+            }
+            w.u32(*misses);
+        }
+        CeState::AwaitFence => w.u8(11),
+        CeState::Done => w.u8(12),
+    }
+}
+
+fn get_ce_state(r: &mut SnapReader) -> SnapResult<CeState> {
+    Ok(match r.u8()? {
+        0 => CeState::Fetch,
+        1 => CeState::Stall { until: r.cycle()? },
+        2 => CeState::VectorDirect {
+            base: r.u64()?,
+            stride: r.i64()?,
+            length: r.u32()?,
+            issued: r.u32()?,
+            completed: r.u32()?,
+            start_at: r.cycle()?,
+            gather: r.bool()?,
+        },
+        3 => CeState::VectorPref {
+            length: r.u32()?,
+            consumed: r.u32()?,
+            start_at: r.cycle()?,
+        },
+        4 => CeState::VectorGWrite {
+            base: r.u64()?,
+            stride: r.i64()?,
+            length: r.u32()?,
+            issued: r.u32()?,
+            start_at: r.cycle()?,
+            scatter: r.bool()?,
+        },
+        5 => CeState::VectorCache {
+            base: r.u64()?,
+            stride: r.i64()?,
+            write: r.bool()?,
+            length: r.u32()?,
+            issued: r.u32()?,
+            last_ready: r.cycle()?,
+            start_at: r.cycle()?,
+        },
+        6 => CeState::AwaitScalarRead,
+        7 => CeState::AwaitSync,
+        8 => CeState::AwaitCounter,
+        9 => CeState::AwaitClusterBarrier,
+        10 => CeState::GlobalBarrier {
+            barrier: r.usize()?,
+            epoch: r.u64()?,
+            phase: match r.u8()? {
+                0 => GbPhase::AwaitArrive,
+                1 => GbPhase::PollWait { at: r.cycle()? },
+                2 => GbPhase::AwaitPoll,
+                b => return Err(r.err_invalid("barrier phase", b)),
+            },
+            misses: r.u32()?,
+        },
+        11 => CeState::AwaitFence,
+        12 => CeState::Done,
+        b => return Err(r.err_invalid("engine state", b)),
+    })
+}
+
+impl CeEngine {
+    /// Serialize the engine's complete mutable state. The program tree,
+    /// lowered micro-op stream and CE configuration are not written —
+    /// the restoring machine is constructed with the identical program,
+    /// and interpreter frames are stored as `(pc, kind)` pairs whose
+    /// block references are rebuilt by walking the program tree.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.tag(b"CENG");
+        w.seq(self.frames.iter(), |w, f| {
+            w.usize(f.pc);
+            put_frame_kind(w, &f.kind);
+        });
+        w.opt(self.flat.as_ref(), |w, f| {
+            w.u32(f.pc);
+            w.seq(f.frames.iter(), |w, fr| {
+                w.u32(fr.head);
+                w.u32(fr.end);
+                put_frame_kind(w, &fr.kind);
+            });
+            w.bool(f.fire_pending);
+        });
+        w.cycle(self.quiet_until);
+        w.seq(self.indices.iter(), |w, v| w.u64(*v));
+        put_ce_state(w, &self.state);
+        self.pfu.save_state(w);
+        w.opt(self.pending_pkt.as_ref(), put_packet);
+        w.u32(self.outstanding_reads);
+        w.u32(self.outstanding_writes);
+        w.seq(self.direct_ready.iter(), |w, c| w.cycle(*c));
+        w.opt(self.scalar_ready.as_ref(), |w, c| w.cycle(*c));
+        w.opt(self.sync_result.as_ref(), |w, o| {
+            w.i32(o.old);
+            w.bool(o.passed);
+        });
+        w.seq(self.counter_epochs.iter(), |w, v| w.u64(*v));
+        w.seq(self.barrier_uses.iter(), |w, v| w.u64(*v));
+        w.bool(self.sdoall_must_fetch);
+        w.bool(self.sdoall_awaiting_reply);
+        w.cycle(self.vm_stall_until);
+        w.opt(self.fault_ctl.as_deref(), |w, c| c.save_state(w));
+        w.u64(self.next_seq);
+        w.opt(self.trace_ctl.as_deref(), |w, t| t.save_state(w));
+        w.u64(self.stats.flops);
+        w.u64(self.stats.vector_elements);
+        w.u64(self.stats.busy);
+        w.u64(self.stats.idle);
+        w.u64(self.stats.stall_mem);
+        w.u64(self.stats.stall_sync);
+        w.u64(self.stats.tlb_misses);
+        w.u64(self.stats.page_faults);
+        w.u64(self.stats.vm_cycles);
+        w.u64(self.stats.done_at);
+    }
+
+    /// Restore state written by [`CeEngine::save_state`] into an engine
+    /// freshly constructed with the identical program and configuration.
+    /// Interpreter frame blocks are rebuilt by walking the loaded program
+    /// tree: a child frame can only exist after its parent dispatched the
+    /// loop op (which advances the parent pc first), so the child's block
+    /// is the body of the op at `parent.pc - 1`.
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        r.tag(b"CENG")?;
+        let n_frames = r.len()?;
+        if n_frames == 0 {
+            return Err(r.err_mismatch("engine must hold at least the root frame"));
+        }
+        self.frames.truncate(1);
+        self.frames[0].pc = r.usize()?;
+        self.frames[0].kind = get_frame_kind(r)?;
+        if !matches!(self.frames[0].kind, FrameKind::Root) {
+            return Err(r.err_mismatch("first engine frame is not the root frame"));
+        }
+        if self.frames[0].pc > self.frames[0].block.len() {
+            return Err(r.err_mismatch("root frame pc beyond the program body"));
+        }
+        for _ in 1..n_frames {
+            let pc = r.usize()?;
+            let kind = get_frame_kind(r)?;
+            let parent = self.frames.last().expect("frames are non-empty");
+            let block = if parent.pc == 0 || parent.pc > parent.block.len() {
+                None
+            } else {
+                match &parent.block[parent.pc - 1] {
+                    Op::Repeat { body, .. } => Some(Arc::clone(body)),
+                    Op::SelfSchedLoop { body, .. } => Some(Arc::clone(body)),
+                    _ => None,
+                }
+            };
+            let Some(block) = block else {
+                return Err(r.err_mismatch("frame stack does not match the loaded program"));
+            };
+            if pc > block.len() {
+                return Err(r.err_mismatch("frame pc beyond its block"));
+            }
+            self.frames.push(Frame { block, pc, kind });
+        }
+        let had_flat = r.bool()?;
+        match (had_flat, self.flat.is_some()) {
+            (true, true) => {
+                let flat = self.flat.as_mut().expect("checked above");
+                let n_uops = flat.prog.uops().len() as u32;
+                let pc = r.u32()?;
+                if pc > n_uops {
+                    return Err(r.err_mismatch("flat pc beyond the micro-op stream"));
+                }
+                flat.pc = pc;
+                flat.frames = r.seq(|r| {
+                    Ok(LFrame {
+                        head: r.u32()?,
+                        end: r.u32()?,
+                        kind: get_frame_kind(r)?,
+                    })
+                })?;
+                if flat
+                    .frames
+                    .iter()
+                    .any(|fr| fr.head > n_uops || fr.end >= n_uops)
+                {
+                    return Err(r.err_mismatch("flat loop frame beyond the micro-op stream"));
+                }
+                flat.fire_pending = r.bool()?;
+            }
+            (false, false) => {}
+            _ => {
+                return Err(r.err_mismatch(
+                    "snapshot lowering state disagrees with this machine's lowering setup",
+                ));
+            }
+        }
+        self.quiet_until = r.cycle()?;
+        self.indices = r.seq(|r| r.u64())?;
+        self.state = get_ce_state(r)?;
+        self.pfu.load_state(r)?;
+        self.pending_pkt = r.opt(get_packet)?;
+        self.outstanding_reads = r.u32()?;
+        self.outstanding_writes = r.u32()?;
+        self.direct_ready = r.seq(|r| r.cycle())?.into();
+        self.scalar_ready = r.opt(|r| r.cycle())?;
+        self.sync_result = r.opt(|r| {
+            Ok(SyncOutcome {
+                old: r.i32()?,
+                passed: r.bool()?,
+            })
+        })?;
+        self.counter_epochs = r.seq(|r| r.u64())?;
+        self.barrier_uses = r.seq(|r| r.u64())?;
+        self.sdoall_must_fetch = r.bool()?;
+        self.sdoall_awaiting_reply = r.bool()?;
+        self.vm_stall_until = r.cycle()?;
+        let had_fault = r.bool()?;
+        match (had_fault, self.fault_ctl.as_deref_mut()) {
+            (true, Some(c)) => c.load_state(r)?,
+            (false, None) => {}
+            _ => {
+                return Err(r.err_mismatch(
+                    "snapshot retry-controller state disagrees with this machine's fault plan",
+                ));
+            }
+        }
+        self.next_seq = r.u64()?;
+        let had_trace = r.bool()?;
+        match (had_trace, self.trace_ctl.as_deref_mut()) {
+            (true, Some(t)) => t.load_state(r)?,
+            (false, None) => {}
+            _ => {
+                return Err(r.err_mismatch(
+                    "snapshot journey-tracing state disagrees with this machine's tracing setup",
+                ));
+            }
+        }
+        self.stats = CeStats {
+            flops: r.u64()?,
+            vector_elements: r.u64()?,
+            busy: r.u64()?,
+            idle: r.u64()?,
+            stall_mem: r.u64()?,
+            stall_sync: r.u64()?,
+            tlb_misses: r.u64()?,
+            page_faults: r.u64()?,
+            vm_cycles: r.u64()?,
+            done_at: r.u64()?,
+        };
+        Ok(())
+    }
+}
+
 /// The earlier of two optional wakeup cycles (`None` = no event).
 pub(crate) fn min_event(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
     match (a, b) {

@@ -350,6 +350,21 @@ pub struct MachineConfig {
     /// like `None` (tested): no journey is sampled, no `trace.*` stats key
     /// is emitted.
     pub trace: Option<crate::trace::TracePlan>,
+    /// Simulated cycles between automatic mid-run checkpoints, or `0`
+    /// (the default) for no auto-checkpointing. Requires
+    /// [`checkpoint_path`](Self::checkpoint_path). Checkpoints are taken
+    /// at run-loop boundaries only (post-tick in the serial engine,
+    /// post-exchange in the parallel engine), so the interval is a floor,
+    /// not an exact period. Purely an availability knob: the simulated
+    /// results are bit-for-bit identical with checkpointing on or off,
+    /// and a run resumed from a checkpoint finishes bit-identical to the
+    /// uninterrupted run (tested).
+    pub checkpoint_every: u64,
+    /// Where the auto-checkpoint writes its snapshot. Each checkpoint
+    /// atomically replaces the previous one (temp-file-and-rename), so
+    /// the file always holds the latest complete snapshot — a crash
+    /// mid-write can never leave a torn file behind.
+    pub checkpoint_path: Option<std::path::PathBuf>,
 }
 
 impl MachineConfig {
@@ -374,6 +389,8 @@ impl MachineConfig {
             vm: VmConfig::cedar(),
             faults: None,
             trace: None,
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 
@@ -445,6 +462,35 @@ impl MachineConfig {
         self
     }
 
+    /// The same configuration with mid-run auto-checkpointing every
+    /// `every` cycles (`0` switches it off) into `path`.
+    pub fn with_checkpoint(mut self, every: u64, path: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// The same configuration with the checkpoint knobs taken from the
+    /// `CEDAR_CHECKPOINT_EVERY` / `CEDAR_CHECKPOINT_PATH` environment
+    /// variables when set; unchanged otherwise. The experiment drivers
+    /// route every machine they build through this.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError`](crate::error::MachineError::InvalidConfig) when
+    /// either variable is set to garbage — checkpointing silently off
+    /// when a CI leg asked for it would void the crash-recovery coverage,
+    /// so these knobs parse strictly (see [`crate::env`]).
+    pub fn with_env_checkpoint(mut self) -> Result<Self, crate::error::MachineError> {
+        if let Some(every) = checkpoint_every_from_env()? {
+            self.checkpoint_every = every;
+        }
+        if let Some(path) = checkpoint_path_from_env()? {
+            self.checkpoint_path = Some(path);
+        }
+        Ok(self)
+    }
+
     /// Total CEs in the machine.
     pub fn total_ces(&self) -> usize {
         self.clusters * self.ces_per_cluster
@@ -510,6 +556,9 @@ impl MachineConfig {
         if let Some(plan) = &self.trace {
             plan.validate()?;
         }
+        if self.checkpoint_every > 0 && self.checkpoint_path.is_none() {
+            return Err("checkpoint interval set without a checkpoint path".into());
+        }
         Ok(())
     }
 
@@ -536,9 +585,9 @@ impl Default for MachineConfig {
 // documented strict/lenient policy); re-exported here so call sites keep
 // their historical `config::` paths.
 pub use crate::env::{
-    chunk_cycles_from_env, fastfwd_disabled_from_env, fault_seed_from_env,
-    flowpath_disabled_from_env, lowered_disabled_from_env, parse_env_threads, threads_from_env,
-    trace_plan_from_env,
+    checkpoint_every_from_env, checkpoint_path_from_env, chunk_cycles_from_env,
+    fastfwd_disabled_from_env, fault_seed_from_env, flowpath_disabled_from_env,
+    lowered_disabled_from_env, parse_env_threads, threads_from_env, trace_plan_from_env,
 };
 
 #[cfg(test)]

@@ -153,6 +153,51 @@ pub fn trace_plan_from_env() -> Result<Option<crate::trace::TracePlan>, MachineE
     }))
 }
 
+/// The auto-checkpoint interval requested through the
+/// `CEDAR_CHECKPOINT_EVERY` environment variable: unset → `Ok(None)`, a
+/// non-negative cycle count → `Ok(Some(n))` (`0` switches checkpointing
+/// off, overriding a configured interval).
+///
+/// # Errors
+///
+/// Strict like [`fault_seed_from_env`]: garbage is a hard
+/// [`MachineError::InvalidConfig`]. Checkpointing silently off when a CI
+/// leg or an operator asked for it would void the crash-recovery
+/// guarantee the knob exists to provide — the run would finish, report
+/// correct results, and leave nothing to resume from after a crash.
+pub fn checkpoint_every_from_env() -> Result<Option<u64>, MachineError> {
+    let Ok(raw) = std::env::var("CEDAR_CHECKPOINT_EVERY") else {
+        return Ok(None);
+    };
+    raw.trim().parse::<u64>().map(Some).map_err(|_| {
+        MachineError::InvalidConfig(format!(
+            "CEDAR_CHECKPOINT_EVERY={raw:?} is not a cycle count (non-negative integer)"
+        ))
+    })
+}
+
+/// The auto-checkpoint file requested through the
+/// `CEDAR_CHECKPOINT_PATH` environment variable: unset → `Ok(None)`, a
+/// non-empty path → `Ok(Some(path))`.
+///
+/// # Errors
+///
+/// Strict: an empty (or all-whitespace) value is a hard
+/// [`MachineError::InvalidConfig`] — it almost certainly means a CI
+/// variable expansion came up empty, and "checkpoint to nowhere" must
+/// not pass silently.
+pub fn checkpoint_path_from_env() -> Result<Option<std::path::PathBuf>, MachineError> {
+    let Ok(raw) = std::env::var("CEDAR_CHECKPOINT_PATH") else {
+        return Ok(None);
+    };
+    if raw.trim().is_empty() {
+        return Err(MachineError::InvalidConfig(
+            "CEDAR_CHECKPOINT_PATH is set but empty".to_string(),
+        ));
+    }
+    Ok(Some(std::path::PathBuf::from(raw)))
+}
+
 /// True when the `CEDAR_NO_FASTFWD` environment variable asks for the
 /// cycle-by-cycle loop (`1`/`true`/`yes`, case-insensitive). Anything else
 /// — unset, `0`, garbage — leaves [`MachineConfig::fast_forward`] in

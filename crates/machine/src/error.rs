@@ -30,6 +30,11 @@ pub enum MachineError {
     /// operation (persistent drops, NACKs, or an offline module): the
     /// machine cannot make that operation complete.
     Faulted { ce: CeId, reason: String },
+    /// A machine snapshot could not be written, or could not be restored:
+    /// wrong magic/version, torn or corrupted payload, or state that does
+    /// not match the machine's configuration. Restore never panics on bad
+    /// bytes — it returns this.
+    Snapshot(String),
 }
 
 /// Machine state captured by the forward-progress watchdog at the moment
@@ -55,6 +60,24 @@ pub struct HangReport {
     pub module_queues: Vec<(usize, usize)>,
     /// Global-memory operations still tracked by CE retry controllers.
     pub pending_retries: u64,
+    /// Lookahead-chunked parallel-engine context at detection; `None`
+    /// when the serial engine tripped the watchdog.
+    pub chunked: Option<ChunkedContext>,
+}
+
+/// What the lookahead-chunked parallel engine was doing when the
+/// watchdog fired, so a hang in the chunked exchange is diagnosable from
+/// the report alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkedContext {
+    /// Cycles per chunk in the most recent exchange round (1 = the
+    /// per-cycle fallback path).
+    pub chunk_cycles: u64,
+    /// Exchange rounds completed since the run started.
+    pub exchanges: u64,
+    /// Per-worker time parked at the exchange barriers, as
+    /// `(worker, waits, nanoseconds)`.
+    pub worker_sync_waits: Vec<(usize, u64, u64)>,
 }
 
 impl fmt::Display for HangReport {
@@ -71,6 +94,16 @@ impl fmt::Display for HangReport {
             self.rev_in_flight,
             self.pending_retries,
         )?;
+        if let Some(c) = &self.chunked {
+            writeln!(
+                f,
+                "  chunked engine: chunk={}cy, {} exchanges",
+                c.chunk_cycles, c.exchanges
+            )?;
+            for (worker, waits, ns) in &c.worker_sync_waits {
+                writeln!(f, "    worker[{worker}]: {waits} waits, {ns}ns parked")?;
+            }
+        }
         for (ce, state) in &self.ces {
             writeln!(f, "  ce[{ce}]: {state}")?;
         }
@@ -103,6 +136,7 @@ impl fmt::Display for MachineError {
             MachineError::Faulted { ce, reason } => {
                 write!(f, "unrecoverable fault on {ce}: {reason}")
             }
+            MachineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }
@@ -134,6 +168,7 @@ mod tests {
                 ce: CeId(3),
                 reason: "request seq 9 failed after 17 attempts".into(),
             },
+            MachineError::Snapshot("payload checksum mismatch".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -153,6 +188,11 @@ mod tests {
             rev_in_flight: 0,
             module_queues: vec![(3, 2)],
             pending_retries: 1,
+            chunked: Some(ChunkedContext {
+                chunk_cycles: 6,
+                exchanges: 512,
+                worker_sync_waits: vec![(0, 512, 90_000), (1, 512, 81_000)],
+            }),
         }
     }
 
@@ -164,6 +204,12 @@ mod tests {
         assert!(text.contains("ce[0]: GlobalBarrier(poll)"));
         assert!(text.contains("ce[8]: AwaitCounter"));
         assert!(text.contains("[3]=2"));
+        assert!(
+            text.contains("chunk=6cy"),
+            "chunked context missing: {text}"
+        );
+        assert!(text.contains("512 exchanges"));
+        assert!(text.contains("worker[1]: 512 waits"));
         let e = MachineError::Deadlock {
             report: Box::new(r),
         };

@@ -272,6 +272,28 @@ impl FaultSchedule {
     pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
         self.events.get(self.next).map(|&(at, _)| at.max(now + 1))
     }
+
+    /// Only the cursor is mutable state: the transition list is rebuilt
+    /// from the plan. The *effects* of already-applied transitions (downed
+    /// ports, offline modules) live in the network and module snapshots.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.next);
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        let next = r.usize()?;
+        if next > self.events.len() {
+            return Err(r.err_mismatch(&format!(
+                "fault-schedule cursor {next} past the plan's {} transitions",
+                self.events.len()
+            )));
+        }
+        self.next = next;
+        Ok(())
+    }
 }
 
 /// Counters of one CE's retry controller.
@@ -463,6 +485,51 @@ impl CeFaultCtl {
 
     pub(crate) fn retry_latency(&self) -> &Histogrammer {
         &self.retry_latency
+    }
+
+    /// Serialize tracked operations, counters, the retry-latency
+    /// histogram and the exhaustion latch. Timeout/budget parameters come
+    /// from the plan on reconstruction.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::put_packet;
+        w.seq(self.ops.iter(), |w, op| {
+            w.u64(op.seq);
+            put_packet(w, &op.pkt);
+            w.cycle(op.first_issued);
+            w.u32(op.attempts);
+            w.cycle(op.at);
+            w.bool(op.awaiting);
+        });
+        w.u64(self.stats.retries);
+        w.u64(self.stats.nacks);
+        w.u64(self.stats.timeouts);
+        self.retry_latency.save_state(w);
+        w.opt(self.exhausted.as_ref(), |w, s| w.str(s));
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        use crate::snapshot::get_packet;
+        self.ops = r.seq(|r| {
+            Ok(TrackedOp {
+                seq: r.u64()?,
+                pkt: get_packet(r)?,
+                first_issued: r.cycle()?,
+                attempts: r.u32()?,
+                at: r.cycle()?,
+                awaiting: r.bool()?,
+            })
+        })?;
+        self.stats = FaultCtlStats {
+            retries: r.u64()?,
+            nacks: r.u64()?,
+            timeouts: r.u64()?,
+        };
+        self.retry_latency = Histogrammer::decode(r)?;
+        self.exhausted = r.opt(|r| r.str())?;
+        Ok(())
     }
 }
 

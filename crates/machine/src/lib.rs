@@ -53,13 +53,14 @@ mod parallel;
 pub mod prefetch;
 pub mod program;
 pub mod sched;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod vm;
 
 pub use config::MachineConfig;
-pub use error::{HangReport, MachineError, Result};
+pub use error::{ChunkedContext, HangReport, MachineError, Result};
 pub use fault::{FaultPlan, LinkOutage, ModuleOutage};
 pub use ids::{CeId, ClusterId, CounterId, ModuleId, PageId, PortId};
 pub use machine::{CounterScope, Machine, RunReport};

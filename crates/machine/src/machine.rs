@@ -64,6 +64,15 @@ impl Watchdog {
         }
     }
 
+    /// Rebuild a watchdog from snapshot state, so a resumed run inspects
+    /// on exactly the cycles the uninterrupted run would.
+    pub(crate) fn from_state(next_check: Cycle, sync_stuck: u32) -> Watchdog {
+        Watchdog {
+            next_check,
+            sync_stuck,
+        }
+    }
+
     /// True when an inspection is due at `now`.
     pub(crate) fn due(&self, now: Cycle) -> bool {
         now >= self.next_check
@@ -147,6 +156,13 @@ pub struct RunReport {
     /// and histogram of [`Machine::stats`], bracketed between run start
     /// and run end.
     pub stats: MachineStats,
+    /// Provenance: the snapshot file this run was resumed from, stamped
+    /// by [`Machine::resume_from_file`]. `None` for uninterrupted runs
+    /// (and for [`Machine::resume`] from an in-memory image, which has
+    /// no file to name). Everything else in the report is bit-identical
+    /// either way — this field exists so rendered reports can say a run
+    /// was recovered.
+    pub resumed_from: Option<std::path::PathBuf>,
 }
 
 /// The simulated Cedar machine.
@@ -163,8 +179,8 @@ pub struct Machine {
     pub(crate) clusters: Vec<Cluster>,
     pub(crate) counters: Vec<CounterDef>,
     pub(crate) barriers: Vec<BarrierDef>,
-    next_sync_slot: u64,
-    next_bus_barrier_slot: usize,
+    pub(crate) next_sync_slot: u64,
+    pub(crate) next_bus_barrier_slot: usize,
     pub(crate) engines: Vec<Option<CeEngine>>,
     pub(crate) page_table: PageTable,
     pub(crate) tracer: EventTracer,
@@ -193,12 +209,12 @@ pub struct Machine {
     /// ([`MachineConfig::lowered`] gated by the `CEDAR_NO_LOWER` hatch
     /// and forced off under the VM model). Resolved once at
     /// construction, like the network flow path.
-    lowered: bool,
+    pub(crate) lowered: bool,
     /// Static shape of the programs loaded by the most recent
     /// [`Machine::run`], summed over CEs (`None` before the first run).
     /// Computed by the lowering pass in both modes, so the `program.*`
     /// registry keys are identical with lowering on or off.
-    program_meta: Option<crate::lower::LowerMeta>,
+    pub(crate) program_meta: Option<crate::lower::LowerMeta>,
 }
 
 /// Preformatted counter-key strings for every indexed stat family.
@@ -810,6 +826,18 @@ impl Machine {
     /// * [`MachineError::CycleLimitExceeded`] if the run does not finish
     ///   within `limit` cycles (almost always a deadlocked barrier).
     pub fn run(&mut self, programs: Vec<(CeId, Program)>, limit: u64) -> Result<RunReport> {
+        let stats_start = self.prepare_run(programs)?;
+        let start = self.now;
+        let watchdog = Watchdog::new(start);
+        self.run_prepared(start, limit, stats_start, watchdog)
+    }
+
+    /// Everything [`Machine::run`] does before entering the run loop:
+    /// reset per-run state, validate and lower the programs, build the
+    /// engines, and take the registry baseline. Shared with
+    /// [`Machine::resume`], which builds the identical engines and then
+    /// overwrites the state from the snapshot.
+    pub(crate) fn prepare_run(&mut self, programs: Vec<(CeId, Program)>) -> Result<MachineStats> {
         let total = self.cfg.total_ces();
         // Fresh engines restart their counter/barrier epochs at zero, so
         // stale synchronization words from a previous run must go.
@@ -864,29 +892,60 @@ impl Machine {
         // Journey spans reset with the engines: the store (and the
         // `trace.*` registry keys) covers exactly the upcoming run.
         self.trace_store.clear();
-        let fastfwd = self.cfg.fast_forward && !crate::config::fastfwd_disabled_from_env();
         let stats_start = self.stats();
         // After the snapshot: the delta keeps counters absent from the
         // baseline, so the report carries this run's absolute values.
         self.program_meta = Some(meta);
-        if self.effective_threads() > 1 {
-            self.run_loop_parallel(start, limit, fastfwd)?;
+        Ok(stats_start)
+    }
+
+    /// The run loop and report of [`Machine::run`], entered with a
+    /// prepared machine. [`Machine::resume`] supplies the interrupted
+    /// run's start, budget, baseline and watchdog instead of fresh ones.
+    pub(crate) fn run_prepared(
+        &mut self,
+        start: Cycle,
+        limit: u64,
+        stats_start: MachineStats,
+        mut watchdog: Watchdog,
+    ) -> Result<RunReport> {
+        let fastfwd = self.cfg.fast_forward && !crate::config::fastfwd_disabled_from_env();
+        let mut ckpt = match (self.cfg.checkpoint_every, &self.cfg.checkpoint_path) {
+            (every, Some(path)) if every > 0 => Some(crate::snapshot::CkptCtl {
+                every,
+                path: path.clone(),
+                next: self.now + every,
+                start,
+                limit,
+                stats_start: &stats_start,
+            }),
+            _ => None,
+        };
+        let run = if self.effective_threads() > 1 {
+            self.run_loop_parallel(start, limit, fastfwd, &mut watchdog, &mut ckpt)
         } else {
-            self.run_loop_serial(start, limit, fastfwd)?;
-        }
+            self.run_loop_serial(start, limit, fastfwd, &mut watchdog, &mut ckpt)
+        };
+        run?;
         fill_util_samples(&self.engines, &mut self.util_scratch);
         self.timeline.finish(self.now, &self.util_scratch);
         Ok(self.report(start, &stats_start))
     }
 
-    fn run_loop_serial(&mut self, start: Cycle, limit: u64, fastfwd: bool) -> Result<()> {
-        let mut watchdog = Watchdog::new(start);
+    fn run_loop_serial(
+        &mut self,
+        start: Cycle,
+        limit: u64,
+        fastfwd: bool,
+        watchdog: &mut Watchdog,
+        ckpt: &mut Option<crate::snapshot::CkptCtl<'_>>,
+    ) -> Result<()> {
         while !self.all_done() {
             // Watchdog before the budget check: a true deadlock should
             // surface as `Deadlock` (with its hang report), never as a
             // generic `CycleLimitExceeded`.
             if watchdog.due(self.now) {
-                self.check_progress(&mut watchdog)?;
+                self.check_progress(watchdog)?;
             }
             if self.now.saturating_since(start) > limit {
                 return Err(MachineError::CycleLimitExceeded { limit });
@@ -898,6 +957,16 @@ impl Machine {
                     self.try_fast_forward(start, limit);
                 });
                 self.profiler = prof;
+            }
+            // Auto-checkpoint at the loop boundary: post-tick (and
+            // post-skip) state is always self-consistent here, whether
+            // the run is mid-fast-forward, mid-outage or mid-journey.
+            if let Some(ck) = ckpt.as_mut() {
+                if self.now >= ck.next {
+                    let image = self.run_image(ck, watchdog);
+                    crate::snapshot::write_snapshot_file(&ck.path, &image)?;
+                    ck.next = self.now + ck.every;
+                }
             }
         }
         Ok(())
@@ -989,6 +1058,7 @@ impl Machine {
             rev_in_flight: self.reverse.in_flight_packets(),
             module_queues: self.gmem.queue_depths(),
             pending_retries,
+            chunked: None,
         }
     }
 
@@ -1250,6 +1320,7 @@ impl Machine {
             tlb: self.clusters.iter().map(|c| c.tlb.stats()).collect(),
             ccbus: self.clusters.iter().map(|c| c.ccbus.stats()).collect(),
             stats,
+            resumed_from: None,
         }
     }
 

@@ -66,6 +66,26 @@ impl ClusterMemory {
         self.stats
     }
 
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.cycle(self.next_free);
+        w.u64(self.stats.fills);
+        w.u64(self.stats.writebacks);
+        w.u64(self.stats.words);
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        self.next_free = r.cycle()?;
+        self.stats = ClusterMemStats {
+            fills: r.u64()?,
+            writebacks: r.u64()?,
+            words: r.u64()?,
+        };
+        Ok(())
+    }
+
     fn occupy(&mut self, now: Cycle, words: u32) -> Cycle {
         let start = if now > self.next_free {
             now

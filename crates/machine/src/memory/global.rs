@@ -176,6 +176,38 @@ impl GlobalMemory {
         }
     }
 
+    /// Serialize the array: the active mask, acceptance epoch, and every
+    /// module in bank order. The stored module count is checked against
+    /// the configuration on restore.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.tag(b"GMEM");
+        w.seq(self.active.iter(), |w, bits| w.u64(*bits));
+        w.u64(self.accept_epoch);
+        w.u64(self.dropped_replies);
+        w.seq(self.modules.iter(), |w, m| m.save_state(w));
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader,
+    ) -> crate::snapshot::SnapResult<()> {
+        r.tag(b"GMEM")?;
+        let active = r.seq(|r| r.u64())?;
+        if active.len() != self.active.len() {
+            return Err(r.err_mismatch(&format!(
+                "active mask holds {} words, machine needs {}",
+                active.len(),
+                self.active.len()
+            )));
+        }
+        self.active = active;
+        self.accept_epoch = r.u64()?;
+        self.dropped_replies = r.u64()?;
+        let n = self.modules.len();
+        r.seq_exact(n, |r, i| self.modules[i].load_state(r))?;
+        Ok(())
+    }
+
     /// Drain every module's trace stamps into `events`, in bank order,
     /// accumulating overflow drops. Bank order is deterministic, and each
     /// module's internal stamp order is its own service order.

@@ -7,6 +7,7 @@
 //! simulator provides the same two devices; the prefetch-latency numbers
 //! of Table 2 come from probes built on them.
 
+use crate::snapshot::{SnapReader, SnapResult, SnapWriter};
 use crate::time::Cycle;
 
 /// Default tracer capacity: 1 M events, as on the real hardware.
@@ -93,6 +94,22 @@ impl EventTracer {
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+    }
+
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(self.events.iter(), |w, (at, tag)| {
+            w.cycle(*at);
+            w.u32(*tag);
+        });
+        w.u64(self.dropped);
+    }
+
+    /// Restore events and the drop count; capacity stays whatever this
+    /// tracer was constructed with (it is configuration, not state).
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.events = r.seq(|r| Ok((r.cycle()?, r.u32()?)))?;
+        self.dropped = r.u64()?;
+        Ok(())
     }
 }
 
@@ -227,6 +244,41 @@ impl Histogrammer {
     /// Clear all bins.
     pub fn clear(&mut self) {
         self.bins.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Sparse snapshot encoding: bin count, then `(index, count)` pairs
+    /// for the non-zero bins. Most of the machine's histograms are 64 K
+    /// bins with a handful occupied; dense encoding would dominate the
+    /// snapshot.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.bins.len());
+        let nonzero: Vec<(usize, u32)> = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .map(|(i, &b)| (i, b))
+            .collect();
+        w.seq(nonzero.iter(), |w, (i, b)| {
+            w.u32(*i as u32);
+            w.u32(*b);
+        });
+    }
+
+    /// Decode a histogram written by [`Histogrammer::save_state`].
+    pub(crate) fn decode(r: &mut SnapReader) -> SnapResult<Histogrammer> {
+        let len = r.len()?;
+        if len == 0 {
+            return Err(r.err_invalid("histogram bin count", 0));
+        }
+        let mut h = Histogrammer::with_bins(len);
+        let pairs = r.seq(|r| Ok((r.u32()?, r.u32()?)))?;
+        for (i, b) in pairs {
+            *h.bins
+                .get_mut(i as usize)
+                .ok_or_else(|| r.err_invalid("histogram bin index", 0))? = b;
+        }
+        Ok(h)
     }
 }
 

@@ -1289,6 +1289,239 @@ impl Omega {
     }
 }
 
+use crate::snapshot::{get_packet, put_packet, SnapReader, SnapResult, SnapWriter};
+
+impl Omega {
+    /// Serialize the network's complete mutable state. Config-derived
+    /// tables (shuffle, routing, switch/subport maps), the fault seeds
+    /// and the cached stall charge are not written: the first two are
+    /// rebuilt by [`Omega::new`], the seeds come from the fault plan,
+    /// and the stall cache is recomputed bit-identically by the next
+    /// tick.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.tag(b"OMGA");
+        // In-flight packet slab first: queued flits reference its ids.
+        w.seq(self.slab.iter(), |w, slot| match slot {
+            Slot::Live(pkt) => {
+                w.u8(1);
+                put_packet(w, pkt);
+            }
+            Slot::Free { next } => {
+                w.u8(0);
+                w.u32(*next);
+            }
+        });
+        w.u32(self.free_head);
+        // Stage queues front-to-back; the physical ring head is not state.
+        w.seq(0..self.stages * self.size, |w, idx| {
+            let len = usize::from(self.qlen[idx]);
+            w.u8(self.qlen[idx]);
+            for j in 0..len {
+                let mut slot = usize::from(self.qhead[idx]) + j;
+                if slot >= self.queue_cap {
+                    slot -= self.queue_cap;
+                }
+                let f = self.qbuf[idx * self.queue_cap + slot];
+                w.u32(f.pkt);
+                w.bool(f.is_head);
+                w.bool(f.is_tail);
+                w.u8(f.route);
+            }
+        });
+        w.seq(0..self.stages * self.size, |w, idx| {
+            w.u32(self.locks[idx]);
+            w.u8(self.locked_to[idx]);
+            w.u8(self.rr[idx]);
+        });
+        w.seq(self.injectors.iter(), |w, inj| {
+            w.u8(inj.len);
+            w.u8(inj.words_sent);
+            for slot in 0..inj.len() {
+                let (pkt, words) = inj.slots[(usize::from(inj.head) + slot) % INJ_CAP];
+                w.u32(pkt);
+                w.u8(words);
+            }
+        });
+        w.seq(self.assemblers.iter(), |w, a| w.bool(a.accepted));
+        w.u64(self.stats.packets_injected);
+        w.u64(self.stats.packets_delivered);
+        w.u64(self.stats.words_moved);
+        w.u64(self.stats.blocked_moves);
+        w.u64(self.stats.arbitration_losses);
+        w.u64(self.stats.link_blocked);
+        w.u64(self.stats.drops);
+        w.u64(self.stats.nacks);
+        w.seq(self.stage_conflicts.iter(), |w, v| w.u64(*v));
+        w.seq(self.stage_blocked.iter(), |w, v| w.u64(*v));
+        self.queue_depth.save_state(w);
+        w.u64(self.stall_replays);
+        w.opt(self.faults.as_deref(), |w, f| {
+            w.seq(f.inj_seq.iter(), |w, v| w.u64(*v));
+            w.seq(f.down.iter(), |w, v| w.bool(*v));
+            w.seq(f.doom.iter(), |w, v| w.bool(*v));
+        });
+        w.opt(self.trace.as_deref(), |w, t| t.save_state(w));
+    }
+
+    /// Restore state written by [`Omega::save_state`] into a network
+    /// built with the identical configuration. Derived occupancy indexes
+    /// (stage/switch word counts, busy masks, cached fronts, injection
+    /// mask) are rebuilt from the restored queues rather than trusted
+    /// from the snapshot.
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        r.tag(b"OMGA")?;
+        self.slab = r.seq(|r| match r.u8()? {
+            0 => Ok(Slot::Free { next: r.u32()? }),
+            1 => Ok(Slot::Live(get_packet(r)?)),
+            b => Err(r.err_invalid("slab slot kind", b)),
+        })?;
+        self.free_head = r.u32()?;
+        let slots = self.slab.len() as u32;
+        if self.free_head != NO_PACKET && self.free_head >= slots {
+            return Err(r.err_mismatch("slab free head out of range"));
+        }
+        for slot in &self.slab {
+            if let Slot::Free { next } = slot {
+                if *next != NO_PACKET && *next >= slots {
+                    return Err(r.err_mismatch("slab free link out of range"));
+                }
+            }
+        }
+        self.in_flight = self
+            .slab
+            .iter()
+            .filter(|s| matches!(s, Slot::Live(_)))
+            .count();
+        let queues = self.stages * self.size;
+        r.seq_exact(queues, |r, idx| {
+            let len = usize::from(r.u8()?);
+            if len > self.queue_cap {
+                return Err(r.err_mismatch("stage queue deeper than its capacity"));
+            }
+            self.qhead[idx] = 0;
+            self.qlen[idx] = len as u8;
+            for j in 0..len {
+                let pkt = r.u32()?;
+                if pkt >= slots {
+                    return Err(r.err_mismatch("queued flit references no slab slot"));
+                }
+                let is_head = r.bool()?;
+                let is_tail = r.bool()?;
+                let route = r.u8()?;
+                self.qbuf[idx * self.queue_cap + j] = Flit {
+                    pkt,
+                    is_head,
+                    is_tail,
+                    route,
+                };
+            }
+            Ok(())
+        })?;
+        r.seq_exact(queues, |r, idx| {
+            self.locks[idx] = r.u32()?;
+            self.locked_to[idx] = r.u8()?;
+            self.rr[idx] = r.u8()?;
+            Ok(())
+        })?;
+        r.seq_exact(self.size, |r, port| {
+            let len = r.u8()?;
+            if usize::from(len) > INJ_CAP {
+                return Err(r.err_mismatch("injector ring deeper than its capacity"));
+            }
+            let words_sent = r.u8()?;
+            let inj = &mut self.injectors[port];
+            *inj = Injector::default();
+            inj.len = len;
+            inj.words_sent = words_sent;
+            for slot in 0..usize::from(len) {
+                let pkt = r.u32()?;
+                let words = r.u8()?;
+                inj.slots[slot] = (pkt, words);
+            }
+            Ok(())
+        })?;
+        r.seq_exact(self.size, |r, port| {
+            self.assemblers[port].accepted = r.bool()?;
+            Ok(())
+        })?;
+        self.stats.packets_injected = r.u64()?;
+        self.stats.packets_delivered = r.u64()?;
+        self.stats.words_moved = r.u64()?;
+        self.stats.blocked_moves = r.u64()?;
+        self.stats.arbitration_losses = r.u64()?;
+        self.stats.link_blocked = r.u64()?;
+        self.stats.drops = r.u64()?;
+        self.stats.nacks = r.u64()?;
+        r.seq_exact(self.stages, |r, s| {
+            self.stage_conflicts[s] = r.u64()?;
+            Ok(())
+        })?;
+        r.seq_exact(self.stages, |r, s| {
+            self.stage_blocked[s] = r.u64()?;
+            Ok(())
+        })?;
+        self.queue_depth = Histogrammer::decode(r)?;
+        self.stall_replays = r.u64()?;
+        let had_faults = r.bool()?;
+        match (had_faults, self.faults.as_deref_mut()) {
+            (true, Some(f)) => {
+                let inj_seq = r.seq(|r| r.u64())?;
+                if inj_seq.len() != f.inj_seq.len() {
+                    return Err(r.err_mismatch("fault-injection port count"));
+                }
+                f.inj_seq = inj_seq;
+                let down = r.seq(|r| r.bool())?;
+                if down.len() != f.down.len() {
+                    return Err(r.err_mismatch("fault-outage port count"));
+                }
+                f.down = down;
+                f.doom = r.seq(|r| r.bool())?;
+            }
+            (false, None) => {}
+            _ => {
+                return Err(r.err_mismatch(
+                    "snapshot fault-injection state disagrees with this machine's fault plan",
+                ));
+            }
+        }
+        let had_trace = r.bool()?;
+        match (had_trace, self.trace.as_deref_mut()) {
+            (true, Some(t)) => t.load_state(r)?,
+            (false, None) => {}
+            _ => {
+                return Err(r.err_mismatch(
+                    "snapshot network-tracing state disagrees with this machine's tracing setup",
+                ));
+            }
+        }
+        // Rebuild the derived occupancy indexes; drop the stall cache (the
+        // next tick recomputes it bit-identically).
+        self.pending_injections = self.injectors.iter().map(Injector::len).sum();
+        self.inject_ports = LineMask::new(self.size);
+        for port in 0..self.size {
+            if self.injectors[port].len() > 0 {
+                self.inject_ports.set(port);
+            }
+        }
+        self.stage_words.iter_mut().for_each(|v| *v = 0);
+        self.switch_words.iter_mut().for_each(|v| *v = 0);
+        self.switch_busy.iter_mut().for_each(|v| *v = 0);
+        for stage in 0..self.stages {
+            for line in 0..self.size {
+                let idx = stage * self.size + line;
+                let n = self.qlen[idx];
+                self.stage_words[stage] += u32::from(n);
+                for _ in 0..n {
+                    self.add_switch_word(stage, usize::from(self.sw_of[line]));
+                }
+                self.refresh_front(stage, line);
+            }
+        }
+        self.stall = None;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,7 +89,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::ce::{min_event, CeContext, CeEngine};
-use crate::error::{MachineError, Result};
+use crate::error::{ChunkedContext, MachineError, Result};
 use crate::ids::CeId;
 use crate::machine::{Cluster, Machine, Watchdog, STUCK_SYNC_CHECKS};
 use crate::monitor::{EventTracer, Histogrammer};
@@ -422,6 +422,8 @@ enum Stop {
     Limit,
     Deadlock(&'static str),
     Faulted(CeId, String),
+    /// Writing an auto-checkpoint failed (disk full, permissions).
+    Snapshot(MachineError),
 }
 
 /// The parallel twin of `Machine::progress_verdict`: inspect the engines
@@ -484,6 +486,8 @@ impl Machine {
         start: Cycle,
         limit: u64,
         fastfwd: bool,
+        watchdog: &mut Watchdog,
+        ckpt: &mut Option<crate::snapshot::CkptCtl<'_>>,
     ) -> Result<()> {
         let threads = self.effective_threads();
         debug_assert!(threads > 1, "parallel loop needs two or more workers");
@@ -549,8 +553,9 @@ impl Machine {
             first_cluster += count;
         }
 
-        let result = {
+        let (result, chunked) = {
             let Machine {
+                cfg,
                 now,
                 forward,
                 reverse,
@@ -564,6 +569,12 @@ impl Machine {
                 fastfwd_skipped,
                 fault_sched,
                 profiler,
+                page_table,
+                trace_store,
+                next_sync_slot,
+                next_bus_barrier_slot,
+                program_meta,
+                lowered,
                 ..
             } = &mut *self;
             let counters: &[CounterDef] = counters;
@@ -581,7 +592,7 @@ impl Machine {
                 .collect();
             let shards = &shards;
 
-            std::thread::scope(|s| {
+            let scoped = std::thread::scope(|s| {
                 for (w, shard) in shards.iter().enumerate().skip(1) {
                     let (go, handoff, stop) = (&go, &handoff, &stop);
                     let (cycle, chunk_len) = (&cycle, &chunk_len);
@@ -633,7 +644,7 @@ impl Machine {
 
                 let acc0 = prof_on.then(|| &sync_waits[0]);
                 let mut rounds = 0u64;
-                let mut watchdog = Watchdog::new(start);
+                let mut last_chunk = 1u64;
                 let result = loop {
                     // Direct engine doneness, not the tick-maintained
                     // `done_since` marker: an engine can finish during a
@@ -661,7 +672,7 @@ impl Machine {
                         }
                         let (shard_ev, _) = next_shard_event(shards, t, counters);
                         ev = min_event(ev, shard_ev);
-                        if let Some(stop) = shard_progress_verdict(shards, &mut watchdog, t, ev) {
+                        if let Some(stop) = shard_progress_verdict(shards, watchdog, t, ev) {
                             break Err(stop);
                         }
                     }
@@ -728,6 +739,7 @@ impl Machine {
                         }
                     }
 
+                    last_chunk = l.max(1);
                     if l <= 1 {
                         // ---- Per-cycle round (the CEDAR_CHUNK_CYCLES=1
                         // hatch). Serial phases first, in the serial
@@ -1043,6 +1055,62 @@ impl Machine {
                             });
                         }
                     }
+
+                    // Auto-checkpoint, only ever at a chunk-exchange
+                    // boundary: the workers are parked at `go`, every
+                    // staged injection and trace event is drained, and
+                    // the shard state equals the serial engine's
+                    // post-tick state — walking the shards in order
+                    // writes the exact payload the serial loop would.
+                    if let Some(ck) = ckpt.as_mut() {
+                        if *now >= ck.next {
+                            let run = crate::snapshot::RunSnap {
+                                start: ck.start,
+                                limit: ck.limit,
+                                wd_next_check: watchdog.next_check(),
+                                wd_sync_stuck: watchdog.sync_stuck,
+                                stats_start: ck.stats_start,
+                            };
+                            let ctx = crate::snapshot::SaveCtx {
+                                cfg,
+                                lowered: *lowered,
+                                now: *now,
+                                forward,
+                                reverse,
+                                gmem,
+                                page_table,
+                                tracer,
+                                latency_histogram,
+                                timeline,
+                                fastfwd_skipped: *fastfwd_skipped,
+                                fault_sched: fault_sched.as_ref(),
+                                trace_store,
+                                counters,
+                                barriers,
+                                next_sync_slot: *next_sync_slot,
+                                next_bus_barrier_slot: *next_bus_barrier_slot,
+                                program_meta: *program_meta,
+                                run: Some(run),
+                            };
+                            let guards: Vec<_> = shards
+                                .iter()
+                                .map(|sm| {
+                                    sm.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+                                })
+                                .collect();
+                            let payload = crate::snapshot::save_payload(
+                                &ctx,
+                                guards.iter().flat_map(|g| g.clusters.iter()),
+                                guards.iter().flat_map(|g| g.engines.iter()),
+                            );
+                            drop(guards);
+                            let image = crate::snapshot::frame_payload(&payload);
+                            if let Err(e) = crate::snapshot::write_snapshot_file(&ck.path, &image) {
+                                break Err(Stop::Snapshot(e));
+                            }
+                            ck.next = *now + ck.every;
+                        }
+                    }
                 };
                 guard.armed = false;
                 stop.store(true, Ordering::Release);
@@ -1057,8 +1125,25 @@ impl Machine {
                     }
                     p.add_named("exchanges", rounds, 0);
                 }
-                result
-            })
+                (result, rounds, last_chunk)
+            });
+
+            let (result, rounds, last_chunk) = scoped;
+            let worker_sync_waits: Vec<(usize, u64, u64)> = sync_waits
+                .iter()
+                .enumerate()
+                .map(|(w, (ns, waits))| {
+                    (w, waits.load(Ordering::Relaxed), ns.load(Ordering::Relaxed))
+                })
+                .collect();
+            (
+                result,
+                ChunkedContext {
+                    chunk_cycles: last_chunk,
+                    exchanges: rounds,
+                    worker_sync_waits,
+                },
+            )
         };
 
         // Reassemble the machine whether the run finished or stopped
@@ -1074,10 +1159,15 @@ impl Machine {
         match result {
             Ok(()) => Ok(()),
             Err(Stop::Limit) => Err(MachineError::CycleLimitExceeded { limit }),
-            Err(Stop::Deadlock(kind)) => Err(MachineError::Deadlock {
-                report: Box::new(self.hang_report(kind)),
-            }),
+            Err(Stop::Deadlock(kind)) => {
+                let mut report = self.hang_report(kind);
+                report.chunked = Some(chunked);
+                Err(MachineError::Deadlock {
+                    report: Box::new(report),
+                })
+            }
             Err(Stop::Faulted(ce, reason)) => Err(MachineError::Faulted { ce, reason }),
+            Err(Stop::Snapshot(e)) => Err(e),
         }
     }
 }

@@ -65,6 +65,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::monitor::Histogrammer;
+use crate::snapshot::{SnapReader, SnapResult, SnapWriter};
 use crate::time::Cycle;
 
 /// A registry of named monotonic counters and histograms.
@@ -173,6 +174,31 @@ impl MachineStats {
             counters,
             histograms,
         }
+    }
+
+    /// BTreeMaps iterate in key order, so the snapshot bytes are already
+    /// deterministic without an explicit sort.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(self.counters.iter(), |w, (k, &v)| {
+            w.str(k);
+            w.u64(v);
+        });
+        w.seq(self.histograms.iter(), |w, (k, h)| {
+            w.str(k);
+            h.save_state(w);
+        });
+    }
+
+    pub(crate) fn decode(r: &mut SnapReader) -> SnapResult<MachineStats> {
+        let counters = r.seq(|r| Ok((r.str()?, r.u64()?)))?.into_iter().collect();
+        let histograms = r
+            .seq(|r| Ok((r.str()?, Arc::new(Histogrammer::decode(r)?))))?
+            .into_iter()
+            .collect();
+        Ok(MachineStats {
+            counters,
+            histograms,
+        })
     }
 }
 
@@ -364,6 +390,43 @@ impl UtilizationTimeline {
     /// The recorded buckets: `buckets()[b][ce]`.
     pub fn buckets(&self) -> &[Vec<UtilSample>] {
         &self.buckets
+    }
+
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        fn put_sample(w: &mut SnapWriter, s: &UtilSample) {
+            w.u64(s.busy);
+            w.u64(s.stall_mem);
+            w.u64(s.stall_sync);
+            w.u64(s.idle);
+        }
+        w.usize(self.ces);
+        w.cycle(self.start);
+        w.cycle(self.end);
+        w.u64(self.bucket_cycles);
+        w.cycle(self.next_boundary);
+        w.seq(self.buckets.iter(), |w, bucket| {
+            w.seq(bucket.iter(), put_sample);
+        });
+        w.seq(self.last.iter(), put_sample);
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        fn get_sample(r: &mut SnapReader) -> SnapResult<UtilSample> {
+            Ok(UtilSample {
+                busy: r.u64()?,
+                stall_mem: r.u64()?,
+                stall_sync: r.u64()?,
+                idle: r.u64()?,
+            })
+        }
+        self.ces = r.usize()?;
+        self.start = r.cycle()?;
+        self.end = r.cycle()?;
+        self.bucket_cycles = r.u64()?;
+        self.next_boundary = r.cycle()?;
+        self.buckets = r.seq(|r| r.seq(get_sample))?;
+        self.last = r.seq(get_sample)?;
+        Ok(())
     }
 
     /// Whole-run utilization per CE: each CE's summed sample.

@@ -13,6 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::ids::PageId;
+use crate::snapshot::{SnapReader, SnapResult, SnapWriter};
 
 /// Statistics for one TLB.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +72,23 @@ impl PageTable {
         self.hard_faults = 0;
         self.soft_faults = 0;
     }
+
+    /// Valid PTEs serialize in sorted page order so the snapshot bytes
+    /// are deterministic (the set itself is hash-ordered).
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        let mut pages: Vec<u64> = self.valid.iter().map(|p| p.0).collect();
+        pages.sort_unstable();
+        w.seq(pages.iter(), |w, p| w.u64(*p));
+        w.u64(self.hard_faults);
+        w.u64(self.soft_faults);
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.valid = r.seq(|r| Ok(PageId(r.u64()?)))?.into_iter().collect();
+        self.hard_faults = r.u64()?;
+        self.soft_faults = r.u64()?;
+        Ok(())
+    }
 }
 
 /// A per-cluster TLB with FIFO replacement.
@@ -125,6 +143,24 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.entries.clear();
         self.order.clear();
+    }
+
+    /// The FIFO order is the whole replacement state; the entry map is
+    /// rebuilt from it on restore.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(self.order.iter(), |w, p| w.u64(p.0));
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader) -> SnapResult<()> {
+        self.order = r.seq(|r| Ok(PageId(r.u64()?)))?.into_iter().collect();
+        self.entries = self.order.iter().map(|&p| (p, ())).collect();
+        self.stats = TlbStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+        };
+        Ok(())
     }
 }
 

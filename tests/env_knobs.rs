@@ -20,8 +20,11 @@
 //!   whenever set, even when the sampling rate would end up zero.
 
 use cedar::experiments::sweep::sweep_threads;
-use cedar_machine::config::{chunk_cycles_from_env, fault_seed_from_env, trace_plan_from_env};
-use cedar_machine::MachineError;
+use cedar_machine::config::{
+    checkpoint_every_from_env, checkpoint_path_from_env, chunk_cycles_from_env,
+    fault_seed_from_env, trace_plan_from_env,
+};
+use cedar_machine::{MachineConfig, MachineError};
 
 #[test]
 fn env_knobs_fall_back_or_fail_loudly() {
@@ -134,4 +137,82 @@ fn env_knobs_fall_back_or_fail_loudly() {
     }
     std::env::remove_var("CEDAR_TRACE_SEED");
     std::env::remove_var("CEDAR_TRACE_SAMPLE_PPM");
+
+    // --- CEDAR_CHECKPOINT_EVERY: strict, error on garbage ---
+    // Checkpointing silently off when CI or an operator asked for it
+    // would void the crash-recovery guarantee: the run would finish,
+    // report correct results, and leave nothing to resume from.
+    std::env::remove_var("CEDAR_CHECKPOINT_EVERY");
+    assert_eq!(checkpoint_every_from_env().unwrap(), None);
+    std::env::set_var("CEDAR_CHECKPOINT_EVERY", "50000");
+    assert_eq!(checkpoint_every_from_env().unwrap(), Some(50_000));
+    std::env::set_var("CEDAR_CHECKPOINT_EVERY", " 128 ");
+    assert_eq!(
+        checkpoint_every_from_env().unwrap(),
+        Some(128),
+        "whitespace is trimmed"
+    );
+    std::env::set_var("CEDAR_CHECKPOINT_EVERY", "0");
+    assert_eq!(
+        checkpoint_every_from_env().unwrap(),
+        Some(0),
+        "0 is legal: it switches a configured interval off"
+    );
+    for garbage in ["often", "-1", "1.5", "1e6", ""] {
+        std::env::set_var("CEDAR_CHECKPOINT_EVERY", garbage);
+        let err = checkpoint_every_from_env().unwrap_err();
+        assert!(
+            matches!(err, MachineError::InvalidConfig { .. }),
+            "CEDAR_CHECKPOINT_EVERY={garbage:?} must be InvalidConfig, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("CEDAR_CHECKPOINT_EVERY"),
+            "the error should name the variable: {err}"
+        );
+    }
+    std::env::remove_var("CEDAR_CHECKPOINT_EVERY");
+
+    // --- CEDAR_CHECKPOINT_PATH: strict, error on empty ---
+    // An empty value almost certainly means a CI variable expansion came
+    // up empty; "checkpoint to nowhere" must not pass silently.
+    std::env::remove_var("CEDAR_CHECKPOINT_PATH");
+    assert_eq!(checkpoint_path_from_env().unwrap(), None);
+    std::env::set_var("CEDAR_CHECKPOINT_PATH", "/tmp/cedar.snap");
+    assert_eq!(
+        checkpoint_path_from_env().unwrap(),
+        Some(std::path::PathBuf::from("/tmp/cedar.snap"))
+    );
+    for empty in ["", "   "] {
+        std::env::set_var("CEDAR_CHECKPOINT_PATH", empty);
+        let err = checkpoint_path_from_env().unwrap_err();
+        assert!(
+            matches!(err, MachineError::InvalidConfig { .. }),
+            "CEDAR_CHECKPOINT_PATH={empty:?} must be InvalidConfig, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("CEDAR_CHECKPOINT_PATH"),
+            "the error should name the variable: {err}"
+        );
+    }
+    std::env::remove_var("CEDAR_CHECKPOINT_PATH");
+
+    // --- the pair through the config builder ---
+    std::env::set_var("CEDAR_CHECKPOINT_EVERY", "4096");
+    std::env::set_var("CEDAR_CHECKPOINT_PATH", "/tmp/cedar.snap");
+    let cfg = MachineConfig::cedar().with_env_checkpoint().unwrap();
+    assert_eq!(cfg.checkpoint_every, 4096);
+    assert_eq!(
+        cfg.checkpoint_path,
+        Some(std::path::PathBuf::from("/tmp/cedar.snap"))
+    );
+    // An interval without a destination cannot validate: the misconfig
+    // surfaces at machine construction, not as a skipped checkpoint.
+    std::env::remove_var("CEDAR_CHECKPOINT_PATH");
+    let cfg = MachineConfig::cedar().with_env_checkpoint().unwrap();
+    assert_eq!(cfg.checkpoint_every, 4096);
+    assert!(
+        cfg.validate().unwrap_err().contains("checkpoint"),
+        "interval-without-path must fail validation"
+    );
+    std::env::remove_var("CEDAR_CHECKPOINT_EVERY");
 }
